@@ -1,0 +1,211 @@
+//! # sparsetir-autotune
+//!
+//! The performance-tuning system of §2: SparseTIR "constructs a joint
+//! search space of composable formats and composable transformations".
+//! Here the space is the cross product of format parameters (the `c` of
+//! `hyb(c, k)` over `{1, 2, 4, 8, 16}`, `k` defaulted to
+//! `⌈log2(nnz/n)⌉` as §4.2.1 prescribes, plus the no-decomposition
+//! option) and schedule parameters (rows per block, vector width,
+//! register caching), evaluated by the GPU simulator — amortizable
+//! because the compiled operator is reused across a training run
+//! (§2: "the overhead can be amortized").
+
+#![warn(missing_docs)]
+
+use sparsetir_gpusim::prelude::*;
+use sparsetir_kernels::prelude::*;
+use sparsetir_smat::prelude::*;
+
+/// One point of the joint SpMM search space.
+#[derive(Debug, Clone, Copy)]
+pub struct SpmmConfig {
+    /// Column partitions `c` (`None` = no format decomposition).
+    pub col_parts: Option<usize>,
+    /// Bucket exponent `k` (ignored without decomposition).
+    pub bucket_k: u32,
+    /// Schedule parameters.
+    pub params: CsrSpmmParams,
+}
+
+/// Result of a tuning run.
+#[derive(Debug, Clone)]
+pub struct TuneResult {
+    /// Winning configuration.
+    pub config: SpmmConfig,
+    /// Its simulated report.
+    pub report: KernelReport,
+    /// Number of configurations evaluated.
+    pub trials: usize,
+}
+
+/// The paper's column-partition candidates (§4.2.1: "we search for the
+/// best c over {1, 2, 4, 8, 16}").
+#[must_use]
+pub fn col_part_candidates() -> Vec<usize> {
+    vec![1, 2, 4, 8, 16]
+}
+
+/// Grid-search the joint format × schedule space for SpMM on `a` at
+/// feature width `feat`, returning the fastest configuration under the
+/// simulator.
+#[must_use]
+pub fn tune_spmm(spec: &GpuSpec, a: &Csr, feat: usize) -> TuneResult {
+    let schedule_candidates = [
+        CsrSpmmParams::default(),
+        CsrSpmmParams { rows_per_block: 8, ..Default::default() },
+        CsrSpmmParams { rows_per_block: 2, ..Default::default() },
+        CsrSpmmParams { vec_width: 2, ..Default::default() },
+    ];
+    let k = default_k(a);
+    let mut best: Option<(SpmmConfig, KernelReport)> = None;
+    let mut trials = 0usize;
+    // No-decomposition arm (the SparseTIR(no-hyb) variant).
+    for params in schedule_candidates {
+        let report = simulate_kernel(spec, &csr_spmm_plan(a, feat, params, "tune_csr"));
+        trials += 1;
+        if best.as_ref().is_none_or(|(_, b)| report.time_ms < b.time_ms) {
+            best = Some((SpmmConfig { col_parts: None, bucket_k: k, params }, report));
+        }
+    }
+    // Composable-format arms.
+    for c in col_part_candidates() {
+        let Ok(hyb) = Hyb::from_csr(a, c, k) else { continue };
+        for params in schedule_candidates {
+            let report = hyb_spmm_time(spec, &hyb, feat, params);
+            trials += 1;
+            if best.as_ref().is_none_or(|(_, b)| report.time_ms < b.time_ms) {
+                best = Some((SpmmConfig { col_parts: Some(c), bucket_k: k, params }, report));
+            }
+        }
+    }
+    let (config, report) = best.expect("non-empty search space");
+    TuneResult { config, report, trials }
+}
+
+/// Tune the BSR block size for a sparse-attention mask (§4.3.1: "the
+/// sparse matrices used in sparse attentions … have a block-sparse
+/// pattern"; SparseTIR searches the block granularity while Triton fixes
+/// 64). Returns `(block, report)` of the fastest candidate.
+#[must_use]
+pub fn tune_attention_block(
+    spec: &GpuSpec,
+    mask: &Csr,
+    feat: usize,
+    heads: usize,
+) -> (usize, KernelReport) {
+    let mut best: Option<(usize, KernelReport)> = None;
+    for block in [16usize, 32, 64] {
+        let Ok(bsr) = Bsr::from_csr(mask, block) else { continue };
+        let r = simulate_kernel(
+            spec,
+            &batched_bsr_spmm_plan(&bsr, feat, heads, SPARSETIR_BSR_EFFICIENCY, "tune_attn"),
+        );
+        if best.as_ref().is_none_or(|(_, b)| r.time_ms < b.time_ms) {
+            best = Some((block, r));
+        }
+    }
+    best.expect("non-empty block candidates")
+}
+
+/// Generic random search over an arbitrary space: draws `budget` samples
+/// via `sample` and keeps the one minimizing `evaluate`.
+pub fn random_search<C>(
+    budget: usize,
+    mut sample: impl FnMut(usize) -> C,
+    mut evaluate: impl FnMut(&C) -> f64,
+) -> Option<(C, f64)> {
+    let mut best: Option<(C, f64)> = None;
+    for i in 0..budget {
+        let cand = sample(i);
+        let score = evaluate(&cand);
+        if best.as_ref().is_none_or(|(_, b)| score < *b) {
+            best = Some((cand, score));
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn power_law(n: usize, seed: u64) -> Csr {
+        let mut rng = gen::rng(seed);
+        gen::random_csr_with_row_lengths(
+            n,
+            n,
+            |r| {
+                let u: f64 = r.gen_range(0.0..1.0);
+                ((1.5 / (u + 0.004)) as usize).clamp(1, n / 2)
+            },
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn tuning_explores_both_arms_and_beats_defaults() {
+        let a = power_law(1500, 17);
+        let spec = GpuSpec::v100();
+        let result = tune_spmm(&spec, &a, 64);
+        assert!(result.trials >= 20, "trials {}", result.trials);
+        // The tuned configuration is at least as fast as the untuned CSR
+        // default.
+        let default_time =
+            simulate_kernel(&spec, &csr_spmm_plan(&a, 64, CsrSpmmParams::default(), "d")).time_ms;
+        assert!(result.report.time_ms <= default_time);
+    }
+
+    #[test]
+    fn tuning_picks_hyb_on_skewed_graphs() {
+        let a = power_law(2500, 19);
+        let spec = GpuSpec::v100();
+        let result = tune_spmm(&spec, &a, 64);
+        assert!(
+            result.config.col_parts.is_some(),
+            "expected a composable format on a skewed graph, got {:?}",
+            result.config
+        );
+    }
+
+    #[test]
+    fn attention_block_tuning_picks_a_candidate() {
+        // A band mask digitizes best at fine granularity when the band is
+        // narrow; the tuner must return one of the searched blocks and be
+        // no slower than Triton's fixed 64.
+        let mut coo = Coo::new(512, 512);
+        for i in 0..512usize {
+            let lo = i.saturating_sub(16);
+            let hi = (i + 16).min(511);
+            for j in lo..=hi {
+                coo.push(i as u32, j as u32, 1.0);
+            }
+        }
+        let mask = Csr::from_coo(&coo);
+        let spec = GpuSpec::v100();
+        let (block, report) = tune_attention_block(&spec, &mask, 64, 4);
+        assert!([16usize, 32, 64].contains(&block));
+        let fixed64 = simulate_kernel(
+            &spec,
+            &batched_bsr_spmm_plan(
+                &Bsr::from_csr(&mask, 64).unwrap(),
+                64,
+                4,
+                SPARSETIR_BSR_EFFICIENCY,
+                "fixed",
+            ),
+        );
+        assert!(report.time_ms <= fixed64.time_ms);
+    }
+
+    #[test]
+    fn random_search_minimizes() {
+        let best = random_search(64, |i| i as f64, |x| (x - 13.0).abs()).unwrap();
+        assert_eq!(best.0, 13.0);
+    }
+
+    #[test]
+    fn random_search_empty_budget_is_none() {
+        assert!(random_search(0, |i| i, |_| 0.0).is_none());
+    }
+}

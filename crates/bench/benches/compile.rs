@@ -1,0 +1,48 @@
+//! Criterion benches of the *compiler* itself: Stage I construction,
+//! format decomposition, the two lowering passes, scheduling and CUDA
+//! emission — the costs §2 argues are amortized over kernel reuse.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sparsetir_core::prelude::*;
+use sparsetir_ir::prelude::*;
+
+fn bench_lowering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile");
+    group.sample_size(30);
+    group.bench_function("build_stage1_spmm", |b| {
+        b.iter(|| spmm_program(1024, 1024, 16384, 64))
+    });
+    let program = spmm_program(1024, 1024, 16384, 64);
+    group.bench_function("lower_to_stage2", |b| {
+        b.iter(|| lower_to_stage2(&program).unwrap())
+    });
+    group.bench_function("lower_to_stage3", |b| {
+        let s2 = lower_to_stage2(&program).unwrap();
+        b.iter(|| lower_to_stage3(&program, &s2).unwrap())
+    });
+    group.bench_function("decompose_bsr_ell", |b| {
+        let rules = vec![
+            FormatRewriteRule::bsr("A", 2, 512, 512, 4096),
+            FormatRewriteRule::ell("A", 4, 1024, 1024),
+        ];
+        b.iter(|| decompose_format(&program, &rules).unwrap())
+    });
+    group.bench_function("schedule_split_bind", |b| {
+        let f = lower(&program).unwrap();
+        b.iter(|| {
+            let mut sch = Schedule::new(f.clone());
+            let (_, ki) = sch.split("k", 32).unwrap();
+            sch.bind("i", ThreadAxis::BlockIdxX).unwrap();
+            sch.bind(&ki, ThreadAxis::ThreadIdxX).unwrap();
+            sch.into_func()
+        })
+    });
+    group.bench_function("codegen_cuda", |b| {
+        let f = lower(&program).unwrap();
+        b.iter(|| codegen_cuda(&f))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lowering);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Regenerates the bucketing on/off ablation (see DESIGN.md §5.6).
+fn main() {
+    print!("{}", sparsetir_bench::experiments::ablation_bucketing::run());
+}

@@ -1,0 +1,24 @@
+//! Runs every experiment harness in sequence (the full reproduction).
+use sparsetir_bench::experiments as e;
+
+fn main() {
+    for (name, run) in [
+        ("table1", e::table1::run as fn() -> String),
+        ("fig12", e::fig12::run),
+        ("fig13", e::fig13::run),
+        ("fig14", e::fig14::run),
+        ("fig15", e::fig15::run),
+        ("fig16", e::fig16::run),
+        ("fig17", e::fig17::run),
+        ("fig19", e::fig19::run),
+        ("table2", e::table2::run),
+        ("fig20", e::fig20::run),
+        ("fig23", e::fig23::run),
+        ("ablation_hfuse", e::ablation_hfuse::run),
+        ("ablation_bucketing", e::ablation_bucketing::run),
+    ] {
+        eprintln!("[all_experiments] running {name} …");
+        print!("{}", run());
+        println!();
+    }
+}

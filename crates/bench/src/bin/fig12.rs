@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig12 (see DESIGN.md §4).
+fn main() {
+    print!("{}", sparsetir_bench::experiments::fig12::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's table1 (see DESIGN.md §4).
+fn main() {
+    print!("{}", sparsetir_bench::experiments::table1::run());
+}

@@ -1,0 +1,327 @@
+//! Axes — the format-describing dimension objects of SparseTIR (§3.1).
+//!
+//! Each axis carries two orthogonal attributes: **dense/sparse** (are the
+//! non-zero coordinates contiguous?) and **fixed/variable** (is the per-row
+//! non-zero count constant?), plus a `parent` link forming the axis
+//! dependency tree that coordinate translation (eqs. 1–5) and buffer
+//! flattening (eqs. 6–8) walk.
+
+use std::fmt;
+use std::rc::Rc;
+
+/// The 2×2 classification of axes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AxisKind {
+    /// Contiguous coordinates, fixed length (a plain dense dimension).
+    DenseFixed,
+    /// Contiguous coordinates, per-parent variable length (ragged rows);
+    /// carries `indptr`.
+    DenseVariable,
+    /// Non-contiguous coordinates, fixed count per parent (ELL rows);
+    /// carries `indices`.
+    SparseFixed,
+    /// Non-contiguous coordinates, variable count per parent (CSR rows);
+    /// carries `indptr` and `indices`.
+    SparseVariable,
+}
+
+impl AxisKind {
+    /// Axis stores an `indices` array (non-contiguous coordinates).
+    #[must_use]
+    pub fn is_sparse(self) -> bool {
+        matches!(self, AxisKind::SparseFixed | AxisKind::SparseVariable)
+    }
+
+    /// Axis stores an `indptr` array (variable per-parent count).
+    #[must_use]
+    pub fn is_variable(self) -> bool {
+        matches!(self, AxisKind::DenseVariable | AxisKind::SparseVariable)
+    }
+}
+
+/// An axis of the sparse iteration space / sparse buffer layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Axis {
+    /// Unique name within a program.
+    pub name: Rc<str>,
+    /// dense/sparse × fixed/variable classification.
+    pub kind: AxisKind,
+    /// Parent axis in the dependency tree (`None` for roots).
+    pub parent: Option<Rc<str>>,
+    /// Coordinate-space extent (the `n` of the paper's metadata).
+    pub length: usize,
+    /// Total accumulated non-zeros over all parent positions
+    /// (variable axes; equals `parent positions × nnz_cols` for fixed).
+    pub nnz: usize,
+    /// Per-parent non-zero count (fixed axes only).
+    pub nnz_cols: Option<usize>,
+    /// Buffer name of the index-pointer array (variable axes).
+    pub indptr: Option<Rc<str>>,
+    /// Buffer name of the indices array (sparse axes).
+    pub indices: Option<Rc<str>>,
+}
+
+impl Axis {
+    /// `dense_fixed(length)` — no parent, no auxiliary arrays.
+    pub fn dense_fixed(name: impl Into<Rc<str>>, length: usize) -> Axis {
+        Axis {
+            name: name.into(),
+            kind: AxisKind::DenseFixed,
+            parent: None,
+            length,
+            nnz: length,
+            nnz_cols: None,
+            indptr: None,
+            indices: None,
+        }
+    }
+
+    /// `dense_variable(parent, (length, nnz), indptr)`.
+    pub fn dense_variable(
+        name: impl Into<Rc<str>>,
+        parent: impl Into<Rc<str>>,
+        length: usize,
+        nnz: usize,
+        indptr: impl Into<Rc<str>>,
+    ) -> Axis {
+        Axis {
+            name: name.into(),
+            kind: AxisKind::DenseVariable,
+            parent: Some(parent.into()),
+            length,
+            nnz,
+            nnz_cols: None,
+            indptr: Some(indptr.into()),
+            indices: None,
+        }
+    }
+
+    /// `sparse_fixed(parent, (length, nnz_cols), indices)`.
+    pub fn sparse_fixed(
+        name: impl Into<Rc<str>>,
+        parent: impl Into<Rc<str>>,
+        length: usize,
+        nnz_cols: usize,
+        indices: impl Into<Rc<str>>,
+    ) -> Axis {
+        Axis {
+            name: name.into(),
+            kind: AxisKind::SparseFixed,
+            parent: Some(parent.into()),
+            length,
+            nnz: 0, // filled by the program once the parent extent is known
+            nnz_cols: Some(nnz_cols),
+            indptr: None,
+            indices: Some(indices.into()),
+        }
+    }
+
+    /// `sparse_variable(parent, (length, nnz), (indptr, indices))`.
+    pub fn sparse_variable(
+        name: impl Into<Rc<str>>,
+        parent: impl Into<Rc<str>>,
+        length: usize,
+        nnz: usize,
+        indptr: impl Into<Rc<str>>,
+        indices: impl Into<Rc<str>>,
+    ) -> Axis {
+        Axis {
+            name: name.into(),
+            kind: AxisKind::SparseVariable,
+            parent: Some(parent.into()),
+            length,
+            nnz,
+            nnz_cols: None,
+            indptr: Some(indptr.into()),
+            indices: Some(indices.into()),
+        }
+    }
+}
+
+impl fmt::Display for Axis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self.kind {
+            AxisKind::DenseFixed => "dense_fixed",
+            AxisKind::DenseVariable => "dense_variable",
+            AxisKind::SparseFixed => "sparse_fixed",
+            AxisKind::SparseVariable => "sparse_variable",
+        };
+        write!(f, "{} = {kind}(len={}", self.name, self.length)?;
+        if let Some(p) = &self.parent {
+            write!(f, ", parent={p}")?;
+        }
+        if let Some(w) = self.nnz_cols {
+            write!(f, ", nnz_cols={w}")?;
+        }
+        if self.kind.is_variable() {
+            write!(f, ", nnz={}", self.nnz)?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A set of axes forming the dependency forest of one program.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AxisStore {
+    axes: Vec<Axis>,
+}
+
+impl AxisStore {
+    /// Empty store.
+    #[must_use]
+    pub fn new() -> AxisStore {
+        AxisStore::default()
+    }
+
+    /// Register an axis; replaces any axis of the same name.
+    pub fn add(&mut self, axis: Axis) {
+        if let Some(existing) = self.axes.iter_mut().find(|a| a.name == axis.name) {
+            *existing = axis;
+        } else {
+            self.axes.push(axis);
+        }
+    }
+
+    /// Look up by name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&Axis> {
+        self.axes.iter().find(|a| &*a.name == name)
+    }
+
+    /// All registered axes.
+    #[must_use]
+    pub fn all(&self) -> &[Axis] {
+        &self.axes
+    }
+
+    /// `anc(A, i)` of eq. 5: ancestor chain (root → … → self) by name.
+    ///
+    /// # Panics
+    /// Panics when a parent link names an unregistered axis (construction
+    /// bug, not a runtime condition).
+    #[must_use]
+    pub fn ancestors(&self, name: &str) -> Vec<Rc<str>> {
+        let mut chain = Vec::new();
+        let mut cur = self.get(name).map(|a| a.name.clone());
+        while let Some(n) = cur {
+            chain.push(n.clone());
+            let axis = self.get(&n).expect("axis registered");
+            cur = axis.parent.clone();
+        }
+        chain.reverse();
+        chain
+    }
+
+    /// Number of *positions* (stored slots) of an axis: `nnz` for variable
+    /// axes, `parent positions × nnz_cols` for fixed-with-parent, `length`
+    /// for roots.
+    #[must_use]
+    pub fn positions(&self, name: &str) -> usize {
+        let Some(axis) = self.get(name) else { return 0 };
+        match axis.kind {
+            AxisKind::DenseFixed => match &axis.parent {
+                Some(p) => self.positions(p) * axis.length,
+                None => axis.length,
+            },
+            AxisKind::SparseFixed => {
+                let w = axis.nnz_cols.unwrap_or(0);
+                match &axis.parent {
+                    Some(p) => self.positions(p) * w,
+                    None => w,
+                }
+            }
+            AxisKind::DenseVariable | AxisKind::SparseVariable => axis.nnz,
+        }
+    }
+
+    /// Positions of the subtree rooted at `name`, restricted to a buffer's
+    /// axis list — the `nnz(Tree(A_i))` of eq. 8.
+    #[must_use]
+    pub fn tree_positions(&self, name: &str, within: &[Rc<str>]) -> usize {
+        // Find the deepest descendant of `name` within the list; its
+        // positions count the whole chain.
+        let mut best = name.to_string();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for cand in within {
+                if let Some(a) = self.get(cand) {
+                    if a.parent.as_deref() == Some(best.as_str()) {
+                        best = cand.to_string();
+                        changed = true;
+                    }
+                }
+            }
+        }
+        self.positions(&best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn csr_axes() -> AxisStore {
+        let mut s = AxisStore::new();
+        s.add(Axis::dense_fixed("I", 4));
+        s.add(Axis::sparse_variable("J", "I", 8, 10, "J_indptr", "J_indices"));
+        s
+    }
+
+    #[test]
+    fn ancestors_walks_to_root() {
+        let s = csr_axes();
+        let chain = s.ancestors("J");
+        assert_eq!(chain.iter().map(|c| &**c).collect::<Vec<_>>(), vec!["I", "J"]);
+        assert_eq!(s.ancestors("I").len(), 1);
+    }
+
+    #[test]
+    fn positions_of_each_kind() {
+        let mut s = csr_axes();
+        assert_eq!(s.positions("I"), 4);
+        assert_eq!(s.positions("J"), 10);
+        s.add(Axis::sparse_fixed("E", "I", 8, 2, "E_indices"));
+        assert_eq!(s.positions("E"), 8); // 4 parents × 2
+        let mut ii = Axis::dense_fixed("II", 2);
+        ii.parent = None;
+        s.add(ii);
+        assert_eq!(s.positions("II"), 2);
+    }
+
+    #[test]
+    fn tree_positions_follows_chain() {
+        let s = csr_axes();
+        let within: Vec<Rc<str>> = vec!["I".into(), "J".into()];
+        assert_eq!(s.tree_positions("I", &within), 10); // chain I→J has nnz 10
+        assert_eq!(s.tree_positions("J", &within), 10);
+        let only_i: Vec<Rc<str>> = vec!["I".into()];
+        assert_eq!(s.tree_positions("I", &only_i), 4);
+    }
+
+    #[test]
+    fn kind_predicates() {
+        assert!(AxisKind::SparseVariable.is_sparse());
+        assert!(AxisKind::SparseVariable.is_variable());
+        assert!(!AxisKind::DenseFixed.is_sparse());
+        assert!(AxisKind::DenseVariable.is_variable());
+        assert!(AxisKind::SparseFixed.is_sparse());
+        assert!(!AxisKind::SparseFixed.is_variable());
+    }
+
+    #[test]
+    fn add_replaces_same_name() {
+        let mut s = csr_axes();
+        s.add(Axis::dense_fixed("I", 99));
+        assert_eq!(s.get("I").unwrap().length, 99);
+        assert_eq!(s.all().len(), 2);
+    }
+
+    #[test]
+    fn display_formats() {
+        let s = csr_axes();
+        let txt = s.get("J").unwrap().to_string();
+        assert!(txt.contains("sparse_variable"), "{txt}");
+        assert!(txt.contains("parent=I"), "{txt}");
+    }
+}

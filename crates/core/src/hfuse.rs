@@ -1,0 +1,173 @@
+//! Horizontal fusion (§3.5): merge several thread-bound kernels into one
+//! launch to amortize kernel-launch overhead — the backend pass SparseTIR
+//! inserts because composable formats emit one kernel per sub-format.
+
+use sparsetir_ir::prelude::*;
+use std::fmt;
+
+/// Error raised by horizontal fusion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HFuseError {
+    message: String,
+}
+
+impl HFuseError {
+    fn new(message: impl Into<String>) -> Self {
+        HFuseError { message: message.into() }
+    }
+}
+
+impl fmt::Display for HFuseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "horizontal fusion error: {}", self.message)
+    }
+}
+
+impl std::error::Error for HFuseError {}
+
+/// Fuse kernels whose outermost loop is bound to `blockIdx.x` with a
+/// constant grid size. The fused kernel's grid is the sum of the input
+/// grids; each input body runs in its grid-offset range (the standard
+/// horizontal-fusion dispatch of Li et al., cited by the paper).
+///
+/// # Errors
+/// Fails when an input lacks a constant-extent `blockIdx.x`-bound
+/// outermost loop, or when same-named buffers disagree in shape/type.
+pub fn horizontal_fuse(funcs: &[PrimFunc], name: &str) -> Result<PrimFunc, HFuseError> {
+    if funcs.is_empty() {
+        return Err(HFuseError::new("no kernels to fuse"));
+    }
+    fn unwrap_trivial_seq(s: &Stmt) -> &Stmt {
+        match s {
+            Stmt::Seq(v) if v.len() == 1 => unwrap_trivial_seq(&v[0]),
+            _ => s,
+        }
+    }
+    let mut pieces: Vec<(i64, Var, Stmt)> = Vec::new();
+    for f in funcs {
+        let Stmt::For { var, extent, kind: ForKind::ThreadBinding(ThreadAxis::BlockIdxX), body } =
+            unwrap_trivial_seq(&f.body)
+        else {
+            return Err(HFuseError::new(format!(
+                "kernel `{}` must have an outermost blockIdx.x-bound loop",
+                f.name
+            )));
+        };
+        let g = extent.as_const_int().ok_or_else(|| {
+            HFuseError::new(format!("kernel `{}` grid extent is not constant", f.name))
+        })?;
+        pieces.push((g, var.clone(), body.as_ref().clone()));
+    }
+    let total: i64 = pieces.iter().map(|(g, _, _)| g).sum();
+    let bx = Var::i32("bx_fused");
+    let mut dispatch = Stmt::nop();
+    let mut offset = 0i64;
+    for (g, var, body) in pieces {
+        let local = (Expr::var(&bx) - offset).simplify();
+        let guarded = Stmt::IfThenElse {
+            cond: Expr::var(&bx).ge(offset).and(Expr::var(&bx).lt(offset + g)),
+            then_branch: Box::new(body.substitute(&var, &local)),
+            else_branch: None,
+        };
+        dispatch = dispatch.then(guarded);
+        offset += g;
+    }
+    let fused_body = Stmt::For {
+        var: bx,
+        extent: Expr::i32(total),
+        kind: ForKind::ThreadBinding(ThreadAxis::BlockIdxX),
+        body: Box::new(dispatch),
+    };
+    // Union of buffers by name; shapes must agree.
+    let mut buffers: Vec<Buffer> = Vec::new();
+    for f in funcs {
+        for b in &f.buffers {
+            match buffers.iter().find(|e| e.name == b.name) {
+                Some(existing) if existing == b => {}
+                Some(existing) => {
+                    return Err(HFuseError::new(format!(
+                        "buffer `{}` disagrees between kernels: {:?} vs {:?}",
+                        b.name, existing.shape, b.shape
+                    )))
+                }
+                None => buffers.push(b.clone()),
+            }
+        }
+    }
+    let mut params: Vec<Var> = Vec::new();
+    for f in funcs {
+        for p in &f.params {
+            if !params.contains(p) {
+                params.push(p.clone());
+            }
+        }
+    }
+    Ok(PrimFunc::new(name, params, buffers, fused_body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparsetir_ir::eval::{eval_func, TensorData};
+    use std::collections::HashMap;
+
+    fn writer_kernel(name: &str, buf_name: &str, grid: i64, value: f32) -> PrimFunc {
+        let b = Buffer::global_f32(buf_name, vec![Expr::i32(grid)]);
+        let bx = Var::i32("bx");
+        let body = Stmt::For {
+            var: bx.clone(),
+            extent: Expr::i32(grid),
+            kind: ForKind::ThreadBinding(ThreadAxis::BlockIdxX),
+            body: Box::new(Stmt::BufferStore {
+                buffer: b.clone(),
+                indices: vec![Expr::var(&bx)],
+                value: Expr::f32(f64::from(value)),
+            }),
+        };
+        PrimFunc::new(name, vec![], vec![b], body)
+    }
+
+    #[test]
+    fn fused_kernel_runs_both_bodies() {
+        let k1 = writer_kernel("k1", "U", 3, 1.0);
+        let k2 = writer_kernel("k2", "V", 2, 2.0);
+        let fused = horizontal_fuse(&[k1, k2], "fused").unwrap();
+        // Grid = 5.
+        match &fused.body {
+            Stmt::For { extent, .. } => assert_eq!(extent.as_const_int(), Some(5)),
+            other => panic!("unexpected {other:?}"),
+        }
+        let mut tensors = HashMap::new();
+        tensors.insert("U".to_string(), TensorData::zeros(DType::F32, 3));
+        tensors.insert("V".to_string(), TensorData::zeros(DType::F32, 2));
+        eval_func(&fused, &HashMap::new(), &mut tensors).unwrap();
+        assert_eq!(tensors["U"].as_f32(), &[1.0, 1.0, 1.0]);
+        assert_eq!(tensors["V"].as_f32(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn rejects_unbound_kernels() {
+        let i = Var::i32("i");
+        let b = Buffer::global_f32("W", vec![Expr::i32(2)]);
+        let f = PrimFunc::new(
+            "serial",
+            vec![],
+            vec![b.clone()],
+            Stmt::for_serial(i, 2, Stmt::nop()),
+        );
+        assert!(horizontal_fuse(&[f], "x").is_err());
+    }
+
+    #[test]
+    fn rejects_conflicting_buffers() {
+        let k1 = writer_kernel("k1", "U", 3, 1.0);
+        let mut k2 = writer_kernel("k2", "U", 2, 2.0); // U with different shape (2 vs 3)
+        k2.buffers[0].shape = vec![Expr::i32(2)];
+        assert!(horizontal_fuse(&[k1, k2], "x").is_err());
+    }
+
+    #[test]
+    fn empty_input_errors() {
+        assert!(horizontal_fuse(&[], "x").is_err());
+    }
+}

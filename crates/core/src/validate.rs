@@ -1,0 +1,260 @@
+//! Stage I program validation: catch malformed programs *before* lowering,
+//! with errors phrased in the user's terms (axes/buffers/iterations) rather
+//! than the loop-level verifier's.
+
+use crate::stage1::{SpIter, SpProgram};
+use sparsetir_ir::prelude::*;
+use std::fmt;
+
+/// A defect in a Stage I program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidateError {
+    message: String,
+}
+
+impl ValidateError {
+    fn new(message: impl Into<String>) -> Self {
+        ValidateError { message: message.into() }
+    }
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "stage I validation error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// Validate a Stage I program:
+///
+/// * every buffer axis is registered,
+/// * every iterated axis is registered, with variable/sparse-fixed axes
+///   following an iterated ancestor (so loop extents are resolvable),
+/// * iteration kind lists match axis lists,
+/// * fusion groups form a partition of the axis positions,
+/// * every store targets a declared buffer with matching arity,
+/// * parent links contain no cycles.
+///
+/// # Errors
+/// Returns the first defect found.
+pub fn validate(program: &SpProgram) -> Result<(), ValidateError> {
+    // Axis tree sanity: registered parents, acyclic.
+    for axis in program.axes.all() {
+        if let Some(parent) = &axis.parent {
+            if program.axes.get(parent).is_none() {
+                return Err(ValidateError::new(format!(
+                    "axis `{}` names unregistered parent `{parent}`",
+                    axis.name
+                )));
+            }
+        }
+        // Cycle check by bounded ancestor walk.
+        let mut cur = axis.parent.clone();
+        let mut steps = 0usize;
+        while let Some(p) = cur {
+            steps += 1;
+            if steps > program.axes.all().len() {
+                return Err(ValidateError::new(format!(
+                    "axis `{}` participates in a parent cycle",
+                    axis.name
+                )));
+            }
+            cur = program.axes.get(&p).and_then(|a| a.parent.clone());
+        }
+    }
+    for buf in &program.buffers {
+        for axis in &buf.axes {
+            if program.axes.get(axis).is_none() {
+                return Err(ValidateError::new(format!(
+                    "buffer `{}` uses unregistered axis `{axis}`",
+                    buf.name
+                )));
+            }
+        }
+    }
+    for it in &program.iterations {
+        validate_iteration(program, it)?;
+    }
+    Ok(())
+}
+
+fn validate_iteration(program: &SpProgram, it: &SpIter) -> Result<(), ValidateError> {
+    if it.kinds.len() != it.axes.len() || it.vars.len() != it.axes.len() {
+        return Err(ValidateError::new(format!(
+            "iteration `{}` has {} axes but {} kinds / {} vars",
+            it.name,
+            it.axes.len(),
+            it.kinds.len(),
+            it.vars.len()
+        )));
+    }
+    // Fusion groups partition 0..axes.len() in order.
+    let flattened: Vec<usize> = it.fuse_groups.iter().flatten().copied().collect();
+    let expected: Vec<usize> = (0..it.axes.len()).collect();
+    if flattened != expected {
+        return Err(ValidateError::new(format!(
+            "iteration `{}` fusion groups {:?} do not partition 0..{}",
+            it.name,
+            it.fuse_groups,
+            it.axes.len()
+        )));
+    }
+    for (pos, axis_name) in it.axes.iter().enumerate() {
+        let Some(axis) = program.axes.get(axis_name) else {
+            return Err(ValidateError::new(format!(
+                "iteration `{}` iterates unregistered axis `{axis_name}`",
+                it.name
+            )));
+        };
+        // Extent resolution: variable and sparse-fixed axes need an
+        // iterated ancestor earlier in the axis list.
+        if axis.parent.is_some()
+            && (axis.kind.is_variable() || axis.kind.is_sparse())
+        {
+            let parent = axis.parent.as_ref().expect("checked");
+            let earlier = &it.axes[..pos];
+            if !earlier.iter().any(|a| a == parent) {
+                return Err(ValidateError::new(format!(
+                    "iteration `{}`: axis `{axis_name}` must follow its parent `{parent}`",
+                    it.name
+                )));
+            }
+        }
+    }
+    // Stores reference declared buffers with matching arity.
+    for st in it.init.iter().chain(&it.body) {
+        let Some(buf) = program.buffer(&st.buffer) else {
+            return Err(ValidateError::new(format!(
+                "iteration `{}` stores to undeclared buffer `{}`",
+                it.name, st.buffer
+            )));
+        };
+        if st.indices.len() != buf.axes.len() {
+            return Err(ValidateError::new(format!(
+                "iteration `{}` stores to `{}` with {} indices (buffer has {} axes)",
+                it.name,
+                st.buffer,
+                st.indices.len(),
+                buf.axes.len()
+            )));
+        }
+        check_expr_buffers(program, it, &st.value)?;
+        for idx in &st.indices {
+            check_expr_buffers(program, it, idx)?;
+        }
+    }
+    Ok(())
+}
+
+fn check_expr_buffers(
+    program: &SpProgram,
+    it: &SpIter,
+    e: &Expr,
+) -> Result<(), ValidateError> {
+    match e {
+        Expr::BufferLoad { buffer, indices } => {
+            if let Some(buf) = program.buffer(&buffer.name) {
+                if indices.len() != buf.axes.len() {
+                    return Err(ValidateError::new(format!(
+                        "iteration `{}` loads `{}` with {} indices (buffer has {} axes)",
+                        it.name,
+                        buffer.name,
+                        indices.len(),
+                        buf.axes.len()
+                    )));
+                }
+            }
+            // Extras / aux buffers pass through unchecked here (the loop
+            // -level verifier covers them post-lowering).
+            for i in indices {
+                check_expr_buffers(program, it, i)?;
+            }
+            Ok(())
+        }
+        Expr::Binary { lhs, rhs, .. } => {
+            check_expr_buffers(program, it, lhs)?;
+            check_expr_buffers(program, it, rhs)
+        }
+        Expr::Select { cond, then, otherwise } => {
+            check_expr_buffers(program, it, cond)?;
+            check_expr_buffers(program, it, then)?;
+            check_expr_buffers(program, it, otherwise)
+        }
+        Expr::Cast { value, .. } => check_expr_buffers(program, it, value),
+        Expr::Call { args, .. } => {
+            for a in args {
+                check_expr_buffers(program, it, a)?;
+            }
+            Ok(())
+        }
+        _ => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stage1::{spmm_program, SpStore};
+
+    #[test]
+    fn valid_programs_pass() {
+        validate(&spmm_program(8, 8, 16, 4)).unwrap();
+        let mut fused = crate::stage1::sddmm_program(8, 8, 16, 4);
+        crate::schedule1::sparse_fuse(&mut fused, "sddmm", &["I", "J"]).unwrap();
+        validate(&fused).unwrap();
+    }
+
+    #[test]
+    fn decomposed_programs_pass() {
+        let p = spmm_program(8, 8, 16, 4);
+        let d = crate::rewrite::decompose_format(
+            &p,
+            &[crate::rewrite::FormatRewriteRule::ell("A", 2, 8, 8)],
+        )
+        .unwrap();
+        validate(&d).unwrap();
+    }
+
+    #[test]
+    fn child_before_parent_is_rejected() {
+        let mut p = spmm_program(8, 8, 16, 4);
+        let it = p.iteration_mut("spmm").unwrap();
+        it.axes.swap(0, 1); // J before I
+        it.kinds.swap(0, 1);
+        it.vars.swap(0, 1);
+        let err = validate(&p).unwrap_err();
+        assert!(err.to_string().contains("must follow its parent"), "{err}");
+    }
+
+    #[test]
+    fn arity_mismatch_is_rejected() {
+        let mut p = spmm_program(8, 8, 16, 4);
+        let it = p.iteration_mut("spmm").unwrap();
+        it.body[0].indices.pop(); // C accessed with 1 index
+        let err = validate(&p).unwrap_err();
+        assert!(err.to_string().contains("indices"), "{err}");
+    }
+
+    #[test]
+    fn undeclared_store_target_is_rejected() {
+        let mut p = spmm_program(8, 8, 16, 4);
+        let it = p.iteration_mut("spmm").unwrap();
+        it.body.push(SpStore {
+            buffer: "GHOST".into(),
+            indices: vec![],
+            value: Expr::f32(0.0),
+        });
+        let err = validate(&p).unwrap_err();
+        assert!(err.to_string().contains("GHOST"), "{err}");
+    }
+
+    #[test]
+    fn broken_fusion_partition_is_rejected() {
+        let mut p = spmm_program(8, 8, 16, 4);
+        let it = p.iteration_mut("spmm").unwrap();
+        it.fuse_groups = vec![vec![0], vec![2]]; // missing axis 1
+        let err = validate(&p).unwrap_err();
+        assert!(err.to_string().contains("partition"), "{err}");
+    }
+}

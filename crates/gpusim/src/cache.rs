@@ -1,0 +1,180 @@
+//! Set-associative LRU cache simulation at cache-line granularity, used to
+//! reproduce the L1/L2 hit-rate behaviour of Figure 12 (column-partition
+//! sweep) and to feed DRAM traffic into the roofline cost model.
+
+/// A set-associative LRU cache over 64-bit byte addresses.
+#[derive(Debug, Clone)]
+pub struct CacheSim {
+    line_bytes: u64,
+    sets: Vec<Vec<u64>>,
+    assoc: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl CacheSim {
+    /// Build a cache of `capacity_bytes` with the given line size and
+    /// associativity (set count rounded down to a power of two, minimum 1).
+    #[must_use]
+    pub fn new(capacity_bytes: usize, line_bytes: usize, assoc: usize) -> CacheSim {
+        let lines = (capacity_bytes / line_bytes).max(1);
+        let sets = (lines / assoc).max(1).next_power_of_two() >> 1;
+        let sets = sets.max(1);
+        CacheSim {
+            line_bytes: line_bytes as u64,
+            sets: vec![Vec::with_capacity(assoc); sets],
+            assoc,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Access one line-aligned address; returns `true` on hit.
+    pub fn access_line(&mut self, line_addr: u64) -> bool {
+        let set_idx = (line_addr as usize) % self.sets.len();
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|&t| t == line_addr) {
+            let tag = set.remove(pos);
+            set.push(tag); // most-recently-used at the back
+            self.hits += 1;
+            true
+        } else {
+            if set.len() >= self.assoc {
+                set.remove(0); // evict LRU
+            }
+            set.push(line_addr);
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Access a byte range `[addr, addr + bytes)`; returns the number of
+    /// missed lines.
+    pub fn access_range(&mut self, addr: u64, bytes: u64) -> u64 {
+        if bytes == 0 {
+            return 0;
+        }
+        let first = addr / self.line_bytes;
+        let last = (addr + bytes - 1) / self.line_bytes;
+        let mut missed = 0;
+        for line in first..=last {
+            if !self.access_line(line) {
+                missed += 1;
+            }
+        }
+        missed
+    }
+
+    /// Number of lines spanned by a byte range.
+    #[must_use]
+    pub fn lines_in_range(&self, addr: u64, bytes: u64) -> u64 {
+        if bytes == 0 {
+            return 0;
+        }
+        (addr + bytes - 1) / self.line_bytes - addr / self.line_bytes + 1
+    }
+
+    /// Hits so far.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses so far.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit rate in `[0, 1]` (0 when no accesses).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Line size in bytes.
+    #[must_use]
+    pub fn line_bytes(&self) -> u64 {
+        self.line_bytes
+    }
+
+    /// Clear contents and counters (the paper's `FLUSH_L2=ON` protocol).
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut c = CacheSim::new(1024, 128, 4);
+        assert!(!c.access_line(5));
+        assert!(c.access_line(5));
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+        assert!((c.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        // 1 set × 2 ways.
+        let mut c = CacheSim::new(256, 128, 2);
+        c.access_line(0);
+        c.access_line(1);
+        c.access_line(0); // refresh 0
+        c.access_line(2); // evicts 1
+        assert!(c.access_line(0), "0 must survive");
+        assert!(!c.access_line(1), "1 must have been evicted");
+    }
+
+    #[test]
+    fn range_spans_lines() {
+        let mut c = CacheSim::new(4096, 128, 4);
+        // 300 bytes starting at byte 100 touches lines 0, 1, 2, 3.
+        assert_eq!(c.lines_in_range(100, 300), 4);
+        assert_eq!(c.access_range(100, 300), 4);
+        assert_eq!(c.access_range(100, 300), 0); // all hits now
+    }
+
+    #[test]
+    fn working_set_larger_than_cache_thrashes() {
+        let mut c = CacheSim::new(1024, 128, 2); // 8 lines
+        for round in 0..3 {
+            for line in 0..64u64 {
+                let hit = c.access_line(line);
+                if round == 0 {
+                    assert!(!hit);
+                }
+            }
+        }
+        assert!(c.hit_rate() < 0.1, "{}", c.hit_rate());
+    }
+
+    #[test]
+    fn flush_clears_state() {
+        let mut c = CacheSim::new(1024, 128, 4);
+        c.access_line(1);
+        c.flush();
+        assert_eq!(c.hits() + c.misses(), 0);
+        assert!(!c.access_line(1));
+    }
+
+    #[test]
+    fn zero_byte_range_is_free() {
+        let mut c = CacheSim::new(1024, 128, 4);
+        assert_eq!(c.access_range(512, 0), 0);
+        assert_eq!(c.hits() + c.misses(), 0);
+    }
+}

@@ -1,0 +1,191 @@
+//! Kernel execution plans — the interface between scheduled kernels and
+//! the simulator. A plan lists per-thread-block work descriptors whose
+//! block decomposition mirrors the kernel's schedule (same split/bind
+//! parameters as the IR), so schedule choices change simulated time the
+//! same way they change real GPU time.
+
+/// A contiguous global-memory access (byte address range).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessRange {
+    /// Starting byte address in the kernel's virtual address space.
+    pub addr: u64,
+    /// Length in bytes.
+    pub bytes: u64,
+}
+
+impl AccessRange {
+    /// Construct a range.
+    #[must_use]
+    pub fn new(addr: u64, bytes: u64) -> AccessRange {
+        AccessRange { addr, bytes }
+    }
+}
+
+/// Work performed by one thread block.
+#[derive(Debug, Clone, Default)]
+pub struct BlockWork {
+    /// FP32 CUDA-core FLOPs (FMA = 2).
+    pub cuda_flops: f64,
+    /// Tensor-core FLOPs (MMA contributions).
+    pub tensor_flops: f64,
+    /// Global-memory reads.
+    pub reads: Vec<AccessRange>,
+    /// Global-memory writes.
+    pub writes: Vec<AccessRange>,
+    /// Shared-memory traffic in bytes (both directions).
+    pub shared_bytes: f64,
+    /// Extra serialized instruction count (uncoalesced/scalar overhead);
+    /// costed at one cycle each on the block's SM.
+    pub serial_insts: f64,
+    /// Memory-level-parallelism penalty: multiplier on the block's memory
+    /// time (> 1 when the schedule cannot keep enough loads in flight,
+    /// e.g. a serialized reduction without `rfactor`). `0` means the
+    /// default of `1.0`.
+    pub mlp_penalty: f64,
+}
+
+impl BlockWork {
+    /// Total bytes read.
+    #[must_use]
+    pub fn read_bytes(&self) -> u64 {
+        self.reads.iter().map(|r| r.bytes).sum()
+    }
+
+    /// Total bytes written.
+    #[must_use]
+    pub fn write_bytes(&self) -> u64 {
+        self.writes.iter().map(|r| r.bytes).sum()
+    }
+}
+
+/// A simulated kernel launch.
+#[derive(Debug, Clone)]
+pub struct KernelPlan {
+    /// Kernel name (reporting only).
+    pub name: String,
+    /// Per-block work items, in launch order.
+    pub blocks: Vec<BlockWork>,
+    /// Threads per block (occupancy modelling).
+    pub threads_per_block: usize,
+    /// Shared memory per block in bytes (occupancy modelling).
+    pub shared_mem_per_block: usize,
+}
+
+impl KernelPlan {
+    /// Empty plan with the given name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> KernelPlan {
+        KernelPlan {
+            name: name.into(),
+            blocks: Vec::new(),
+            threads_per_block: 128,
+            shared_mem_per_block: 0,
+        }
+    }
+
+    /// Total FLOPs over all blocks.
+    #[must_use]
+    pub fn total_flops(&self) -> f64 {
+        self.blocks.iter().map(|b| b.cuda_flops + b.tensor_flops).sum()
+    }
+
+    /// Total global bytes touched (reads + writes).
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.blocks.iter().map(|b| b.read_bytes() + b.write_bytes()).sum()
+    }
+
+    /// Concatenate another plan's blocks (horizontal fusion at plan level:
+    /// one launch, the union of blocks).
+    pub fn fuse(&mut self, other: &KernelPlan) {
+        self.blocks.extend(other.blocks.iter().cloned());
+        self.threads_per_block = self.threads_per_block.max(other.threads_per_block);
+        self.shared_mem_per_block = self.shared_mem_per_block.max(other.shared_mem_per_block);
+    }
+}
+
+/// A bump allocator assigning disjoint virtual address ranges to named
+/// buffers, so plans from different kernels share an address space and the
+/// cache simulation sees true reuse.
+#[derive(Debug, Clone, Default)]
+pub struct AddressSpace {
+    next: u64,
+    map: Vec<(String, u64, u64)>,
+}
+
+impl AddressSpace {
+    /// Empty address space.
+    #[must_use]
+    pub fn new() -> AddressSpace {
+        AddressSpace::default()
+    }
+
+    /// Allocate (or look up) a buffer of `bytes`; returns its base address.
+    pub fn alloc(&mut self, name: &str, bytes: u64) -> u64 {
+        if let Some((_, base, len)) = self.map.iter().find(|(n, _, _)| n == name) {
+            debug_assert!(*len >= bytes, "buffer `{name}` reallocated larger");
+            return *base;
+        }
+        let base = self.next;
+        // Page-align allocations to keep buffers in distinct lines.
+        let aligned = bytes.div_ceil(4096) * 4096;
+        self.next += aligned;
+        self.map.push((name.to_string(), base, aligned));
+        base
+    }
+
+    /// Base address of a previously allocated buffer.
+    #[must_use]
+    pub fn base(&self, name: &str) -> Option<u64> {
+        self.map.iter().find(|(n, _, _)| n == name).map(|(_, b, _)| *b)
+    }
+
+    /// Total allocated bytes (the GPU-memory footprint of Figure 20).
+    #[must_use]
+    pub fn footprint_bytes(&self) -> u64 {
+        self.map.iter().map(|(_, _, len)| len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_totals() {
+        let mut p = KernelPlan::new("k");
+        p.blocks.push(BlockWork {
+            cuda_flops: 10.0,
+            reads: vec![AccessRange::new(0, 256)],
+            writes: vec![AccessRange::new(512, 128)],
+            ..Default::default()
+        });
+        p.blocks.push(BlockWork { tensor_flops: 5.0, ..Default::default() });
+        assert_eq!(p.total_flops(), 15.0);
+        assert_eq!(p.total_bytes(), 384);
+    }
+
+    #[test]
+    fn fuse_concatenates_blocks() {
+        let mut a = KernelPlan::new("a");
+        a.blocks.push(BlockWork::default());
+        let mut b = KernelPlan::new("b");
+        b.blocks.push(BlockWork::default());
+        b.threads_per_block = 256;
+        a.fuse(&b);
+        assert_eq!(a.blocks.len(), 2);
+        assert_eq!(a.threads_per_block, 256);
+    }
+
+    #[test]
+    fn address_space_is_disjoint_and_stable() {
+        let mut a = AddressSpace::new();
+        let x = a.alloc("X", 100);
+        let y = a.alloc("Y", 5000);
+        assert_ne!(x, y);
+        assert_eq!(a.alloc("X", 100), x); // stable
+        assert!(a.footprint_bytes() >= 5100);
+        assert_eq!(a.base("Y"), Some(y));
+        assert_eq!(a.base("Z"), None);
+    }
+}

@@ -1,0 +1,352 @@
+//! The kernel timing model: cache-aware roofline per block + greedy SM
+//! makespan + launch overhead.
+//!
+//! Effects modelled (each one load-bearing for a paper figure):
+//! * **Load balance** — kernel time is the makespan of per-block costs over
+//!   SMs; a few huge blocks (power-law rows in CSR row-per-block kernels)
+//!   dominate, which is what `hyb`'s bucketing fixes (Fig. 13, Fig. 20).
+//! * **Cache locality** — per-SM L1 + shared L2 simulated at line
+//!   granularity; DRAM traffic is what misses L2 (Fig. 12's column
+//!   partition sweep).
+//! * **Tensor cores** — MMA FLOPs run at the tensor-core rate (Figs. 16–20).
+//! * **Launch overhead** — per kernel; horizontal fusion merges launches
+//!   (§3.5).
+//! * **Occupancy** — blocks per SM limited by threads and shared memory.
+
+use crate::cache::CacheSim;
+use crate::plan::KernelPlan;
+use crate::spec::GpuSpec;
+
+/// Simulation result for one kernel launch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelReport {
+    /// Kernel name.
+    pub name: String,
+    /// Estimated execution time in milliseconds (including launch).
+    pub time_ms: f64,
+    /// L1 hit rate across all SMs.
+    pub l1_hit_rate: f64,
+    /// L2 hit rate.
+    pub l2_hit_rate: f64,
+    /// Bytes transferred from DRAM.
+    pub dram_bytes: u64,
+    /// Total FLOPs executed.
+    pub flops: f64,
+    /// Number of thread blocks.
+    pub blocks: usize,
+}
+
+impl KernelReport {
+    /// Zero-cost report (for empty kernels).
+    #[must_use]
+    pub fn empty(name: &str) -> KernelReport {
+        KernelReport {
+            name: name.to_string(),
+            time_ms: 0.0,
+            l1_hit_rate: 0.0,
+            l2_hit_rate: 0.0,
+            dram_bytes: 0,
+            flops: 0.0,
+            blocks: 0,
+        }
+    }
+}
+
+/// Simulate one kernel on `spec` with cold caches (the paper's
+/// `FLUSH_L2=ON` protocol).
+#[must_use]
+pub fn simulate_kernel(spec: &GpuSpec, plan: &KernelPlan) -> KernelReport {
+    let mut sim = Simulator::new(spec);
+    sim.run(plan)
+}
+
+/// Simulate a sequence of kernels, flushing caches between launches and
+/// summing times (how the paper profiles multi-kernel composable-format
+/// operators without horizontal fusion).
+#[must_use]
+pub fn simulate_sequence(spec: &GpuSpec, plans: &[KernelPlan]) -> (Vec<KernelReport>, f64) {
+    let mut reports = Vec::with_capacity(plans.len());
+    let mut total = 0.0;
+    for p in plans {
+        let r = simulate_kernel(spec, p);
+        total += r.time_ms;
+        reports.push(r);
+    }
+    (reports, total)
+}
+
+/// Simulate the horizontally fused execution of several kernels: one
+/// launch, all blocks scheduled together (§3.5).
+#[must_use]
+pub fn simulate_fused(spec: &GpuSpec, plans: &[KernelPlan], name: &str) -> KernelReport {
+    let mut fused = KernelPlan::new(name);
+    for p in plans {
+        fused.fuse(p);
+    }
+    simulate_kernel(spec, &fused)
+}
+
+struct Simulator<'a> {
+    spec: &'a GpuSpec,
+    l1: Vec<CacheSim>,
+    l2: CacheSim,
+}
+
+impl<'a> Simulator<'a> {
+    fn new(spec: &'a GpuSpec) -> Simulator<'a> {
+        Simulator {
+            spec,
+            l1: (0..spec.num_sms)
+                .map(|_| CacheSim::new(spec.l1_bytes, spec.line_bytes, spec.l1_assoc))
+                .collect(),
+            l2: CacheSim::new(spec.l2_bytes, spec.line_bytes, spec.l2_assoc),
+        }
+    }
+
+    fn run(&mut self, plan: &KernelPlan) -> KernelReport {
+        let spec = self.spec;
+        if plan.blocks.is_empty() {
+            let mut r = KernelReport::empty(&plan.name);
+            r.time_ms = spec.launch_overhead_us / 1e3;
+            return r;
+        }
+        // Occupancy: how many blocks can an SM host concurrently.
+        let by_threads = (2048 / plan.threads_per_block.max(1)).max(1);
+        let by_shared = if plan.shared_mem_per_block > 0 {
+            (spec.shared_bytes_per_sm / plan.shared_mem_per_block).max(1)
+        } else {
+            spec.max_blocks_per_sm
+        };
+        let occupancy = by_threads.min(by_shared).min(spec.max_blocks_per_sm).max(1);
+
+        // Greedy earliest-finish assignment of blocks to SM slots — an
+        // idealization of the hardware block scheduler. Slots = SM ×
+        // occupancy; per-SM time is the max over its slots.
+        let slots = spec.num_sms * occupancy;
+
+        // Per-block resource prices.
+        //
+        // Compute: blocks resident on one SM share its pipelines, so a
+        // block's rate is the SM rate divided by the *actual* per-SM
+        // residency (how many blocks each SM really hosts, capped by
+        // occupancy). This both conserves aggregate throughput when the
+        // machine is saturated and models the thread-level-parallelism
+        // limit of low-occupancy kernels.
+        //
+        // Memory: L1 is per-SM hardware shared by resident blocks. L2 and
+        // DRAM are chip-wide; a block's price assumes up to 64 blocks
+        // concurrently in the memory system (per-block latency pricing) —
+        // chip-level saturation is enforced separately by the DRAM-traffic
+        // floor below.
+        let sms = spec.num_sms as f64;
+        let eff_parallel = plan.blocks.len().min(slots).max(1) as f64;
+        let residency =
+            plan.blocks.len().div_ceil(spec.num_sms).clamp(1, occupancy) as f64;
+        let sm_cuda_rate = spec.cuda_flops_per_sm_per_cycle * spec.clock_ghz * 1e9;
+        let sm_tensor_rate = spec.tensor_flops_per_sm_per_cycle * spec.clock_ghz * 1e9;
+        let cuda_rate = sm_cuda_rate / residency;
+        let tensor_rate = sm_tensor_rate / residency;
+        let mem_conc = eff_parallel.min(64.0);
+        let dram_bw_share = spec.dram_gbps * 1e9 / mem_conc;
+        let l2_bw_share = spec.l2_gbps * 1e9 / mem_conc;
+        let l1_bw_share = spec.l1_gbps * 1e9 / sms / residency;
+        let clock_hz = spec.clock_ghz * 1e9;
+        let mut slot_time = vec![0.0f64; slots];
+        let mut total_dram_bytes = 0u64;
+        let line = spec.line_bytes as u64;
+
+        for (i, block) in plan.blocks.iter().enumerate() {
+            // Earliest-finishing slot (linear scan is fine at our scales).
+            let (slot, _) = slot_time
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite times"))
+                .expect("at least one slot");
+            let sm = slot % spec.num_sms;
+            let _ = i;
+
+            // Memory: probe L1 then L2 per missed line.
+            let mut l1_lines = 0u64;
+            let mut l2_lines = 0u64;
+            let mut dram_lines = 0u64;
+            for rng in block.reads.iter().chain(&block.writes) {
+                if rng.bytes == 0 {
+                    continue;
+                }
+                let first = rng.addr / line;
+                let last = (rng.addr + rng.bytes - 1) / line;
+                for l in first..=last {
+                    l1_lines += 1;
+                    if !self.l1[sm].access_line(l) {
+                        l2_lines += 1;
+                        if !self.l2.access_line(l) {
+                            dram_lines += 1;
+                        }
+                    }
+                }
+            }
+            total_dram_bytes += dram_lines * line;
+
+            let mlp = if block.mlp_penalty > 0.0 { block.mlp_penalty } else { 1.0 };
+            let mem_time = ((l1_lines * line) as f64 / l1_bw_share
+                + (l2_lines * line) as f64 / l2_bw_share
+                + (dram_lines * line) as f64 / dram_bw_share
+                + block.shared_bytes / l1_bw_share)
+                * mlp;
+            let compute_time = block.cuda_flops / cuda_rate
+                + block.tensor_flops / tensor_rate
+                + block.serial_insts / clock_hz;
+            let cost =
+                mem_time.max(compute_time) + spec.block_overhead_us / 1e6;
+            slot_time[slot] += cost;
+        }
+
+        let makespan = slot_time.iter().cloned().fold(0.0f64, f64::max);
+        // Global DRAM roofline: the kernel can never beat total traffic /
+        // total bandwidth, regardless of balance. (Per-block memory prices
+        // above are latency-oriented; this floor enforces chip-level
+        // bandwidth saturation.)
+        let dram_floor = total_dram_bytes as f64 / (spec.dram_gbps * 1e9);
+        let cuda_total: f64 = plan.blocks.iter().map(|b| b.cuda_flops).sum();
+        let tensor_total: f64 = plan.blocks.iter().map(|b| b.tensor_flops).sum();
+
+        let time_s = makespan.max(dram_floor) + spec.launch_overhead_us / 1e6;
+
+        let l1_hits: u64 = self.l1.iter().map(CacheSim::hits).sum();
+        let l1_misses: u64 = self.l1.iter().map(CacheSim::misses).sum();
+        let l1_rate = if l1_hits + l1_misses == 0 {
+            0.0
+        } else {
+            l1_hits as f64 / (l1_hits + l1_misses) as f64
+        };
+        KernelReport {
+            name: plan.name.clone(),
+            time_ms: time_s * 1e3,
+            l1_hit_rate: l1_rate,
+            l2_hit_rate: self.l2.hit_rate(),
+            dram_bytes: total_dram_bytes,
+            flops: cuda_total + tensor_total,
+            blocks: plan.blocks.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{AccessRange, BlockWork};
+
+    fn spec() -> GpuSpec {
+        GpuSpec::v100()
+    }
+
+    fn uniform_plan(nblocks: usize, flops: f64, bytes: u64) -> KernelPlan {
+        let mut p = KernelPlan::new("uniform");
+        for i in 0..nblocks {
+            p.blocks.push(BlockWork {
+                cuda_flops: flops,
+                reads: vec![AccessRange::new(i as u64 * bytes, bytes)],
+                ..Default::default()
+            });
+        }
+        p
+    }
+
+    #[test]
+    fn empty_kernel_costs_launch_overhead() {
+        let r = simulate_kernel(&spec(), &KernelPlan::new("empty"));
+        assert!((r.time_ms - 0.005).abs() < 1e-9);
+    }
+
+    #[test]
+    fn imbalanced_blocks_dominate_makespan() {
+        let s = spec();
+        let balanced = uniform_plan(160, 1e6, 0);
+        let mut skewed = uniform_plan(159, 1e4, 0);
+        skewed.blocks.push(BlockWork { cuda_flops: 159.0 * 1e6, ..Default::default() });
+        let tb = simulate_kernel(&s, &balanced);
+        let ts = simulate_kernel(&s, &skewed);
+        // Same total flops, but the skewed kernel serializes on one block.
+        assert!(ts.time_ms > tb.time_ms * 5.0, "{} vs {}", ts.time_ms, tb.time_ms);
+    }
+
+    #[test]
+    fn tensor_cores_beat_cuda_cores_on_gemm_flops() {
+        let s = spec();
+        let mut cuda = KernelPlan::new("cuda");
+        let mut tc = KernelPlan::new("tc");
+        for _ in 0..320 {
+            cuda.blocks.push(BlockWork { cuda_flops: 1e8, ..Default::default() });
+            tc.blocks.push(BlockWork { tensor_flops: 1e8, ..Default::default() });
+        }
+        let rc = simulate_kernel(&s, &cuda);
+        let rt = simulate_kernel(&s, &tc);
+        assert!(rc.time_ms > rt.time_ms * 3.0, "{} vs {}", rc.time_ms, rt.time_ms);
+    }
+
+    #[test]
+    fn cache_reuse_reduces_dram_traffic() {
+        let s = spec();
+        // All blocks read the same 64 KB window → high L2 reuse.
+        let mut reuse = KernelPlan::new("reuse");
+        // Blocks read disjoint 64 KB windows → no reuse.
+        let mut stream = KernelPlan::new("stream");
+        for i in 0..400u64 {
+            reuse.blocks.push(BlockWork {
+                reads: vec![AccessRange::new(0, 64 * 1024)],
+                ..Default::default()
+            });
+            stream.blocks.push(BlockWork {
+                reads: vec![AccessRange::new(i * 64 * 1024, 64 * 1024)],
+                ..Default::default()
+            });
+        }
+        let rr = simulate_kernel(&s, &reuse);
+        let rs = simulate_kernel(&s, &stream);
+        assert!(rr.dram_bytes < rs.dram_bytes / 4, "{} vs {}", rr.dram_bytes, rs.dram_bytes);
+        assert!(rr.l2_hit_rate > 0.5 || rr.l1_hit_rate > 0.5);
+        assert!(rs.l2_hit_rate < 0.1);
+        assert!(rr.time_ms < rs.time_ms);
+    }
+
+    #[test]
+    fn fused_launch_amortizes_overhead() {
+        let s = spec();
+        let plans: Vec<KernelPlan> = (0..10).map(|_| uniform_plan(8, 1e5, 4096)).collect();
+        let (_, sequential) = simulate_sequence(&s, &plans);
+        let fused = simulate_fused(&s, &plans, "fused");
+        // 10 launches vs 1: the difference is ≈ 9 × launch overhead.
+        assert!(sequential > fused.time_ms + 8.0 * s.launch_overhead_us / 1e3);
+    }
+
+    #[test]
+    fn dram_roofline_bounds_even_with_many_sms() {
+        let s = spec();
+        // One block per SM slot, each streaming 10 MB: total 800 MB of
+        // DRAM traffic cannot finish faster than 800MB / 900GB/s.
+        let mut p = KernelPlan::new("stream");
+        for i in 0..80u64 {
+            p.blocks.push(BlockWork {
+                reads: vec![AccessRange::new(i * 10_000_000, 10_000_000)],
+                ..Default::default()
+            });
+        }
+        let r = simulate_kernel(&s, &p);
+        let floor_ms = (r.dram_bytes as f64 / (s.dram_gbps * 1e9)) * 1e3;
+        assert!(r.time_ms >= floor_ms);
+    }
+
+    #[test]
+    fn occupancy_limited_by_shared_memory() {
+        let s = spec();
+        let mut hungry = uniform_plan(460, 1e6, 0);
+        hungry.shared_mem_per_block = s.shared_bytes_per_sm; // 1 block/SM
+        let mut light = uniform_plan(460, 1e6, 0);
+        light.shared_mem_per_block = 0;
+        let rh = simulate_kernel(&s, &hungry);
+        let rl = simulate_kernel(&s, &light);
+        // With 460 equal blocks on 80 SMs the serialized occupancy-1 case
+        // is no faster, but both should be finite and ordered.
+        assert!(rh.time_ms >= rl.time_ms);
+    }
+}

@@ -1,0 +1,202 @@
+//! Pretty-printer emitting the Python-like script form used throughout the
+//! paper's figures (round-trip presentation form, not a parser target).
+
+use crate::expr::{BinOp, Expr};
+use crate::func::PrimFunc;
+use crate::stmt::{ForKind, Stmt};
+use std::fmt::Write;
+
+/// Render an expression in source form.
+#[must_use]
+pub fn print_expr(e: &Expr) -> String {
+    match e {
+        Expr::Int { value, .. } => value.to_string(),
+        Expr::Float { value, .. } => {
+            if value.fract() == 0.0 {
+                format!("{value:.1}")
+            } else {
+                format!("{value}")
+            }
+        }
+        Expr::Var(v) => v.name.to_string(),
+        Expr::Binary { op, lhs, rhs } => match op {
+            BinOp::Min | BinOp::Max => {
+                format!("{}({}, {})", op.symbol(), print_expr(lhs), print_expr(rhs))
+            }
+            _ => format!("({} {} {})", print_expr(lhs), op.symbol(), print_expr(rhs)),
+        },
+        Expr::Select { cond, then, otherwise } => format!(
+            "({} if {} else {})",
+            print_expr(then),
+            print_expr(cond),
+            print_expr(otherwise)
+        ),
+        Expr::Cast { dtype, value } => format!("{}({})", dtype, print_expr(value)),
+        Expr::BufferLoad { buffer, indices } => {
+            let idx: Vec<String> = indices.iter().map(print_expr).collect();
+            format!("{}[{}]", buffer.name, idx.join(", "))
+        }
+        Expr::Call { intrin, args } => {
+            let a: Vec<String> = args.iter().map(print_expr).collect();
+            format!("{}({})", intrin.name(), a.join(", "))
+        }
+    }
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn print_stmt(s: &Stmt, out: &mut String, level: usize) {
+    match s {
+        Stmt::For { var, extent, kind, body } => {
+            indent(out, level);
+            let annot = match kind {
+                ForKind::Serial => String::new(),
+                ForKind::Parallel => "  # parallel".to_string(),
+                ForKind::Vectorized => "  # vectorized".to_string(),
+                ForKind::Unrolled => "  # unrolled".to_string(),
+                ForKind::ThreadBinding(axis) => format!("  # bind: {}", axis.name()),
+            };
+            let _ = writeln!(out, "for {} in range({}):{}", var.name, print_expr(extent), annot);
+            print_stmt(body, out, level + 1);
+        }
+        Stmt::Block(b) => {
+            indent(out, level);
+            let _ = writeln!(out, "with block(\"{}\"):", b.name);
+            for iv in &b.iter_vars {
+                indent(out, level + 1);
+                let kind = match iv.kind {
+                    crate::stmt::IterKind::Spatial => "S",
+                    crate::stmt::IterKind::Reduce => "R",
+                };
+                let _ = writeln!(out, "# {}: {} = {}", kind, iv.var.name, print_expr(&iv.binding));
+            }
+            if let Some(init) = &b.init {
+                indent(out, level + 1);
+                out.push_str("with init():\n");
+                print_stmt(init, out, level + 2);
+            }
+            print_stmt(&b.body, out, level + 1);
+        }
+        Stmt::BufferStore { buffer, indices, value } => {
+            indent(out, level);
+            let idx: Vec<String> = indices.iter().map(print_expr).collect();
+            let _ = writeln!(out, "{}[{}] = {}", buffer.name, idx.join(", "), print_expr(value));
+        }
+        Stmt::Seq(stmts) => {
+            if stmts.is_empty() {
+                indent(out, level);
+                out.push_str("pass\n");
+            } else {
+                for st in stmts {
+                    print_stmt(st, out, level);
+                }
+            }
+        }
+        Stmt::IfThenElse { cond, then_branch, else_branch } => {
+            indent(out, level);
+            let _ = writeln!(out, "if {}:", print_expr(cond));
+            print_stmt(then_branch, out, level + 1);
+            if let Some(e) = else_branch {
+                indent(out, level);
+                out.push_str("else:\n");
+                print_stmt(e, out, level + 1);
+            }
+        }
+        Stmt::Let { var, value, body } => {
+            indent(out, level);
+            let _ = writeln!(out, "{} = {}", var.name, print_expr(value));
+            print_stmt(body, out, level);
+        }
+        Stmt::Allocate { buffer, body } => {
+            indent(out, level);
+            let shape: Vec<String> = buffer.shape.iter().map(print_expr).collect();
+            let _ = writeln!(
+                out,
+                "{} = alloc([{}], \"{}\", scope=\"{}\")",
+                buffer.name,
+                shape.join(", "),
+                buffer.dtype,
+                buffer.scope
+            );
+            print_stmt(body, out, level);
+        }
+        Stmt::Evaluate(e) => {
+            indent(out, level);
+            let _ = writeln!(out, "{}", print_expr(e));
+        }
+        Stmt::MmaSync { c, a, b, m, n, k } => {
+            indent(out, level);
+            let _ = writeln!(
+                out,
+                "mma_sync({}[{}], {}[{}], {}[{}], m={m}, n={n}, k={k})",
+                c.buffer.name,
+                print_expr(&c.offset),
+                a.buffer.name,
+                print_expr(&a.offset),
+                b.buffer.name,
+                print_expr(&b.offset),
+            );
+        }
+    }
+}
+
+/// Render a whole function in script form.
+#[must_use]
+pub fn print_func(f: &PrimFunc) -> String {
+    let mut out = String::new();
+    let params: Vec<String> = f
+        .params
+        .iter()
+        .map(|p| format!("{}: {}", p.name, p.dtype))
+        .chain(f.buffers.iter().map(|b| {
+            let shape: Vec<String> = b.shape.iter().map(print_expr).collect();
+            format!("{}: [{}] {}", b.name, shape.join(", "), b.dtype)
+        }))
+        .collect();
+    let _ = writeln!(out, "def {}({}):", f.name, params.join(", "));
+    print_stmt(&f.body, &mut out, 1);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::Buffer;
+    use crate::expr::Var;
+
+    #[test]
+    fn prints_loop_nest() {
+        let i = Var::i32("i");
+        let a = Buffer::global_f32("A", vec![Expr::i32(4)]);
+        let f = PrimFunc::new(
+            "zero",
+            vec![],
+            vec![a.clone()],
+            Stmt::for_serial(
+                i.clone(),
+                4,
+                Stmt::BufferStore { buffer: a, indices: vec![Expr::var(&i)], value: Expr::f32(0.0) },
+            ),
+        );
+        let s = print_func(&f);
+        assert!(s.contains("def zero"), "{s}");
+        assert!(s.contains("for i in range(4):"), "{s}");
+        assert!(s.contains("A[i] = 0.0"), "{s}");
+    }
+
+    #[test]
+    fn prints_min_as_call() {
+        let e = Expr::i32(1).min(2);
+        assert_eq!(print_expr(&e), "min(1, 2)");
+    }
+
+    #[test]
+    fn prints_select_pythonically() {
+        let e = Expr::i32(1).lt(2).select(10, 20);
+        assert_eq!(print_expr(&e), "(10 if (1 < 2) else 20)");
+    }
+}

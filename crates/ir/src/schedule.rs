@@ -1,0 +1,1191 @@
+//! Schedule primitives over the loop-level IR.
+//!
+//! These are the Stage II/III "composable transformations" of the paper
+//! (§3.3.2): every primitive rewrites the [`PrimFunc`] in place and keeps
+//! functional semantics unchanged (validated by interpreting before/after in
+//! the test suite). Supported primitives mirror the TVM subset the paper
+//! relies on: `split`, `fuse`, `reorder`, `bind`, `parallel`, `vectorize`,
+//! `unroll`, `cache_read`/`cache_write` (explicit-rewrite form), `rfactor`
+//! and `tensorize`.
+
+use crate::buffer::{Buffer, Scope};
+use crate::expr::{BinOp, Expr, Var};
+use crate::func::PrimFunc;
+use crate::stmt::{Block, ForKind, IterKind, IterVar, Stmt, TensorTile, ThreadAxis};
+use std::fmt;
+use std::rc::Rc;
+
+/// Error raised by schedule primitives (loop not found, illegal nesting, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleError {
+    message: String,
+}
+
+impl ScheduleError {
+    fn new(message: impl Into<String>) -> Self {
+        ScheduleError { message: message.into() }
+    }
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "schedule error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+type Result<T> = std::result::Result<T, ScheduleError>;
+
+/// A scheduling handle over a function. Primitives mutate the wrapped
+/// function; call [`Schedule::into_func`] to retrieve the result.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    func: PrimFunc,
+}
+
+impl Schedule {
+    /// Wrap a function for scheduling.
+    #[must_use]
+    pub fn new(func: PrimFunc) -> Self {
+        Schedule { func }
+    }
+
+    /// Borrow the current function.
+    #[must_use]
+    pub fn func(&self) -> &PrimFunc {
+        &self.func
+    }
+
+    /// Unwrap the scheduled function.
+    #[must_use]
+    pub fn into_func(self) -> PrimFunc {
+        self.func
+    }
+
+    /// Loop variable names on the path to the named block (outer→inner).
+    pub fn get_loops(&self, block: &str) -> Result<Vec<String>> {
+        self.func
+            .body
+            .loops_of_block(block)
+            .map(|v| v.iter().map(|(var, _, _)| var.name.to_string()).collect())
+            .ok_or_else(|| ScheduleError::new(format!("block `{block}` not found")))
+    }
+
+    /// Split `loop_var` by `factor` into `(outer, inner)` loops;
+    /// returns their names. A bounds guard is inserted unless the extent is
+    /// a constant multiple of `factor`.
+    pub fn split(&mut self, loop_var: &str, factor: i64) -> Result<(String, String)> {
+        if factor <= 0 {
+            return Err(ScheduleError::new("split factor must be positive"));
+        }
+        let outer_name = self.func.fresh_name(&format!("{loop_var}_o"));
+        // Reserve by binding a dummy: compute inner after outer is placed.
+        let inner_name = {
+            let mut n = format!("{loop_var}_i");
+            if n == outer_name {
+                n.push('x');
+            }
+            self.func.fresh_name(&n)
+        };
+        let mut found = false;
+        let body = replace_loop(&self.func.body, loop_var, &mut |var, extent, kind, body| {
+            found = true;
+            let outer = Var::new(outer_name.clone(), var.dtype);
+            let inner = Var::new(inner_name.clone(), var.dtype);
+            let fused = (Expr::var(&outer) * factor + Expr::var(&inner)).simplify();
+            let new_body = body.substitute(&var, &fused);
+            let guarded = match extent.as_const_int() {
+                Some(e) if e % factor == 0 => new_body,
+                _ => Stmt::IfThenElse {
+                    cond: fused.clone().lt(extent.clone()),
+                    then_branch: Box::new(new_body),
+                    else_branch: None,
+                },
+            };
+            let outer_extent =
+                ((extent.clone() + (factor - 1)) / Expr::i32(factor)).simplify();
+            Stmt::For {
+                var: outer,
+                extent: outer_extent,
+                kind,
+                body: Box::new(Stmt::For {
+                    var: inner,
+                    extent: Expr::i32(factor),
+                    kind: ForKind::Serial,
+                    body: Box::new(guarded),
+                }),
+            }
+        });
+        if !found {
+            return Err(ScheduleError::new(format!("loop `{loop_var}` not found")));
+        }
+        self.func.body = body;
+        Ok((outer_name, inner_name))
+    }
+
+    /// Fuse perfectly nested loops `outer` and `inner` into one; returns the
+    /// fused loop name. This is the loop-level fuse (distinct from Stage I's
+    /// `sparse_fuse`).
+    pub fn fuse(&mut self, outer: &str, inner: &str) -> Result<String> {
+        let fused_name = self.func.fresh_name(&format!("{outer}_{inner}_f"));
+        let mut err = None;
+        let mut found = false;
+        let body = replace_loop(&self.func.body, outer, &mut |ovar, oext, okind, obody| {
+            found = true;
+            let Stmt::For { var: ivar, extent: iext, body: ibody, .. } = obody.clone() else {
+                err = Some(ScheduleError::new(format!(
+                    "loops `{outer}` and `{inner}` are not perfectly nested"
+                )));
+                return Stmt::For { var: ovar, extent: oext, kind: okind, body: Box::new(obody) };
+            };
+            if &*ivar.name != inner {
+                err = Some(ScheduleError::new(format!(
+                    "inner loop of `{outer}` is `{}`, expected `{inner}`",
+                    ivar.name
+                )));
+                return Stmt::For {
+                    var: ovar,
+                    extent: oext,
+                    kind: okind,
+                    body: Box::new(Stmt::For { var: ivar, extent: iext, kind: ForKind::Serial, body: ibody }),
+                };
+            }
+            let fused = Var::new(fused_name.clone(), ovar.dtype);
+            let o_val = (Expr::var(&fused) / iext.clone()).simplify();
+            let i_val = (Expr::var(&fused) % iext.clone()).simplify();
+            let new_body = ibody.substitute(&ovar, &o_val).substitute(&ivar, &i_val);
+            Stmt::For {
+                var: fused,
+                extent: (oext * iext).simplify(),
+                kind: okind,
+                body: Box::new(new_body),
+            }
+        });
+        if let Some(e) = err {
+            return Err(e);
+        }
+        if !found {
+            return Err(ScheduleError::new(format!("loop `{outer}` not found")));
+        }
+        self.func.body = body;
+        Ok(fused_name)
+    }
+
+    /// Reorder a contiguous perfectly-nested chain of loops into the given
+    /// order. All named loops must appear consecutively on one path.
+    pub fn reorder(&mut self, order: &[&str]) -> Result<()> {
+        if order.len() < 2 {
+            return Ok(());
+        }
+        let first = order
+            .iter()
+            .find(|name| {
+                // The chain starts at whichever of the names is outermost.
+                let mut seen = false;
+                self.func.body.walk(&mut |s| {
+                    if let Stmt::For { var, .. } = s {
+                        if &&*var.name == *name && !seen {
+                            seen = true;
+                        }
+                    }
+                });
+                seen
+            })
+            .ok_or_else(|| ScheduleError::new("no loops found"))?;
+        let _ = first;
+        // Locate the outermost loop among `order` by walking down the tree.
+        let mut err = None;
+        let names: Vec<String> = order.iter().map(|s| (*s).to_string()).collect();
+        let body = reorder_chain(&self.func.body, &names, &mut err);
+        if let Some(e) = err {
+            return Err(e);
+        }
+        self.func.body = body;
+        Ok(())
+    }
+
+    fn set_kind(&mut self, loop_var: &str, kind: ForKind) -> Result<()> {
+        let mut found = false;
+        let body = replace_loop(&self.func.body, loop_var, &mut |var, extent, _, body| {
+            found = true;
+            Stmt::For { var, extent, kind, body: Box::new(body) }
+        });
+        if !found {
+            return Err(ScheduleError::new(format!("loop `{loop_var}` not found")));
+        }
+        self.func.body = body;
+        Ok(())
+    }
+
+    /// Bind a loop to a GPU thread axis.
+    pub fn bind(&mut self, loop_var: &str, axis: ThreadAxis) -> Result<()> {
+        self.set_kind(loop_var, ForKind::ThreadBinding(axis))
+    }
+
+    /// Mark a loop CPU-parallel.
+    pub fn parallel(&mut self, loop_var: &str) -> Result<()> {
+        self.set_kind(loop_var, ForKind::Parallel)
+    }
+
+    /// Vectorize a loop (wide loads/stores).
+    pub fn vectorize(&mut self, loop_var: &str) -> Result<()> {
+        self.set_kind(loop_var, ForKind::Vectorized)
+    }
+
+    /// Fully unroll a loop.
+    pub fn unroll(&mut self, loop_var: &str) -> Result<()> {
+        self.set_kind(loop_var, ForKind::Unrolled)
+    }
+
+    /// Stage reads of `buffer` into a scratch buffer of `scope`.
+    ///
+    /// At entry of loop `at_loop`'s body, a staging buffer of shape
+    /// `[copy_extent]` is allocated and filled with
+    /// `buffer[base + t]` for `t in 0..copy_extent`; every load of `buffer`
+    /// strictly inside the loop body whose (single, flattened) index `e`
+    /// can be rewritten by `rewrite(e)` into a staging index is redirected.
+    ///
+    /// `rewrite` returns `Some(staging_index)` for indices that fall in the
+    /// staged window. The staging buffer name is returned.
+    pub fn cache_read(
+        &mut self,
+        at_loop: &str,
+        buffer: &str,
+        scope: Scope,
+        base: Expr,
+        copy_extent: Expr,
+        rewrite: &dyn Fn(&[Expr]) -> Option<Expr>,
+    ) -> Result<String> {
+        let buf = self
+            .func
+            .buffer(buffer)
+            .cloned()
+            .or_else(|| {
+                self.func
+                    .local_allocations()
+                    .into_iter()
+                    .find(|b| &*b.name == buffer)
+            })
+            .ok_or_else(|| ScheduleError::new(format!("buffer `{buffer}` not found")))?;
+        let stage_name = self.func.fresh_buffer_name(&format!("{buffer}_{}", scope_suffix(scope)));
+        let stage =
+            Buffer::new(stage_name.clone(), buf.dtype, vec![copy_extent.clone()], scope);
+        let t = Var::i32(self.func.fresh_name("t"));
+        let copy_loop = Stmt::for_serial(
+            t.clone(),
+            copy_extent,
+            Stmt::BufferStore {
+                buffer: stage.clone(),
+                indices: vec![Expr::var(&t)],
+                value: buf.load(vec![(base + Expr::var(&t)).simplify()]),
+            },
+        );
+        let mut found = false;
+        let stage_for_rewrite = stage.clone();
+        let body = replace_loop(&self.func.body, at_loop, &mut |var, extent, kind, lbody| {
+            found = true;
+            let redirected = rewrite_loads(&lbody, buffer, &|indices| {
+                rewrite(indices).map(|idx| stage_for_rewrite.load(vec![idx.simplify()]))
+            });
+            Stmt::For {
+                var,
+                extent,
+                kind,
+                body: Box::new(Stmt::Allocate {
+                    buffer: stage.clone(),
+                    body: Box::new(copy_loop.clone().then(redirected)),
+                }),
+            }
+        });
+        if !found {
+            return Err(ScheduleError::new(format!("loop `{at_loop}` not found")));
+        }
+        self.func.body = body;
+        Ok(stage_name)
+    }
+
+    /// Accumulate writes to `buffer` in a register/shared staging buffer and
+    /// write back after loop `at_loop` finishes one iteration of its body.
+    ///
+    /// Inside the loop body, stores/loads of `buffer` whose indices are
+    /// rewritten by `rewrite` are redirected to a staging buffer of shape
+    /// `[stage_extent]`; after the body a write-back loop copies
+    /// `staging[t] → buffer[base + t]`.
+    pub fn cache_write(
+        &mut self,
+        at_loop: &str,
+        buffer: &str,
+        scope: Scope,
+        base: Expr,
+        stage_extent: Expr,
+        rewrite: &dyn Fn(&[Expr]) -> Option<Expr>,
+    ) -> Result<String> {
+        let buf = self
+            .func
+            .buffer(buffer)
+            .cloned()
+            .ok_or_else(|| ScheduleError::new(format!("buffer `{buffer}` not found")))?;
+        let stage_name = self.func.fresh_buffer_name(&format!("{buffer}_{}", scope_suffix(scope)));
+        let stage =
+            Buffer::new(stage_name.clone(), buf.dtype, vec![stage_extent.clone()], scope);
+        let t = Var::i32(self.func.fresh_name("t"));
+        let writeback = Stmt::for_serial(
+            t.clone(),
+            stage_extent,
+            Stmt::BufferStore {
+                buffer: buf.clone(),
+                indices: vec![(base + Expr::var(&t)).simplify()],
+                value: stage.load(vec![Expr::var(&t)]),
+            },
+        );
+        let mut found = false;
+        let stage2 = stage.clone();
+        let body = replace_loop(&self.func.body, at_loop, &mut |var, extent, kind, lbody| {
+            found = true;
+            let redirected = rewrite_stores_and_loads(&lbody, buffer, &|indices| {
+                rewrite(indices).map(|idx| (stage2.clone(), vec![idx.simplify()]))
+            });
+            Stmt::For {
+                var,
+                extent,
+                kind,
+                body: Box::new(Stmt::Allocate {
+                    buffer: stage.clone(),
+                    body: Box::new(redirected.then(writeback.clone())),
+                }),
+            }
+        });
+        if !found {
+            return Err(ScheduleError::new(format!("loop `{at_loop}` not found")));
+        }
+        self.func.body = body;
+        Ok(stage_name)
+    }
+
+    /// Factor the reduction of `block` over loop `loop_var` into a partial
+    /// buffer (the classic `rfactor`, used by the PRedS-style two-stage
+    /// SDDMM reduction in §4.2.2).
+    ///
+    /// Requirements: the block body is a single store
+    /// `C[i...] = C[i...] + e`, `loop_var` is one of the reduction loops on
+    /// the block's path, and the block's spatial indices do not depend on
+    /// `loop_var`. After the rewrite:
+    ///
+    /// ```text
+    /// partial[i..., r] (+)= e          // r = loop_var, block `<name>_rf`
+    /// C[i...] (+)= partial[i..., r]    // second block `<name>_merge`
+    /// ```
+    pub fn rfactor(&mut self, block: &str, loop_var: &str) -> Result<String> {
+        let loops = self
+            .func
+            .body
+            .loops_of_block(block)
+            .ok_or_else(|| ScheduleError::new(format!("block `{block}` not found")))?;
+        let (rvar, rext, _) = loops
+            .iter()
+            .find(|(v, _, _)| &*v.name == loop_var)
+            .cloned()
+            .ok_or_else(|| ScheduleError::new(format!("loop `{loop_var}` not on path to `{block}`")))?;
+        let rext_const = rext
+            .as_const_int()
+            .ok_or_else(|| ScheduleError::new("rfactor loop extent must be constant"))?;
+        let blk = self
+            .func
+            .body
+            .find_block(block)
+            .ok_or_else(|| ScheduleError::new(format!("block `{block}` not found")))?;
+        let Stmt::BufferStore { buffer: cbuf, indices: cidx, value } = blk.body.as_ref() else {
+            return Err(ScheduleError::new("rfactor block body must be a single store"));
+        };
+        let add_operand = match value {
+            Expr::Binary { op: BinOp::Add, lhs, rhs } => match lhs.as_ref() {
+                Expr::BufferLoad { buffer, indices } if buffer.name == cbuf.name && indices == cidx => {
+                    rhs.as_ref().clone()
+                }
+                _ => {
+                    return Err(ScheduleError::new(
+                        "rfactor block body must be `C[i] = C[i] + e`",
+                    ))
+                }
+            },
+            _ => return Err(ScheduleError::new("rfactor block body must be `C[i] = C[i] + e`")),
+        };
+        // Partial buffer: shape = C shape × rfactor extent.
+        let pname = self.func.fresh_buffer_name(&format!("{}_rf", cbuf.name));
+        let mut pshape = cbuf.shape.clone();
+        pshape.push(Expr::i32(rext_const));
+        let pbuf = Buffer::new(pname.clone(), cbuf.dtype, pshape, Scope::Local);
+        let mut pidx = cidx.clone();
+        pidx.push(Expr::var(&rvar));
+
+        let zero = if cbuf.dtype.is_float() { Expr::f32(0.0) } else { Expr::i32(0) };
+        let rf_block = Stmt::Block(Block {
+            name: format!("{block}_rf").into(),
+            iter_vars: blk.iter_vars.clone(),
+            reads: vec![],
+            writes: vec![],
+            init: Some(Box::new(Stmt::BufferStore {
+                buffer: pbuf.clone(),
+                indices: pidx.clone(),
+                value: zero.clone(),
+            })),
+            body: Box::new(Stmt::BufferStore {
+                buffer: pbuf.clone(),
+                indices: pidx.clone(),
+                value: pbuf.load(pidx.clone()) + add_operand,
+            }),
+        });
+
+        // Replace the original block with the rf block.
+        let body = self.func.body.transform(&|s| match &s {
+            Stmt::Block(b) if &*b.name == block => rf_block.clone(),
+            _ => s,
+        });
+
+        // Merge loop placed right after the rfactor loop body, still inside
+        // the loops enclosing `loop_var`'s parent. We wrap the rfactor
+        // loop: { alloc partial; for r { ... }; for r2 { merge } }.
+        let r2 = Var::i32(self.func.fresh_name(&format!("{loop_var}_m")));
+        let mut midx = cidx.clone();
+        midx.push(Expr::var(&r2));
+        let merge_vi: Vec<IterVar> = blk
+            .iter_vars
+            .iter()
+            .filter(|iv| iv.kind == IterKind::Spatial)
+            .cloned()
+            .chain(std::iter::once(IterVar::reduce(r2.clone(), Expr::var(&r2))))
+            .collect();
+        let merge_block = Stmt::Block(Block {
+            name: format!("{block}_merge").into(),
+            iter_vars: merge_vi,
+            reads: vec![],
+            writes: vec![],
+            init: Some(Box::new(Stmt::BufferStore {
+                buffer: cbuf.clone(),
+                indices: cidx.clone(),
+                value: zero,
+            })),
+            body: Box::new(Stmt::BufferStore {
+                buffer: cbuf.clone(),
+                indices: cidx.clone(),
+                value: cbuf.load(cidx.clone()) + pbuf.load(midx),
+            }),
+        });
+        let merge_loop = Stmt::for_serial(r2, rext_const, merge_block);
+
+        let mut found = false;
+        let pbuf2 = pbuf.clone();
+        let new_body = replace_loop(&body, loop_var, &mut |var, extent, kind, lbody| {
+            found = true;
+            Stmt::Allocate {
+                buffer: pbuf2.clone(),
+                body: Box::new(
+                    Stmt::For { var, extent, kind, body: Box::new(lbody) }
+                        .then(merge_loop.clone()),
+                ),
+            }
+        });
+        if !found {
+            return Err(ScheduleError::new(format!("loop `{loop_var}` not found")));
+        }
+        self.func.body = new_body;
+        Ok(pname)
+    }
+
+    /// Replace the perfectly nested `m × n × k` GEMM loops
+    /// (`loop_m`/`loop_n`/`loop_k`, whose body is
+    /// `C[ic] = C[ic] + A[ia] * B[ib]` over *flattened* buffers) with a
+    /// tensor-core [`Stmt::MmaSync`] intrinsic. Loop extents must be
+    /// constants matching the MMA shape (e.g. 16×16×16 or m8n32k16).
+    pub fn tensorize_gemm(&mut self, loop_m: &str, loop_n: &str, loop_k: &str) -> Result<()> {
+        let mut err: Option<ScheduleError> = None;
+        let mut found = false;
+        let lm = loop_m.to_string();
+        let ln = loop_n.to_string();
+        let lk = loop_k.to_string();
+        let body = replace_loop(&self.func.body, loop_m, &mut |mvar, mext, _, mbody| {
+            found = true;
+            match extract_gemm(&mvar, &mext, &mbody, &ln, &lk) {
+                Ok(mma) => mma,
+                Err(e) => {
+                    err = Some(e);
+                    Stmt::For { var: mvar, extent: mext, kind: ForKind::Serial, body: Box::new(mbody) }
+                }
+            }
+        });
+        if let Some(e) = err {
+            return Err(e);
+        }
+        if !found {
+            return Err(ScheduleError::new(format!("loop `{lm}` not found")));
+        }
+        self.func.body = body;
+        Ok(())
+    }
+}
+
+fn scope_suffix(scope: Scope) -> &'static str {
+    match scope {
+        Scope::Global => "global",
+        Scope::Shared => "shared",
+        Scope::Local => "local",
+        Scope::WmmaFragment => "frag",
+    }
+}
+
+impl PrimFunc {
+    /// Generate a fresh buffer name not colliding with bound buffers or
+    /// existing local allocations.
+    #[must_use]
+    pub fn fresh_buffer_name(&self, base: &str) -> String {
+        let mut used: Vec<String> = self.buffers.iter().map(|b| b.name.to_string()).collect();
+        used.extend(self.local_allocations().iter().map(|b| b.name.to_string()));
+        if !used.iter().any(|u| u == base) {
+            return base.to_string();
+        }
+        for i in 0.. {
+            let cand = format!("{base}_{i}");
+            if !used.iter().any(|u| u == &cand) {
+                return cand;
+            }
+        }
+        unreachable!()
+    }
+}
+
+/// Replace the unique loop named `name`; `f` receives `(var, extent, kind,
+/// body)` and returns the replacement statement.
+fn replace_loop(
+    s: &Stmt,
+    name: &str,
+    f: &mut dyn FnMut(Var, Expr, ForKind, Stmt) -> Stmt,
+) -> Stmt {
+    match s {
+        Stmt::For { var, extent, kind, body } if &*var.name == name => {
+            f(var.clone(), extent.clone(), *kind, body.as_ref().clone())
+        }
+        Stmt::For { var, extent, kind, body } => Stmt::For {
+            var: var.clone(),
+            extent: extent.clone(),
+            kind: *kind,
+            body: Box::new(replace_loop(body, name, f)),
+        },
+        Stmt::Block(b) => Stmt::Block(Block {
+            name: b.name.clone(),
+            iter_vars: b.iter_vars.clone(),
+            reads: b.reads.clone(),
+            writes: b.writes.clone(),
+            init: b.init.as_ref().map(|s| Box::new(replace_loop(s, name, f))),
+            body: Box::new(replace_loop(&b.body, name, f)),
+        }),
+        Stmt::Seq(stmts) => Stmt::Seq(stmts.iter().map(|s| replace_loop(s, name, f)).collect()),
+        Stmt::IfThenElse { cond, then_branch, else_branch } => Stmt::IfThenElse {
+            cond: cond.clone(),
+            then_branch: Box::new(replace_loop(then_branch, name, f)),
+            else_branch: else_branch.as_ref().map(|e| Box::new(replace_loop(e, name, f))),
+        },
+        Stmt::Let { var, value, body } => Stmt::Let {
+            var: var.clone(),
+            value: value.clone(),
+            body: Box::new(replace_loop(body, name, f)),
+        },
+        Stmt::Allocate { buffer, body } => {
+            Stmt::Allocate { buffer: buffer.clone(), body: Box::new(replace_loop(body, name, f)) }
+        }
+        _ => s.clone(),
+    }
+}
+
+/// Rewrite `BufferLoad`s of `buffer` via `f` (applied to the index list).
+fn rewrite_loads(s: &Stmt, buffer: &str, f: &dyn Fn(&[Expr]) -> Option<Expr>) -> Stmt {
+    fn rewrite_expr(e: &Expr, buffer: &str, f: &dyn Fn(&[Expr]) -> Option<Expr>) -> Expr {
+        match e {
+            Expr::BufferLoad { buffer: b, indices } => {
+                let new_idx: Vec<Expr> =
+                    indices.iter().map(|i| rewrite_expr(i, buffer, f)).collect();
+                if &*b.name == buffer {
+                    if let Some(repl) = f(&new_idx) {
+                        return repl;
+                    }
+                }
+                Expr::BufferLoad { buffer: b.clone(), indices: new_idx }
+            }
+            Expr::Binary { op, lhs, rhs } => Expr::Binary {
+                op: *op,
+                lhs: Box::new(rewrite_expr(lhs, buffer, f)),
+                rhs: Box::new(rewrite_expr(rhs, buffer, f)),
+            },
+            Expr::Select { cond, then, otherwise } => Expr::Select {
+                cond: Box::new(rewrite_expr(cond, buffer, f)),
+                then: Box::new(rewrite_expr(then, buffer, f)),
+                otherwise: Box::new(rewrite_expr(otherwise, buffer, f)),
+            },
+            Expr::Cast { dtype, value } => {
+                Expr::Cast { dtype: *dtype, value: Box::new(rewrite_expr(value, buffer, f)) }
+            }
+            Expr::Call { intrin, args } => Expr::Call {
+                intrin: *intrin,
+                args: args.iter().map(|a| rewrite_expr(a, buffer, f)).collect(),
+            },
+            _ => e.clone(),
+        }
+    }
+    s.transform(&|st| match st {
+        Stmt::BufferStore { buffer: b, indices, value } => Stmt::BufferStore {
+            buffer: b,
+            indices: indices.iter().map(|i| rewrite_expr(i, buffer, f)).collect(),
+            value: rewrite_expr(&value, buffer, f),
+        },
+        Stmt::IfThenElse { cond, then_branch, else_branch } => Stmt::IfThenElse {
+            cond: rewrite_expr(&cond, buffer, f),
+            then_branch,
+            else_branch,
+        },
+        Stmt::Let { var, value, body } => {
+            Stmt::Let { var, value: rewrite_expr(&value, buffer, f), body }
+        }
+        Stmt::Evaluate(e) => Stmt::Evaluate(rewrite_expr(&e, buffer, f)),
+        Stmt::For { var, extent, kind, body } => {
+            Stmt::For { var, extent: rewrite_expr(&extent, buffer, f), kind, body }
+        }
+        other => other,
+    })
+}
+
+/// Rewrite stores *and* loads of `buffer`: `f` maps original indices to a
+/// `(staging buffer, staging indices)` pair.
+fn rewrite_stores_and_loads(
+    s: &Stmt,
+    buffer: &str,
+    f: &dyn Fn(&[Expr]) -> Option<(Buffer, Vec<Expr>)>,
+) -> Stmt {
+    let load_f = |indices: &[Expr]| f(indices).map(|(b, idx)| b.load(idx));
+    let with_loads = rewrite_loads(s, buffer, &load_f);
+    with_loads.transform(&|st| match st {
+        Stmt::BufferStore { buffer: b, indices, value } if &*b.name == buffer => {
+            if let Some((nb, nidx)) = f(&indices) {
+                Stmt::BufferStore { buffer: nb, indices: nidx, value }
+            } else {
+                Stmt::BufferStore { buffer: b, indices, value }
+            }
+        }
+        other => other,
+    })
+}
+
+/// Reorder a contiguous perfectly nested chain containing exactly the loops
+/// in `names` (in any order) into the order given by `names`.
+fn reorder_chain(s: &Stmt, names: &[String], err: &mut Option<ScheduleError>) -> Stmt {
+    match s {
+        Stmt::For { var, .. } if names.iter().any(|n| n == &*var.name) => {
+            // Collect the chain.
+            let mut chain: Vec<(Var, Expr, ForKind)> = Vec::new();
+            let mut cur = s;
+            loop {
+                match cur {
+                    Stmt::For { var, extent, kind, body }
+                        if names.iter().any(|n| n == &*var.name) =>
+                    {
+                        chain.push((var.clone(), extent.clone(), *kind));
+                        cur = body;
+                    }
+                    _ => break,
+                }
+            }
+            if chain.len() != names.len() {
+                *err = Some(ScheduleError::new(format!(
+                    "loops {names:?} are not perfectly nested (found {} of {})",
+                    chain.len(),
+                    names.len()
+                )));
+                return s.clone();
+            }
+            let innermost_body = cur.clone();
+            // Rebuild in requested order.
+            let mut body = innermost_body;
+            for name in names.iter().rev() {
+                let (var, extent, kind) = chain
+                    .iter()
+                    .find(|(v, _, _)| &*v.name == *name)
+                    .cloned()
+                    .expect("name present in chain");
+                body = Stmt::For { var, extent, kind, body: Box::new(body) };
+            }
+            body
+        }
+        Stmt::For { var, extent, kind, body } => Stmt::For {
+            var: var.clone(),
+            extent: extent.clone(),
+            kind: *kind,
+            body: Box::new(reorder_chain(body, names, err)),
+        },
+        Stmt::Block(b) => Stmt::Block(Block {
+            name: b.name.clone(),
+            iter_vars: b.iter_vars.clone(),
+            reads: b.reads.clone(),
+            writes: b.writes.clone(),
+            init: b.init.clone(),
+            body: Box::new(reorder_chain(&b.body, names, err)),
+        }),
+        Stmt::Seq(stmts) => {
+            Stmt::Seq(stmts.iter().map(|s| reorder_chain(s, names, err)).collect())
+        }
+        Stmt::IfThenElse { cond, then_branch, else_branch } => Stmt::IfThenElse {
+            cond: cond.clone(),
+            then_branch: Box::new(reorder_chain(then_branch, names, err)),
+            else_branch: else_branch.as_ref().map(|e| Box::new(reorder_chain(e, names, err))),
+        },
+        Stmt::Let { var, value, body } => Stmt::Let {
+            var: var.clone(),
+            value: value.clone(),
+            body: Box::new(reorder_chain(body, names, err)),
+        },
+        Stmt::Allocate { buffer, body } => Stmt::Allocate {
+            buffer: buffer.clone(),
+            body: Box::new(reorder_chain(body, names, err)),
+        },
+        _ => s.clone(),
+    }
+}
+
+/// Extract a GEMM pattern under the m-loop and build an `MmaSync`.
+fn extract_gemm(
+    mvar: &Var,
+    mext: &Expr,
+    mbody: &Stmt,
+    loop_n: &str,
+    loop_k: &str,
+) -> Result<Stmt> {
+    let Stmt::For { var: nvar, extent: next, body: nbody, .. } = mbody else {
+        return Err(ScheduleError::new("tensorize: expected n-loop under m-loop"));
+    };
+    if &*nvar.name != loop_n {
+        return Err(ScheduleError::new(format!(
+            "tensorize: inner loop is `{}`, expected `{loop_n}`",
+            nvar.name
+        )));
+    }
+    let Stmt::For { var: kvar, extent: kext, body: kbody, .. } = nbody.as_ref() else {
+        return Err(ScheduleError::new("tensorize: expected k-loop under n-loop"));
+    };
+    if &*kvar.name != loop_k {
+        return Err(ScheduleError::new(format!(
+            "tensorize: innermost loop is `{}`, expected `{loop_k}`",
+            kvar.name
+        )));
+    }
+    let body = strip_trivial_blocks(kbody);
+    let Stmt::BufferStore { buffer: cbuf, indices: cidx, value } = &body else {
+        return Err(ScheduleError::new("tensorize: body must be a single store"));
+    };
+    if cidx.len() != 1 {
+        return Err(ScheduleError::new("tensorize: buffers must be flattened (1-D)"));
+    }
+    let (a_load, b_load) = match value {
+        Expr::Binary { op: BinOp::Add, lhs, rhs } => {
+            let is_c = |e: &Expr| {
+                matches!(e, Expr::BufferLoad { buffer, indices }
+                    if buffer.name == cbuf.name && indices == cidx)
+            };
+            let mul = if is_c(lhs) { rhs.as_ref() } else if is_c(rhs) { lhs.as_ref() } else {
+                return Err(ScheduleError::new("tensorize: body must be C[i] = C[i] + A*B"));
+            };
+            match mul {
+                Expr::Binary { op: BinOp::Mul, lhs, rhs } => {
+                    match (lhs.as_ref(), rhs.as_ref()) {
+                        (a @ Expr::BufferLoad { .. }, b @ Expr::BufferLoad { .. }) => {
+                            (a.clone(), b.clone())
+                        }
+                        _ => return Err(ScheduleError::new("tensorize: operands must be loads")),
+                    }
+                }
+                _ => return Err(ScheduleError::new("tensorize: rhs must be A*B")),
+            }
+        }
+        _ => return Err(ScheduleError::new("tensorize: body must be an accumulation")),
+    };
+    let (m, n, k) = match (mext.as_const_int(), next.as_const_int(), kext.as_const_int()) {
+        (Some(m), Some(n), Some(k)) if m > 0 && n > 0 && k > 0 => {
+            (m as usize, n as usize, k as usize)
+        }
+        _ => return Err(ScheduleError::new("tensorize: loop extents must be positive constants")),
+    };
+    let zero = Expr::i32(0);
+    let one = Expr::i32(1);
+    let at = |e: &Expr, vm: &Expr, vn: &Expr, vk: &Expr| {
+        e.substitute(mvar, vm).substitute(nvar, vn).substitute(kvar, vk).simplify()
+    };
+    let tile_of = |load: &Expr, row: &Var, col: &Var| -> Result<TensorTile> {
+        let Expr::BufferLoad { buffer, indices } = load else { unreachable!() };
+        if indices.len() != 1 {
+            return Err(ScheduleError::new("tensorize: buffers must be flattened (1-D)"));
+        }
+        let idx = &indices[0];
+        let sub = |rv: &Expr, cv: &Expr| {
+            let mut e = idx.clone();
+            for (v, val) in [(mvar, &zero), (nvar, &zero), (kvar, &zero)] {
+                if v != row && v != col {
+                    e = e.substitute(v, val);
+                }
+            }
+            e.substitute(row, rv).substitute(col, cv).simplify()
+        };
+        let offset = sub(&zero, &zero);
+        let row1 = sub(&one, &zero);
+        let row_stride = Expr::Binary {
+            op: BinOp::Sub,
+            lhs: Box::new(row1),
+            rhs: Box::new(offset.clone()),
+        }
+        .simplify();
+        // Column stride must be 1 when it can be checked statically.
+        let col1 = sub(&zero, &one);
+        let col_stride = Expr::Binary {
+            op: BinOp::Sub,
+            lhs: Box::new(col1),
+            rhs: Box::new(offset.clone()),
+        }
+        .simplify();
+        if let Some(c) = col_stride.as_const_int() {
+            if c != 1 {
+                return Err(ScheduleError::new(format!(
+                    "tensorize: tile column stride must be 1 (got {c})"
+                )));
+            }
+        }
+        Ok(TensorTile { buffer: buffer.clone(), offset, row_stride })
+    };
+    let c_tile = {
+        let c_load = Expr::BufferLoad { buffer: cbuf.clone(), indices: cidx.clone() };
+        tile_of(&c_load, mvar, nvar)?
+    };
+    let a_tile = tile_of(&at(&a_load, &Expr::var(mvar), &zero, &Expr::var(kvar)), mvar, kvar)
+        .or_else(|_| tile_of(&a_load, mvar, kvar))?;
+    let b_tile = tile_of(&b_load, kvar, nvar)?;
+    Ok(Stmt::MmaSync { c: c_tile, a: a_tile, b: b_tile, m, n, k })
+}
+
+/// Unwrap nested `Block`s and single-element `Seq`s around a store.
+fn strip_trivial_blocks(s: &Stmt) -> Stmt {
+    match s {
+        Stmt::Block(b) => strip_trivial_blocks(&b.body),
+        Stmt::Seq(v) if v.len() == 1 => strip_trivial_blocks(&v[0]),
+        _ => s.clone(),
+    }
+}
+
+/// Convenience: shorthand for `Rc<str>` naming in tests and kernels.
+#[must_use]
+pub fn rc(s: &str) -> Rc<str> {
+    s.into()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtype::DType;
+    use crate::eval::{eval_func, scalar_map, TensorData};
+    use std::collections::HashMap;
+
+    /// `C[i] = A[i] * 2` over n=10.
+    fn scale_func(n: i64) -> PrimFunc {
+        let i = Var::i32("i");
+        let a = Buffer::global_f32("A", vec![Expr::i32(n)]);
+        let c = Buffer::global_f32("C", vec![Expr::i32(n)]);
+        let body = Stmt::for_serial(
+            i.clone(),
+            n,
+            Stmt::BufferStore {
+                buffer: c.clone(),
+                indices: vec![Expr::var(&i)],
+                value: a.load(vec![Expr::var(&i)]) * 2.0f32,
+            },
+        );
+        PrimFunc::new("scale", vec![], vec![a, c], body)
+    }
+
+    fn run_scale(f: &PrimFunc, n: usize) -> Vec<f32> {
+        let mut tensors = HashMap::new();
+        tensors.insert("A".to_string(), TensorData::from((0..n).map(|x| x as f32).collect::<Vec<_>>()));
+        tensors.insert("C".to_string(), TensorData::zeros(DType::F32, n));
+        eval_func(f, &scalar_map(&[]), &mut tensors).unwrap();
+        tensors["C"].as_f32().to_vec()
+    }
+
+    #[test]
+    fn split_preserves_semantics_with_guard() {
+        let f = scale_func(10);
+        let expected = run_scale(&f, 10);
+        let mut sch = Schedule::new(f);
+        let (o, i) = sch.split("i", 4).unwrap();
+        assert_eq!(o, "i_o");
+        assert_eq!(i, "i_i");
+        let got = run_scale(sch.func(), 10);
+        assert_eq!(got, expected);
+        // A guard must exist because 10 % 4 != 0.
+        let mut has_if = false;
+        sch.func().body.walk(&mut |s| {
+            if matches!(s, Stmt::IfThenElse { .. }) {
+                has_if = true;
+            }
+        });
+        assert!(has_if);
+    }
+
+    #[test]
+    fn split_exact_has_no_guard() {
+        let f = scale_func(8);
+        let mut sch = Schedule::new(f);
+        sch.split("i", 4).unwrap();
+        let mut has_if = false;
+        sch.func().body.walk(&mut |s| {
+            if matches!(s, Stmt::IfThenElse { .. }) {
+                has_if = true;
+            }
+        });
+        assert!(!has_if);
+        assert_eq!(run_scale(sch.func(), 8), vec![0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0]);
+    }
+
+    #[test]
+    fn split_then_bind_sets_kind() {
+        let mut sch = Schedule::new(scale_func(8));
+        let (o, i) = sch.split("i", 4).unwrap();
+        sch.bind(&o, ThreadAxis::BlockIdxX).unwrap();
+        sch.bind(&i, ThreadAxis::ThreadIdxX).unwrap();
+        let mut bound = 0;
+        sch.func().body.walk(&mut |s| {
+            if let Stmt::For { kind: ForKind::ThreadBinding(_), .. } = s {
+                bound += 1;
+            }
+        });
+        assert_eq!(bound, 2);
+    }
+
+    #[test]
+    fn fuse_preserves_semantics() {
+        // 2-D iota: C[i*4+j] = i*4+j
+        let i = Var::i32("i");
+        let j = Var::i32("j");
+        let c = Buffer::global_f32("C", vec![Expr::i32(12)]);
+        let body = Stmt::for_serial(
+            i.clone(),
+            3,
+            Stmt::for_serial(
+                j.clone(),
+                4,
+                Stmt::BufferStore {
+                    buffer: c.clone(),
+                    indices: vec![Expr::var(&i) * 4 + Expr::var(&j)],
+                    value: (Expr::var(&i) * 4 + Expr::var(&j)).cast(DType::F32),
+                },
+            ),
+        );
+        let f = PrimFunc::new("iota2", vec![], vec![c], body);
+        let mut sch = Schedule::new(f);
+        let fused = sch.fuse("i", "j").unwrap();
+        // There must be exactly one loop now.
+        let mut loops = 0;
+        sch.func().body.walk(&mut |s| {
+            if matches!(s, Stmt::For { .. }) {
+                loops += 1;
+            }
+        });
+        assert_eq!(loops, 1, "fused loop name {fused}");
+        let mut tensors = HashMap::new();
+        tensors.insert("C".to_string(), TensorData::zeros(DType::F32, 12));
+        eval_func(sch.func(), &HashMap::new(), &mut tensors).unwrap();
+        let exp: Vec<f32> = (0..12).map(|x| x as f32).collect();
+        assert_eq!(tensors["C"].as_f32(), &exp[..]);
+    }
+
+    #[test]
+    fn fuse_rejects_non_nested() {
+        let mut sch = Schedule::new(scale_func(8));
+        assert!(sch.fuse("i", "nope").is_err());
+    }
+
+    #[test]
+    fn reorder_swaps_loops() {
+        let i = Var::i32("i");
+        let j = Var::i32("j");
+        let c = Buffer::global_f32("C", vec![Expr::i32(12)]);
+        let body = Stmt::for_serial(
+            i.clone(),
+            3,
+            Stmt::for_serial(
+                j.clone(),
+                4,
+                Stmt::BufferStore {
+                    buffer: c.clone(),
+                    indices: vec![Expr::var(&i) * 4 + Expr::var(&j)],
+                    value: Expr::f32(1.0),
+                },
+            ),
+        );
+        let f = PrimFunc::new("f", vec![], vec![c], body);
+        let mut sch = Schedule::new(f);
+        sch.reorder(&["j", "i"]).unwrap();
+        match &sch.func().body {
+            Stmt::For { var, .. } => assert_eq!(&*var.name, "j"),
+            other => panic!("unexpected {other:?}"),
+        }
+        let mut tensors = HashMap::new();
+        tensors.insert("C".to_string(), TensorData::zeros(DType::F32, 12));
+        eval_func(sch.func(), &HashMap::new(), &mut tensors).unwrap();
+        assert!(tensors["C"].as_f32().iter().all(|&x| x == 1.0));
+    }
+
+    #[test]
+    fn rfactor_two_stage_reduction_matches() {
+        // C[0] = sum over r in 0..8 of A[r]
+        let r = Var::i32("r");
+        let a = Buffer::global_f32("A", vec![Expr::i32(8)]);
+        let c = Buffer::global_f32("C", vec![Expr::i32(1)]);
+        let vr = Var::i32("vr");
+        let block = Stmt::Block(Block {
+            name: "sum".into(),
+            iter_vars: vec![IterVar::reduce(vr.clone(), Expr::var(&r))],
+            reads: vec![],
+            writes: vec![],
+            init: Some(Box::new(Stmt::BufferStore {
+                buffer: c.clone(),
+                indices: vec![Expr::i32(0)],
+                value: Expr::f32(0.0),
+            })),
+            body: Box::new(Stmt::BufferStore {
+                buffer: c.clone(),
+                indices: vec![Expr::i32(0)],
+                value: c.load(vec![Expr::i32(0)]) + a.load(vec![Expr::var(&vr)]),
+            }),
+        });
+        let body = Stmt::for_serial(r.clone(), 8, block);
+        let f = PrimFunc::new("sum", vec![], vec![a, c], body);
+        let mut sch = Schedule::new(f);
+        sch.rfactor("sum", "r").unwrap();
+        let mut tensors = HashMap::new();
+        tensors.insert("A".to_string(), TensorData::from((1..=8).map(|x| x as f32).collect::<Vec<_>>()));
+        tensors.insert("C".to_string(), TensorData::zeros(DType::F32, 1));
+        eval_func(sch.func(), &HashMap::new(), &mut tensors).unwrap();
+        assert_eq!(tensors["C"].as_f32(), &[36.0]);
+        // Both an rf block and a merge block must exist.
+        let names = sch.func().block_names();
+        assert!(names.iter().any(|n| n == "sum_rf"), "{names:?}");
+        assert!(names.iter().any(|n| n == "sum_merge"), "{names:?}");
+    }
+
+    #[test]
+    fn tensorize_gemm_replaces_loops() {
+        // C[16x16] += A[16x16] * B[16x16], flattened.
+        let (m, n, k) = (16i64, 16i64, 16i64);
+        let mi = Var::i32("mi");
+        let ni = Var::i32("ni");
+        let ki = Var::i32("ki");
+        let a = Buffer::global_f32("A", vec![Expr::i32(m * k)]);
+        let b = Buffer::global_f32("B", vec![Expr::i32(k * n)]);
+        let c = Buffer::global_f32("C", vec![Expr::i32(m * n)]);
+        let store = Stmt::BufferStore {
+            buffer: c.clone(),
+            indices: vec![Expr::var(&mi) * n + Expr::var(&ni)],
+            value: c.load(vec![Expr::var(&mi) * n + Expr::var(&ni)])
+                + a.load(vec![Expr::var(&mi) * k + Expr::var(&ki)])
+                    * b.load(vec![Expr::var(&ki) * n + Expr::var(&ni)]),
+        };
+        let body = Stmt::for_serial(
+            mi.clone(),
+            m,
+            Stmt::for_serial(ni.clone(), n, Stmt::for_serial(ki.clone(), k, store)),
+        );
+        let f = PrimFunc::new("gemm16", vec![], vec![a, b, c], body);
+        // Reference result before tensorize.
+        let mut rng_a: Vec<f32> = (0..m * k).map(|x| (x % 7) as f32 * 0.5).collect();
+        rng_a[3] = -1.25;
+        let rng_b: Vec<f32> = (0..k * n).map(|x| (x % 5) as f32 - 2.0).collect();
+        let run = |func: &PrimFunc| {
+            let mut tensors = HashMap::new();
+            tensors.insert("A".to_string(), TensorData::from(rng_a.clone()));
+            tensors.insert("B".to_string(), TensorData::from(rng_b.clone()));
+            tensors.insert("C".to_string(), TensorData::zeros(DType::F32, (m * n) as usize));
+            eval_func(func, &HashMap::new(), &mut tensors).unwrap();
+            tensors["C"].as_f32().to_vec()
+        };
+        let expected = run(&f);
+        let mut sch = Schedule::new(f);
+        sch.tensorize_gemm("mi", "ni", "ki").unwrap();
+        match &sch.func().body {
+            Stmt::MmaSync { m: 16, n: 16, k: 16, .. } => {}
+            other => panic!("expected MmaSync, got {other:?}"),
+        }
+        assert_eq!(run(sch.func()), expected);
+    }
+
+    #[test]
+    fn cache_write_accumulates_in_register() {
+        // C[i] = sum_j A[i*4+j]: cache C in a register across the j loop.
+        let i = Var::i32("i");
+        let j = Var::i32("j");
+        let a = Buffer::global_f32("A", vec![Expr::i32(8)]);
+        let c = Buffer::global_f32("C", vec![Expr::i32(2)]);
+        let init = Stmt::BufferStore {
+            buffer: c.clone(),
+            indices: vec![Expr::var(&i)],
+            value: Expr::f32(0.0),
+        };
+        let acc = Stmt::BufferStore {
+            buffer: c.clone(),
+            indices: vec![Expr::var(&i)],
+            value: c.load(vec![Expr::var(&i)]) + a.load(vec![Expr::var(&i) * 4 + Expr::var(&j)]),
+        };
+        let body = Stmt::for_serial(i.clone(), 2, init.then(Stmt::for_serial(j.clone(), 4, acc)));
+        let f = PrimFunc::new("rowsum", vec![], vec![a, c], body);
+        let mut sch = Schedule::new(f);
+        // Stage C[i] into a 1-element register inside the i loop.
+        let iv = Expr::var(&Var::i32("i"));
+        sch.cache_write("i", "C", Scope::Local, iv, Expr::i32(1), &|idx| {
+            // C[i] → stage[0]
+            if idx.len() == 1 {
+                Some(Expr::i32(0))
+            } else {
+                None
+            }
+        })
+        .unwrap();
+        let mut tensors = HashMap::new();
+        tensors.insert("A".to_string(), TensorData::from((0..8).map(|x| x as f32).collect::<Vec<_>>()));
+        tensors.insert("C".to_string(), TensorData::zeros(DType::F32, 2));
+        eval_func(sch.func(), &HashMap::new(), &mut tensors).unwrap();
+        assert_eq!(tensors["C"].as_f32(), &[6.0, 22.0]);
+    }
+
+    #[test]
+    fn cache_read_stages_window() {
+        // C[i] = A[i] + A[i]: stage A[i..i+1] into shared memory.
+        let f = scale_func(6);
+        let expected = run_scale(&f, 6);
+        let mut sch = Schedule::new(f);
+        let iv = Expr::var(&Var::i32("i"));
+        let name = sch
+            .cache_read("i", "A", Scope::Shared, iv, Expr::i32(1), &|_idx| Some(Expr::i32(0)))
+            .unwrap();
+        assert_eq!(name, "A_shared");
+        assert_eq!(run_scale(sch.func(), 6), expected);
+    }
+
+    #[test]
+    fn get_loops_reports_path() {
+        let i = Var::i32("i");
+        let blk = Stmt::Block(Block {
+            name: "b".into(),
+            iter_vars: vec![],
+            reads: vec![],
+            writes: vec![],
+            init: None,
+            body: Box::new(Stmt::nop()),
+        });
+        let f = PrimFunc::new("f", vec![], vec![], Stmt::for_serial(i, 4, blk));
+        let sch = Schedule::new(f);
+        assert_eq!(sch.get_loops("b").unwrap(), vec!["i".to_string()]);
+        assert!(sch.get_loops("zzz").is_err());
+    }
+}

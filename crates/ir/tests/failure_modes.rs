@@ -1,0 +1,220 @@
+//! Failure-injection tests: every user-facing error path of the IR crate
+//! must fail loudly with an actionable message — never silently compute
+//! garbage. (C-GOOD-ERR / C-VALIDATE.)
+
+use sparsetir_ir::prelude::*;
+use std::collections::HashMap;
+
+fn scale_func(n: i64) -> PrimFunc {
+    let i = Var::i32("i");
+    let a = Buffer::global_f32("A", vec![Expr::i32(n)]);
+    let c = Buffer::global_f32("C", vec![Expr::i32(n)]);
+    let body = Stmt::for_serial(
+        i.clone(),
+        n,
+        Stmt::BufferStore {
+            buffer: c.clone(),
+            indices: vec![Expr::var(&i)],
+            value: a.load(vec![Expr::var(&i)]) * 2.0f32,
+        },
+    );
+    PrimFunc::new("scale", vec![], vec![a, c], body)
+}
+
+mod interpreter {
+    use super::*;
+
+    #[test]
+    fn missing_tensor_binding() {
+        let f = scale_func(4);
+        let mut t = HashMap::new();
+        t.insert("A".to_string(), TensorData::from(vec![0.0f32; 4]));
+        let err = eval_func(&f, &HashMap::new(), &mut t).unwrap_err();
+        assert!(err.to_string().contains("missing tensor binding"), "{err}");
+    }
+
+    #[test]
+    fn missing_scalar_param() {
+        let n = Var::i32("n");
+        let f = PrimFunc::new("f", vec![n], vec![], Stmt::nop());
+        let err = eval_func(&f, &HashMap::new(), &mut HashMap::new()).unwrap_err();
+        assert!(err.to_string().contains("missing scalar param"), "{err}");
+    }
+
+    #[test]
+    fn undersized_binding_is_out_of_bounds() {
+        let f = scale_func(4);
+        let mut t = HashMap::new();
+        t.insert("A".to_string(), TensorData::from(vec![0.0f32; 2])); // too short
+        t.insert("C".to_string(), TensorData::from(vec![0.0f32; 4]));
+        let err = eval_func(&f, &HashMap::new(), &mut t).unwrap_err();
+        assert!(err.to_string().contains("out of bounds"), "{err}");
+    }
+
+    #[test]
+    fn integer_division_by_zero() {
+        let out = Buffer::global_i32("out", vec![Expr::i32(1)]);
+        let body = Stmt::BufferStore {
+            buffer: out.clone(),
+            indices: vec![Expr::i32(0)],
+            value: Expr::i32(1) / Expr::i32(0),
+        };
+        let f = PrimFunc::new("div0", vec![], vec![out], body);
+        let mut t = HashMap::new();
+        t.insert("out".to_string(), TensorData::from(vec![0i32]));
+        let err = eval_func(&f, &HashMap::new(), &mut t).unwrap_err();
+        assert!(err.to_string().contains("division by zero"), "{err}");
+    }
+
+    #[test]
+    fn arity_mismatch_is_reported() {
+        let a = Buffer::global_f32("A", vec![Expr::i32(2), Expr::i32(2)]);
+        let body = Stmt::BufferStore {
+            buffer: a.clone(),
+            indices: vec![Expr::i32(0)], // rank-2 buffer, 1 index
+            value: Expr::f32(0.0),
+        };
+        let f = PrimFunc::new("f", vec![], vec![a], body);
+        let mut t = HashMap::new();
+        t.insert("A".to_string(), TensorData::from(vec![0.0f32; 4]));
+        let err = eval_func(&f, &HashMap::new(), &mut t).unwrap_err();
+        assert!(err.to_string().contains("indices"), "{err}");
+    }
+}
+
+mod schedules {
+    use super::*;
+
+    #[test]
+    fn split_of_missing_loop() {
+        let mut sch = Schedule::new(scale_func(4));
+        let err = sch.split("zz", 2).unwrap_err();
+        assert!(err.to_string().contains("not found"), "{err}");
+    }
+
+    #[test]
+    fn split_by_zero_rejected() {
+        let mut sch = Schedule::new(scale_func(4));
+        assert!(sch.split("i", 0).is_err());
+        assert!(sch.split("i", -3).is_err());
+    }
+
+    #[test]
+    fn fuse_requires_perfect_nesting() {
+        // i's body is a store, not the named inner loop.
+        let mut sch = Schedule::new(scale_func(4));
+        let err = sch.fuse("i", "j").unwrap_err();
+        assert!(err.to_string().contains("nested") || err.to_string().contains("expected"), "{err}");
+    }
+
+    #[test]
+    fn reorder_requires_contiguous_chain() {
+        let i = Var::i32("i");
+        let j = Var::i32("j");
+        let c = Buffer::global_f32("C", vec![Expr::i32(4)]);
+        // i and j are siblings, not nested.
+        let body = Stmt::for_serial(i, 2, Stmt::nop()).then(Stmt::for_serial(
+            j,
+            2,
+            Stmt::BufferStore { buffer: c.clone(), indices: vec![Expr::i32(0)], value: Expr::f32(0.0) },
+        ));
+        let mut sch = Schedule::new(PrimFunc::new("f", vec![], vec![c], body));
+        assert!(sch.reorder(&["j", "i"]).is_err());
+    }
+
+    #[test]
+    fn rfactor_requires_accumulation_shape() {
+        // Block body is a plain store (no C = C + e pattern).
+        let r = Var::i32("r");
+        let c = Buffer::global_f32("C", vec![Expr::i32(1)]);
+        let blk = Stmt::Block(Block {
+            name: "s".into(),
+            iter_vars: vec![IterVar::reduce(Var::i32("vr"), Expr::var(&r))],
+            reads: vec![],
+            writes: vec![],
+            init: None,
+            body: Box::new(Stmt::BufferStore {
+                buffer: c.clone(),
+                indices: vec![Expr::i32(0)],
+                value: Expr::f32(1.0),
+            }),
+        });
+        let f = PrimFunc::new("f", vec![], vec![c], Stmt::for_serial(r, 4, blk));
+        let mut sch = Schedule::new(f);
+        let err = sch.rfactor("s", "r").unwrap_err();
+        assert!(err.to_string().contains("C[i] = C[i] + e"), "{err}");
+    }
+
+    #[test]
+    fn tensorize_requires_constant_extents() {
+        let n = Var::i32("n");
+        let mi = Var::i32("mi");
+        let ni = Var::i32("ni");
+        let ki = Var::i32("ki");
+        let a = Buffer::global_f32("A", vec![Expr::i32(64)]);
+        let b = Buffer::global_f32("B", vec![Expr::i32(64)]);
+        let c = Buffer::global_f32("C", vec![Expr::i32(64)]);
+        let store = Stmt::BufferStore {
+            buffer: c.clone(),
+            indices: vec![Expr::var(&mi) * 8 + Expr::var(&ni)],
+            value: c.load(vec![Expr::var(&mi) * 8 + Expr::var(&ni)])
+                + a.load(vec![Expr::var(&mi) * 8 + Expr::var(&ki)])
+                    * b.load(vec![Expr::var(&ki) * 8 + Expr::var(&ni)]),
+        };
+        let body = Stmt::For {
+            var: mi.clone(),
+            extent: Expr::var(&n), // symbolic extent
+            kind: ForKind::Serial,
+            body: Box::new(Stmt::for_serial(ni, 8, Stmt::for_serial(ki, 8, store))),
+        };
+        let f = PrimFunc::new("g", vec![n], vec![a, b, c], body);
+        let mut sch = Schedule::new(f);
+        let err = sch.tensorize_gemm("mi", "ni", "ki").unwrap_err();
+        assert!(err.to_string().contains("constant"), "{err}");
+    }
+
+    #[test]
+    fn cache_read_of_missing_buffer() {
+        let mut sch = Schedule::new(scale_func(4));
+        let err = sch
+            .cache_read("i", "ZZ", Scope::Shared, Expr::i32(0), Expr::i32(1), &|_| None)
+            .unwrap_err();
+        assert!(err.to_string().contains("not found"), "{err}");
+    }
+}
+
+mod verifier {
+    use super::*;
+
+    #[test]
+    fn scheduled_functions_still_verify() {
+        let mut sch = Schedule::new(scale_func(16));
+        let (o, i) = sch.split("i", 4).unwrap();
+        sch.bind(&o, ThreadAxis::BlockIdxX).unwrap();
+        sch.vectorize(&i).unwrap();
+        verify(sch.func()).unwrap();
+    }
+
+    #[test]
+    fn substituted_dangling_var_is_caught() {
+        // Manually construct a body referencing a variable that no loop
+        // binds — the verifier must reject what the interpreter would also
+        // reject, but statically.
+        let ghost = Var::i32("ghost");
+        let c = Buffer::global_f32("C", vec![Expr::i32(4)]);
+        let f = PrimFunc::new(
+            "bad",
+            vec![],
+            vec![c.clone()],
+            Stmt::BufferStore {
+                buffer: c,
+                indices: vec![Expr::var(&ghost)],
+                value: Expr::f32(0.0),
+            },
+        );
+        assert!(verify(&f).is_err());
+        let mut t = HashMap::new();
+        t.insert("C".to_string(), TensorData::from(vec![0.0f32; 4]));
+        assert!(eval_func(&f, &HashMap::new(), &mut t).is_err());
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based tests of the schedule primitives: arbitrary compositions
+//! of split / reorder / unroll / vectorize / bind over a 3-deep loop nest
+//! must preserve interpreted semantics and verifier well-formedness — the
+//! "composable transformations never change meaning" contract.
+
+use proptest::prelude::*;
+use sparsetir_ir::prelude::*;
+use std::collections::HashMap;
+
+/// `C[i·N2·N3 + j·N3 + k] = A[...] * 2 + i + j + k` over a 3-deep nest.
+fn nest(n1: i64, n2: i64, n3: i64) -> PrimFunc {
+    let i = Var::i32("i");
+    let j = Var::i32("j");
+    let k = Var::i32("k");
+    let len = n1 * n2 * n3;
+    let a = Buffer::global_f32("A", vec![Expr::i32(len)]);
+    let c = Buffer::global_f32("C", vec![Expr::i32(len)]);
+    let flat = Expr::var(&i) * (n2 * n3) + Expr::var(&j) * n3 + Expr::var(&k);
+    let body = Stmt::for_serial(
+        i.clone(),
+        n1,
+        Stmt::for_serial(
+            j.clone(),
+            n2,
+            Stmt::for_serial(
+                k.clone(),
+                n3,
+                Stmt::BufferStore {
+                    buffer: c.clone(),
+                    indices: vec![flat.clone()],
+                    value: a.load(vec![flat]) * 2.0f32
+                        + (Expr::var(&i) + Expr::var(&j) + Expr::var(&k)).cast(DType::F32),
+                },
+            ),
+        ),
+    );
+    PrimFunc::new("nest", vec![], vec![a, c], body)
+}
+
+fn run(f: &PrimFunc, len: usize) -> Vec<f32> {
+    let mut t = HashMap::new();
+    t.insert(
+        "A".to_string(),
+        TensorData::from((0..len).map(|x| (x % 13) as f32 * 0.5 - 2.0).collect::<Vec<_>>()),
+    );
+    t.insert("C".to_string(), TensorData::zeros(DType::F32, len));
+    eval_func(f, &HashMap::new(), &mut t).expect("interprets");
+    t["C"].as_f32().to_vec()
+}
+
+/// One schedule action drawn by proptest.
+#[derive(Debug, Clone)]
+enum Action {
+    Split { target: usize, factor: i64 },
+    Unroll { target: usize },
+    Vectorize { target: usize },
+    ReorderJk,
+}
+
+fn arb_action() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (0usize..3, 2i64..6).prop_map(|(target, factor)| Action::Split { target, factor }),
+        (0usize..3).prop_map(|target| Action::Unroll { target }),
+        (0usize..3).prop_map(|target| Action::Vectorize { target }),
+        Just(Action::ReorderJk),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_schedule_compositions_preserve_semantics(
+        dims in (2i64..5, 2i64..5, 2i64..6),
+        actions in proptest::collection::vec(arb_action(), 0..5),
+    ) {
+        let (n1, n2, n3) = dims;
+        let len = (n1 * n2 * n3) as usize;
+        let base = nest(n1, n2, n3);
+        let expected = run(&base, len);
+
+        let mut sch = Schedule::new(base);
+        // Track live loop names; splits replace a name with two.
+        let mut loops: Vec<String> = vec!["i".into(), "j".into(), "k".into()];
+        let mut reordered = false;
+        for action in &actions {
+            match action {
+                Action::Split { target, factor } => {
+                    let name = loops[target % loops.len()].clone();
+                    let (o, inner) = sch.split(&name, *factor).expect("split succeeds");
+                    let pos = loops.iter().position(|l| l == &name).expect("tracked");
+                    loops[pos] = o;
+                    loops.insert(pos + 1, inner);
+                }
+                Action::Unroll { target } => {
+                    let name = loops[target % loops.len()].clone();
+                    sch.unroll(&name).expect("unroll succeeds");
+                }
+                Action::Vectorize { target } => {
+                    let name = loops[target % loops.len()].clone();
+                    sch.vectorize(&name).expect("vectorize succeeds");
+                }
+                Action::ReorderJk => {
+                    // Only valid while j and k are intact and adjacent.
+                    if !reordered
+                        && loops.iter().any(|l| l == "j")
+                        && loops.iter().any(|l| l == "k")
+                        && loops.ends_with(&["j".to_string(), "k".to_string()])
+                    {
+                        sch.reorder(&["k", "j"]).expect("reorder succeeds");
+                        reordered = true;
+                    }
+                }
+            }
+        }
+        let scheduled = sch.into_func();
+        verify(&scheduled).expect("scheduled function verifies");
+        prop_assert_eq!(run(&scheduled, len), expected);
+    }
+
+    #[test]
+    fn split_factors_larger_than_extent_still_correct(
+        n in 1i64..12,
+        factor in 1i64..20,
+    ) {
+        let base = nest(n, 2, 2);
+        let len = (n * 4) as usize;
+        let expected = run(&base, len);
+        let mut sch = Schedule::new(base);
+        sch.split("i", factor).expect("split");
+        prop_assert_eq!(run(sch.func(), len), expected);
+    }
+
+    #[test]
+    fn fuse_then_split_roundtrips(
+        n1 in 2i64..5,
+        n2 in 2i64..5,
+    ) {
+        let base = nest(n1, n2, 2);
+        let len = (n1 * n2 * 2) as usize;
+        let expected = run(&base, len);
+        let mut sch = Schedule::new(base);
+        let fused = sch.fuse("i", "j").expect("fuse");
+        sch.split(&fused, n2).expect("split back");
+        verify(sch.func()).expect("verifies");
+        prop_assert_eq!(run(sch.func(), len), expected);
+    }
+}

@@ -1,0 +1,53 @@
+//! # sparsetir-kernels
+//!
+//! SparseTIR-generated operators for every workload in the paper's
+//! evaluation: SpMM (§4.2.1), SDDMM (§4.2.2), batched sparse-attention
+//! operators (§4.3.1), pruned-weight SpMM (§4.3.2), RGMS (§4.4.1) and
+//! sparse convolution (§4.4.2).
+//!
+//! Each kernel exposes two faces:
+//! * an **IR path** — Stage I program → lowering → schedules → interpretable
+//!   Stage III function (functional validation + CUDA emission), and
+//! * a **plan path** — a [`sparsetir_gpusim::plan::KernelPlan`] whose block
+//!   decomposition mirrors the same schedule parameters, priced by the GPU
+//!   simulator (the substitution for the paper's hardware runs).
+
+#![warn(missing_docs)]
+
+pub mod attention;
+pub mod common;
+pub mod fusedmm;
+pub mod prune;
+pub mod rgms;
+pub mod sddmm;
+pub mod sparse_conv;
+pub mod spmm;
+
+/// Common imports.
+pub mod prelude {
+    pub use crate::attention::{
+        batched_bsr_sddmm_plan, batched_bsr_spmm_plan, batched_csr_sddmm_plan,
+        batched_csr_spmm_plan, batched_spmm_reference, SPARSETIR_BSR_EFFICIENCY,
+    };
+    pub use crate::common::{gemm_plan, SpmmCost, SpmmLayout, F16, F32};
+    pub use crate::fusedmm::{fusedmm_execute, fusedmm_plan, fusedmm_reference, unfused_plans};
+    pub use crate::prune::{
+        bsr_weight_spmm_plan, dbsr_weight_spmm_plan, srbcrs_weight_spmm_plan,
+        weight_spmm_reference, PRUNE_TC_EFFICIENCY,
+    };
+    pub use crate::rgms::{
+        fused_footprint_bytes, rgms_execute, rgms_hyb_plan, rgms_naive_plan,
+        rgms_two_stage_plans, two_stage_footprint_bytes, RgmsWorkload, RGMS_TC_EFFICIENCY,
+    };
+    pub use crate::sddmm::{
+        sddmm_execute, sddmm_ir, sddmm_plan, sddmm_row_parallel_plan, tuned_sddmm_time,
+        SddmmParams,
+    };
+    pub use crate::sparse_conv::{
+        conv_reference, sparsetir_conv_plan, torchsparse_plans, ConvMaps,
+    };
+    pub use crate::spmm::{
+        csr_spmm_execute, csr_spmm_ir, csr_spmm_plan, hyb_spmm_plans, hyb_spmm_time,
+        CsrSpmmParams,
+    };
+}

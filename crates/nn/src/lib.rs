@@ -1,0 +1,19 @@
+//! # sparsetir-nn
+//!
+//! End-to-end models of the paper's evaluation: GraphSAGE training
+//! (§4.2.3, Figure 15) and RGCN inference (§4.4.1, Figure 20). Functional
+//! numerics run through `sparsetir-smat`; per-step times compose kernel
+//! plans on the GPU simulator, differing between systems only in the
+//! sparse kernels — mirroring how the paper swaps SparseTIR kernels into
+//! a PyTorch model.
+
+#![warn(missing_docs)]
+
+pub mod graphsage;
+pub mod rgcn;
+
+/// Common imports.
+pub mod prelude {
+    pub use crate::graphsage::{dgl_step_time, sparsetir_step_time, GraphSage, SageActivations};
+    pub use crate::rgcn::{figure20_measurements, RgcnLayer, RgcnMeasurement};
+}

@@ -1,0 +1,136 @@
+//! Compressed Sparse Column (CSC) — the column-major dual of CSR, listed
+//! in §3.1 among the formats expressible by axis composition (a CSC matrix
+//! is a CSR matrix over swapped axes).
+
+use crate::csr::Csr;
+use crate::dense::{Dense, SmatError};
+
+/// A CSC matrix: per-column pointer/row-index/value arrays.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csc {
+    rows: usize,
+    cols: usize,
+    /// Internally stored as the CSR of the transpose.
+    transposed: Csr,
+}
+
+impl Csc {
+    /// Convert from CSR.
+    #[must_use]
+    pub fn from_csr(csr: &Csr) -> Csc {
+        Csc { rows: csr.rows(), cols: csr.cols(), transposed: csr.transpose() }
+    }
+
+    /// Logical row count.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Logical column count.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Stored non-zeros.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.transposed.nnz()
+    }
+
+    /// Column pointer array (length `cols + 1`).
+    #[must_use]
+    pub fn indptr(&self) -> &[usize] {
+        self.transposed.indptr()
+    }
+
+    /// Row indices per column.
+    #[must_use]
+    pub fn indices(&self) -> &[u32] {
+        self.transposed.indices()
+    }
+
+    /// Values in column-major order.
+    #[must_use]
+    pub fn values(&self) -> &[f32] {
+        self.transposed.values()
+    }
+
+    /// Row indices and values of column `c`.
+    #[must_use]
+    pub fn col(&self, c: usize) -> (&[u32], &[f32]) {
+        self.transposed.row(c)
+    }
+
+    /// Back to CSR.
+    #[must_use]
+    pub fn to_csr(&self) -> Csr {
+        self.transposed.transpose()
+    }
+
+    /// Dense reconstruction.
+    #[must_use]
+    pub fn to_dense(&self) -> Dense {
+        self.transposed.to_dense().transpose()
+    }
+
+    /// Reference SpMM `Y = self × X` (column-major traversal — the access
+    /// pattern column-oriented kernels exploit).
+    ///
+    /// # Errors
+    /// Fails when `x.rows() != self.cols()`.
+    pub fn spmm(&self, x: &Dense) -> Result<Dense, SmatError> {
+        if x.rows() != self.cols {
+            return Err(SmatError::new("csc spmm shape mismatch"));
+        }
+        let mut y = Dense::zeros(self.rows, x.cols());
+        for c in 0..self.cols {
+            let (rows, vals) = self.col(c);
+            let xrow = x.row(c).to_vec();
+            for (&r, &v) in rows.iter().zip(vals) {
+                let yrow = y.row_mut(r as usize);
+                for (o, &xv) in yrow.iter_mut().zip(&xrow) {
+                    *o += v * xv;
+                }
+            }
+        }
+        Ok(y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn roundtrip_csr_csc() {
+        let mut rng = gen::rng(1);
+        let a = gen::random_csr(12, 9, 0.3, &mut rng);
+        let csc = Csc::from_csr(&a);
+        assert_eq!(csc.nnz(), a.nnz());
+        assert_eq!(csc.to_csr(), a);
+        assert_eq!(csc.to_dense(), a.to_dense());
+    }
+
+    #[test]
+    fn spmm_matches_csr() {
+        let mut rng = gen::rng(2);
+        let a = gen::random_csr(10, 14, 0.25, &mut rng);
+        let x = gen::random_dense(14, 5, &mut rng);
+        let csc = Csc::from_csr(&a);
+        assert!(csc.spmm(&x).unwrap().approx_eq(&a.spmm(&x).unwrap(), 1e-4));
+    }
+
+    #[test]
+    fn column_accessor_is_sorted() {
+        let mut rng = gen::rng(3);
+        let a = gen::random_csr(16, 16, 0.3, &mut rng);
+        let csc = Csc::from_csr(&a);
+        for c in 0..16 {
+            let (rows, _) = csc.col(c);
+            assert!(rows.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

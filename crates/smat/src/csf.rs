@@ -1,0 +1,219 @@
+//! Compressed Sparse Fiber (CSF) for 3-mode tensors, plus ragged tensors —
+//! the remaining §3.1 formats. The 3-mode CSF backs the relational sparse
+//! tensor `A[r, i, j]` of the RGMS operator (§4.4).
+
+use crate::coo::Coo;
+use crate::csr::Csr;
+use crate::dense::SmatError;
+
+/// A 3-mode sparse tensor in CSF order `(relation, row, col)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csf3 {
+    dims: (usize, usize, usize),
+    rel_ids: Vec<u32>,
+    rel_ptr: Vec<usize>,
+    row_ids: Vec<u32>,
+    row_ptr: Vec<usize>,
+    col_ids: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl Csf3 {
+    /// Build from per-relation CSR slices (relations with zero entries are
+    /// kept in the level-0 fiber only if non-empty).
+    ///
+    /// # Errors
+    /// Fails when slice shapes disagree with `(n_rows, n_cols)`.
+    pub fn from_relations(
+        n_rows: usize,
+        n_cols: usize,
+        slices: &[Csr],
+    ) -> Result<Csf3, SmatError> {
+        let mut rel_ids = Vec::new();
+        let mut rel_ptr = vec![0usize];
+        let mut row_ids = Vec::new();
+        let mut row_ptr = vec![0usize];
+        let mut col_ids = Vec::new();
+        let mut values = Vec::new();
+        for (r, slice) in slices.iter().enumerate() {
+            if slice.rows() != n_rows || slice.cols() != n_cols {
+                return Err(SmatError::new(format!(
+                    "relation {r} has shape {}x{}, expected {n_rows}x{n_cols}",
+                    slice.rows(),
+                    slice.cols()
+                )));
+            }
+            if slice.nnz() == 0 {
+                continue;
+            }
+            rel_ids.push(r as u32);
+            for i in 0..slice.rows() {
+                let (cols, vals) = slice.row(i);
+                if cols.is_empty() {
+                    continue;
+                }
+                row_ids.push(i as u32);
+                col_ids.extend_from_slice(cols);
+                values.extend_from_slice(vals);
+                row_ptr.push(col_ids.len());
+            }
+            rel_ptr.push(row_ids.len());
+        }
+        Ok(Csf3 {
+            dims: (slices.len(), n_rows, n_cols),
+            rel_ids,
+            rel_ptr,
+            row_ids,
+            row_ptr,
+            col_ids,
+            values,
+        })
+    }
+
+    /// Tensor dimensions `(relations, rows, cols)`.
+    #[must_use]
+    pub fn dims(&self) -> (usize, usize, usize) {
+        self.dims
+    }
+
+    /// Total stored non-zeros.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Non-empty relation ids.
+    #[must_use]
+    pub fn rel_ids(&self) -> &[u32] {
+        &self.rel_ids
+    }
+
+    /// Reconstruct per-relation CSR slices (empty relations included).
+    #[must_use]
+    pub fn to_relations(&self) -> Vec<Csr> {
+        let (nrel, nrows, ncols) = self.dims;
+        let mut out: Vec<Coo> = (0..nrel).map(|_| Coo::new(nrows, ncols)).collect();
+        for (ri, &rel) in self.rel_ids.iter().enumerate() {
+            for fi in self.rel_ptr[ri]..self.rel_ptr[ri + 1] {
+                let row = self.row_ids[fi];
+                for p in self.row_ptr[fi]..self.row_ptr[fi + 1] {
+                    out[rel as usize].push(row, self.col_ids[p], self.values[p]);
+                }
+            }
+        }
+        out.iter().map(Csr::from_coo).collect()
+    }
+
+    /// Iterate `(relation, row, col, value)` tuples.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32, u32, f32)> + '_ {
+        let mut out = Vec::with_capacity(self.nnz());
+        for (ri, &rel) in self.rel_ids.iter().enumerate() {
+            for fi in self.rel_ptr[ri]..self.rel_ptr[ri + 1] {
+                let row = self.row_ids[fi];
+                for p in self.row_ptr[fi]..self.row_ptr[fi + 1] {
+                    out.push((rel, row, self.col_ids[p], self.values[p]));
+                }
+            }
+        }
+        out.into_iter()
+    }
+}
+
+/// A ragged 2-D tensor (dense-variable axis in SparseTIR terms): rows of
+/// varying length stored contiguously.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ragged {
+    indptr: Vec<usize>,
+    values: Vec<f32>,
+}
+
+impl Ragged {
+    /// Build from per-row slices.
+    #[must_use]
+    pub fn from_rows(rows: &[Vec<f32>]) -> Ragged {
+        let mut indptr = vec![0usize];
+        let mut values = Vec::new();
+        for r in rows {
+            values.extend_from_slice(r);
+            indptr.push(values.len());
+        }
+        Ragged { indptr, values }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.indptr.len() - 1
+    }
+
+    /// Borrow row `r`.
+    #[must_use]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.values[self.indptr[r]..self.indptr[r + 1]]
+    }
+
+    /// Row pointer array.
+    #[must_use]
+    pub fn indptr(&self) -> &[usize] {
+        &self.indptr
+    }
+
+    /// Total stored values.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no values are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel_slices() -> Vec<Csr> {
+        let a = Coo::from_entries(3, 3, vec![(0, 1, 1.0), (2, 2, 2.0)]).unwrap();
+        let b = Coo::from_entries(3, 3, vec![]).unwrap();
+        let c = Coo::from_entries(3, 3, vec![(1, 0, 3.0)]).unwrap();
+        vec![Csr::from_coo(&a), Csr::from_coo(&b), Csr::from_coo(&c)]
+    }
+
+    #[test]
+    fn csf_roundtrip() {
+        let slices = rel_slices();
+        let csf = Csf3::from_relations(3, 3, &slices).unwrap();
+        assert_eq!(csf.nnz(), 3);
+        assert_eq!(csf.rel_ids(), &[0, 2]); // relation 1 is empty
+        let back = csf.to_relations();
+        for (orig, rt) in slices.iter().zip(&back) {
+            assert_eq!(orig.to_dense(), rt.to_dense());
+        }
+    }
+
+    #[test]
+    fn csf_iter_yields_all() {
+        let csf = Csf3::from_relations(3, 3, &rel_slices()).unwrap();
+        let tuples: Vec<_> = csf.iter().collect();
+        assert_eq!(tuples.len(), 3);
+        assert!(tuples.contains(&(2, 1, 0, 3.0)));
+    }
+
+    #[test]
+    fn csf_shape_mismatch_errors() {
+        let bad = vec![Csr::from_coo(&Coo::new(2, 3))];
+        assert!(Csf3::from_relations(3, 3, &bad).is_err());
+    }
+
+    #[test]
+    fn ragged_rows() {
+        let r = Ragged::from_rows(&[vec![1.0, 2.0], vec![], vec![3.0]]);
+        assert_eq!(r.rows(), 3);
+        assert_eq!(r.row(0), &[1.0, 2.0]);
+        assert_eq!(r.row(1), &[] as &[f32]);
+        assert_eq!(r.len(), 3);
+    }
+}

@@ -1,0 +1,120 @@
+//! Diagonal (DIA) format — stores dense diagonals; listed in §3.1 among the
+//! formats expressible by SparseTIR axis composition.
+
+use crate::csr::Csr;
+use crate::dense::{Dense, SmatError};
+
+/// A DIA matrix: for each stored diagonal `offset`, a length-`rows` lane
+/// where lane\[r\] is element `(r, r + offset)` (0 when out of range).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dia {
+    rows: usize,
+    cols: usize,
+    offsets: Vec<i64>,
+    data: Vec<f32>,
+}
+
+impl Dia {
+    /// Convert from CSR, storing every diagonal that contains a non-zero.
+    ///
+    /// # Errors
+    /// Fails when the number of non-empty diagonals exceeds `max_diags`
+    /// (guarding against pathological densification).
+    pub fn from_csr(csr: &Csr, max_diags: usize) -> Result<Dia, SmatError> {
+        let mut offsets: Vec<i64> = Vec::new();
+        for r in 0..csr.rows() {
+            for &c in csr.row(r).0 {
+                let off = i64::from(c) - r as i64;
+                if let Err(pos) = offsets.binary_search(&off) {
+                    offsets.insert(pos, off);
+                    if offsets.len() > max_diags {
+                        return Err(SmatError::new(format!(
+                            "matrix has more than {max_diags} non-empty diagonals"
+                        )));
+                    }
+                }
+            }
+        }
+        let rows = csr.rows();
+        let mut data = vec![0.0f32; offsets.len() * rows];
+        for r in 0..rows {
+            let (cols, vals) = csr.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                let off = i64::from(c) - r as i64;
+                let d = offsets.binary_search(&off).expect("diagonal present");
+                data[d * rows + r] = v;
+            }
+        }
+        Ok(Dia { rows, cols: csr.cols(), offsets, data })
+    }
+
+    /// Stored diagonal offsets (sorted).
+    #[must_use]
+    pub fn offsets(&self) -> &[i64] {
+        &self.offsets
+    }
+
+    /// Number of stored diagonals.
+    #[must_use]
+    pub fn ndiags(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// Stored elements (diagonals × rows).
+    #[must_use]
+    pub fn stored(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Dense reconstruction.
+    #[must_use]
+    pub fn to_dense(&self) -> Dense {
+        let mut m = Dense::zeros(self.rows, self.cols);
+        for (d, &off) in self.offsets.iter().enumerate() {
+            for r in 0..self.rows {
+                let c = r as i64 + off;
+                if c >= 0 && (c as usize) < self.cols {
+                    let v = self.data[d * self.rows + r];
+                    if v != 0.0 {
+                        m.set(r, c as usize, v);
+                    }
+                }
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+
+    #[test]
+    fn tridiagonal_roundtrip() {
+        let n = 6;
+        let mut coo = Coo::new(n, n);
+        for i in 0..n as u32 {
+            coo.push(i, i, 2.0);
+            if i + 1 < n as u32 {
+                coo.push(i, i + 1, -1.0);
+                coo.push(i + 1, i, -1.0);
+            }
+        }
+        let csr = Csr::from_coo(&coo);
+        let dia = Dia::from_csr(&csr, 8).unwrap();
+        assert_eq!(dia.ndiags(), 3);
+        assert_eq!(dia.offsets(), &[-1, 0, 1]);
+        assert_eq!(dia.to_dense(), csr.to_dense());
+    }
+
+    #[test]
+    fn too_many_diagonals_errors() {
+        let mut coo = Coo::new(8, 8);
+        for i in 0..8u32 {
+            coo.push(0, i, 1.0);
+        }
+        let csr = Csr::from_coo(&coo);
+        assert!(Dia::from_csr(&csr, 4).is_err());
+    }
+}

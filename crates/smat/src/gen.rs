@@ -1,0 +1,146 @@
+//! Random matrix generation utilities shared by tests, examples and the
+//! workload generators in `sparsetir-graphs`.
+
+use crate::coo::Coo;
+use crate::csr::Csr;
+use crate::dense::Dense;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Deterministic RNG for reproducible experiments.
+#[must_use]
+pub fn rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+/// Dense matrix with entries uniform in `[-1, 1)`.
+#[must_use]
+pub fn random_dense(rows: usize, cols: usize, rng: &mut SmallRng) -> Dense {
+    Dense::from_fn(rows, cols, |_, _| rng.gen_range(-1.0f32..1.0))
+}
+
+/// Uniform random CSR with approximately `density × rows × cols` non-zeros
+/// (exact count, sampled without replacement; values uniform in `[0.1, 1)`
+/// so no sampled entry collapses to zero).
+#[must_use]
+pub fn random_csr(rows: usize, cols: usize, density: f64, rng: &mut SmallRng) -> Csr {
+    let total = rows.saturating_mul(cols);
+    let nnz = ((total as f64 * density).round() as usize).min(total);
+    let mut taken: HashSet<(u32, u32)> = HashSet::with_capacity(nnz);
+    let mut coo = Coo::new(rows, cols);
+    while taken.len() < nnz {
+        let r = rng.gen_range(0..rows) as u32;
+        let c = rng.gen_range(0..cols) as u32;
+        if taken.insert((r, c)) {
+            coo.push(r, c, rng.gen_range(0.1f32..1.0));
+        }
+    }
+    Csr::from_coo(&coo)
+}
+
+/// Random CSR where each row's length is drawn by `row_len` (clamped to
+/// `cols`); column positions uniform without replacement.
+#[must_use]
+pub fn random_csr_with_row_lengths(
+    rows: usize,
+    cols: usize,
+    mut row_len: impl FnMut(&mut SmallRng) -> usize,
+    rng: &mut SmallRng,
+) -> Csr {
+    let mut coo = Coo::new(rows, cols);
+    for r in 0..rows {
+        let len = row_len(rng).min(cols);
+        let mut taken: HashSet<u32> = HashSet::with_capacity(len);
+        while taken.len() < len {
+            let c = rng.gen_range(0..cols) as u32;
+            if taken.insert(c) {
+                coo.push(r as u32, c, rng.gen_range(0.1f32..1.0));
+            }
+        }
+    }
+    Csr::from_coo(&coo)
+}
+
+/// Block-sparse random matrix: choose `nnz_blocks` random `block × block`
+/// blocks and fill them densely. Optionally keep a fraction of block rows
+/// entirely empty (the zero-row structure motivating DBSR, §4.3.2).
+#[must_use]
+pub fn random_block_sparse(
+    rows: usize,
+    cols: usize,
+    block: usize,
+    block_density: f64,
+    zero_block_row_fraction: f64,
+    rng: &mut SmallRng,
+) -> Csr {
+    let brows = rows / block;
+    let bcols = cols / block;
+    let mut coo = Coo::new(rows, cols);
+    let mut live_rows: Vec<usize> = (0..brows).collect();
+    let n_zero = ((brows as f64) * zero_block_row_fraction) as usize;
+    for _ in 0..n_zero {
+        if live_rows.len() <= 1 {
+            break;
+        }
+        let i = rng.gen_range(0..live_rows.len());
+        live_rows.swap_remove(i);
+    }
+    let total_blocks = live_rows.len() * bcols;
+    let target = ((brows * bcols) as f64 * block_density).round() as usize;
+    let nnz_blocks = target.min(total_blocks);
+    let mut taken: HashSet<(usize, usize)> = HashSet::with_capacity(nnz_blocks);
+    while taken.len() < nnz_blocks {
+        let br = live_rows[rng.gen_range(0..live_rows.len())];
+        let bc = rng.gen_range(0..bcols);
+        if taken.insert((br, bc)) {
+            for ri in 0..block {
+                for ci in 0..block {
+                    coo.push(
+                        (br * block + ri) as u32,
+                        (bc * block + ci) as u32,
+                        rng.gen_range(0.1f32..1.0),
+                    );
+                }
+            }
+        }
+    }
+    Csr::from_coo(&coo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_csr_hits_density() {
+        let mut r = rng(1);
+        let m = random_csr(64, 64, 0.1, &mut r);
+        let expected = (64.0f64 * 64.0 * 0.1).round() as usize;
+        assert_eq!(m.nnz(), expected);
+    }
+
+    #[test]
+    fn random_csr_is_deterministic() {
+        let a = random_csr(32, 32, 0.2, &mut rng(7));
+        let b = random_csr(32, 32, 0.2, &mut rng(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn row_length_generator_respects_lengths() {
+        let mut r = rng(3);
+        let m = random_csr_with_row_lengths(16, 32, |_| 4, &mut r);
+        assert!(m.row_lengths().iter().all(|&l| l == 4));
+    }
+
+    #[test]
+    fn block_sparse_has_blocks() {
+        let mut r = rng(5);
+        let m = random_block_sparse(64, 64, 8, 0.25, 0.25, &mut r);
+        let bsr = crate::bsr::Bsr::from_csr(&m, 8).unwrap();
+        // Every stored block is fully dense → no padding inside blocks.
+        assert_eq!(bsr.stored(), m.nnz());
+        assert!(bsr.zero_block_rows() >= 1);
+    }
+}

@@ -1,0 +1,368 @@
+//! The paper's parameterized composable format `hyb(c, k)` (§4.2.1,
+//! Figure 11): columns are split into `c` partitions; within each partition,
+//! rows are bucketed by power-of-two length into ELL sub-matrices, giving
+//! compile-time load balancing. Rows longer than `2^k` are split into
+//! multiple ELL rows of width `2^k` mapped to the same output row.
+
+use crate::csr::Csr;
+use crate::dense::{Dense, SmatError};
+
+/// One ELL bucket of a column partition: `row_ids.len()` rows of fixed
+/// `width`, each mapping back to an original matrix row (possibly shared by
+/// several bucket rows when a long row was split).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EllBucket {
+    /// Fixed non-zeros per bucket row (`2^i`).
+    pub width: usize,
+    /// Original row id per bucket row.
+    pub row_ids: Vec<u32>,
+    /// Column indices, `row_ids.len() × width`, padded entries repeat a
+    /// valid column.
+    pub col_indices: Vec<u32>,
+    /// Values, `row_ids.len() × width`, padded entries are `0`.
+    pub values: Vec<f32>,
+}
+
+impl EllBucket {
+    /// Number of bucket rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.row_ids.len()
+    }
+
+    /// True when the bucket holds no rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.row_ids.is_empty()
+    }
+
+    /// Stored entries (including padding).
+    #[must_use]
+    pub fn stored(&self) -> usize {
+        self.row_ids.len() * self.width
+    }
+
+    /// Padded zero entries.
+    #[must_use]
+    pub fn padding(&self) -> usize {
+        self.values.iter().filter(|&&v| v == 0.0).count()
+    }
+}
+
+/// One column partition with its per-width buckets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HybPartition {
+    /// First column (inclusive) covered by this partition.
+    pub col_lo: u32,
+    /// Last column (exclusive).
+    pub col_hi: u32,
+    /// Buckets indexed by exponent: `buckets[i]` has width `2^i`.
+    pub buckets: Vec<EllBucket>,
+}
+
+/// The `hyb(c, k)` decomposition of a sparse matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hyb {
+    rows: usize,
+    cols: usize,
+    col_parts: usize,
+    bucket_k: u32,
+    partitions: Vec<HybPartition>,
+    original_nnz: usize,
+}
+
+impl Hyb {
+    /// Decompose `csr` into `hyb(c, k)`.
+    ///
+    /// # Errors
+    /// Fails when `c == 0`.
+    pub fn from_csr(csr: &Csr, c: usize, k: u32) -> Result<Hyb, SmatError> {
+        if c == 0 {
+            return Err(SmatError::new("hyb: column partition count must be positive"));
+        }
+        let parts = csr.column_partition(c);
+        let width_cols = csr.cols().div_ceil(c);
+        let max_width = 1usize << k;
+        let mut partitions = Vec::with_capacity(c);
+        for (p, part) in parts.iter().enumerate() {
+            let col_lo = (p * width_cols).min(csr.cols()) as u32;
+            let col_hi = (((p + 1) * width_cols).min(csr.cols())) as u32;
+            let mut buckets: Vec<EllBucket> = (0..=k)
+                .map(|i| EllBucket {
+                    width: 1usize << i,
+                    row_ids: Vec::new(),
+                    col_indices: Vec::new(),
+                    values: Vec::new(),
+                })
+                .collect();
+            for r in 0..part.rows() {
+                let (cols, vals) = part.row(r);
+                if cols.is_empty() {
+                    continue;
+                }
+                // Split rows longer than 2^k into chunks of 2^k.
+                let mut start = 0usize;
+                while start < cols.len() {
+                    let chunk = (cols.len() - start).min(max_width);
+                    let ccols = &cols[start..start + chunk];
+                    let cvals = &vals[start..start + chunk];
+                    let bucket_idx = bucket_for(chunk, k);
+                    let width = 1usize << bucket_idx;
+                    let b = &mut buckets[bucket_idx as usize];
+                    b.row_ids.push(r as u32);
+                    let pad_col = *ccols.last().expect("nonempty chunk");
+                    for j in 0..width {
+                        if j < chunk {
+                            b.col_indices.push(ccols[j]);
+                            b.values.push(cvals[j]);
+                        } else {
+                            b.col_indices.push(pad_col);
+                            b.values.push(0.0);
+                        }
+                    }
+                    start += chunk;
+                }
+            }
+            partitions.push(HybPartition { col_lo, col_hi, buckets });
+        }
+        Ok(Hyb {
+            rows: csr.rows(),
+            cols: csr.cols(),
+            col_parts: c,
+            bucket_k: k,
+            partitions,
+            original_nnz: csr.nnz(),
+        })
+    }
+
+    /// Decompose with the paper's default bucket count
+    /// `k = ⌈log2(nnz / rows)⌉` (≥ 0).
+    ///
+    /// # Errors
+    /// Fails when `c == 0`.
+    pub fn with_default_k(csr: &Csr, c: usize) -> Result<Hyb, SmatError> {
+        Hyb::from_csr(csr, c, default_k(csr))
+    }
+
+    /// Number of rows of the logical matrix.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns of the logical matrix.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Column partition count `c`.
+    #[must_use]
+    pub fn col_parts(&self) -> usize {
+        self.col_parts
+    }
+
+    /// Bucket exponent `k` (max ELL width is `2^k`).
+    #[must_use]
+    pub fn bucket_k(&self) -> u32 {
+        self.bucket_k
+    }
+
+    /// The partitions with their buckets.
+    #[must_use]
+    pub fn partitions(&self) -> &[HybPartition] {
+        &self.partitions
+    }
+
+    /// Original (pre-padding) non-zero count.
+    #[must_use]
+    pub fn original_nnz(&self) -> usize {
+        self.original_nnz
+    }
+
+    /// Total stored entries including padding.
+    #[must_use]
+    pub fn stored(&self) -> usize {
+        self.partitions
+            .iter()
+            .flat_map(|p| &p.buckets)
+            .map(EllBucket::stored)
+            .sum()
+    }
+
+    /// Padding ratio `(stored − nnz) / stored` — the `%padding` column of
+    /// Tables 1 and 2.
+    #[must_use]
+    pub fn padding_ratio(&self) -> f64 {
+        let stored = self.stored();
+        if stored == 0 {
+            return 0.0;
+        }
+        (stored - self.original_nnz) as f64 / stored as f64
+    }
+
+    /// Dense reconstruction (sums split rows back together).
+    #[must_use]
+    pub fn to_dense(&self) -> Dense {
+        let mut d = Dense::zeros(self.rows, self.cols);
+        for part in &self.partitions {
+            for b in &part.buckets {
+                for (i, &r) in b.row_ids.iter().enumerate() {
+                    for j in 0..b.width {
+                        let v = b.values[i * b.width + j];
+                        if v != 0.0 {
+                            let c = b.col_indices[i * b.width + j] as usize;
+                            let cur = d.get(r as usize, c);
+                            d.set(r as usize, c, cur + v);
+                        }
+                    }
+                }
+            }
+        }
+        d
+    }
+
+    /// Reference SpMM over the decomposed storage (accumulating across
+    /// partitions, buckets and split rows).
+    ///
+    /// # Errors
+    /// Fails when `x.rows() != self.cols()`.
+    pub fn spmm(&self, x: &Dense) -> Result<Dense, SmatError> {
+        if x.rows() != self.cols {
+            return Err(SmatError::new("hyb spmm shape mismatch"));
+        }
+        let mut y = Dense::zeros(self.rows, x.cols());
+        for part in &self.partitions {
+            for b in &part.buckets {
+                for (i, &r) in b.row_ids.iter().enumerate() {
+                    for j in 0..b.width {
+                        let v = b.values[i * b.width + j];
+                        if v == 0.0 {
+                            continue;
+                        }
+                        let c = b.col_indices[i * b.width + j] as usize;
+                        let xrow = x.row(c);
+                        let yrow = y.row_mut(r as usize);
+                        for (o, &xv) in yrow.iter_mut().zip(xrow) {
+                            *o += v * xv;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(y)
+    }
+}
+
+/// Bucket exponent for a row chunk of length `len` (`2^{i-1} < len ≤ 2^i`),
+/// clamped to `k`.
+#[must_use]
+pub fn bucket_for(len: usize, k: u32) -> u32 {
+    debug_assert!(len > 0);
+    let i = (len as f64).log2().ceil() as u32;
+    i.min(k)
+}
+
+/// The paper's default `k = ⌈log2(nnz / rows)⌉`, at least 0.
+#[must_use]
+pub fn default_k(csr: &Csr) -> u32 {
+    if csr.rows() == 0 || csr.nnz() == 0 {
+        return 0;
+    }
+    let avg = csr.nnz() as f64 / csr.rows() as f64;
+    avg.log2().ceil().max(0.0) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+
+    fn skewed() -> Csr {
+        // Row 0: 9 nnz (long), row 1: 1 nnz, row 2: 3 nnz, row 3: empty.
+        let mut coo = Coo::new(4, 16);
+        for c in 0..9 {
+            coo.push(0, c, (c + 1) as f32);
+        }
+        coo.push(1, 15, 1.0);
+        for c in [2u32, 7, 11] {
+            coo.push(2, c, 0.5);
+        }
+        Csr::from_coo(&coo)
+    }
+
+    #[test]
+    fn bucket_for_boundaries() {
+        assert_eq!(bucket_for(1, 4), 0);
+        assert_eq!(bucket_for(2, 4), 1);
+        assert_eq!(bucket_for(3, 4), 2);
+        assert_eq!(bucket_for(4, 4), 2);
+        assert_eq!(bucket_for(5, 4), 3);
+        assert_eq!(bucket_for(100, 3), 3); // clamped
+    }
+
+    #[test]
+    fn roundtrip_single_partition() {
+        let csr = skewed();
+        let hyb = Hyb::from_csr(&csr, 1, 3).unwrap();
+        assert_eq!(hyb.to_dense(), csr.to_dense());
+    }
+
+    #[test]
+    fn roundtrip_multi_partition() {
+        let csr = skewed();
+        for c in [2usize, 4] {
+            let hyb = Hyb::from_csr(&csr, c, 2).unwrap();
+            assert_eq!(hyb.to_dense(), csr.to_dense(), "c={c}");
+        }
+    }
+
+    #[test]
+    fn long_rows_are_split() {
+        let csr = skewed();
+        // k=1 → max width 2; the 9-nnz row becomes ceil(9/2)=5 bucket rows.
+        let hyb = Hyb::from_csr(&csr, 1, 1).unwrap();
+        let bucket1 = &hyb.partitions()[0].buckets[1];
+        let count_row0 = bucket1.row_ids.iter().filter(|&&r| r == 0).count();
+        assert!(count_row0 >= 4, "long row should split, got {count_row0}");
+        assert_eq!(hyb.to_dense(), csr.to_dense());
+    }
+
+    #[test]
+    fn spmm_matches_csr() {
+        let csr = skewed();
+        let x = Dense::from_fn(16, 4, |r, c| ((r * 4 + c) % 7) as f32 * 0.25);
+        let expected = csr.spmm(&x).unwrap();
+        for (c, k) in [(1usize, 3u32), (2, 2), (4, 1)] {
+            let hyb = Hyb::from_csr(&csr, c, k).unwrap();
+            assert!(
+                hyb.spmm(&x).unwrap().approx_eq(&expected, 1e-5),
+                "hyb({c},{k}) spmm mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn padding_ratio_counts_padded_zeros() {
+        let csr = skewed();
+        let hyb = Hyb::from_csr(&csr, 1, 3).unwrap();
+        assert!(hyb.stored() >= csr.nnz());
+        let ratio = hyb.padding_ratio();
+        assert!((0.0..1.0).contains(&ratio));
+        // Row 0 (9 nnz) splits into 8+1: the 1-chunk goes to bucket 0 (no
+        // padding); row 2 (3 nnz) pads to 4.
+        assert_eq!(hyb.stored() - csr.nnz(), 1);
+    }
+
+    #[test]
+    fn default_k_matches_formula() {
+        let csr = skewed();
+        // nnz=13, rows=4 → avg=3.25 → ceil(log2)=2.
+        assert_eq!(default_k(&csr), 2);
+    }
+
+    #[test]
+    fn zero_partitions_rejected() {
+        assert!(Hyb::from_csr(&skewed(), 0, 2).is_err());
+    }
+}

@@ -1,0 +1,70 @@
+//! # sparsetir-smat
+//!
+//! Sparse/dense matrix substrate for the SparseTIR reproduction. Implements
+//! every storage format the paper's §3.1 lists as expressible by SparseTIR
+//! axis composition, plus the formats its evaluation introduces:
+//!
+//! | Format | Module | Paper use |
+//! |---|---|---|
+//! | Dense | [`dense`] | `X`, `Y`, `W` operands |
+//! | COO | [`coo`] | construction |
+//! | CSR | [`csr`] | baselines, GNN graphs |
+//! | CSC | [`csc`] | column-oriented kernels |
+//! | ELL | [`ell`] | `hyb` building block |
+//! | BSR | [`bsr`] | sparse attention, block pruning |
+//! | DBSR | [`bsr::Dbsr`] | block pruning with zero rows (§4.3.2) |
+//! | DIA | [`dia`] | format expressiveness |
+//! | CSF (3-mode) | [`csf`] | RGMS relational tensor (§4.4) |
+//! | Ragged | [`csf::Ragged`] | ragged tensors |
+//! | SR-BCRS(t, g) | [`srbcrs`] | unstructured pruning (§4.3.2) |
+//! | `hyb(c, k)` | [`hyb`] | composable SpMM format (§4.2.1, Fig. 11) |
+//!
+//! Each compressed format carries `to_dense`/`spmm` reference routines used
+//! as correctness oracles by the kernel crates, and conversion constructors
+//! implementing the "indices inference" the paper delegates to SciPy.
+//!
+//! ```
+//! use sparsetir_smat::prelude::*;
+//!
+//! let mut rng = gen::rng(42);
+//! let a = gen::random_csr(64, 64, 0.05, &mut rng);
+//! let hyb = Hyb::with_default_k(&a, 2)?;          // hyb(c=2, default k)
+//! let x = gen::random_dense(64, 16, &mut rng);
+//! assert!(hyb.spmm(&x)?.approx_eq(&a.spmm(&x)?, 1e-4));
+//! # Ok::<(), sparsetir_smat::SmatError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bsr;
+pub mod coo;
+pub mod csc;
+pub mod csf;
+pub mod csr;
+pub mod dense;
+pub mod dia;
+pub mod ell;
+pub mod gen;
+pub mod hyb;
+pub mod io;
+pub mod linalg;
+pub mod srbcrs;
+
+pub use dense::SmatError;
+
+/// Common imports.
+pub mod prelude {
+    pub use crate::bsr::{Bsr, Dbsr};
+    pub use crate::coo::Coo;
+    pub use crate::csc::Csc;
+    pub use crate::csf::{Csf3, Ragged};
+    pub use crate::csr::Csr;
+    pub use crate::dense::{Dense, SmatError};
+    pub use crate::dia::Dia;
+    pub use crate::ell::Ell;
+    pub use crate::gen;
+    pub use crate::hyb::{default_k, EllBucket, Hyb, HybPartition};
+    pub use crate::io::{parse_matrix_market, to_matrix_market};
+    pub use crate::linalg::{batched_sddmm, batched_spmm, rgms_reference};
+    pub use crate::srbcrs::SrBcrs;
+}

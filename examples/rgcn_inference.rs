@@ -1,0 +1,52 @@
+//! End-to-end RGCN inference on a heterograph (§4.4.1, Figure 20): builds
+//! an AIFB-like relational graph, runs functional inference, and compares
+//! every execution strategy of the figure — two-stage frameworks vs the
+//! fused SparseTIR kernels — in time and GPU memory.
+//!
+//! Run with: `cargo run --release --example rgcn_inference`
+
+use sparsetir::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = hetero_by_name("AIFB").expect("AIFB registered");
+    let relations = spec.generate();
+    let total_edges: usize = relations.iter().map(|r| r.nnz()).sum();
+    println!(
+        "heterograph `{}`: {} nodes, {} edges, {} relations",
+        spec.name,
+        spec.nodes(),
+        total_edges,
+        relations.len()
+    );
+
+    // Functional inference at feature size 32.
+    let layer = RgcnLayer::new(relations, 32, 0xEE);
+    let mut rng = gen::rng(5);
+    let x = gen::random_dense(spec.nodes(), 32, &mut rng);
+    let y = layer.infer(&x)?;
+    println!("inference output: {} × {} (nnz {})", y.rows(), y.cols(), y.nnz());
+
+    // Figure 20: every system, normalized to Graphiler.
+    let gpu = GpuSpec::v100();
+    let measurements = figure20_measurements(&gpu, &layer);
+    let graphiler = measurements
+        .iter()
+        .find(|m| m.system == "Graphiler")
+        .expect("graphiler present")
+        .time_ms;
+    println!("\nsystem               speedup   time       GPU memory");
+    for m in &measurements {
+        println!(
+            "{:<20} {:>6.2}x   {:>8.3}ms {:>9.1}MB",
+            m.system,
+            graphiler / m.time_ms,
+            m.time_ms,
+            m.footprint_bytes as f64 / 1e6
+        );
+    }
+    println!(
+        "\n(the fused SparseTIR kernels avoid materializing T = X·W_r per \
+         relation — both the speedup and the memory gap of Figure 20)"
+    );
+    Ok(())
+}

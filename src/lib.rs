@@ -1,0 +1,48 @@
+//! # sparsetir
+//!
+//! A from-scratch Rust reproduction of **SparseTIR: Composable Abstractions
+//! for Sparse Compilation in Deep Learning** (Ye et al., ASPLOS 2023).
+//!
+//! This umbrella crate re-exports the workspace:
+//!
+//! | Crate | Contents |
+//! |---|---|
+//! | [`ir`] | loop-level tensor IR: AST, schedules, interpreter, CUDA codegen (Stage II/III substrate) |
+//! | [`smat`] | sparse matrix formats: CSR/CSC, COO, BSR, DBSR, ELL, DIA, CSF, ragged, SR-BCRS, `hyb(c,k)` |
+//! | [`core`] | the paper's contribution: Stage I sparse IR, format decomposition, Stage I schedules, the two lowering passes, horizontal fusion |
+//! | [`gpusim`] | deterministic GPU performance simulator (V100/RTX 3070) — the substitution for physical GPUs |
+//! | [`kernels`] | SparseTIR-generated operators: SpMM, SDDMM, attention, pruned-weight SpMM, RGMS, sparse conv |
+//! | [`baselines`] | cuSPARSE/cuBLAS/Sputnik/dgSPARSE/TACO/Triton/DGL/PyG/Graphiler/TorchSparse-like baselines |
+//! | [`graphs`] | synthetic workload generators for every dataset in the evaluation |
+//! | [`nn`] | end-to-end GraphSAGE training and RGCN inference |
+//! | [`autotune`] | the joint format × schedule search of §2 |
+//!
+//! See `DESIGN.md` for the system inventory and the per-experiment index,
+//! and `EXPERIMENTS.md` for paper-vs-measured results. The `examples/`
+//! directory walks through the pipeline end to end; start with
+//! `cargo run --example quickstart`.
+
+#![warn(missing_docs)]
+
+pub use sparsetir_autotune as autotune;
+pub use sparsetir_baselines as baselines;
+pub use sparsetir_core as core;
+pub use sparsetir_gpusim as gpusim;
+pub use sparsetir_graphs as graphs;
+pub use sparsetir_ir as ir;
+pub use sparsetir_kernels as kernels;
+pub use sparsetir_nn as nn;
+pub use sparsetir_smat as smat;
+
+/// Everything the examples and integration tests need, in one import.
+pub mod prelude {
+    pub use sparsetir_autotune::{random_search, tune_spmm, SpmmConfig, TuneResult};
+    pub use sparsetir_baselines::prelude::*;
+    pub use sparsetir_core::prelude::*;
+    pub use sparsetir_gpusim::prelude::*;
+    pub use sparsetir_graphs::prelude::*;
+    pub use sparsetir_ir::prelude::*;
+    pub use sparsetir_kernels::prelude::*;
+    pub use sparsetir_nn::prelude::*;
+    pub use sparsetir_smat::prelude::*;
+}
