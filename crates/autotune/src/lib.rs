@@ -45,6 +45,21 @@ pub fn col_part_candidates() -> Vec<usize> {
     vec![1, 2, 4, 8, 16]
 }
 
+/// Functional spot-check of the tuned operator through the slot-compiled
+/// kernel cache: the lowered IR compiles once per distinct function and
+/// is reused across trials and repeated tuning runs, so this costs one
+/// compilation plus one (parallel) execution instead of a fresh
+/// tree-walking interpretation per call.
+#[must_use]
+pub fn functional_check_spmm(a: &Csr, feat: usize) -> bool {
+    let mut rng = gen::rng(0xB0B);
+    let x = gen::random_dense(a.cols(), feat, &mut rng);
+    match (csr_spmm_execute(a, &x), a.spmm(&x)) {
+        (Ok(got), Ok(want)) => got.approx_eq(&want, 1e-3),
+        _ => false,
+    }
+}
+
 /// Grid-search the joint format × schedule space for SpMM on `a` at
 /// feature width `feat`, returning the fastest configuration under the
 /// simulator.
@@ -79,6 +94,9 @@ pub fn tune_spmm(spec: &GpuSpec, a: &Csr, feat: usize) -> TuneResult {
         }
     }
     let (config, report) = best.expect("non-empty search space");
+    // In debug builds, verify the tuned operator actually computes SpMM
+    // (compiled-executor path, amortized by the kernel cache).
+    debug_assert!(functional_check_spmm(a, feat), "tuned SpMM failed the functional check");
     TuneResult { config, report, trials }
 }
 
@@ -196,6 +214,18 @@ mod tests {
             ),
         );
         assert!(report.time_ms <= fixed64.time_ms);
+    }
+
+    #[test]
+    fn functional_check_uses_kernel_cache() {
+        let a = power_law(300, 23);
+        // First call compiles the lowered IR; the second must hit the
+        // global kernel cache (same function fingerprint).
+        assert!(functional_check_spmm(&a, 16));
+        let before = sparsetir_ir::exec::Runtime::global().cached();
+        assert!(functional_check_spmm(&a, 16));
+        let after = sparsetir_ir::exec::Runtime::global().cached();
+        assert_eq!(before, after, "second check must not recompile");
     }
 
     #[test]

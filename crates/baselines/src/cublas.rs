@@ -28,12 +28,8 @@ pub fn cublas_gemm_fp32_plan(m: usize, n: usize, k: usize) -> KernelPlan {
 /// row-split kernel — only competitive against dense at extreme sparsity.
 #[must_use]
 pub fn cusparse_csrmm_fp16_plan(w: &sparsetir_smat::csr::Csr, feat: usize) -> KernelPlan {
-    let params = CsrSpmmParams {
-        rows_per_block: 2,
-        vec_width: 1,
-        register_cache: false,
-        threads: 128,
-    };
+    let params =
+        CsrSpmmParams { rows_per_block: 2, vec_width: 1, register_cache: false, threads: 128 };
     let mut plan = csr_spmm_plan(w, feat, params, "cusparse_csrmm_fp16");
     for b in &mut plan.blocks {
         b.mlp_penalty = 1.5; // scalar fp16 gathers
@@ -52,10 +48,9 @@ mod tests {
         // competitive (within ~2× either way).
         let spec = GpuSpec::v100();
         let (out_dim, in_dim, seq) = (1024usize, 1024usize, 512usize);
-        let dense_time = simulate_kernel(&spec, &cublas_gemm_fp16_plan(out_dim, seq, in_dim)).time_ms;
-        for (density, min_speedup, max_speedup) in
-            [(1.0 / 128.0, 2.0, 100.0), (0.5, 0.2, 3.0)]
-        {
+        let dense_time =
+            simulate_kernel(&spec, &cublas_gemm_fp16_plan(out_dim, seq, in_dim)).time_ms;
+        for (density, min_speedup, max_speedup) in [(1.0 / 128.0, 2.0, 100.0), (0.5, 0.2, 3.0)] {
             let mut rng = gen::rng(83);
             let w = gen::random_block_sparse(out_dim, in_dim, 32, density, 0.3, &mut rng);
             let bsr = Bsr::from_csr(&w, 32).unwrap();
@@ -77,7 +72,8 @@ mod tests {
     fn figure19_cusparse_only_wins_at_extreme_sparsity() {
         let spec = GpuSpec::v100();
         let (out_dim, in_dim, seq) = (1024usize, 1024usize, 512usize);
-        let dense_time = simulate_kernel(&spec, &cublas_gemm_fp16_plan(out_dim, seq, in_dim)).time_ms;
+        let dense_time =
+            simulate_kernel(&spec, &cublas_gemm_fp16_plan(out_dim, seq, in_dim)).time_ms;
         let mut rng = gen::rng(85);
         let sparse_ok = gen::random_csr(out_dim, in_dim, 1.0 / 128.0, &mut rng);
         let t = simulate_kernel(&spec, &cusparse_csrmm_fp16_plan(&sparse_ok, seq)).time_ms;

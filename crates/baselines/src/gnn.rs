@@ -111,10 +111,7 @@ mod tests {
         let spec = GpuSpec::v100();
         let graphiler = rgcn::total_time_ms(&spec, &rgcn::graphiler_plans(&w));
         let fused = simulate_kernel(&spec, &rgms_hyb_plan(&w, 5, true, "stir_tc")).time_ms;
-        assert!(
-            fused * 2.0 < graphiler,
-            "fused {fused} vs graphiler {graphiler}"
-        );
+        assert!(fused * 2.0 < graphiler, "fused {fused} vs graphiler {graphiler}");
     }
 
     #[test]

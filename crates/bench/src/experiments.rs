@@ -10,16 +10,55 @@ use sparsetir_kernels::prelude::*;
 use sparsetir_nn::prelude::*;
 use sparsetir_smat::prelude::*;
 
-/// The paper's two evaluation GPUs.
+/// True when `SPARSETIR_SMOKE` is set: every sweep shrinks to a small
+/// representative subset so `all_experiments` executes end to end in
+/// seconds (used by CI and the smoke integration test). Full sweeps stay
+/// the default.
 #[must_use]
-pub fn gpus() -> Vec<GpuSpec> {
-    vec![GpuSpec::v100(), GpuSpec::rtx3070()]
+pub fn smoke() -> bool {
+    std::env::var_os("SPARSETIR_SMOKE").is_some()
 }
 
-/// Feature-size sweep of §4.2 (`d ∈ {32, 64, 128, 256, 512}`).
+/// The paper's two evaluation GPUs (smoke: V100 only).
+#[must_use]
+pub fn gpus() -> Vec<GpuSpec> {
+    if smoke() {
+        vec![GpuSpec::v100()]
+    } else {
+        vec![GpuSpec::v100(), GpuSpec::rtx3070()]
+    }
+}
+
+/// Feature-size sweep of §4.2 (`d ∈ {32, 64, 128, 256, 512}`; smoke:
+/// `{32, 128}`).
 #[must_use]
 pub fn feat_sweep() -> Vec<usize> {
-    vec![32, 64, 128, 256, 512]
+    if smoke() {
+        vec![32, 128]
+    } else {
+        vec![32, 64, 128, 256, 512]
+    }
+}
+
+/// Graphs the sweep-style experiments iterate (smoke: the two smallest
+/// Table 1 graphs).
+#[must_use]
+pub fn bench_graphs() -> Vec<GraphSpec> {
+    let mut graphs = table1_graphs();
+    if smoke() {
+        graphs.truncate(2);
+    }
+    graphs
+}
+
+/// Heterographs the RGCN experiments iterate (smoke: first two).
+#[must_use]
+pub fn bench_hetero_graphs() -> Vec<HeteroSpec> {
+    let mut graphs = table2_graphs();
+    if smoke() {
+        graphs.truncate(2);
+    }
+    graphs
 }
 
 /// Table 1: graph statistics + %padding under the tuned hyb format.
@@ -37,7 +76,11 @@ pub mod table1 {
                 spec.name.to_string(),
                 format!("{} (paper {})", g.rows(), spec.paper_nodes),
                 format!("{} (paper {})", g.nnz(), spec.paper_edges),
-                format!("{} (paper {})", fmt_pct(hyb.padding_ratio() * 100.0), fmt_pct(spec.paper_padding_pct)),
+                format!(
+                    "{} (paper {})",
+                    fmt_pct(hyb.padding_ratio() * 100.0),
+                    fmt_pct(spec.paper_padding_pct)
+                ),
                 format!("{:.2}", spec.scale),
             ]);
         }
@@ -68,7 +111,7 @@ pub mod fig12 {
             paper_edges: 114_615_892 / 6,
             paper_padding_pct: 28.6,
             family: DegreeFamily::PowerLaw,
-            scale: 0.12,
+            scale: if smoke() { 0.02 } else { 0.12 },
             seed: 0xC6,
         }
         .generate();
@@ -142,7 +185,7 @@ pub mod fig13 {
         let mut out = String::new();
         for spec in gpus() {
             let mut rows = Vec::new();
-            for gs in table1_graphs() {
+            for gs in bench_graphs() {
                 let g = gs.generate();
                 let sp = speedups(&spec, &g);
                 let mut row = vec![gs.name.to_string()];
@@ -167,15 +210,8 @@ pub mod fig14 {
     use super::*;
 
     /// Systems reported, in figure order.
-    pub const SYSTEMS: [&str; 7] = [
-        "cuSPARSE",
-        "Sputnik",
-        "dgl",
-        "dgSPARSE-csr",
-        "dgSPARSE-coo",
-        "TACO",
-        "SparseTIR",
-    ];
+    pub const SYSTEMS: [&str; 7] =
+        ["cuSPARSE", "Sputnik", "dgl", "dgSPARSE-csr", "dgSPARSE-coo", "TACO", "SparseTIR"];
 
     /// Per-system geomean speedups (vs DGL) for one graph.
     #[must_use]
@@ -205,7 +241,7 @@ pub mod fig14 {
         let mut out = String::new();
         for spec in gpus() {
             let mut rows = Vec::new();
-            for gs in table1_graphs() {
+            for gs in bench_graphs() {
                 let g = gs.generate();
                 let sp = speedups(&spec, &g);
                 let mut row = vec![gs.name.to_string()];
@@ -237,7 +273,7 @@ pub mod fig15 {
         let mut out = String::new();
         for spec in gpus() {
             let mut rows = Vec::new();
-            for gs in table1_graphs() {
+            for gs in bench_graphs() {
                 if gs.name == "ogbn-proteins" {
                     continue; // not part of Figure 15
                 }
@@ -245,8 +281,8 @@ pub mod fig15 {
                     continue; // paper footnote 7: OOM on the 3070
                 }
                 let g = gs.generate();
-                let model = GraphSage::new(&g, dims.0, dims.1, dims.2, 0xF1)
-                    .expect("model construction");
+                let model =
+                    GraphSage::new(&g, dims.0, dims.1, dims.2, 0xF1).expect("model construction");
                 let dgl = dgl_step_time(&spec, &model, dims);
                 let stir = sparsetir_step_time(&spec, &model, dims);
                 rows.push(vec![
@@ -274,7 +310,11 @@ pub mod fig16 {
     /// Render both GPUs × both masks × both operators.
     #[must_use]
     pub fn run() -> String {
-        let cfg = AttentionConfig::default();
+        let mut cfg = AttentionConfig::default();
+        if smoke() {
+            cfg.seq_len = 512;
+            cfg.band = 64;
+        }
         let band = band_mask(cfg.seq_len, cfg.band);
         let butterfly = butterfly_mask(cfg.seq_len, cfg.block);
         let mut out = String::new();
@@ -362,7 +402,8 @@ pub mod fig17 {
     /// Render both GPUs.
     #[must_use]
     pub fn run() -> String {
-        let (out_dim, in_dim, seq) = (3072usize, 768usize, 512usize);
+        let (out_dim, in_dim, seq) =
+            if smoke() { (768usize, 384usize, 128usize) } else { (3072usize, 768usize, 512usize) };
         let mut rendered = String::new();
         for spec in gpus() {
             let dense =
@@ -412,7 +453,8 @@ pub mod fig19 {
     /// Render both GPUs plus the density panel.
     #[must_use]
     pub fn run() -> String {
-        let (out_dim, in_dim, seq) = (3072usize, 768usize, 512usize);
+        let (out_dim, in_dim, seq) =
+            if smoke() { (768usize, 384usize, 128usize) } else { (3072usize, 768usize, 512usize) };
         let mut rendered = String::new();
         for spec in gpus() {
             let dense =
@@ -487,11 +529,8 @@ pub mod table2 {
                 stored += h.stored();
                 nnz += h.original_nnz();
             }
-            let padding = if stored == 0 {
-                0.0
-            } else {
-                (stored - nnz) as f64 / stored as f64 * 100.0
-            };
+            let padding =
+                if stored == 0 { 0.0 } else { (stored - nnz) as f64 / stored as f64 * 100.0 };
             rows.push(vec![
                 spec.name.to_string(),
                 format!("{} (paper {})", spec.nodes(), spec.paper_nodes),
@@ -518,7 +557,7 @@ pub mod fig20 {
         let mut out = String::new();
         for spec in gpus() {
             let mut rows = Vec::new();
-            for hs in table2_graphs() {
+            for hs in bench_hetero_graphs() {
                 let layer = RgcnLayer::new(hs.generate(), 32, 0x20);
                 let ms = figure20_measurements(&spec, &layer);
                 let graphiler = ms
@@ -555,15 +594,15 @@ pub mod fig23 {
     /// Render both GPUs.
     #[must_use]
     pub fn run() -> String {
-        let cloud = VoxelCloud::synthetic(20_000, 24, 0x23);
+        let sites = if smoke() { 4_000 } else { 20_000 };
+        let cloud = VoxelCloud::synthetic(sites, 24, 0x23);
         let maps = ConvMaps { sites: cloud.len(), pairs: cloud.kernel_maps() };
         let mut out = String::new();
         for spec in gpus() {
             let mut rows = Vec::new();
             for (cin, cout) in figure23_channels() {
                 let fused =
-                    simulate_kernel(&spec, &sparsetir_conv_plan(&maps, cin, cout, "fused"))
-                        .time_ms;
+                    simulate_kernel(&spec, &sparsetir_conv_plan(&maps, cin, cout, "fused")).time_ms;
                 let (_, ts) = simulate_sequence(&spec, &torchsparse_plans(&maps, cin, cout));
                 rows.push(vec![
                     format!("{}", ((cin * cout) as f64).sqrt() as usize),
@@ -579,7 +618,13 @@ pub mod fig23 {
                     spec.name,
                     cloud.len()
                 ),
-                &["sqrt(Cin*Cout)", "SparseTIR(TC)", "TorchSparse", "SparseTIR time", "TorchSparse time"],
+                &[
+                    "sqrt(Cin*Cout)",
+                    "SparseTIR(TC)",
+                    "TorchSparse",
+                    "SparseTIR time",
+                    "TorchSparse time",
+                ],
                 &rows,
             ));
             out.push('\n');
@@ -597,7 +642,7 @@ pub mod ablation_hfuse {
     pub fn run() -> String {
         let spec = GpuSpec::v100();
         let mut rows = Vec::new();
-        for gs in table1_graphs() {
+        for gs in bench_graphs() {
             let g = gs.generate();
             let hyb = Hyb::with_default_k(&g, 2).expect("c=2 valid");
             let plans = hyb_spmm_plans(&hyb, 64, CsrSpmmParams::default());
@@ -665,7 +710,7 @@ pub mod ablation_bucketing {
     pub fn run() -> String {
         let spec = GpuSpec::v100();
         let mut rows = Vec::new();
-        for gs in table1_graphs() {
+        for gs in bench_graphs() {
             let g = gs.generate();
             let feat = 64;
             // Bucketed: the paper's default k.

@@ -1,0 +1,31 @@
+//! Every paper-figure experiment must execute end to end without
+//! panicking. `SPARSETIR_SMOKE` shrinks the sweeps (fewer graphs, fewer
+//! feature sizes, one GPU, smaller synthetic instances) so the whole
+//! battery — the same list `all_experiments` runs — finishes in test time.
+
+use sparsetir_bench::experiments as e;
+
+#[test]
+fn all_experiments_run_end_to_end_in_smoke_mode() {
+    std::env::set_var("SPARSETIR_SMOKE", "1");
+    assert!(e::smoke(), "smoke mode must be active for this test");
+    for (name, run) in [
+        ("table1", e::table1::run as fn() -> String),
+        ("fig12", e::fig12::run),
+        ("fig13", e::fig13::run),
+        ("fig14", e::fig14::run),
+        ("fig15", e::fig15::run),
+        ("fig16", e::fig16::run),
+        ("fig17", e::fig17::run),
+        ("fig19", e::fig19::run),
+        ("table2", e::table2::run),
+        ("fig20", e::fig20::run),
+        ("fig23", e::fig23::run),
+        ("ablation_hfuse", e::ablation_hfuse::run),
+        ("ablation_bucketing", e::ablation_bucketing::run),
+    ] {
+        let out = run();
+        assert!(!out.trim().is_empty(), "{name} rendered nothing");
+        assert!(out.contains('|') || out.contains('-'), "{name} is not a table:\n{out}");
+    }
+}

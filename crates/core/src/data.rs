@@ -75,11 +75,8 @@ pub fn bind_bucket(bindings: &mut Bindings, name: &str, prefix: &str, bucket: &E
 /// Panics when the binding is missing or sized differently.
 #[must_use]
 pub fn read_dense(bindings: &Bindings, name: &str, rows: usize, cols: usize) -> Dense {
-    let data = bindings
-        .get(name)
-        .unwrap_or_else(|| panic!("binding `{name}` missing"))
-        .as_f32()
-        .to_vec();
+    let data =
+        bindings.get(name).unwrap_or_else(|| panic!("binding `{name}` missing")).as_f32().to_vec();
     Dense::from_vec(rows, cols, data).expect("shape matches binding length")
 }
 

@@ -38,11 +38,9 @@ fn is_root_in(axes: &AxisStore, buf: &SpBuffer, i: usize) -> bool {
 /// No later axis of the buffer depends on `A_i` (eq. 6's `is_leaf`).
 fn is_leaf_in(axes: &AxisStore, buf: &SpBuffer, i: usize) -> bool {
     let name = &buf.axes[i];
-    !buf.axes[i + 1..].iter().any(|a| {
-        axes.get(a)
-            .and_then(|ax| ax.parent.as_ref())
-            .is_some_and(|p| p == name)
-    })
+    !buf.axes[i + 1..]
+        .iter()
+        .any(|a| axes.get(a).and_then(|ax| ax.parent.as_ref()).is_some_and(|p| p == name))
 }
 
 /// The flat offset expression for position indices `q` of buffer `buf`
@@ -50,11 +48,7 @@ fn is_leaf_in(axes: &AxisStore, buf: &SpBuffer, i: usize) -> bool {
 ///
 /// # Errors
 /// Fails when an axis is unregistered.
-pub fn flatten_access(
-    axes: &AxisStore,
-    buf: &SpBuffer,
-    q: &[Expr],
-) -> Result<Expr, LowerError> {
+pub fn flatten_access(axes: &AxisStore, buf: &SpBuffer, q: &[Expr]) -> Result<Expr, LowerError> {
     let n = buf.axes.len();
     // stride(i+1) for each i (eq. 8), computed right-to-left.
     let mut stride_after = vec![1i64; n];
@@ -68,19 +62,17 @@ pub fn flatten_access(
     }
     // offset(i) recursion (eq. 7).
     let mut offsets: Vec<Expr> = Vec::with_capacity(n);
-    for i in 0..n {
+    for (i, qi) in q.iter().enumerate().take(n) {
         let axis_name = &buf.axes[i];
         let axis = axes
             .get(axis_name)
             .ok_or_else(|| lower_err(format!("axis `{axis_name}` not registered")))?;
         let off = if is_root_in(axes, buf, i) {
-            q[i].clone()
+            qi.clone()
         } else {
             let parent = axis.parent.as_ref().expect("non-root has parent");
-            let j = buf.axes[..i]
-                .iter()
-                .position(|a| a == parent)
-                .expect("parent among earlier axes");
+            let j =
+                buf.axes[..i].iter().position(|a| a == parent).expect("parent among earlier axes");
             let poff = offsets[j].clone();
             match axis.kind {
                 AxisKind::DenseFixed => (poff * axis.length as i64 + q[i].clone()).simplify(),
@@ -136,12 +128,7 @@ pub fn lower_to_stage3(program: &SpProgram, stage2: &Stage2Func) -> Result<PrimF
         }
     }
     let body = rewrite_stmt(program, &stage2.func.body)?;
-    Ok(PrimFunc::new(
-        stage2.func.name.clone(),
-        stage2.func.params.clone(),
-        flat_buffers,
-        body,
-    ))
+    Ok(PrimFunc::new(stage2.func.name.clone(), stage2.func.params.clone(), flat_buffers, body))
 }
 
 /// Lower a Stage I program all the way to an interpretable Stage III
@@ -214,9 +201,9 @@ fn rewrite_stmt(program: &SpProgram, s: &Stmt) -> Result<Stmt, LowerError> {
                 },
             }
         }
-        Stmt::Seq(v) => Stmt::Seq(
-            v.iter().map(|s| rewrite_stmt(program, s)).collect::<Result<_, _>>()?,
-        ),
+        Stmt::Seq(v) => {
+            Stmt::Seq(v.iter().map(|s| rewrite_stmt(program, s)).collect::<Result<_, _>>()?)
+        }
         Stmt::IfThenElse { cond, then_branch, else_branch } => Stmt::IfThenElse {
             cond: rewrite_expr(program, cond)?,
             then_branch: Box::new(rewrite_stmt(program, then_branch)?),
@@ -230,10 +217,9 @@ fn rewrite_stmt(program: &SpProgram, s: &Stmt) -> Result<Stmt, LowerError> {
             value: rewrite_expr(program, value)?,
             body: Box::new(rewrite_stmt(program, body)?),
         },
-        Stmt::Allocate { buffer, body } => Stmt::Allocate {
-            buffer: buffer.clone(),
-            body: Box::new(rewrite_stmt(program, body)?),
-        },
+        Stmt::Allocate { buffer, body } => {
+            Stmt::Allocate { buffer: buffer.clone(), body: Box::new(rewrite_stmt(program, body)?) }
+        }
         Stmt::Evaluate(e) => Stmt::Evaluate(rewrite_expr(program, e)?),
         Stmt::MmaSync { .. } => s.clone(),
     })
@@ -242,10 +228,8 @@ fn rewrite_stmt(program: &SpProgram, s: &Stmt) -> Result<Stmt, LowerError> {
 fn rewrite_expr(program: &SpProgram, e: &Expr) -> Result<Expr, LowerError> {
     Ok(match e {
         Expr::BufferLoad { buffer, indices } => {
-            let idx: Vec<Expr> = indices
-                .iter()
-                .map(|i| rewrite_expr(program, i))
-                .collect::<Result<_, _>>()?;
+            let idx: Vec<Expr> =
+                indices.iter().map(|i| rewrite_expr(program, i)).collect::<Result<_, _>>()?;
             match program.buffer(&buffer.name) {
                 Some(sb) => {
                     let flat = flatten_access(&program.axes, sb, &idx)?;
@@ -276,10 +260,7 @@ fn rewrite_expr(program: &SpProgram, e: &Expr) -> Result<Expr, LowerError> {
         }
         Expr::Call { intrin, args } => Expr::Call {
             intrin: *intrin,
-            args: args
-                .iter()
-                .map(|a| rewrite_expr(program, a))
-                .collect::<Result<_, _>>()?,
+            args: args.iter().map(|a| rewrite_expr(program, a)).collect::<Result<_, _>>()?,
         },
         _ => e.clone(),
     })
@@ -309,7 +290,8 @@ mod tests {
         let mut axes = AxisStore::new();
         axes.add(Axis::dense_fixed("I", 4));
         axes.add(Axis::sparse_variable("J", "I", 8, 10, "J_indptr", "J_indices"));
-        let buf = SpBuffer { name: "A".into(), axes: vec!["I".into(), "J".into()], dtype: DType::F32 };
+        let buf =
+            SpBuffer { name: "A".into(), axes: vec!["I".into(), "J".into()], dtype: DType::F32 };
         (axes, buf)
     }
 
@@ -353,10 +335,8 @@ mod tests {
             axes: vec!["IO".into(), "JO".into(), "II".into(), "JI".into()],
             dtype: DType::F32,
         };
-        let vars: Vec<Expr> = ["io", "jo", "ii", "ji"]
-            .iter()
-            .map(|n| Expr::var(&Var::i32(*n)))
-            .collect();
+        let vars: Vec<Expr> =
+            ["io", "jo", "ii", "ji"].iter().map(|n| Expr::var(&Var::i32(*n))).collect();
         let flat = flatten_access(&axes, &buf, &vars).unwrap();
         let txt = print_expr(&flat);
         assert!(txt.contains("bsr_indptr[io]"), "{txt}");

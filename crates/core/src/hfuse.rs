@@ -149,12 +149,8 @@ mod tests {
     fn rejects_unbound_kernels() {
         let i = Var::i32("i");
         let b = Buffer::global_f32("W", vec![Expr::i32(2)]);
-        let f = PrimFunc::new(
-            "serial",
-            vec![],
-            vec![b.clone()],
-            Stmt::for_serial(i, 2, Stmt::nop()),
-        );
+        let f =
+            PrimFunc::new("serial", vec![], vec![b.clone()], Stmt::for_serial(i, 2, Stmt::nop()));
         assert!(horizontal_fuse(&[f], "x").is_err());
     }
 

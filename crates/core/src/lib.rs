@@ -46,8 +46,8 @@ pub mod prelude {
     pub use crate::lower::{lower_to_stage2, BufferDomain, LowerError, Stage2Func};
     pub use crate::rewrite::{decompose_format, FormatRewriteRule, RewriteError};
     pub use crate::schedule1::{sparse_fuse, sparse_reorder, Stage1Error};
-    pub use crate::validate::{validate, ValidateError};
     pub use crate::stage1::{
         sddmm_program, spmm_program, ProgramBuilder, SpBuffer, SpIter, SpProgram, SpStore,
     };
+    pub use crate::validate::{validate, ValidateError};
 }

@@ -95,11 +95,11 @@ pub fn lower_to_stage2(program: &SpProgram) -> Result<Stage2Func, LowerError> {
     for axis in program.axes.all() {
         if let Some(indptr) = &axis.indptr {
             if aux_seen.insert(indptr.to_string()) {
-                let parent_pos = axis
-                    .parent
-                    .as_ref()
-                    .map_or(1, |p| program.axes.positions(p));
-                aux.push(Buffer::global_i32(indptr.clone(), vec![Expr::i32(parent_pos as i64 + 1)]));
+                let parent_pos = axis.parent.as_ref().map_or(1, |p| program.axes.positions(p));
+                aux.push(Buffer::global_i32(
+                    indptr.clone(),
+                    vec![Expr::i32(parent_pos as i64 + 1)],
+                ));
                 domains.push(BufferDomain {
                     buffer: indptr.to_string(),
                     lo: 0,
@@ -126,11 +126,8 @@ pub fn lower_to_stage2(program: &SpProgram) -> Result<Stage2Func, LowerError> {
         body = body.then(stmt);
     }
 
-    let mut buffers: Vec<Buffer> = program
-        .buffers
-        .iter()
-        .map(|b| b.coord_buffer(&program.axes))
-        .collect();
+    let mut buffers: Vec<Buffer> =
+        program.buffers.iter().map(|b| b.coord_buffer(&program.axes)).collect();
     buffers.extend(program.extras.iter().cloned());
     buffers.extend(aux);
     Ok(Stage2Func { func: PrimFunc::new(program.name.clone(), vec![], buffers, body), domains })
@@ -176,10 +173,19 @@ fn lower_iteration(
     let axes = &program.axes;
     // Loop structure description, built group by group (outer → inner).
     enum LoopDesc {
-        Plain { var: Var, extent: Expr },
+        Plain {
+            var: Var,
+            extent: Expr,
+        },
         /// Fused [parent, variable child]: loop over total nnz with
         /// binary-search row recovery.
-        FusedNnz { var: Var, extent: Expr, row: Var, local: Var, child: Rc<str> },
+        FusedNnz {
+            var: Var,
+            extent: Expr,
+            row: Var,
+            local: Var,
+            child: Rc<str>,
+        },
     }
     let mut loops: Vec<LoopDesc> = Vec::new();
     let mut state: HashMap<Rc<str>, AxisState> = HashMap::new();
@@ -252,7 +258,8 @@ fn lower_iteration(
                 .get(ca)
                 .ok_or_else(|| LowerError::new(format!("axis `{ca}` not registered")))?;
             if child.kind.is_variable() && child.parent.as_deref() == Some(&**pa) {
-                let f = Var::i32(fresh(used, &format!("{}{}", pa.to_lowercase(), ca.to_lowercase())));
+                let f =
+                    Var::i32(fresh(used, &format!("{}{}", pa.to_lowercase(), ca.to_lowercase())));
                 let row = Var::i32(fresh(used, &format!("{}_row", pa.to_lowercase())));
                 let local = Var::i32(fresh(used, &format!("{}_loc", ca.to_lowercase())));
                 let extent = Expr::i32(child.nnz as i64);
@@ -272,7 +279,8 @@ fn lower_iteration(
                 );
                 loops.push(LoopDesc::FusedNnz { var: f, extent, row, local, child: ca.clone() });
             } else if parent.kind == AxisKind::DenseFixed && child.kind == AxisKind::DenseFixed {
-                let f = Var::i32(fresh(used, &format!("{}{}", pa.to_lowercase(), ca.to_lowercase())));
+                let f =
+                    Var::i32(fresh(used, &format!("{}{}", pa.to_lowercase(), ca.to_lowercase())));
                 let pl = child.length as i64;
                 let pv = (Expr::var(&f) / pl).simplify();
                 let cv = (Expr::var(&f) % pl).simplify();
@@ -284,14 +292,10 @@ fn lower_iteration(
                     ca.clone(),
                     AxisState { local: cv.clone(), flat: cv.clone(), coord: cv },
                 );
-                loops.push(LoopDesc::Plain {
-                    var: f,
-                    extent: Expr::i32(parent.length as i64 * pl),
-                });
+                loops
+                    .push(LoopDesc::Plain { var: f, extent: Expr::i32(parent.length as i64 * pl) });
             } else {
-                return Err(LowerError::new(format!(
-                    "unsupported fusion group [{pa}, {ca}]"
-                )));
+                return Err(LowerError::new(format!("unsupported fusion group [{pa}, {ca}]")));
             }
         } else {
             return Err(LowerError::new("fusion groups of >2 axes are not supported"));
@@ -305,11 +309,7 @@ fn lower_iteration(
             .buffer(&st.buffer)
             .ok_or_else(|| LowerError::new(format!("unknown buffer `{}`", st.buffer)))?;
         let indices = translate_indices(program, it, &state, buf, &st.indices)?;
-        Ok(Stmt::BufferStore {
-            buffer: buf.coord_buffer(axes),
-            indices,
-            value,
-        })
+        Ok(Stmt::BufferStore { buffer: buf.coord_buffer(axes), indices, value })
     };
     let mut body_stmt = Stmt::nop();
     for st in &it.body {
@@ -500,7 +500,7 @@ fn translate_indices(
                 .iter()
                 .position(|a| it.var_of(a) == Some(v))
                 .map(|pos| &it.axes[pos])
-                .filter(|a| &***a == &**axis_name),
+                .filter(|a| ***a == **axis_name),
             _ => None,
         };
         if fast.is_some() {
@@ -520,21 +520,13 @@ fn translate_indices(
             }
             AxisKind::SparseVariable => {
                 let ip = indptr_buf(axes, axis_name);
-                (
-                    ip.load(vec![parent_flat.clone()]),
-                    ip.load(vec![(parent_flat + 1).simplify()]),
-                )
+                (ip.load(vec![parent_flat.clone()]), ip.load(vec![(parent_flat + 1).simplify()]))
             }
             _ => unreachable!("sparse kinds only"),
         };
         let search = Expr::Call {
             intrin: Intrinsic::BinarySearch,
-            args: vec![
-                indices_buf(axes, axis_name).load(vec![Expr::i32(0)]),
-                lo,
-                hi,
-                target,
-            ],
+            args: vec![indices_buf(axes, axis_name).load(vec![Expr::i32(0)]), lo, hi, target],
         };
         out.push(search);
     }
@@ -622,8 +614,8 @@ fn translate_expr(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::stage1::{sddmm_program, spmm_program};
     use crate::schedule1::sparse_fuse;
+    use crate::stage1::{sddmm_program, spmm_program};
 
     #[test]
     fn spmm_lowering_structure_matches_figure9() {
@@ -649,14 +641,8 @@ mod tests {
         assert_eq!(ip.shape[0].as_const_int(), Some(5)); // rows + 1
         let ix = f.buffer("J_indices").expect("indices materialized");
         assert_eq!(ix.shape[0].as_const_int(), Some(7)); // nnz
-        assert!(lowered
-            .domains
-            .iter()
-            .any(|d| d.buffer == "J_indptr" && d.hi == 7));
-        assert!(lowered
-            .domains
-            .iter()
-            .any(|d| d.buffer == "J_indices" && d.hi == 4));
+        assert!(lowered.domains.iter().any(|d| d.buffer == "J_indptr" && d.hi == 7));
+        assert!(lowered.domains.iter().any(|d| d.buffer == "J_indices" && d.hi == 4));
     }
 
     #[test]

@@ -269,10 +269,8 @@ pub fn decompose_format(
     }
 
     for it in &program.iterations {
-        let touching: Vec<&FormatRewriteRule> = rules
-            .iter()
-            .filter(|r| iteration_touches(it, &r.buffer))
-            .collect();
+        let touching: Vec<&FormatRewriteRule> =
+            rules.iter().filter(|r| iteration_touches(it, &r.buffer)).collect();
         if touching.is_empty() {
             new_iters.push(it.clone());
             continue;
@@ -306,10 +304,7 @@ pub fn decompose_format(
         }
         for rule in &touching {
             let orig_buf = out.buffer(&rule.buffer).cloned().expect("registered above");
-            let new_buf = out
-                .buffer(&rule.new_buffer_name())
-                .cloned()
-                .expect("registered above");
+            let new_buf = out.buffer(&rule.new_buffer_name()).cloned().expect("registered above");
             // Positions of the original buffer's axes within the iteration.
             let axis_positions: Vec<usize> = orig_buf
                 .axes
@@ -355,7 +350,9 @@ pub fn decompose_format(
                     for (na, &derive) in rule.iter_axes.iter().zip(&rule.derives_from) {
                         axes2.push(na.clone());
                         kinds2.push(it.kinds[axis_positions[derive]]);
-                        vars2.push(new_vars[rule.iter_axes.iter().position(|x| x == na).unwrap()].clone());
+                        vars2.push(
+                            new_vars[rule.iter_axes.iter().position(|x| x == na).unwrap()].clone(),
+                        );
                     }
                 }
                 if !axis_positions.contains(&pos) {
@@ -367,8 +364,7 @@ pub fn decompose_format(
 
             // Rewrite stores: replace exact accesses to the buffer, then
             // substitute remaining original iterator variables.
-            let orig_vars: Vec<Var> =
-                axis_positions.iter().map(|&p| it.vars[p].clone()).collect();
+            let orig_vars: Vec<Var> = axis_positions.iter().map(|&p| it.vars[p].clone()).collect();
             let rewrite_store = |st: &SpStore| -> SpStore {
                 let buffer_coords: Vec<Expr> = rule
                     .buffer_axes
@@ -477,10 +473,7 @@ fn rewrite_buffer_access(
 ) -> SpStore {
     let matches_exact = |indices: &[Expr]| -> bool {
         indices.len() == orig_vars.len()
-            && indices
-                .iter()
-                .zip(orig_vars)
-                .all(|(e, v)| matches!(e, Expr::Var(ev) if ev == v))
+            && indices.iter().zip(orig_vars).all(|(e, v)| matches!(e, Expr::Var(ev) if ev == v))
     };
     fn rewrite_expr(
         e: &Expr,
@@ -510,7 +503,9 @@ fn rewrite_buffer_access(
             Expr::Select { cond, then, otherwise } => Expr::Select {
                 cond: Box::new(rewrite_expr(cond, buffer, matches, new_buffer, new_coords)),
                 then: Box::new(rewrite_expr(then, buffer, matches, new_buffer, new_coords)),
-                otherwise: Box::new(rewrite_expr(otherwise, buffer, matches, new_buffer, new_coords)),
+                otherwise: Box::new(rewrite_expr(
+                    otherwise, buffer, matches, new_buffer, new_coords,
+                )),
             },
             Expr::Cast { dtype, value } => Expr::Cast {
                 dtype: *dtype,
@@ -559,19 +554,19 @@ mod tests {
     fn bsr_plus_ell_decomposition_matches_figure5_shape() {
         // SpMM over a 4x4 CSR decomposed into BSR(2) + ELL(2).
         let p = spmm_program(4, 4, 8, 3);
-        let rules = vec![
-            FormatRewriteRule::bsr("A", 2, 2, 2, 3),
-            FormatRewriteRule::ell("A", 2, 4, 4),
-        ];
+        let rules =
+            vec![FormatRewriteRule::bsr("A", 2, 2, 2, 3), FormatRewriteRule::ell("A", 2, 4, 4)];
         let d = decompose_format(&p, &rules).unwrap();
-        let names: Vec<String> =
-            d.iterations.iter().map(|i| i.name.to_string()).collect();
+        let names: Vec<String> = d.iterations.iter().map(|i| i.name.to_string()).collect();
         assert!(names.contains(&"init_spmm".to_string()), "{names:?}");
         assert!(names.contains(&"copy_bsr_2".to_string()), "{names:?}");
         assert!(names.contains(&"copy_ell_2".to_string()), "{names:?}");
         assert!(names.contains(&"spmm_bsr_2".to_string()), "{names:?}");
-        assert!(names.contains(&"spmm_bsr_2_ell_2".to_string()) || names.contains(&"spmm_ell_2".to_string()),
-            "expected an ELL compute iteration in {names:?}");
+        assert!(
+            names.contains(&"spmm_bsr_2_ell_2".to_string())
+                || names.contains(&"spmm_ell_2".to_string()),
+            "expected an ELL compute iteration in {names:?}"
+        );
         // New buffers registered.
         assert!(d.buffer("A_bsr_2").is_some());
         assert!(d.buffer("A_ell_2").is_some());

@@ -136,12 +136,9 @@ pub fn sparse_fuse(
             }
         }
         // Validate the group shape.
-        let kinds: Vec<_> = axes
-            .iter()
-            .map(|name| program.axes.get(name).expect("registered").kind)
-            .collect();
-        let all_dense_fixed =
-            kinds.iter().all(|k| *k == crate::axis::AxisKind::DenseFixed);
+        let kinds: Vec<_> =
+            axes.iter().map(|name| program.axes.get(name).expect("registered").kind).collect();
+        let all_dense_fixed = kinds.iter().all(|k| *k == crate::axis::AxisKind::DenseFixed);
         let parent_child = axes.len() == 2 && {
             let child = program.axes.get(axes[1]).expect("registered");
             child.kind.is_variable() && child.parent.as_deref() == Some(axes[0])

@@ -155,8 +155,7 @@ impl SpProgram {
                     if group.len() == 1 {
                         rendered.push(it.axes[group[0]].to_string());
                     } else {
-                        let names: Vec<&str> =
-                            group.iter().map(|&i| &*it.axes[i]).collect();
+                        let names: Vec<&str> = group.iter().map(|&i| &*it.axes[i]).collect();
                         rendered.push(format!("fuse({})", names.join(", ")));
                     }
                 }

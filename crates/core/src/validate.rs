@@ -109,10 +109,9 @@ fn validate_iteration(program: &SpProgram, it: &SpIter) -> Result<(), ValidateEr
         };
         // Extent resolution: variable and sparse-fixed axes need an
         // iterated ancestor earlier in the axis list.
-        if axis.parent.is_some()
-            && (axis.kind.is_variable() || axis.kind.is_sparse())
+        if let Some(parent) =
+            axis.parent.as_ref().filter(|_| axis.kind.is_variable() || axis.kind.is_sparse())
         {
-            let parent = axis.parent.as_ref().expect("checked");
             let earlier = &it.axes[..pos];
             if !earlier.iter().any(|a| a == parent) {
                 return Err(ValidateError::new(format!(
@@ -147,11 +146,7 @@ fn validate_iteration(program: &SpProgram, it: &SpIter) -> Result<(), ValidateEr
     Ok(())
 }
 
-fn check_expr_buffers(
-    program: &SpProgram,
-    it: &SpIter,
-    e: &Expr,
-) -> Result<(), ValidateError> {
+fn check_expr_buffers(program: &SpProgram, it: &SpIter, e: &Expr) -> Result<(), ValidateError> {
     match e {
         Expr::BufferLoad { buffer, indices } => {
             if let Some(buf) = program.buffer(&buffer.name) {
@@ -240,11 +235,7 @@ mod tests {
     fn undeclared_store_target_is_rejected() {
         let mut p = spmm_program(8, 8, 16, 4);
         let it = p.iteration_mut("spmm").unwrap();
-        it.body.push(SpStore {
-            buffer: "GHOST".into(),
-            indices: vec![],
-            value: Expr::f32(0.0),
-        });
+        it.body.push(SpStore { buffer: "GHOST".into(), indices: vec![], value: Expr::f32(0.0) });
         let err = validate(&p).unwrap_err();
         assert!(err.to_string().contains("GHOST"), "{err}");
     }

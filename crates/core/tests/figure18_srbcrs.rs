@@ -41,10 +41,8 @@ fn srbcrs_spmm_program(s: &SrBcrs, feat: usize) -> (SpProgram, SpBuffer) {
             buffer: yc.name.clone(),
             indices: vec![out_row.clone(), Expr::var(k)],
             value: yc.load(&axes, vec![out_row, Expr::var(k)])
-                + wc.load(
-                    &axes,
-                    vec![Expr::var(tr), Expr::var(g), Expr::var(tl), Expr::var(ii)],
-                ) * xc.load(&axes, vec![Expr::var(tl), Expr::var(k)]),
+                + wc.load(&axes, vec![Expr::var(tr), Expr::var(g), Expr::var(tl), Expr::var(ii)])
+                    * xc.load(&axes, vec![Expr::var(tl), Expr::var(k)]),
         }];
         (init, body)
     });
@@ -58,10 +56,8 @@ fn srbcrs_flattening_matches_smat_layout() {
     let s = SrBcrs::from_csr(&a, 4, 2).unwrap();
     let (program, w) = srbcrs_spmm_program(&s, 2);
     // flat(W[tr, g, tl, ii]) = ((indptr[tr]+g)·g_size + tl)·t + ii.
-    let vars: Vec<Expr> = ["tr", "g", "tl", "ii"]
-        .iter()
-        .map(|n| Expr::var(&Var::i32(*n)))
-        .collect();
+    let vars: Vec<Expr> =
+        ["tr", "g", "tl", "ii"].iter().map(|n| Expr::var(&Var::i32(*n))).collect();
     let flat = flatten_access(&program.axes, &w, &vars).unwrap();
     let txt = print_expr(&flat);
     assert!(txt.contains("sr_indptr[tr]"), "{txt}");
@@ -94,7 +90,7 @@ fn srbcrs_spmm_lowered_matches_reference() {
     b.insert("W".into(), TensorData::from(s.values().to_vec()));
     bind_dense(&mut b, "X", &x);
     bind_zeros(&mut b, "Y", s.tile_rows() * t * feat);
-    eval_func(&func, &HashMap::new(), &mut b).expect("interprets");
+    exec_func(&func, &HashMap::new(), &mut b).expect("executes");
     let got = read_dense(&b, "Y", s.tile_rows() * t, feat);
 
     let expect = a.spmm(&x).unwrap();

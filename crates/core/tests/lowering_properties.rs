@@ -10,14 +10,11 @@ use std::collections::HashMap;
 
 fn arb_csr(max_dim: usize, max_nnz: usize) -> impl Strategy<Value = Csr> {
     (2..=max_dim, 2..=max_dim).prop_flat_map(move |(rows, cols)| {
-        proptest::collection::vec(
-            (0..rows as u32, 0..cols as u32, 0.1f32..2.0f32),
-            1..max_nnz,
-        )
-        .prop_map(move |entries| {
-            let coo = Coo::from_entries(rows, cols, entries).expect("in-bounds");
-            Csr::from_coo(&coo)
-        })
+        proptest::collection::vec((0..rows as u32, 0..cols as u32, 0.1f32..2.0f32), 1..max_nnz)
+            .prop_map(move |entries| {
+                let coo = Coo::from_entries(rows, cols, entries).expect("in-bounds");
+                Csr::from_coo(&coo)
+            })
     })
 }
 
@@ -37,7 +34,7 @@ proptest! {
         bind_csr(&mut b, "A", "J", &a);
         bind_dense(&mut b, "B", &x);
         bind_zeros(&mut b, "C", a.rows() * feat);
-        eval_func(&func, &HashMap::new(), &mut b).expect("interprets");
+        exec_func(&func, &HashMap::new(), &mut b).expect("executes");
         let got = read_dense(&b, "C", a.rows(), feat);
         prop_assert!(got.approx_eq(&a.spmm(&x).unwrap(), 1e-3));
     }
@@ -58,7 +55,7 @@ proptest! {
         bind_dense(&mut b, "X", &x);
         bind_dense(&mut b, "Y", &y);
         b.insert("Bout".into(), TensorData::from(vec![0.0f32; a.nnz()]));
-        eval_func(&func, &HashMap::new(), &mut b).expect("interprets");
+        exec_func(&func, &HashMap::new(), &mut b).expect("executes");
         let expect = a.sddmm(&x, &y).unwrap();
         for (g, e) in b["Bout"].as_f32().iter().zip(expect.values()) {
             prop_assert!((g - e).abs() < 1e-3, "{g} vs {e}");
@@ -107,7 +104,7 @@ proptest! {
         bind_csr(&mut b, "A", "J", &a);
         bind_dense(&mut b, "B", &x);
         bind_zeros(&mut b, "C", a.rows() * feat);
-        eval_func(&func, &HashMap::new(), &mut b).expect("interprets");
+        exec_func(&func, &HashMap::new(), &mut b).expect("executes");
         let got = read_dense(&b, "C", a.rows(), feat);
         prop_assert!(got.approx_eq(&a.spmm(&x).unwrap(), 1e-3));
     }
@@ -127,7 +124,7 @@ proptest! {
             bind_csr(&mut b, "A", "J", &a);
             bind_dense(&mut b, "B", &x);
             bind_zeros(&mut b, "C", a.rows() * feat);
-            eval_func(f, &HashMap::new(), &mut b).expect("interprets");
+            exec_func(f, &HashMap::new(), &mut b).expect("executes");
             read_dense(&b, "C", a.rows(), feat)
         };
         let before = run(&func);

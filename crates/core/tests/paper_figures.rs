@@ -28,10 +28,7 @@ fn figure3_spmm_constructs() {
 #[test]
 fn figure5_format_decomposition() {
     let p = spmm_program(8, 8, 20, 4);
-    let rules = vec![
-        FormatRewriteRule::bsr("A", 2, 4, 4, 6),
-        FormatRewriteRule::ell("A", 2, 8, 8),
-    ];
+    let rules = vec![FormatRewriteRule::bsr("A", 2, 4, 4, 6), FormatRewriteRule::ell("A", 2, 8, 8)];
     let d = decompose_format(&p, &rules).unwrap();
     let script = d.script();
     // Generated axes for BSR(2): IO dense_fixed, JO sparse_variable,
@@ -138,8 +135,7 @@ fn appendix_a_programming_interface() {
         vec![FormatRewriteRule::bsr("A", 2, 8, 8, 12), FormatRewriteRule::ell("A", 2, 16, 16)];
     let spmm_hybrid = decompose_format(&spmm, &composable_format).unwrap();
     // Format conversion is the 1-rule special case.
-    let conversion =
-        decompose_format(&spmm, &[FormatRewriteRule::ell("A", 4, 16, 16)]).unwrap();
+    let conversion = decompose_format(&spmm, &[FormatRewriteRule::ell("A", 4, 16, 16)]).unwrap();
     assert!(spmm_hybrid.iterations.len() > conversion.iterations.len());
     assert!(conversion.buffer("A_ell_4").is_some());
     // Both still lower end to end.

@@ -9,7 +9,7 @@ use sparsetir_smat::prelude::*;
 use std::collections::HashMap;
 
 fn run_stage3(func: &PrimFunc, bindings: &mut Bindings) {
-    eval_func(func, &HashMap::new(), bindings).expect("stage III executes");
+    exec_func(func, &HashMap::new(), bindings).expect("stage III executes");
 }
 
 #[test]
@@ -51,7 +51,7 @@ fn spmm_stage1_dense_semantics_agree_with_stage3() {
     db.insert("A".into(), TensorData::from(a.to_dense().data().to_vec()));
     bind_dense(&mut db, "B", &x);
     bind_zeros(&mut db, "C", rows * feat);
-    eval_func(&dense_f, &HashMap::new(), &mut db).unwrap();
+    exec_func(&dense_f, &HashMap::new(), &mut db).unwrap();
     let stage1_result = read_dense(&db, "C", rows, feat);
 
     // Stage III compressed interpretation.
@@ -128,10 +128,8 @@ fn split_for_bsr(a: &Csr, block: usize) -> (Csr, Csr) {
     for br in 0..bsr.block_rows() {
         for p in bsr.indptr()[br]..bsr.indptr()[br + 1] {
             let bc = bsr.indices()[p] as usize;
-            let nnz_in_block = bsr.values()[p * bb..(p + 1) * bb]
-                .iter()
-                .filter(|&&v| v != 0.0)
-                .count();
+            let nnz_in_block =
+                bsr.values()[p * bb..(p + 1) * bb].iter().filter(|&&v| v != 0.0).count();
             if nnz_in_block >= 2 {
                 dense_blocks.insert((br, bc));
             }
@@ -210,13 +208,7 @@ fn decomposed_bucket_ell_spmm_matches_reference() {
                 continue;
             }
             let tag = format!("p{pi}_w{}", bucket.width);
-            rules.push(FormatRewriteRule::bucket_ell(
-                "A",
-                &tag,
-                bucket.width,
-                bucket.len(),
-                cols,
-            ));
+            rules.push(FormatRewriteRule::bucket_ell("A", &tag, bucket.width, bucket.len(), cols));
             tags.push((tag, bucket.clone()));
         }
     }

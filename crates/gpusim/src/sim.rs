@@ -112,11 +112,10 @@ impl<'a> Simulator<'a> {
         }
         // Occupancy: how many blocks can an SM host concurrently.
         let by_threads = (2048 / plan.threads_per_block.max(1)).max(1);
-        let by_shared = if plan.shared_mem_per_block > 0 {
-            (spec.shared_bytes_per_sm / plan.shared_mem_per_block).max(1)
-        } else {
-            spec.max_blocks_per_sm
-        };
+        let by_shared = spec
+            .shared_bytes_per_sm
+            .checked_div(plan.shared_mem_per_block)
+            .map_or(spec.max_blocks_per_sm, |b| b.max(1));
         let occupancy = by_threads.min(by_shared).min(spec.max_blocks_per_sm).max(1);
 
         // Greedy earliest-finish assignment of blocks to SM slots — an
@@ -140,8 +139,7 @@ impl<'a> Simulator<'a> {
         // floor below.
         let sms = spec.num_sms as f64;
         let eff_parallel = plan.blocks.len().min(slots).max(1) as f64;
-        let residency =
-            plan.blocks.len().div_ceil(spec.num_sms).clamp(1, occupancy) as f64;
+        let residency = plan.blocks.len().div_ceil(spec.num_sms).clamp(1, occupancy) as f64;
         let sm_cuda_rate = spec.cuda_flops_per_sm_per_cycle * spec.clock_ghz * 1e9;
         let sm_tensor_rate = spec.tensor_flops_per_sm_per_cycle * spec.clock_ghz * 1e9;
         let cuda_rate = sm_cuda_rate / residency;
@@ -196,8 +194,7 @@ impl<'a> Simulator<'a> {
             let compute_time = block.cuda_flops / cuda_rate
                 + block.tensor_flops / tensor_rate
                 + block.serial_insts / clock_hz;
-            let cost =
-                mem_time.max(compute_time) + spec.block_overhead_us / 1e6;
+            let cost = mem_time.max(compute_time) + spec.block_overhead_us / 1e6;
             slot_time[slot] += cost;
         }
 

@@ -89,7 +89,7 @@ mod tests {
     #[test]
     fn butterfly_mask_connects_xor_partners() {
         let m = butterfly_mask(64, 8); // 8 block rows
-        // Block row 0 partners: 0 (diag), 1, 2, 4 → 4 blocks × 8 columns.
+                                       // Block row 0 partners: 0 (diag), 1, 2, 4 → 4 blocks × 8 columns.
         assert_eq!(m.row_nnz(0), 4 * 8);
         // Blocks convert exactly at the native granularity.
         let bsr = Bsr::from_csr(&m, 8).unwrap();

@@ -84,12 +84,7 @@ impl GraphSpec {
                 // Degrees within ±25% of the mean.
                 let lo = (mean * 0.75) as usize;
                 let hi = ((mean * 1.25) as usize).min(n - 1).max(lo + 1);
-                gen::random_csr_with_row_lengths(
-                    n,
-                    n,
-                    move |r| r.gen_range(lo..hi),
-                    &mut rng,
-                )
+                gen::random_csr_with_row_lengths(n, n, move |r| r.gen_range(lo..hi), &mut rng)
             }
         }
     }
@@ -201,10 +196,7 @@ mod tests {
 
         let proteins = graph_by_name("ogbn-proteins").unwrap().generate();
         let (pmax, pmean, _) = proteins.degree_stats();
-        assert!(
-            (pmax as f64) < 1.5 * pmean,
-            "proteins concentration: max {pmax} mean {pmean:.1}"
-        );
+        assert!((pmax as f64) < 1.5 * pmean, "proteins concentration: max {pmax} mean {pmean:.1}");
     }
 
     #[test]

@@ -69,12 +69,8 @@ impl VoxelCloud {
     /// voxels are active. The center offset is the identity map.
     #[must_use]
     pub fn kernel_maps(&self) -> Vec<Vec<(u32, u32)>> {
-        let index: HashMap<(i32, i32, i32), u32> = self
-            .voxels
-            .iter()
-            .enumerate()
-            .map(|(i, &v)| (v, i as u32))
-            .collect();
+        let index: HashMap<(i32, i32, i32), u32> =
+            self.voxels.iter().enumerate().map(|(i, &v)| (v, i as u32)).collect();
         let mut maps = Vec::with_capacity(27);
         for dx in -1i32..=1 {
             for dy in -1i32..=1 {

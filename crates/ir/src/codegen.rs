@@ -348,7 +348,10 @@ mod tests {
     #[test]
     fn emits_kernel_signature() {
         let src = codegen_cuda(&scale_func());
-        assert!(src.contains("__global__ void scale(float* __restrict__ A, float* __restrict__ C)"), "{src}");
+        assert!(
+            src.contains("__global__ void scale(float* __restrict__ A, float* __restrict__ C)"),
+            "{src}"
+        );
         assert!(src.contains("for (int i = 0; i < 64; ++i)"), "{src}");
     }
 

@@ -357,11 +357,13 @@ impl<'a, 'h> Interp<'a, 'h> {
         match data {
             TensorData::F32(v) => {
                 let len = v.len();
-                *v.get_mut(flat).ok_or_else(|| oob(&buffer.name, flat, len))? = value.as_float() as f32;
+                *v.get_mut(flat).ok_or_else(|| oob(&buffer.name, flat, len))? =
+                    value.as_float() as f32;
             }
             TensorData::I32(v) => {
                 let len = v.len();
-                *v.get_mut(flat).ok_or_else(|| oob(&buffer.name, flat, len))? = value.as_int()? as i32;
+                *v.get_mut(flat).ok_or_else(|| oob(&buffer.name, flat, len))? =
+                    value.as_int()? as i32;
             }
         }
         Ok(())
@@ -664,18 +666,13 @@ mod tests {
             body: Box::new(Stmt::BufferStore {
                 buffer: c.clone(),
                 indices: vec![Expr::var(&vi)],
-                value: c.load(vec![Expr::var(&vi)])
-                    + a.load(vec![Expr::var(&vi), Expr::var(&vj)]),
+                value: c.load(vec![Expr::var(&vi)]) + a.load(vec![Expr::var(&vi), Expr::var(&vj)]),
             }),
         });
-        let body =
-            Stmt::for_serial(i.clone(), 2, Stmt::for_serial(j.clone(), 3, block));
+        let body = Stmt::for_serial(i.clone(), 2, Stmt::for_serial(j.clone(), 3, block));
         let f = PrimFunc::new("rowsum", vec![], vec![a, c], body);
         let mut tensors = HashMap::new();
-        tensors.insert(
-            "A".to_string(),
-            TensorData::from(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]),
-        );
+        tensors.insert("A".to_string(), TensorData::from(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]));
         tensors.insert("C".to_string(), TensorData::from(vec![99.0, 99.0]));
         eval_func(&f, &HashMap::new(), &mut tensors).unwrap();
         assert_eq!(tensors["C"].as_f32(), &[6.0, 15.0]);
@@ -710,7 +707,8 @@ mod tests {
             intrin: Intrinsic::BinarySearch,
             args: vec![idx.load(vec![Expr::i32(0)]), Expr::i32(0), Expr::i32(5), Expr::i32(9)],
         };
-        let body = Stmt::BufferStore { buffer: out.clone(), indices: vec![Expr::i32(0)], value: call };
+        let body =
+            Stmt::BufferStore { buffer: out.clone(), indices: vec![Expr::i32(0)], value: call };
         let f = PrimFunc::new("find", vec![], vec![idx, out], body);
         let mut tensors = HashMap::new();
         tensors.insert("indices".to_string(), TensorData::from(vec![1, 3, 9, 10, 12]));
@@ -730,7 +728,8 @@ mod tests {
             offset: Expr::i32(0),
             row_stride: Expr::i32(stride),
         };
-        let body = Stmt::MmaSync { c: tile(&c, 2), a: tile(&a, 2), b: tile(&b, 2), m: 2, n: 2, k: 2 };
+        let body =
+            Stmt::MmaSync { c: tile(&c, 2), a: tile(&a, 2), b: tile(&b, 2), m: 2, n: 2, k: 2 };
         let f = PrimFunc::new("mma", vec![], vec![a, b, c], body);
         let mut tensors = HashMap::new();
         tensors.insert("A".to_string(), TensorData::from(vec![1.0, 2.0, 3.0, 4.0]));
@@ -780,8 +779,11 @@ mod tests {
     #[test]
     fn out_of_bounds_is_reported() {
         let c = Buffer::global_f32("C", vec![Expr::i32(2)]);
-        let body =
-            Stmt::BufferStore { buffer: c.clone(), indices: vec![Expr::i32(5)], value: Expr::f32(0.0) };
+        let body = Stmt::BufferStore {
+            buffer: c.clone(),
+            indices: vec![Expr::i32(5)],
+            value: Expr::f32(0.0),
+        };
         let f = PrimFunc::new("f", vec![], vec![c], body);
         let mut tensors = HashMap::new();
         tensors.insert("C".to_string(), TensorData::zeros(DType::F32, 2));
@@ -796,7 +798,11 @@ mod tests {
         let body = Stmt::for_serial(
             i.clone(),
             Expr::var(&n),
-            Stmt::BufferStore { buffer: c.clone(), indices: vec![Expr::var(&i)], value: Expr::f32(1.0) },
+            Stmt::BufferStore {
+                buffer: c.clone(),
+                indices: vec![Expr::var(&i)],
+                value: Expr::f32(1.0),
+            },
         );
         let f = PrimFunc::new("ones", vec![n], vec![c], body);
         let mut tensors = HashMap::new();

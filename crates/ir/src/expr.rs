@@ -75,7 +75,14 @@ impl BinOp {
     pub fn is_predicate(self) -> bool {
         matches!(
             self,
-            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::And | BinOp::Or
+            BinOp::Eq
+                | BinOp::Ne
+                | BinOp::Lt
+                | BinOp::Le
+                | BinOp::Gt
+                | BinOp::Ge
+                | BinOp::And
+                | BinOp::Or
         )
     }
 
@@ -214,7 +221,9 @@ impl Expr {
     #[must_use]
     pub fn dtype(&self) -> DType {
         match self {
-            Expr::Int { dtype, .. } | Expr::Float { dtype, .. } | Expr::Cast { dtype, .. } => *dtype,
+            Expr::Int { dtype, .. } | Expr::Float { dtype, .. } | Expr::Cast { dtype, .. } => {
+                *dtype
+            }
             Expr::Var(v) => v.dtype,
             Expr::Binary { op, lhs, .. } => {
                 if op.is_predicate() {
@@ -412,7 +421,9 @@ impl Expr {
                 then: Box::new(then.simplify()),
                 otherwise: Box::new(otherwise.simplify()),
             },
-            Expr::Cast { dtype, value } => Expr::Cast { dtype: *dtype, value: Box::new(value.simplify()) },
+            Expr::Cast { dtype, value } => {
+                Expr::Cast { dtype: *dtype, value: Box::new(value.simplify()) }
+            }
             Expr::BufferLoad { buffer, indices } => Expr::BufferLoad {
                 buffer: buffer.clone(),
                 indices: indices.iter().map(Expr::simplify).collect(),
@@ -511,6 +522,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::erasing_op)] // `x * 0` is the expression under test
     fn simplify_mul_zero() {
         let i = Var::i32("i");
         let e = Expr::var(&i) * 0;

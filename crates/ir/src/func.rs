@@ -23,7 +23,12 @@ pub struct PrimFunc {
 
 impl PrimFunc {
     /// Create a function.
-    pub fn new(name: impl Into<Rc<str>>, params: Vec<Var>, buffers: Vec<Buffer>, body: Stmt) -> Self {
+    pub fn new(
+        name: impl Into<Rc<str>>,
+        params: Vec<Var>,
+        buffers: Vec<Buffer>,
+        body: Stmt,
+    ) -> Self {
         PrimFunc { name: name.into(), params, buffers, body }
     }
 

@@ -25,12 +25,9 @@ pub fn print_expr(e: &Expr) -> String {
             }
             _ => format!("({} {} {})", print_expr(lhs), op.symbol(), print_expr(rhs)),
         },
-        Expr::Select { cond, then, otherwise } => format!(
-            "({} if {} else {})",
-            print_expr(then),
-            print_expr(cond),
-            print_expr(otherwise)
-        ),
+        Expr::Select { cond, then, otherwise } => {
+            format!("({} if {} else {})", print_expr(then), print_expr(cond), print_expr(otherwise))
+        }
         Expr::Cast { dtype, value } => format!("{}({})", dtype, print_expr(value)),
         Expr::BufferLoad { buffer, indices } => {
             let idx: Vec<String> = indices.iter().map(print_expr).collect();
@@ -132,13 +129,16 @@ fn print_stmt(s: &Stmt, out: &mut String, level: usize) {
             indent(out, level);
             let _ = writeln!(
                 out,
-                "mma_sync({}[{}], {}[{}], {}[{}], m={m}, n={n}, k={k})",
+                "mma_sync({}[{}; ld={}], {}[{}; ld={}], {}[{}; ld={}], m={m}, n={n}, k={k})",
                 c.buffer.name,
                 print_expr(&c.offset),
+                print_expr(&c.row_stride),
                 a.buffer.name,
                 print_expr(&a.offset),
+                print_expr(&a.row_stride),
                 b.buffer.name,
                 print_expr(&b.offset),
+                print_expr(&b.row_stride),
             );
         }
     }
@@ -179,7 +179,11 @@ mod tests {
             Stmt::for_serial(
                 i.clone(),
                 4,
-                Stmt::BufferStore { buffer: a, indices: vec![Expr::var(&i)], value: Expr::f32(0.0) },
+                Stmt::BufferStore {
+                    buffer: a,
+                    indices: vec![Expr::var(&i)],
+                    value: Expr::f32(0.0),
+                },
             ),
         );
         let s = print_func(&f);

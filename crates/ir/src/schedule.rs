@@ -103,8 +103,7 @@ impl Schedule {
                     else_branch: None,
                 },
             };
-            let outer_extent =
-                ((extent.clone() + (factor - 1)) / Expr::i32(factor)).simplify();
+            let outer_extent = ((extent.clone() + (factor - 1)) / Expr::i32(factor)).simplify();
             Stmt::For {
                 var: outer,
                 extent: outer_extent,
@@ -148,7 +147,12 @@ impl Schedule {
                     var: ovar,
                     extent: oext,
                     kind: okind,
-                    body: Box::new(Stmt::For { var: ivar, extent: iext, kind: ForKind::Serial, body: ibody }),
+                    body: Box::new(Stmt::For {
+                        var: ivar,
+                        extent: iext,
+                        kind: ForKind::Serial,
+                        body: ibody,
+                    }),
                 };
             }
             let fused = Var::new(fused_name.clone(), ovar.dtype);
@@ -261,16 +265,10 @@ impl Schedule {
             .func
             .buffer(buffer)
             .cloned()
-            .or_else(|| {
-                self.func
-                    .local_allocations()
-                    .into_iter()
-                    .find(|b| &*b.name == buffer)
-            })
+            .or_else(|| self.func.local_allocations().into_iter().find(|b| &*b.name == buffer))
             .ok_or_else(|| ScheduleError::new(format!("buffer `{buffer}` not found")))?;
         let stage_name = self.func.fresh_buffer_name(&format!("{buffer}_{}", scope_suffix(scope)));
-        let stage =
-            Buffer::new(stage_name.clone(), buf.dtype, vec![copy_extent.clone()], scope);
+        let stage = Buffer::new(stage_name.clone(), buf.dtype, vec![copy_extent.clone()], scope);
         let t = Var::i32(self.func.fresh_name("t"));
         let copy_loop = Stmt::for_serial(
             t.clone(),
@@ -327,8 +325,7 @@ impl Schedule {
             .cloned()
             .ok_or_else(|| ScheduleError::new(format!("buffer `{buffer}` not found")))?;
         let stage_name = self.func.fresh_buffer_name(&format!("{buffer}_{}", scope_suffix(scope)));
-        let stage =
-            Buffer::new(stage_name.clone(), buf.dtype, vec![stage_extent.clone()], scope);
+        let stage = Buffer::new(stage_name.clone(), buf.dtype, vec![stage_extent.clone()], scope);
         let t = Var::i32(self.func.fresh_name("t"));
         let writeback = Stmt::for_serial(
             t.clone(),
@@ -382,11 +379,10 @@ impl Schedule {
             .body
             .loops_of_block(block)
             .ok_or_else(|| ScheduleError::new(format!("block `{block}` not found")))?;
-        let (rvar, rext, _) = loops
-            .iter()
-            .find(|(v, _, _)| &*v.name == loop_var)
-            .cloned()
-            .ok_or_else(|| ScheduleError::new(format!("loop `{loop_var}` not on path to `{block}`")))?;
+        let (rvar, rext, _) =
+            loops.iter().find(|(v, _, _)| &*v.name == loop_var).cloned().ok_or_else(|| {
+                ScheduleError::new(format!("loop `{loop_var}` not on path to `{block}`"))
+            })?;
         let rext_const = rext
             .as_const_int()
             .ok_or_else(|| ScheduleError::new("rfactor loop extent must be constant"))?;
@@ -400,13 +396,13 @@ impl Schedule {
         };
         let add_operand = match value {
             Expr::Binary { op: BinOp::Add, lhs, rhs } => match lhs.as_ref() {
-                Expr::BufferLoad { buffer, indices } if buffer.name == cbuf.name && indices == cidx => {
+                Expr::BufferLoad { buffer, indices }
+                    if buffer.name == cbuf.name && indices == cidx =>
+                {
                     rhs.as_ref().clone()
                 }
                 _ => {
-                    return Err(ScheduleError::new(
-                        "rfactor block body must be `C[i] = C[i] + e`",
-                    ))
+                    return Err(ScheduleError::new("rfactor block body must be `C[i] = C[i] + e`"))
                 }
             },
             _ => return Err(ScheduleError::new("rfactor block body must be `C[i] = C[i] + e`")),
@@ -481,8 +477,7 @@ impl Schedule {
             Stmt::Allocate {
                 buffer: pbuf2.clone(),
                 body: Box::new(
-                    Stmt::For { var, extent, kind, body: Box::new(lbody) }
-                        .then(merge_loop.clone()),
+                    Stmt::For { var, extent, kind, body: Box::new(lbody) }.then(merge_loop.clone()),
                 ),
             }
         });
@@ -510,7 +505,12 @@ impl Schedule {
                 Ok(mma) => mma,
                 Err(e) => {
                     err = Some(e);
-                    Stmt::For { var: mvar, extent: mext, kind: ForKind::Serial, body: Box::new(mbody) }
+                    Stmt::For {
+                        var: mvar,
+                        extent: mext,
+                        kind: ForKind::Serial,
+                        body: Box::new(mbody),
+                    }
                 }
             }
         });
@@ -556,11 +556,7 @@ impl PrimFunc {
 
 /// Replace the unique loop named `name`; `f` receives `(var, extent, kind,
 /// body)` and returns the replacement statement.
-fn replace_loop(
-    s: &Stmt,
-    name: &str,
-    f: &mut dyn FnMut(Var, Expr, ForKind, Stmt) -> Stmt,
-) -> Stmt {
+fn replace_loop(s: &Stmt, name: &str, f: &mut dyn FnMut(Var, Expr, ForKind, Stmt) -> Stmt) -> Stmt {
     match s {
         Stmt::For { var, extent, kind, body } if &*var.name == name => {
             f(var.clone(), extent.clone(), *kind, body.as_ref().clone())
@@ -637,11 +633,9 @@ fn rewrite_loads(s: &Stmt, buffer: &str, f: &dyn Fn(&[Expr]) -> Option<Expr>) ->
             indices: indices.iter().map(|i| rewrite_expr(i, buffer, f)).collect(),
             value: rewrite_expr(&value, buffer, f),
         },
-        Stmt::IfThenElse { cond, then_branch, else_branch } => Stmt::IfThenElse {
-            cond: rewrite_expr(&cond, buffer, f),
-            then_branch,
-            else_branch,
-        },
+        Stmt::IfThenElse { cond, then_branch, else_branch } => {
+            Stmt::IfThenElse { cond: rewrite_expr(&cond, buffer, f), then_branch, else_branch }
+        }
         Stmt::Let { var, value, body } => {
             Stmt::Let { var, value: rewrite_expr(&value, buffer, f), body }
         }
@@ -655,11 +649,10 @@ fn rewrite_loads(s: &Stmt, buffer: &str, f: &dyn Fn(&[Expr]) -> Option<Expr>) ->
 
 /// Rewrite stores *and* loads of `buffer`: `f` maps original indices to a
 /// `(staging buffer, staging indices)` pair.
-fn rewrite_stores_and_loads(
-    s: &Stmt,
-    buffer: &str,
-    f: &dyn Fn(&[Expr]) -> Option<(Buffer, Vec<Expr>)>,
-) -> Stmt {
+/// Callback rewriting a buffer load during schedule transformations.
+type RewriteLoadFn<'a> = dyn Fn(&[Expr]) -> Option<(Buffer, Vec<Expr>)> + 'a;
+
+fn rewrite_stores_and_loads(s: &Stmt, buffer: &str, f: &RewriteLoadFn<'_>) -> Stmt {
     let load_f = |indices: &[Expr]| f(indices).map(|(b, idx)| b.load(idx));
     let with_loads = rewrite_loads(s, buffer, &load_f);
     with_loads.transform(&|st| match st {
@@ -707,7 +700,7 @@ fn reorder_chain(s: &Stmt, names: &[String], err: &mut Option<ScheduleError>) ->
             for name in names.iter().rev() {
                 let (var, extent, kind) = chain
                     .iter()
-                    .find(|(v, _, _)| &*v.name == *name)
+                    .find(|(v, _, _)| *v.name == *name)
                     .cloned()
                     .expect("name present in chain");
                 body = Stmt::For { var, extent, kind, body: Box::new(body) };
@@ -728,9 +721,7 @@ fn reorder_chain(s: &Stmt, names: &[String], err: &mut Option<ScheduleError>) ->
             init: b.init.clone(),
             body: Box::new(reorder_chain(&b.body, names, err)),
         }),
-        Stmt::Seq(stmts) => {
-            Stmt::Seq(stmts.iter().map(|s| reorder_chain(s, names, err)).collect())
-        }
+        Stmt::Seq(stmts) => Stmt::Seq(stmts.iter().map(|s| reorder_chain(s, names, err)).collect()),
         Stmt::IfThenElse { cond, then_branch, else_branch } => Stmt::IfThenElse {
             cond: cond.clone(),
             then_branch: Box::new(reorder_chain(then_branch, names, err)),
@@ -750,13 +741,7 @@ fn reorder_chain(s: &Stmt, names: &[String], err: &mut Option<ScheduleError>) ->
 }
 
 /// Extract a GEMM pattern under the m-loop and build an `MmaSync`.
-fn extract_gemm(
-    mvar: &Var,
-    mext: &Expr,
-    mbody: &Stmt,
-    loop_n: &str,
-    loop_k: &str,
-) -> Result<Stmt> {
+fn extract_gemm(mvar: &Var, mext: &Expr, mbody: &Stmt, loop_n: &str, loop_k: &str) -> Result<Stmt> {
     let Stmt::For { var: nvar, extent: next, body: nbody, .. } = mbody else {
         return Err(ScheduleError::new("tensorize: expected n-loop under m-loop"));
     };
@@ -788,18 +773,20 @@ fn extract_gemm(
                 matches!(e, Expr::BufferLoad { buffer, indices }
                     if buffer.name == cbuf.name && indices == cidx)
             };
-            let mul = if is_c(lhs) { rhs.as_ref() } else if is_c(rhs) { lhs.as_ref() } else {
+            let mul = if is_c(lhs) {
+                rhs.as_ref()
+            } else if is_c(rhs) {
+                lhs.as_ref()
+            } else {
                 return Err(ScheduleError::new("tensorize: body must be C[i] = C[i] + A*B"));
             };
             match mul {
-                Expr::Binary { op: BinOp::Mul, lhs, rhs } => {
-                    match (lhs.as_ref(), rhs.as_ref()) {
-                        (a @ Expr::BufferLoad { .. }, b @ Expr::BufferLoad { .. }) => {
-                            (a.clone(), b.clone())
-                        }
-                        _ => return Err(ScheduleError::new("tensorize: operands must be loads")),
+                Expr::Binary { op: BinOp::Mul, lhs, rhs } => match (lhs.as_ref(), rhs.as_ref()) {
+                    (a @ Expr::BufferLoad { .. }, b @ Expr::BufferLoad { .. }) => {
+                        (a.clone(), b.clone())
                     }
-                }
+                    _ => return Err(ScheduleError::new("tensorize: operands must be loads")),
+                },
                 _ => return Err(ScheduleError::new("tensorize: rhs must be A*B")),
             }
         }
@@ -833,20 +820,14 @@ fn extract_gemm(
         };
         let offset = sub(&zero, &zero);
         let row1 = sub(&one, &zero);
-        let row_stride = Expr::Binary {
-            op: BinOp::Sub,
-            lhs: Box::new(row1),
-            rhs: Box::new(offset.clone()),
-        }
-        .simplify();
+        let row_stride =
+            Expr::Binary { op: BinOp::Sub, lhs: Box::new(row1), rhs: Box::new(offset.clone()) }
+                .simplify();
         // Column stride must be 1 when it can be checked statically.
         let col1 = sub(&zero, &one);
-        let col_stride = Expr::Binary {
-            op: BinOp::Sub,
-            lhs: Box::new(col1),
-            rhs: Box::new(offset.clone()),
-        }
-        .simplify();
+        let col_stride =
+            Expr::Binary { op: BinOp::Sub, lhs: Box::new(col1), rhs: Box::new(offset.clone()) }
+                .simplify();
         if let Some(c) = col_stride.as_const_int() {
             if c != 1 {
                 return Err(ScheduleError::new(format!(
@@ -907,7 +888,10 @@ mod tests {
 
     fn run_scale(f: &PrimFunc, n: usize) -> Vec<f32> {
         let mut tensors = HashMap::new();
-        tensors.insert("A".to_string(), TensorData::from((0..n).map(|x| x as f32).collect::<Vec<_>>()));
+        tensors.insert(
+            "A".to_string(),
+            TensorData::from((0..n).map(|x| x as f32).collect::<Vec<_>>()),
+        );
         tensors.insert("C".to_string(), TensorData::zeros(DType::F32, n));
         eval_func(f, &scalar_map(&[]), &mut tensors).unwrap();
         tensors["C"].as_f32().to_vec()
@@ -1065,7 +1049,10 @@ mod tests {
         let mut sch = Schedule::new(f);
         sch.rfactor("sum", "r").unwrap();
         let mut tensors = HashMap::new();
-        tensors.insert("A".to_string(), TensorData::from((1..=8).map(|x| x as f32).collect::<Vec<_>>()));
+        tensors.insert(
+            "A".to_string(),
+            TensorData::from((1..=8).map(|x| x as f32).collect::<Vec<_>>()),
+        );
         tensors.insert("C".to_string(), TensorData::zeros(DType::F32, 1));
         eval_func(sch.func(), &HashMap::new(), &mut tensors).unwrap();
         assert_eq!(tensors["C"].as_f32(), &[36.0]);
@@ -1152,7 +1139,10 @@ mod tests {
         })
         .unwrap();
         let mut tensors = HashMap::new();
-        tensors.insert("A".to_string(), TensorData::from((0..8).map(|x| x as f32).collect::<Vec<_>>()));
+        tensors.insert(
+            "A".to_string(),
+            TensorData::from((0..8).map(|x| x as f32).collect::<Vec<_>>()),
+        );
         tensors.insert("C".to_string(), TensorData::zeros(DType::F32, 2));
         eval_func(sch.func(), &HashMap::new(), &mut tensors).unwrap();
         assert_eq!(tensors["C"].as_f32(), &[6.0, 22.0]);

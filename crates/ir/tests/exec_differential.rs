@@ -1,0 +1,531 @@
+//! Differential property suite: the slot-compiled executor must produce
+//! **bit-identical** results to the reference interpreter on random
+//! lowered programs over F32 and I32 buffers — including thread-bound
+//! reduction loops and parallel-dispatched `blockIdx` loops.
+//!
+//! Programs are drawn in four families:
+//!
+//! * `serial_nest` — arbitrary (even colliding) stores under serial /
+//!   `threadIdx` / vectorized loops, wide expression coverage;
+//! * `block_striped` — `blockIdx.x`-bound outer loop whose stores stripe
+//!   the output disjointly per block (the spatial contract that licenses
+//!   parallel dispatch);
+//! * `block_reduction` — a reduction block whose reduce axis is bound to
+//!   `threadIdx.x` under a `blockIdx.x` spatial loop (§3.3 semantics);
+//! * `scheduled_nest` — random `split`/`bind`/`unroll`/`vectorize`
+//!   compositions applied by the real `Schedule` machinery.
+//!
+//! Each case also runs the compiled kernel twice (through the cache) to
+//! check that frame reuse cannot leak state between invocations.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sparsetir_ir::prelude::*;
+use sparsetir_ir::stmt::IterVar;
+use std::collections::HashMap;
+
+// ---------------------------------------------------------------------------
+// Bitwise comparison helpers
+// ---------------------------------------------------------------------------
+
+fn assert_bits_eq(name: &str, a: &TensorData, b: &TensorData) -> Result<(), String> {
+    match (a, b) {
+        (TensorData::F32(x), TensorData::F32(y)) => {
+            if x.len() != y.len() {
+                return Err(format!("`{name}`: length {} vs {}", x.len(), y.len()));
+            }
+            for (i, (xa, xb)) in x.iter().zip(y).enumerate() {
+                if xa.to_bits() != xb.to_bits() {
+                    return Err(format!(
+                        "`{name}`[{i}]: {xa} ({:#x}) vs {xb} ({:#x})",
+                        xa.to_bits(),
+                        xb.to_bits()
+                    ));
+                }
+            }
+            Ok(())
+        }
+        (TensorData::I32(x), TensorData::I32(y)) => {
+            if x != y {
+                return Err(format!("`{name}`: i32 data differs"));
+            }
+            Ok(())
+        }
+        _ => Err(format!("`{name}`: storage kinds differ")),
+    }
+}
+
+/// Run the interpreter and the compiled executor on the same program and
+/// initial tensors; demand bit-identical tensor maps afterwards. The
+/// compiled path runs twice (cache hit + pooled frame) to catch state
+/// leaking between invocations.
+fn differential(
+    f: &PrimFunc,
+    scalars: &HashMap<String, i64>,
+    tensors: &HashMap<String, TensorData>,
+) -> Result<(), String> {
+    let mut interp = tensors.clone();
+    eval_func(f, scalars, &mut interp).map_err(|e| format!("interpreter failed: {e}"))?;
+
+    let rt = Runtime::new();
+    let kernel = rt.compile(f).map_err(|e| format!("compile failed: {e}"))?;
+    let mut compiled = tensors.clone();
+    kernel.run(scalars, &mut compiled).map_err(|e| format!("executor failed: {e}"))?;
+    for (name, data) in &interp {
+        let got = compiled.get(name).ok_or_else(|| format!("`{name}` missing"))?;
+        assert_bits_eq(name, data, got)?;
+    }
+
+    // Second run through the cache with a pooled frame.
+    let kernel2 = rt.compile(f).map_err(|e| format!("recompile failed: {e}"))?;
+    let mut again = tensors.clone();
+    kernel2.run(scalars, &mut again).map_err(|e| format!("second run failed: {e}"))?;
+    for (name, data) in &interp {
+        assert_bits_eq(name, data, &again[name])?;
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Random program generator (seeded, deterministic)
+// ---------------------------------------------------------------------------
+
+struct ProgGen {
+    rng: SmallRng,
+    loop_vars: Vec<Var>,
+}
+
+impl ProgGen {
+    fn new(seed: u64) -> Self {
+        ProgGen { rng: SmallRng::seed_from_u64(seed), loop_vars: Vec::new() }
+    }
+
+    fn small_const(&mut self) -> Expr {
+        Expr::i32(self.rng.gen_range(-4i64..9))
+    }
+
+    /// Random integer expression over loop vars, `B` loads and constants.
+    /// Magnitudes stay bounded so neither engine overflows `i64`.
+    fn int_expr(&mut self, b: &Buffer, blen: i64, depth: usize) -> Expr {
+        if depth == 0 || self.rng.gen_range(0..10) < 3 {
+            return match self.rng.gen_range(0..3) {
+                0 => self.small_const(),
+                1 if !self.loop_vars.is_empty() => {
+                    let i = self.rng.gen_range(0..self.loop_vars.len());
+                    Expr::var(&self.loop_vars[i])
+                }
+                _ => {
+                    let idx = self.int_expr(b, blen, 0) % Expr::i32(blen);
+                    b.load(vec![idx])
+                }
+            };
+        }
+        let l = self.int_expr(b, blen, depth - 1);
+        let r = self.int_expr(b, blen, depth - 1);
+        match self.rng.gen_range(0..8) {
+            0 => l + r,
+            1 => l - r,
+            2 => l * Expr::i32(self.rng.gen_range(-3i64..4)),
+            3 => l.min(r),
+            4 => l.max(r),
+            5 => l % Expr::i32(self.rng.gen_range(1i64..7)),
+            6 => l / Expr::i32(self.rng.gen_range(1i64..7)),
+            _ => l.lt(r.clone()).select(self.int_expr(b, blen, depth - 1), r),
+        }
+    }
+
+    /// Random float expression over `A` loads, casts of int expressions
+    /// and constants. Casts back to int are clamped so downstream integer
+    /// arithmetic stays bounded.
+    fn float_expr(&mut self, a: &Buffer, alen: i64, b: &Buffer, blen: i64, depth: usize) -> Expr {
+        if depth == 0 || self.rng.gen_range(0..10) < 3 {
+            return match self.rng.gen_range(0..3) {
+                0 => Expr::f32(f64::from(self.rng.gen_range(-2.0f32..2.0))),
+                1 => {
+                    let idx = self.int_expr(b, blen, 1) % Expr::i32(alen);
+                    a.load(vec![idx])
+                }
+                _ => self.int_expr(b, blen, 1).cast(DType::F32),
+            };
+        }
+        let l = self.float_expr(a, alen, b, blen, depth - 1);
+        let r = self.float_expr(a, alen, b, blen, depth - 1);
+        match self.rng.gen_range(0..8) {
+            0 => l + r,
+            1 => l - r,
+            2 => l * r,
+            3 => l / r, // may produce inf/NaN; comparison is bitwise
+            4 => l.min(r),
+            5 => l.max(r),
+            6 => Expr::Call { intrin: Intrinsic::Relu, args: vec![l] },
+            _ => l.le(r.clone()).select(r.clone(), self.float_expr(a, alen, b, blen, depth - 1)),
+        }
+    }
+
+    /// Clamped integer view of a float expression (`cast` then min/max),
+    /// bounding the interpreter's cast-through-f64 to a safe range.
+    fn clamped_int_of_float(&mut self, a: &Buffer, alen: i64, b: &Buffer, blen: i64) -> Expr {
+        self.float_expr(a, alen, b, blen, 1)
+            .cast(DType::I32)
+            .min(Expr::i32(1000))
+            .max(Expr::i32(-1000))
+    }
+}
+
+/// Inputs shared by every generated program: `A` (F32) and `B` (I32, small
+/// non-negative values so it can serve as an index source), plus outputs
+/// `C` (F32) and `D` (I32).
+fn standard_buffers(g: &mut ProgGen) -> (Buffer, i64, Buffer, i64, Buffer, i64, Buffer, i64) {
+    let alen = g.rng.gen_range(8i64..48);
+    let blen = g.rng.gen_range(6i64..24);
+    let clen = g.rng.gen_range(6i64..24);
+    let dlen = g.rng.gen_range(6i64..24);
+    let a = Buffer::global_f32("A", vec![Expr::i32(alen)]);
+    let b = Buffer::global_i32("B", vec![Expr::i32(blen)]);
+    let c = Buffer::global_f32("C", vec![Expr::i32(clen)]);
+    let d = Buffer::global_i32("D", vec![Expr::i32(dlen)]);
+    (a, alen, b, blen, c, clen, d, dlen)
+}
+
+fn standard_tensors(
+    g: &mut ProgGen,
+    alen: i64,
+    blen: i64,
+    clen: i64,
+    dlen: i64,
+) -> HashMap<String, TensorData> {
+    let mut t = HashMap::new();
+    let a: Vec<f32> = (0..alen).map(|_| g.rng.gen_range(-3.0f32..3.0)).collect();
+    let b: Vec<i32> = (0..blen).map(|_| g.rng.gen_range(0i32..8)).collect();
+    t.insert("A".to_string(), TensorData::F32(a));
+    t.insert("B".to_string(), TensorData::I32(b));
+    t.insert("C".to_string(), TensorData::F32(vec![0.5; clen as usize]));
+    t.insert("D".to_string(), TensorData::I32(vec![7; dlen as usize]));
+    t
+}
+
+/// Family 1: serial/threadIdx/vectorized nest with arbitrary (possibly
+/// colliding) stores — covers the widest expression space.
+fn serial_nest(seed: u64) -> (PrimFunc, HashMap<String, TensorData>) {
+    let mut g = ProgGen::new(seed);
+    let (a, alen, b, blen, c, clen, d, dlen) = standard_buffers(&mut g);
+    let tensors = standard_tensors(&mut g, alen, blen, clen, dlen);
+
+    let depth = g.rng.gen_range(1usize..4);
+    let mut loops: Vec<(Var, i64, ForKind)> = Vec::new();
+    for li in 0..depth {
+        let kinds = [
+            ForKind::Serial,
+            ForKind::ThreadBinding(ThreadAxis::ThreadIdxX),
+            ForKind::Unrolled,
+            ForKind::Vectorized,
+            ForKind::Parallel,
+        ];
+        let kind = kinds[g.rng.gen_range(0..kinds.len())];
+        loops.push((Var::i32(format!("l{li}")), g.rng.gen_range(1i64..6), kind));
+    }
+    g.loop_vars = loops.iter().map(|(v, _, _)| v.clone()).collect();
+
+    let n_stores = g.rng.gen_range(1usize..4);
+    let mut body = Stmt::nop();
+    for _ in 0..n_stores {
+        let st = if g.rng.gen_bool(0.5) {
+            let idx = g.int_expr(&b, blen, 2) % Expr::i32(clen);
+            let val = g.float_expr(&a, alen, &b, blen, 2);
+            Stmt::BufferStore { buffer: c.clone(), indices: vec![idx], value: val }
+        } else {
+            let idx = g.int_expr(&b, blen, 2) % Expr::i32(dlen);
+            let val = if g.rng.gen_bool(0.3) {
+                g.clamped_int_of_float(&a, alen, &b, blen)
+            } else {
+                g.int_expr(&b, blen, 2)
+            };
+            Stmt::BufferStore { buffer: d.clone(), indices: vec![idx], value: val }
+        };
+        body = body.then(st);
+    }
+    // Optionally wrap the innermost body in a `let` / `if`.
+    if g.rng.gen_bool(0.4) {
+        let lv = Var::i32("t");
+        let value = g.int_expr(&b, blen, 2);
+        g.loop_vars.push(lv.clone());
+        let idx = g.int_expr(&b, blen, 1) % Expr::i32(clen);
+        let val = g.float_expr(&a, alen, &b, blen, 1);
+        g.loop_vars.pop();
+        body = body.then(Stmt::Let {
+            var: lv,
+            value,
+            body: Box::new(Stmt::BufferStore { buffer: c.clone(), indices: vec![idx], value: val }),
+        });
+    }
+    if g.rng.gen_bool(0.4) {
+        let cond = g.int_expr(&b, blen, 1).lt(g.int_expr(&b, blen, 1));
+        body = Stmt::IfThenElse {
+            cond,
+            then_branch: Box::new(body),
+            else_branch: if g.rng.gen_bool(0.5) {
+                let idx = g.int_expr(&b, blen, 1) % Expr::i32(dlen);
+                Some(Box::new(Stmt::BufferStore {
+                    buffer: d.clone(),
+                    indices: vec![idx],
+                    value: g.int_expr(&b, blen, 1),
+                }))
+            } else {
+                None
+            },
+        };
+    }
+    for (v, ext, kind) in loops.into_iter().rev() {
+        body = Stmt::For { var: v, extent: Expr::i32(ext), kind, body: Box::new(body) };
+    }
+    (PrimFunc::new("serial_nest", vec![], vec![a, b, c, d], body), tensors)
+}
+
+/// Family 2: `blockIdx.x`-bound outer loop with disjointly striped output
+/// writes (the spatial contract that licenses parallel dispatch).
+fn block_striped(seed: u64) -> (PrimFunc, HashMap<String, TensorData>) {
+    let mut g = ProgGen::new(seed);
+    let e1 = g.rng.gen_range(2i64..9);
+    let stride = g.rng.gen_range(1i64..4);
+    let e2 = g.rng.gen_range(1i64..5);
+    let clen = e1 * stride;
+    let alen = g.rng.gen_range(8i64..48);
+    let blen = g.rng.gen_range(6i64..24);
+
+    let a = Buffer::global_f32("A", vec![Expr::i32(alen)]);
+    let b = Buffer::global_i32("B", vec![Expr::i32(blen)]);
+    let c = Buffer::global_f32("C", vec![Expr::i32(clen)]);
+    let d = Buffer::global_i32("D", vec![Expr::i32(clen)]);
+    let tensors = standard_tensors(&mut g, alen, blen, clen, clen);
+
+    let i = Var::i32("i");
+    let j = Var::i32("j");
+    g.loop_vars = vec![i.clone(), j.clone()];
+    // Stripe-local offset: any expression folded into [0, stride).
+    let off = g.int_expr(&b, blen, 2) % Expr::i32(stride);
+    let idx = Expr::var(&i) * stride + off;
+    let val = g.float_expr(&a, alen, &b, blen, 2);
+    let off2 = g.int_expr(&b, blen, 2) % Expr::i32(stride);
+    let idx2 = Expr::var(&i) * stride + off2;
+    let val2 = g.int_expr(&b, blen, 2);
+    let inner = Stmt::BufferStore { buffer: c.clone(), indices: vec![idx], value: val }
+        .then(Stmt::BufferStore { buffer: d.clone(), indices: vec![idx2], value: val2 });
+    let body = Stmt::For {
+        var: i.clone(),
+        extent: Expr::i32(e1),
+        kind: ForKind::ThreadBinding(ThreadAxis::BlockIdxX),
+        body: Box::new(Stmt::For {
+            var: j.clone(),
+            extent: Expr::i32(e2),
+            kind: if g.rng.gen_bool(0.5) {
+                ForKind::Serial
+            } else {
+                ForKind::ThreadBinding(ThreadAxis::ThreadIdxX)
+            },
+            body: Box::new(inner),
+        }),
+    };
+    (PrimFunc::new("block_striped", vec![], vec![a, b, c, d], body), tensors)
+}
+
+/// Family 3: reduction block whose reduce axis is bound to `threadIdx.x`
+/// under a `blockIdx.x` spatial loop — thread-bound reduction semantics.
+fn block_reduction(seed: u64) -> (PrimFunc, HashMap<String, TensorData>) {
+    let mut g = ProgGen::new(seed);
+    let rows = g.rng.gen_range(2i64..8);
+    let red = g.rng.gen_range(1i64..7);
+    let alen = rows * red;
+    let blen = g.rng.gen_range(6i64..24);
+
+    let a = Buffer::global_f32("A", vec![Expr::i32(alen)]);
+    let b = Buffer::global_i32("B", vec![Expr::i32(blen)]);
+    let c = Buffer::global_f32("C", vec![Expr::i32(rows)]);
+    let d = Buffer::global_i32("D", vec![Expr::i32(rows)]);
+    let tensors = standard_tensors(&mut g, alen, blen, rows, rows);
+
+    let i = Var::i32("i");
+    let j = Var::i32("j");
+    let vi = Var::i32("vi");
+    let vj = Var::i32("vj");
+    // Optionally seed the accumulator from an expression instead of zero
+    // (exercises the "reduce binding non-zero skips init" rule).
+    let init_val = if g.rng.gen_bool(0.5) {
+        Expr::f32(0.0)
+    } else {
+        Expr::f32(f64::from(g.rng.gen_range(-1.0f32..1.0)))
+    };
+    g.loop_vars = vec![vi.clone(), vj.clone()];
+    let term =
+        a.load(vec![Expr::var(&vi) * red + Expr::var(&vj)]) * g.float_expr(&a, alen, &b, blen, 1);
+    let block = Stmt::Block(sparsetir_ir::stmt::Block {
+        name: "acc".into(),
+        iter_vars: vec![
+            IterVar::spatial(vi.clone(), Expr::var(&i)),
+            IterVar::reduce(vj.clone(), Expr::var(&j)),
+        ],
+        reads: vec![],
+        writes: vec![],
+        init: Some(Box::new(Stmt::BufferStore {
+            buffer: c.clone(),
+            indices: vec![Expr::var(&vi)],
+            value: init_val,
+        })),
+        body: Box::new(Stmt::BufferStore {
+            buffer: c.clone(),
+            indices: vec![Expr::var(&vi)],
+            value: c.load(vec![Expr::var(&vi)]) + term,
+        }),
+    });
+    let mut body = Stmt::For {
+        var: i.clone(),
+        extent: Expr::i32(rows),
+        kind: ForKind::ThreadBinding(ThreadAxis::BlockIdxX),
+        body: Box::new(Stmt::For {
+            var: j.clone(),
+            extent: Expr::i32(red),
+            kind: ForKind::ThreadBinding(ThreadAxis::ThreadIdxX),
+            body: Box::new(block),
+        }),
+    };
+    // Follow with an integer epilogue using binary_search over a sorted
+    // prefix of B.
+    if g.rng.gen_bool(0.6) {
+        let k = Var::i32("k");
+        let needle = g.rng.gen_range(0i64..8);
+        let search = Expr::Call {
+            intrin: Intrinsic::BinarySearch,
+            args: vec![
+                b.load(vec![Expr::i32(0)]),
+                Expr::i32(0),
+                Expr::i32(blen.min(6)),
+                Expr::i32(needle),
+            ],
+        };
+        body = body.then(Stmt::For {
+            var: k.clone(),
+            extent: Expr::i32(rows),
+            kind: ForKind::ThreadBinding(ThreadAxis::BlockIdxX),
+            body: Box::new(Stmt::BufferStore {
+                buffer: d.clone(),
+                indices: vec![Expr::var(&k)],
+                value: search + Expr::var(&k),
+            }),
+        });
+    }
+    let mut tensors = tensors;
+    // Sort B so binary_search's precondition holds.
+    if let Some(TensorData::I32(bv)) = tensors.get_mut("B") {
+        bv.sort_unstable();
+    }
+    (PrimFunc::new("block_reduction", vec![], vec![a, b, c, d], body), tensors)
+}
+
+/// Family 4: the real `Schedule` machinery applied to a dense 3-nest,
+/// including `bind` to blockIdx/threadIdx.
+fn scheduled_nest(seed: u64) -> (PrimFunc, HashMap<String, TensorData>) {
+    let mut g = ProgGen::new(seed);
+    let (n1, n2, n3) =
+        (g.rng.gen_range(2i64..5), g.rng.gen_range(2i64..5), g.rng.gen_range(2i64..6));
+    let len = n1 * n2 * n3;
+    let i = Var::i32("i");
+    let j = Var::i32("j");
+    let k = Var::i32("k");
+    let a = Buffer::global_f32("A", vec![Expr::i32(len)]);
+    let c = Buffer::global_f32("C", vec![Expr::i32(len)]);
+    let flat = Expr::var(&i) * (n2 * n3) + Expr::var(&j) * n3 + Expr::var(&k);
+    let body = Stmt::for_serial(
+        i.clone(),
+        n1,
+        Stmt::for_serial(
+            j.clone(),
+            n2,
+            Stmt::for_serial(
+                k.clone(),
+                n3,
+                Stmt::BufferStore {
+                    buffer: c.clone(),
+                    indices: vec![flat.clone()],
+                    value: a.load(vec![flat]) * 2.0f32
+                        + (Expr::var(&i) + Expr::var(&j) + Expr::var(&k)).cast(DType::F32),
+                },
+            ),
+        ),
+    );
+    let f = PrimFunc::new("nest", vec![], vec![a.clone(), c.clone()], body);
+
+    let mut sch = Schedule::new(f);
+    let mut loops: Vec<String> = vec!["i".into(), "j".into(), "k".into()];
+    for _ in 0..g.rng.gen_range(0usize..4) {
+        match g.rng.gen_range(0..3) {
+            0 => {
+                let t = g.rng.gen_range(0..loops.len());
+                let name = loops[t].clone();
+                let factor = g.rng.gen_range(2i64..5);
+                if let Ok((o, inner)) = sch.split(&name, factor) {
+                    let pos = loops.iter().position(|l| l == &name).unwrap();
+                    loops[pos] = o;
+                    loops.insert(pos + 1, inner);
+                }
+            }
+            1 => {
+                let t = g.rng.gen_range(0..loops.len());
+                let _ = sch.unroll(&loops[t]);
+            }
+            _ => {
+                let t = g.rng.gen_range(0..loops.len());
+                let _ = sch.vectorize(&loops[t]);
+            }
+        }
+    }
+    // Bind the outermost loop to blockIdx.x and (sometimes) the innermost
+    // to threadIdx.x.
+    let _ = sch.bind(&loops[0].clone(), ThreadAxis::BlockIdxX);
+    if g.rng.gen_bool(0.7) && loops.len() > 1 {
+        let last = loops.last().unwrap().clone();
+        let _ = sch.bind(&last, ThreadAxis::ThreadIdxX);
+    }
+    let f = sch.into_func();
+
+    let mut tensors = HashMap::new();
+    let av: Vec<f32> = (0..len).map(|_| g.rng.gen_range(-2.0f32..2.0)).collect();
+    tensors.insert("A".to_string(), TensorData::F32(av));
+    tensors.insert("C".to_string(), TensorData::zeros(DType::F32, len as usize));
+    (f, tensors)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn serial_nests_bit_match(seed in 0u64..1_000_000) {
+        let (f, tensors) = serial_nest(seed);
+        if let Err(msg) = differential(&f, &HashMap::new(), &tensors) {
+            prop_assert!(false, "seed {seed}: {msg}\n{}", print_func(&f));
+        }
+    }
+
+    #[test]
+    fn block_striped_programs_bit_match(seed in 0u64..1_000_000) {
+        let (f, tensors) = block_striped(seed);
+        if let Err(msg) = differential(&f, &HashMap::new(), &tensors) {
+            prop_assert!(false, "seed {seed}: {msg}\n{}", print_func(&f));
+        }
+    }
+
+    #[test]
+    fn thread_bound_reductions_bit_match(seed in 0u64..1_000_000) {
+        let (f, tensors) = block_reduction(seed);
+        if let Err(msg) = differential(&f, &HashMap::new(), &tensors) {
+            prop_assert!(false, "seed {seed}: {msg}\n{}", print_func(&f));
+        }
+    }
+
+    #[test]
+    fn scheduled_nests_bit_match(seed in 0u64..1_000_000) {
+        let (f, tensors) = scheduled_nest(seed);
+        if let Err(msg) = differential(&f, &HashMap::new(), &tensors) {
+            prop_assert!(false, "seed {seed}: {msg}\n{}", print_func(&f));
+        }
+    }
+}

@@ -104,7 +104,10 @@ mod schedules {
         // i's body is a store, not the named inner loop.
         let mut sch = Schedule::new(scale_func(4));
         let err = sch.fuse("i", "j").unwrap_err();
-        assert!(err.to_string().contains("nested") || err.to_string().contains("expected"), "{err}");
+        assert!(
+            err.to_string().contains("nested") || err.to_string().contains("expected"),
+            "{err}"
+        );
     }
 
     #[test]
@@ -116,7 +119,11 @@ mod schedules {
         let body = Stmt::for_serial(i, 2, Stmt::nop()).then(Stmt::for_serial(
             j,
             2,
-            Stmt::BufferStore { buffer: c.clone(), indices: vec![Expr::i32(0)], value: Expr::f32(0.0) },
+            Stmt::BufferStore {
+                buffer: c.clone(),
+                indices: vec![Expr::i32(0)],
+                value: Expr::f32(0.0),
+            },
         ));
         let mut sch = Schedule::new(PrimFunc::new("f", vec![], vec![c], body));
         assert!(sch.reorder(&["j", "i"]).is_err());

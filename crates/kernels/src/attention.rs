@@ -43,9 +43,14 @@ pub fn batched_bsr_spmm_plan(
                 continue;
             }
             let nblk = hi - lo;
-            let mut w = BlockWork::default();
-            w.tensor_flops = 2.0 * (nblk * b * b * feat) as f64 / efficiency;
-            w.reads.push(AccessRange::new(head_val + lo as u64 * bb * elem, (nblk as u64) * bb * elem));
+            let mut w = BlockWork {
+                tensor_flops: 2.0 * (nblk * b * b * feat) as f64 / efficiency,
+                ..Default::default()
+            };
+            w.reads.push(AccessRange::new(
+                head_val + lo as u64 * bb * elem,
+                (nblk as u64) * bb * elem,
+            ));
             for &bc in &bsr.indices()[lo..hi] {
                 w.reads.push(AccessRange::new(
                     head_x + (bc as usize * b * feat) as u64 * elem,
@@ -87,11 +92,13 @@ pub fn batched_csr_spmm_plan(a: &Csr, feat: usize, heads: usize, name: &str) -> 
             let lo = a.indptr()[row0];
             let hi = a.indptr()[row0 + rows];
             let nnz = hi - lo;
-            let mut w = BlockWork::default();
-            w.cuda_flops = 2.0 * (nnz * feat) as f64;
             // Scalar gather per non-zero element: the dominant cost
             // (uncoalesced fp32 loads, no tensor cores).
-            w.serial_insts = (nnz * feat) as f64 / 128.0 * 24.0;
+            let mut w = BlockWork {
+                cuda_flops: 2.0 * (nnz * feat) as f64,
+                serial_insts: (nnz * feat) as f64 / 128.0 * 24.0,
+                ..Default::default()
+            };
             w.reads.push(AccessRange::new(indptr + row0 as u64 * 4, (rows as u64 + 1) * 4));
             w.reads.push(AccessRange::new(indices + lo as u64 * 4, nnz as u64 * 4));
             w.reads.push(AccessRange::new(head_val + lo as u64 * elem, nnz as u64 * elem));
@@ -142,8 +149,10 @@ pub fn batched_bsr_sddmm_plan(
             }
         }
         for (ci, chunk) in block_list.chunks(blocks_per_cta).enumerate() {
-            let mut w = BlockWork::default();
-            w.tensor_flops = 2.0 * (chunk.len() * b * b * feat) as f64 / efficiency;
+            let mut w = BlockWork {
+                tensor_flops: 2.0 * (chunk.len() * b * b * feat) as f64 / efficiency,
+                ..Default::default()
+            };
             for (br, bc) in chunk {
                 w.reads.push(AccessRange::new(
                     head_x + (br * b * feat) as u64 * elem,
@@ -192,12 +201,13 @@ pub fn batched_csr_sddmm_plan(a: &Csr, feat: usize, heads: usize, name: &str) ->
         let head_o = ob + (h * a.nnz()) as u64 * elem;
         for chunk0 in (0..a.nnz()).step_by(nnz_per_block) {
             let chunk = nnz_per_block.min(a.nnz() - chunk0);
-            let mut w = BlockWork::default();
-            w.cuda_flops = 2.0 * (chunk * feat) as f64;
-            w.serial_insts = (chunk * feat) as f64 / 128.0 * 24.0;
+            let mut w = BlockWork {
+                cuda_flops: 2.0 * (chunk * feat) as f64,
+                serial_insts: (chunk * feat) as f64 / 128.0 * 24.0,
+                ..Default::default()
+            };
             w.reads.push(AccessRange::new(indices + chunk0 as u64 * 4, chunk as u64 * 4));
-            for e in chunk0..chunk0 + chunk {
-                let i = row_of[e];
+            for (e, &i) in row_of.iter().enumerate().take(chunk0 + chunk).skip(chunk0) {
                 let j = a.indices()[e];
                 w.reads.push(AccessRange::new(
                     head_x + (i as usize * feat) as u64 * elem,
@@ -249,8 +259,7 @@ mod tests {
         let bsr = Bsr::from_csr(&mask, 32).unwrap();
         let heads = 8;
         let feat = 64;
-        let bsr_plan =
-            batched_bsr_spmm_plan(&bsr, feat, heads, SPARSETIR_BSR_EFFICIENCY, "bsr");
+        let bsr_plan = batched_bsr_spmm_plan(&bsr, feat, heads, SPARSETIR_BSR_EFFICIENCY, "bsr");
         let csr_plan = batched_csr_spmm_plan(&mask, feat, heads, "csr");
         let rb = simulate_kernel(&spec, &bsr_plan);
         let rc = simulate_kernel(&spec, &csr_plan);

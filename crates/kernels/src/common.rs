@@ -61,10 +61,7 @@ impl SpmmLayout {
     /// Access range of `C` rows `[row, row + nrows)`.
     #[must_use]
     pub fn c_rows(&self, row: usize, nrows: usize, feat: usize, elem: u64) -> AccessRange {
-        AccessRange::new(
-            self.c + row as u64 * feat as u64 * elem,
-            (nrows * feat) as u64 * elem,
-        )
+        AccessRange::new(self.c + row as u64 * feat as u64 * elem, (nrows * feat) as u64 * elem)
     }
 }
 
@@ -195,13 +192,8 @@ mod tests {
 
     #[test]
     fn register_cache_removes_writeback() {
-        let base = SpmmCost {
-            nnz: 100,
-            feat: 32,
-            vec_width: 4,
-            register_cache: true,
-            threads: 128,
-        };
+        let base =
+            SpmmCost { nnz: 100, feat: 32, vec_width: 4, register_cache: true, threads: 128 };
         assert_eq!(base.writeback_penalty_bytes(4), 0);
         let uncached = SpmmCost { register_cache: false, ..base };
         assert!(uncached.writeback_penalty_bytes(4) > 0);
@@ -209,13 +201,8 @@ mod tests {
 
     #[test]
     fn vectorization_reduces_serial_insts() {
-        let scalar = SpmmCost {
-            nnz: 1000,
-            feat: 64,
-            vec_width: 1,
-            register_cache: true,
-            threads: 128,
-        };
+        let scalar =
+            SpmmCost { nnz: 1000, feat: 64, vec_width: 1, register_cache: true, threads: 128 };
         let vectored = SpmmCost { vec_width: 4, ..scalar };
         assert!(vectored.serial_insts() < scalar.serial_insts());
     }

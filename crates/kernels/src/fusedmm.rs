@@ -74,9 +74,8 @@ pub fn fusedmm_plan(a: &Csr, feat: usize, name: &str) -> KernelPlan {
         let lo = a.indptr()[row0];
         let hi = a.indptr()[row0 + rows];
         let nnz = hi - lo;
-        let mut w = BlockWork::default();
         // 2·d (dot) + 2·d (axpy) flops per non-zero.
-        w.cuda_flops = 4.0 * (nnz * feat) as f64;
+        let mut w = BlockWork { cuda_flops: 4.0 * (nnz * feat) as f64, ..Default::default() };
         w.reads.push(AccessRange::new(layout.indices + lo as u64 * 4, nnz as u64 * 4));
         w.reads.push(AccessRange::new(layout.values + lo as u64 * F32, nnz as u64 * F32));
         for r in row0..row0 + rows {
@@ -141,11 +140,6 @@ mod tests {
         let spec = GpuSpec::v100();
         let fused = simulate_kernel(&spec, &fusedmm_plan(&a, 64, "fused"));
         let (_, unfused) = simulate_sequence(&spec, &unfused_plans(&a, 64));
-        assert!(
-            fused.time_ms < unfused,
-            "fused {} vs unfused {}",
-            fused.time_ms,
-            unfused
-        );
+        assert!(fused.time_ms < unfused, "fused {} vs unfused {}", fused.time_ms, unfused);
     }
 }

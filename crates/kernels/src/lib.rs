@@ -36,18 +36,17 @@ pub mod prelude {
         weight_spmm_reference, PRUNE_TC_EFFICIENCY,
     };
     pub use crate::rgms::{
-        fused_footprint_bytes, rgms_execute, rgms_hyb_plan, rgms_naive_plan,
-        rgms_two_stage_plans, two_stage_footprint_bytes, RgmsWorkload, RGMS_TC_EFFICIENCY,
+        fused_footprint_bytes, rgms_execute, rgms_hyb_plan, rgms_naive_plan, rgms_two_stage_plans,
+        two_stage_footprint_bytes, RgmsWorkload, RGMS_TC_EFFICIENCY,
     };
     pub use crate::sddmm::{
-        sddmm_execute, sddmm_ir, sddmm_plan, sddmm_row_parallel_plan, tuned_sddmm_time,
-        SddmmParams,
+        sddmm_execute, sddmm_ir, sddmm_plan, sddmm_row_parallel_plan, tuned_sddmm_time, SddmmParams,
     };
     pub use crate::sparse_conv::{
         conv_reference, sparsetir_conv_plan, torchsparse_plans, ConvMaps,
     };
     pub use crate::spmm::{
-        csr_spmm_execute, csr_spmm_ir, csr_spmm_plan, hyb_spmm_plans, hyb_spmm_time,
-        CsrSpmmParams,
+        csr_spmm_execute, csr_spmm_interpret, csr_spmm_ir, csr_spmm_plan, hyb_spmm_plans,
+        hyb_spmm_time, CsrSpmmParams,
     };
 }

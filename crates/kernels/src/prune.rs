@@ -15,12 +15,7 @@ pub const PRUNE_TC_EFFICIENCY: f64 = 0.85;
 /// block rows with no blocks still launch a (cheap) zeroing block — the
 /// waste DBSR removes.
 #[must_use]
-pub fn bsr_weight_spmm_plan(
-    bsr: &Bsr,
-    feat: usize,
-    efficiency: f64,
-    name: &str,
-) -> KernelPlan {
+pub fn bsr_weight_spmm_plan(bsr: &Bsr, feat: usize, efficiency: f64, name: &str) -> KernelPlan {
     let b = bsr.block();
     let elem = F16;
     let mut addr = AddressSpace::new();
@@ -47,10 +42,8 @@ pub fn bsr_weight_spmm_plan(
             w.shared_bytes = (nblk * b * b + b * feat) as f64 * elem as f64;
         }
         // Output rows written (zeroed) regardless of emptiness.
-        w.writes.push(AccessRange::new(
-            yb + (br * b * feat) as u64 * elem,
-            (b * feat) as u64 * elem,
-        ));
+        w.writes
+            .push(AccessRange::new(yb + (br * b * feat) as u64 * elem, (b * feat) as u64 * elem));
         plan.blocks.push(w);
     }
     plan
@@ -92,8 +85,10 @@ pub fn dbsr_weight_spmm_plan(
         let lo = dbsr.indptr()[ci];
         let hi = dbsr.indptr()[ci + 1];
         let nblk = hi - lo;
-        let mut w = BlockWork::default();
-        w.tensor_flops = 2.0 * (nblk * b * b * feat) as f64 / efficiency;
+        let mut w = BlockWork {
+            tensor_flops: 2.0 * (nblk * b * b * feat) as f64 / efficiency,
+            ..Default::default()
+        };
         w.reads.push(AccessRange::new(vals + lo as u64 * bb * elem, nblk as u64 * bb * elem));
         for &bc in &dbsr.indices()[lo..hi] {
             w.reads.push(AccessRange::new(
@@ -115,12 +110,7 @@ pub fn dbsr_weight_spmm_plan(
 /// schedule): per tile-row, groups of `g` tiles are gathered to registers
 /// and fed to `m8n32k16`-shaped MMAs.
 #[must_use]
-pub fn srbcrs_weight_spmm_plan(
-    s: &SrBcrs,
-    feat: usize,
-    efficiency: f64,
-    name: &str,
-) -> KernelPlan {
+pub fn srbcrs_weight_spmm_plan(s: &SrBcrs, feat: usize, efficiency: f64, name: &str) -> KernelPlan {
     let elem = F16;
     let t = s.t();
     let g = s.g();
@@ -138,22 +128,16 @@ pub fn srbcrs_weight_spmm_plan(
         let ntiles = (ghi - glo) * g;
         // Each group of g tiles contributes a t × feat × g MMA.
         w.tensor_flops = 2.0 * (ntiles * t * feat) as f64 / efficiency;
-        w.reads.push(AccessRange::new(
-            vals + (glo * g * t) as u64 * elem,
-            (ntiles * t) as u64 * elem,
-        ));
+        w.reads
+            .push(AccessRange::new(vals + (glo * g * t) as u64 * elem, (ntiles * t) as u64 * elem));
         w.reads.push(AccessRange::new(cols + (glo * g) as u64 * 4, ntiles as u64 * 4));
         for tile in glo * g..ghi * g {
             let c = s.tile_cols()[tile];
-            w.reads.push(AccessRange::new(
-                xb + (c as usize * feat) as u64 * elem,
-                feat as u64 * elem,
-            ));
+            w.reads
+                .push(AccessRange::new(xb + (c as usize * feat) as u64 * elem, feat as u64 * elem));
         }
-        w.writes.push(AccessRange::new(
-            yb + (tr * t * feat) as u64 * elem,
-            (t * feat) as u64 * elem,
-        ));
+        w.writes
+            .push(AccessRange::new(yb + (tr * t * feat) as u64 * elem, (t * feat) as u64 * elem));
         w.shared_bytes = (ntiles * t + g * feat) as f64 * elem as f64;
         plan.blocks.push(w);
     }
@@ -182,10 +166,8 @@ mod tests {
         assert!(bsr.zero_block_rows() > bsr.block_rows() / 4);
         let dbsr = Dbsr::from_bsr(&bsr);
         let spec = GpuSpec::v100();
-        let rb = simulate_kernel(
-            &spec,
-            &bsr_weight_spmm_plan(&bsr, 512, PRUNE_TC_EFFICIENCY, "bsr"),
-        );
+        let rb =
+            simulate_kernel(&spec, &bsr_weight_spmm_plan(&bsr, 512, PRUNE_TC_EFFICIENCY, "bsr"));
         let rd = simulate_kernel(
             &spec,
             &dbsr_weight_spmm_plan(&dbsr, 1024, 512, PRUNE_TC_EFFICIENCY, "dbsr"),
@@ -203,10 +185,8 @@ mod tests {
         let s = SrBcrs::from_csr(&w, 8, 32).unwrap();
         assert!(s.stored() < bsr.stored() / 2, "{} vs {}", s.stored(), bsr.stored());
         let spec = GpuSpec::v100();
-        let rb = simulate_kernel(
-            &spec,
-            &bsr_weight_spmm_plan(&bsr, 512, PRUNE_TC_EFFICIENCY, "bsr"),
-        );
+        let rb =
+            simulate_kernel(&spec, &bsr_weight_spmm_plan(&bsr, 512, PRUNE_TC_EFFICIENCY, "bsr"));
         let rs = simulate_kernel(
             &spec,
             &srbcrs_weight_spmm_plan(&s, 512, PRUNE_TC_EFFICIENCY, "srbcrs"),

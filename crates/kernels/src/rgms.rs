@@ -61,8 +61,8 @@ pub fn rgms_naive_plan(w: &RgmsWorkload, name: &str) -> KernelPlan {
             if nnz == 0 {
                 continue;
             }
-            let mut blk = BlockWork::default();
-            blk.cuda_flops = 2.0 * (nnz * w.din * w.dout) as f64;
+            let mut blk =
+                BlockWork { cuda_flops: 2.0 * (nnz * w.din * w.dout) as f64, ..Default::default() };
             blk.reads.push(AccessRange::new(wts + r as u64 * wsize, wsize));
             for &j in rel.row(i).0 {
                 blk.reads.push(AccessRange::new(
@@ -71,10 +71,8 @@ pub fn rgms_naive_plan(w: &RgmsWorkload, name: &str) -> KernelPlan {
                 ));
             }
             // Atomic scatter: read-modify-write of the output row.
-            blk.writes.push(AccessRange::new(
-                y + (i * w.dout) as u64 * elem,
-                2 * w.dout as u64 * elem,
-            ));
+            blk.writes
+                .push(AccessRange::new(y + (i * w.dout) as u64 * elem, 2 * w.dout as u64 * elem));
             blk.serial_insts = (nnz * w.din * w.dout) as f64 / 64.0 * 2.0;
             plan.blocks.push(blk);
         }
@@ -86,7 +84,12 @@ pub fn rgms_naive_plan(w: &RgmsWorkload, name: &str) -> KernelPlan {
 /// (`hyb(1, k)` as in §4.4.1) so each block covers a bounded edge count;
 /// `W_r` is pinned in shared memory (Figure 21).
 #[must_use]
-pub fn rgms_hyb_plan(w: &RgmsWorkload, bucket_k: u32, tensor_cores: bool, name: &str) -> KernelPlan {
+pub fn rgms_hyb_plan(
+    w: &RgmsWorkload,
+    bucket_k: u32,
+    tensor_cores: bool,
+    name: &str,
+) -> KernelPlan {
     let elem = if tensor_cores { F16 } else { F32 };
     let (mut addr, x, wts, y) = base_layout(w, elem);
     let wsize = (w.din * w.dout) as u64 * elem;
@@ -193,8 +196,8 @@ pub fn rgms_two_stage_plans(
             if nnz == 0 {
                 continue;
             }
-            let mut blk = BlockWork::default();
-            blk.cuda_flops = 2.0 * (nnz * w.dout) as f64;
+            let mut blk =
+                BlockWork { cuda_flops: 2.0 * (nnz * w.dout) as f64, ..Default::default() };
             for &j in &rel.indices()[lo..hi] {
                 blk.reads.push(AccessRange::new(
                     t_r + (j as usize * w.dout) as u64 * elem,
@@ -220,8 +223,7 @@ pub fn fused_footprint_bytes(w: &RgmsWorkload, tensor_cores: bool) -> u64 {
     let n = w.nodes() as u64;
     let r = w.relations.len() as u64;
     let edges = w.edges() as u64;
-    let base = (n * w.din as u64 + r * (w.din * w.dout) as u64 + n * w.dout as u64) * 4
-        + edges * 8; // indices + indptr-ish metadata
+    let base = (n * w.din as u64 + r * (w.din * w.dout) as u64 + n * w.dout as u64) * 4 + edges * 8; // indices + indptr-ish metadata
     if tensor_cores {
         // fp16 copies of X and W alongside the fp32 originals (§4.4.1:
         // "consumes more GPU memory … because of the half-precision/
@@ -236,8 +238,7 @@ pub fn fused_footprint_bytes(w: &RgmsWorkload, tensor_cores: bool) -> u64 {
 /// buffers plus the materialized `T` (`R × n × d_out`).
 #[must_use]
 pub fn two_stage_footprint_bytes(w: &RgmsWorkload) -> u64 {
-    fused_footprint_bytes(w, false)
-        + (w.relations.len() * w.nodes() * w.dout) as u64 * 4
+    fused_footprint_bytes(w, false) + (w.relations.len() * w.nodes() * w.dout) as u64 * 4
 }
 
 /// Functional reference.
@@ -307,8 +308,7 @@ mod tests {
         let w = workload(53, 40, 3);
         let mut rng = gen::rng(54);
         let x = gen::random_dense(40, w.din, &mut rng);
-        let ws: Vec<Dense> =
-            (0..3).map(|_| gen::random_dense(w.din, w.dout, &mut rng)).collect();
+        let ws: Vec<Dense> = (0..3).map(|_| gen::random_dense(w.din, w.dout, &mut rng)).collect();
         let y = rgms_execute(&w, &x, &ws).unwrap();
         let mut expect = Dense::zeros(40, w.dout);
         for (rel, wt) in w.relations.iter().zip(&ws) {

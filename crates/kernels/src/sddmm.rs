@@ -79,20 +79,22 @@ pub fn sddmm_plan(a: &Csr, feat: usize, params: SddmmParams, name: &str) -> Kern
     };
     for chunk0 in (0..a.nnz()).step_by(params.nnz_per_block.max(1)) {
         let chunk = params.nnz_per_block.min(a.nnz() - chunk0);
-        let mut w = BlockWork::default();
-        w.cuda_flops = 2.0 * chunk as f64 * feat as f64;
-        w.serial_insts = dot_serial_cycles(chunk, feat, &params);
-        w.mlp_penalty = mlp_penalty(&params);
+        let mut w = BlockWork {
+            cuda_flops: 2.0 * chunk as f64 * feat as f64,
+            serial_insts: dot_serial_cycles(chunk, feat, &params),
+            mlp_penalty: mlp_penalty(&params),
+            ..Default::default()
+        };
         w.reads.push(AccessRange::new(layout.indices + chunk0 as u64 * 4, chunk as u64 * 4));
         w.reads.push(AccessRange::new(layout.values + chunk0 as u64 * F32, chunk as u64 * F32));
-        for e in chunk0..chunk0 + chunk {
-            let i = row_of[e];
+        for (e, &i) in row_of.iter().enumerate().take(chunk0 + chunk).skip(chunk0) {
             let j = a.indices()[e];
             w.reads.push(AccessRange::new(
                 layout.b + u64::from(i) * feat as u64 * F32,
                 feat as u64 * F32,
             ));
-            w.reads.push(AccessRange::new(yt + u64::from(j) * feat as u64 * F32, feat as u64 * F32));
+            w.reads
+                .push(AccessRange::new(yt + u64::from(j) * feat as u64 * F32, feat as u64 * F32));
         }
         w.writes.push(AccessRange::new(out + chunk0 as u64 * F32, chunk as u64 * F32));
         plan.blocks.push(w);
@@ -121,21 +123,22 @@ pub fn sddmm_row_parallel_plan(
         let lo = a.indptr()[row0];
         let hi = a.indptr()[row0 + rows];
         let nnz = hi - lo;
-        let mut w = BlockWork::default();
-        w.cuda_flops = 2.0 * nnz as f64 * feat as f64;
-        w.serial_insts = dot_serial_cycles(nnz, feat, &params);
-        w.mlp_penalty = mlp_penalty(&params);
+        let mut w = BlockWork {
+            cuda_flops: 2.0 * nnz as f64 * feat as f64,
+            serial_insts: dot_serial_cycles(nnz, feat, &params),
+            mlp_penalty: mlp_penalty(&params),
+            ..Default::default()
+        };
         w.reads.push(AccessRange::new(layout.indptr + row0 as u64 * 4, (rows as u64 + 1) * 4));
         w.reads.push(AccessRange::new(layout.indices + lo as u64 * 4, nnz as u64 * 4));
         w.reads.push(AccessRange::new(layout.values + lo as u64 * F32, nnz as u64 * F32));
         for r in row0..row0 + rows {
-            w.reads.push(AccessRange::new(
-                layout.b + r as u64 * feat as u64 * F32,
-                feat as u64 * F32,
-            ));
+            w.reads
+                .push(AccessRange::new(layout.b + r as u64 * feat as u64 * F32, feat as u64 * F32));
         }
         for &j in &a.indices()[lo..hi] {
-            w.reads.push(AccessRange::new(yt + u64::from(j) * feat as u64 * F32, feat as u64 * F32));
+            w.reads
+                .push(AccessRange::new(yt + u64::from(j) * feat as u64 * F32, feat as u64 * F32));
         }
         w.writes.push(AccessRange::new(out + lo as u64 * F32, nnz as u64 * F32));
         plan.blocks.push(w);
@@ -151,8 +154,7 @@ pub fn tuned_sddmm_time(spec: &GpuSpec, a: &Csr, feat: usize) -> KernelReport {
     let mut best: Option<KernelReport> = None;
     for nnz_per_block in [8usize, 16, 32, 64] {
         for vec_width in [2usize, 4] {
-            let params =
-                SddmmParams { nnz_per_block, vec_width, two_stage: true, threads: 128 };
+            let params = SddmmParams { nnz_per_block, vec_width, two_stage: true, threads: 128 };
             let r = simulate_kernel(spec, &sddmm_plan(a, feat, params, "sparsetir_sddmm"));
             if best.as_ref().is_none_or(|b| r.time_ms < b.time_ms) {
                 best = Some(r);
@@ -173,18 +175,23 @@ pub fn sddmm_ir(a: &Csr, feat: usize) -> Result<PrimFunc, Box<dyn std::error::Er
     Ok(f)
 }
 
-/// Execute the IR-path SDDMM through the interpreter.
+/// Execute the IR-path SDDMM through the slot-compiled executor
+/// (compile-once/run-many via the global kernel cache).
 ///
 /// # Errors
-/// Propagates lowering and interpretation errors.
-pub fn sddmm_execute(a: &Csr, x: &Dense, y: &Dense) -> Result<Vec<f32>, Box<dyn std::error::Error>> {
+/// Propagates lowering and execution errors.
+pub fn sddmm_execute(
+    a: &Csr,
+    x: &Dense,
+    y: &Dense,
+) -> Result<Vec<f32>, Box<dyn std::error::Error>> {
     let f = sddmm_ir(a, x.cols())?;
     let mut bindings = Bindings::new();
     bind_csr(&mut bindings, "A", "J", a);
     bind_dense(&mut bindings, "X", x);
     bind_dense(&mut bindings, "Y", y);
     bind_zeros(&mut bindings, "Bout", a.nnz());
-    eval_func(&f, &HashMap::new(), &mut bindings)?;
+    exec_func(&f, &HashMap::new(), &mut bindings)?;
     Ok(bindings["Bout"].as_f32().to_vec())
 }
 

@@ -123,9 +123,11 @@ pub fn sparsetir_conv_plan(maps: &ConvMaps, cin: usize, cout: usize, name: &str)
     let wsize = (cin * cout) as u64 * elem;
     for (r, pairs) in maps.pairs.iter().enumerate() {
         for chunk in pairs.chunks(16) {
-            let mut w = BlockWork::default();
-            w.tensor_flops =
-                2.0 * (chunk.len() * cin * cout) as f64 / fused_conv_efficiency(cin, cout);
+            let mut w = BlockWork {
+                tensor_flops: 2.0 * (chunk.len() * cin * cout) as f64
+                    / fused_conv_efficiency(cin, cout),
+                ..Default::default()
+            };
             w.reads.push(AccessRange::new(wts + r as u64 * wsize, wsize));
             for &(_, inp) in chunk {
                 w.reads.push(AccessRange::new(
@@ -186,8 +188,7 @@ mod tests {
         let maps = synthetic_maps(20000, 27, 0.3, 61);
         let spec = GpuSpec::v100();
         for (c, fused_should_win) in [(32usize, true), (256usize, false)] {
-            let fused =
-                simulate_kernel(&spec, &sparsetir_conv_plan(&maps, c, c, "fused"));
+            let fused = simulate_kernel(&spec, &sparsetir_conv_plan(&maps, c, c, "fused"));
             let (_, ts_time) = simulate_sequence(&spec, &torchsparse_plans(&maps, c, c));
             let fused_wins = fused.time_ms < ts_time;
             assert_eq!(

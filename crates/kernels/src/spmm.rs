@@ -114,10 +114,7 @@ pub fn hyb_spmm_plans(hyb: &Hyb, feat: usize, params: CsrSpmmParams) -> Vec<Kern
                     ..Default::default()
                 };
                 w.reads.push(AccessRange::new(rows_base + r0 as u64 * 4, rows as u64 * 4));
-                w.reads.push(AccessRange::new(
-                    cols_base + (r0 * width) as u64 * 4,
-                    nnz as u64 * 4,
-                ));
+                w.reads.push(AccessRange::new(cols_base + (r0 * width) as u64 * 4, nnz as u64 * 4));
                 w.reads.push(AccessRange::new(
                     vals_base + (r0 * width) as u64 * elem,
                     nnz as u64 * elem,
@@ -146,7 +143,12 @@ pub fn hyb_spmm_plans(hyb: &Hyb, feat: usize, params: CsrSpmmParams) -> Vec<Kern
 
 /// Simulated time (ms) of the hyb SpMM with horizontal fusion (§3.5).
 #[must_use]
-pub fn hyb_spmm_time(spec: &GpuSpec, hyb: &Hyb, feat: usize, params: CsrSpmmParams) -> KernelReport {
+pub fn hyb_spmm_time(
+    spec: &GpuSpec,
+    hyb: &Hyb,
+    feat: usize,
+    params: CsrSpmmParams,
+) -> KernelReport {
     let plans = hyb_spmm_plans(hyb, feat, params);
     simulate_fused(spec, &plans, "spmm_hyb_fused")
 }
@@ -166,12 +168,29 @@ pub fn csr_spmm_ir(a: &Csr, feat: usize) -> Result<PrimFunc, Box<dyn std::error:
     Ok(sch.into_func())
 }
 
-/// Execute the IR-path CSR SpMM through the interpreter (testing oracle;
-/// use [`Csr::spmm`] for performance).
+/// Execute the IR-path CSR SpMM through the slot-compiled executor
+/// (compile-once/run-many via the global kernel cache, `blockIdx` loops
+/// dispatched in parallel). The reference interpreter remains available
+/// through [`eval_func`] as the semantics oracle.
+///
+/// # Errors
+/// Propagates lowering and execution errors.
+pub fn csr_spmm_execute(a: &Csr, x: &Dense) -> Result<Dense, Box<dyn std::error::Error>> {
+    let f = csr_spmm_ir(a, x.cols())?;
+    let mut bindings = Bindings::new();
+    bind_csr(&mut bindings, "A", "J", a);
+    bind_dense(&mut bindings, "B", x);
+    bind_zeros(&mut bindings, "C", a.rows() * x.cols());
+    exec_func(&f, &HashMap::new(), &mut bindings)?;
+    Ok(read_dense(&bindings, "C", a.rows(), x.cols()))
+}
+
+/// Like [`csr_spmm_execute`] but through the reference interpreter —
+/// kept as the slow oracle for differential testing.
 ///
 /// # Errors
 /// Propagates lowering and interpretation errors.
-pub fn csr_spmm_execute(a: &Csr, x: &Dense) -> Result<Dense, Box<dyn std::error::Error>> {
+pub fn csr_spmm_interpret(a: &Csr, x: &Dense) -> Result<Dense, Box<dyn std::error::Error>> {
     let f = csr_spmm_ir(a, x.cols())?;
     let mut bindings = Bindings::new();
     bind_csr(&mut bindings, "A", "J", a);
@@ -250,12 +269,7 @@ mod tests {
         let h8 = Hyb::from_csr(&a, 8, 3).unwrap();
         let r1 = hyb_spmm_time(&spec, &h1, feat, CsrSpmmParams::default());
         let r8 = hyb_spmm_time(&spec, &h8, feat, CsrSpmmParams::default());
-        assert!(
-            r8.l2_hit_rate > r1.l2_hit_rate,
-            "l2 {} vs {}",
-            r8.l2_hit_rate,
-            r1.l2_hit_rate
-        );
+        assert!(r8.l2_hit_rate > r1.l2_hit_rate, "l2 {} vs {}", r8.l2_hit_rate, r1.l2_hit_rate);
     }
 
     #[test]
@@ -308,6 +322,20 @@ mod crosscheck_tests {
         );
         // And the block decomposition covers every row group.
         assert_eq!(plan.blocks.len(), a.rows().div_ceil(4));
+    }
+
+    /// The compiled executor must agree bit-for-bit with the reference
+    /// interpreter on the lowered, scheduled SpMM kernel.
+    #[test]
+    fn compiled_executor_bit_matches_interpreter() {
+        let mut rng = gen::rng(81);
+        let a = gen::random_csr(40, 32, 0.15, &mut rng);
+        let x = gen::random_dense(32, 8, &mut rng);
+        let fast = csr_spmm_execute(&a, &x).unwrap();
+        let slow = csr_spmm_interpret(&a, &x).unwrap();
+        for (f, s) in fast.data().iter().zip(slow.data()) {
+            assert_eq!(f.to_bits(), s.to_bits(), "{f} vs {s}");
+        }
     }
 
     /// The hyb plan's FLOPs equal 2·stored·feat (padding included), which

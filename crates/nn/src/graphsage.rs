@@ -41,7 +41,13 @@ impl GraphSage {
     ///
     /// # Errors
     /// Propagates shape errors from normalization.
-    pub fn new(adj: &Csr, in_dim: usize, hidden: usize, out_dim: usize, seed: u64) -> Result<GraphSage, SmatError> {
+    pub fn new(
+        adj: &Csr,
+        in_dim: usize,
+        hidden: usize,
+        out_dim: usize,
+        seed: u64,
+    ) -> Result<GraphSage, SmatError> {
         let mut a = adj.clone();
         // Row-normalize: mean aggregator.
         {
@@ -132,9 +138,7 @@ fn training_step_time(
 /// Simulated training-step time with DGL's SpMM backend.
 #[must_use]
 pub fn dgl_step_time(spec: &GpuSpec, model: &GraphSage, dims: (usize, usize, usize)) -> f64 {
-    training_step_time(spec, model, dims.0, dims.1, dims.2, &|a, feat| {
-        vec![dgl_spmm_plan(a, feat)]
-    })
+    training_step_time(spec, model, dims.0, dims.1, dims.2, &|a, feat| vec![dgl_spmm_plan(a, feat)])
 }
 
 /// Simulated training-step time with the SparseTIR hyb SpMM (horizontally
@@ -258,11 +262,7 @@ mod training_tests {
         let target = teacher.forward(&x).unwrap().out;
 
         let loss_of = |out: &Dense| -> f32 {
-            out.data()
-                .iter()
-                .zip(target.data())
-                .map(|(o, t)| (o - t) * (o - t))
-                .sum()
+            out.data().iter().zip(target.data()).map(|(o, t)| (o - t) * (o - t)).sum()
         };
         let lr = 0.15f32;
         let mut losses = Vec::new();
@@ -280,9 +280,6 @@ mod training_tests {
         }
         let first = losses[0];
         let last = *losses.last().unwrap();
-        assert!(
-            last < first * 0.5,
-            "training failed to converge: {first} → {last} ({losses:?})"
-        );
+        assert!(last < first * 0.5, "training failed to converge: {first} → {last} ({losses:?})");
     }
 }

@@ -26,10 +26,7 @@ impl RgcnLayer {
         let weights = (0..relations.len())
             .map(|_| gen::random_dense(feat, feat, &mut rng).scale(0.1))
             .collect();
-        RgcnLayer {
-            workload: RgmsWorkload { relations, din: feat, dout: feat },
-            weights,
-        }
+        RgcnLayer { workload: RgmsWorkload { relations, din: feat, dout: feat }, weights }
     }
 
     /// Functional inference: `Y = relu(Σ_r A_r · X · W_r)`.
@@ -124,8 +121,7 @@ mod tests {
         let mut rng = gen::rng(3);
         let x = gen::random_dense(30, 8, &mut rng);
         let y = layer.infer(&x).unwrap();
-        let manual =
-            rgms_reference(&layer.workload.relations, &x, &layer.weights).unwrap().relu();
+        let manual = rgms_reference(&layer.workload.relations, &x, &layer.weights).unwrap().relu();
         assert!(y.approx_eq(&manual, 1e-4));
     }
 

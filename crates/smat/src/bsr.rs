@@ -128,9 +128,7 @@ impl Bsr {
     /// (paper §4.3.2, structured pruning).
     #[must_use]
     pub fn zero_block_rows(&self) -> usize {
-        (0..self.block_rows)
-            .filter(|&br| self.indptr[br] == self.indptr[br + 1])
-            .count()
+        (0..self.block_rows).filter(|&br| self.indptr[br] == self.indptr[br + 1]).count()
     }
 
     /// Density of the stored blocks relative to the full matrix.
@@ -340,12 +338,8 @@ mod tests {
     fn blocky() -> Csr {
         // 6x6 with non-zeros confined to blocks (0,0) and (2,1) of size 2,
         // leaving block row 1 empty.
-        let coo = Coo::from_entries(
-            6,
-            6,
-            vec![(0, 0, 1.0), (1, 1, 2.0), (4, 2, 3.0), (5, 3, 4.0)],
-        )
-        .unwrap();
+        let coo = Coo::from_entries(6, 6, vec![(0, 0, 1.0), (1, 1, 2.0), (4, 2, 3.0), (5, 3, 4.0)])
+            .unwrap();
         Csr::from_coo(&coo)
     }
 

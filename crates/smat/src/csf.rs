@@ -24,11 +24,7 @@ impl Csf3 {
     ///
     /// # Errors
     /// Fails when slice shapes disagree with `(n_rows, n_cols)`.
-    pub fn from_relations(
-        n_rows: usize,
-        n_cols: usize,
-        slices: &[Csr],
-    ) -> Result<Csf3, SmatError> {
+    pub fn from_relations(n_rows: usize, n_cols: usize, slices: &[Csr]) -> Result<Csf3, SmatError> {
         let mut rel_ids = Vec::new();
         let mut rel_ptr = vec![0usize];
         let mut row_ids = Vec::new();

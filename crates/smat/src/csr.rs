@@ -253,8 +253,8 @@ impl Csr {
             for p in lo..hi {
                 let c = self.indices[p] as usize;
                 let mut dot = 0.0f32;
-                for k in 0..d {
-                    dot += xrow[k] * y.get(k, c);
+                for (k, xv) in xrow.iter().enumerate().take(d) {
+                    dot += xv * y.get(k, c);
                 }
                 out.values[p] = self.values[p] * dot;
             }
@@ -410,9 +410,8 @@ mod tests {
         let m = sample();
         let parts = m.column_partition(2);
         assert_eq!(parts.len(), 2);
-        let merged = parts
-            .iter()
-            .fold(Dense::zeros(3, 3), |acc, p| acc.add(&p.to_dense()).unwrap());
+        let merged =
+            parts.iter().fold(Dense::zeros(3, 3), |acc, p| acc.add(&p.to_dense()).unwrap());
         assert_eq!(merged, m.to_dense());
     }
 

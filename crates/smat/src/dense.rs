@@ -175,11 +175,7 @@ impl Dense {
     /// Scale every element.
     #[must_use]
     pub fn scale(&self, s: f32) -> Dense {
-        Dense {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|v| v * s).collect(),
-        }
+        Dense { rows: self.rows, cols: self.cols, data: self.data.iter().map(|v| v * s).collect() }
     }
 
     /// Apply ReLU elementwise.
@@ -198,11 +194,7 @@ impl Dense {
         if self.rows != rhs.rows || self.cols != rhs.cols {
             return f32::INFINITY;
         }
-        self.data
-            .iter()
-            .zip(&rhs.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0f32, f32::max)
+        self.data.iter().zip(&rhs.data).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max)
     }
 
     /// True when every element differs from `rhs` by at most `tol`.

@@ -135,12 +135,8 @@ mod tests {
     use crate::coo::Coo;
 
     fn sample() -> Csr {
-        let coo = Coo::from_entries(
-            3,
-            4,
-            vec![(0, 1, 1.0), (0, 3, 2.0), (1, 0, 3.0), (2, 2, 4.0)],
-        )
-        .unwrap();
+        let coo = Coo::from_entries(3, 4, vec![(0, 1, 1.0), (0, 3, 2.0), (1, 0, 3.0), (2, 2, 4.0)])
+            .unwrap();
         Csr::from_coo(&coo)
     }
 

@@ -183,11 +183,7 @@ impl Hyb {
     /// Total stored entries including padding.
     #[must_use]
     pub fn stored(&self) -> usize {
-        self.partitions
-            .iter()
-            .flat_map(|p| &p.buckets)
-            .map(EllBucket::stored)
-            .sum()
+        self.partitions.iter().flat_map(|p| &p.buckets).map(EllBucket::stored).sum()
     }
 
     /// Padding ratio `(stored − nnz) / stored` — the `%padding` column of
@@ -335,10 +331,7 @@ mod tests {
         let expected = csr.spmm(&x).unwrap();
         for (c, k) in [(1usize, 3u32), (2, 2), (4, 1)] {
             let hyb = Hyb::from_csr(&csr, c, k).unwrap();
-            assert!(
-                hyb.spmm(&x).unwrap().approx_eq(&expected, 1e-5),
-                "hyb({c},{k}) spmm mismatch"
-            );
+            assert!(hyb.spmm(&x).unwrap().approx_eq(&expected, 1e-5), "hyb({c},{k}) spmm mismatch");
         }
     }
 

@@ -53,7 +53,6 @@ pub fn batched_sddmm(a: &Csr, x: &[Dense], y: &[Dense]) -> Result<Vec<Csr>, Smat
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::coo::Coo;
     use crate::gen;
 
     #[test]

@@ -56,11 +56,7 @@ impl SrBcrs {
                 tile_cols.push(col);
                 for ri in 0..t {
                     let r = tr * t + ri;
-                    let v = if slot < ntiles && r < rows {
-                        lookup(csr, r, col)
-                    } else {
-                        0.0
-                    };
+                    let v = if slot < ntiles && r < rows { lookup(csr, r, col) } else { 0.0 };
                     values.push(v);
                 }
             }
@@ -215,14 +211,7 @@ mod tests {
         let coo = Coo::from_entries(
             8,
             8,
-            vec![
-                (0, 1, 1.0),
-                (1, 1, 2.0),
-                (2, 5, 3.0),
-                (3, 1, 4.0),
-                (4, 0, 5.0),
-                (7, 7, 6.0),
-            ],
+            vec![(0, 1, 1.0), (1, 1, 2.0), (2, 5, 3.0), (3, 1, 4.0), (4, 0, 5.0), (7, 7, 6.0)],
         )
         .unwrap();
         Csr::from_coo(&coo)

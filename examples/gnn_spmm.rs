@@ -69,7 +69,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     bind_csr(&mut bindings, "A", "J", &graph);
     bind_dense(&mut bindings, "B", &x);
     bind_zeros(&mut bindings, "C", graph.rows() * feat);
-    eval_func(&func, &HashMap::new(), &mut bindings)?;
+    exec_func(&func, &HashMap::new(), &mut bindings)?;
     let got = read_dense(&bindings, "C", graph.rows(), feat);
     assert!(got.approx_eq(&graph.spmm(&x)?, 1e-3));
     println!("decomposed SpMM matches the CSR reference ✓");

@@ -29,11 +29,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Figure 20: every system, normalized to Graphiler.
     let gpu = GpuSpec::v100();
     let measurements = figure20_measurements(&gpu, &layer);
-    let graphiler = measurements
-        .iter()
-        .find(|m| m.system == "Graphiler")
-        .expect("graphiler present")
-        .time_ms;
+    let graphiler =
+        measurements.iter().find(|m| m.system == "Graphiler").expect("graphiler present").time_ms;
     println!("\nsystem               speedup   time       GPU memory");
     for m in &measurements {
         println!(

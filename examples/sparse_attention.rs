@@ -32,10 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let gpu = GpuSpec::v100();
     for (name, mask) in [("Longformer", &band), ("Butterfly", &butterfly)] {
         let bsr = Bsr::from_csr(mask, cfg.block)?;
-        let t_csr = simulate_kernel(
-            &gpu,
-            &batched_csr_spmm_plan(mask, cfg.feat, cfg.heads, "csr"),
-        );
+        let t_csr = simulate_kernel(&gpu, &batched_csr_spmm_plan(mask, cfg.feat, cfg.heads, "csr"));
         let t_bsr = simulate_kernel(
             &gpu,
             &batched_bsr_spmm_plan(&bsr, cfg.feat, cfg.heads, SPARSETIR_BSR_EFFICIENCY, "bsr"),

@@ -1,0 +1,136 @@
+//! Offline shim for the subset of the `rand` crate API this workspace uses.
+//!
+//! The build environment has no network access, so instead of the real
+//! `rand` crate the workspace vendors this deterministic stand-in. It
+//! provides [`rngs::SmallRng`] (an xorshift64*-based generator seeded via
+//! [`SeedableRng::seed_from_u64`]) and the [`Rng`] trait with `gen_range`
+//! over half-open ranges plus `gen_bool`. The statistical quality is far
+//! below the real crate's but entirely sufficient for synthetic workload
+//! generation and randomized tests.
+
+use std::ops::Range;
+
+/// Seeding constructor trait (shim of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types that can be drawn uniformly from a half-open range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draw a value in `[lo, hi)` using `bits` as the entropy source.
+    fn sample_from(bits: u64, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_from(bits: u64, lo: Self, hi: Self) -> Self {
+                let span = (hi as i128 - lo as i128) as u128;
+                let off = (bits as u128) % span;
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_from(bits: u64, lo: Self, hi: Self) -> Self {
+        let unit = (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        lo + unit * (hi - lo)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_from(bits: u64, lo: Self, hi: Self) -> Self {
+        f64::sample_from(bits, f64::from(lo), f64::from(hi)) as f32
+    }
+}
+
+/// Random-number-generation methods (shim of `rand::Rng`).
+pub trait Rng {
+    /// Next raw 64 bits of entropy.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform draw from the half-open range `[range.start, range.end)`.
+    ///
+    /// # Panics
+    /// Panics on an empty range, like the real `rand` crate.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        assert!(range.start < range.end, "cannot sample empty range");
+        T::sample_from(self.next_u64(), range.start, range.end)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Small, fast, deterministic generator (xorshift64* variant).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // splitmix64 step so that small seeds (0, 1, 2, …) diverge.
+            let mut z = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            SmallRng { state: (z ^ (z >> 31)) | 1 }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut r = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = r.gen_range(3usize..10);
+            assert!((3..10).contains(&v));
+            let f = r.gen_range(-1.0f32..1.0);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = SmallRng::seed_from_u64(9);
+        assert!(!(0..64).any(|_| r.gen_bool(0.0)));
+        assert!((0..64).all(|_| r.gen_bool(1.0)));
+    }
+}

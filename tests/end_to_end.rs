@@ -24,7 +24,7 @@ fn cora_spmm_through_the_whole_stack() {
     bind_csr(&mut b, "A", "J", &g);
     bind_dense(&mut b, "B", &x);
     bind_zeros(&mut b, "C", g.rows() * feat);
-    eval_func(&func, &HashMap::new(), &mut b).expect("interprets");
+    exec_func(&func, &HashMap::new(), &mut b).expect("executes");
     let got = read_dense(&b, "C", g.rows(), feat);
     assert!(got.approx_eq(&g.spmm(&x).unwrap(), 1e-3));
 }
@@ -47,7 +47,13 @@ fn decomposed_hyb_pipeline_on_real_graph_slice() {
                 continue;
             }
             let tag = format!("p{pi}_w{}", bucket.width);
-            rules.push(FormatRewriteRule::bucket_ell("A", &tag, bucket.width, bucket.len(), g.cols()));
+            rules.push(FormatRewriteRule::bucket_ell(
+                "A",
+                &tag,
+                bucket.width,
+                bucket.len(),
+                g.cols(),
+            ));
             buckets.push((tag, bucket.clone()));
         }
     }
@@ -63,7 +69,7 @@ fn decomposed_hyb_pipeline_on_real_graph_slice() {
     bind_csr(&mut b, "A", "J", &g);
     bind_dense(&mut b, "B", &x);
     bind_zeros(&mut b, "C", g.rows() * feat);
-    eval_func(&func, &HashMap::new(), &mut b).expect("interprets");
+    exec_func(&func, &HashMap::new(), &mut b).expect("executes");
     let got = read_dense(&b, "C", g.rows(), feat);
     assert!(got.approx_eq(&g.spmm(&x).unwrap(), 1e-3));
 }
@@ -112,7 +118,7 @@ fn scheduled_and_fused_kernels_stay_correct() {
     bind_dense(&mut b, "B", &x);
     // Poison C to prove the fused zero-init runs first.
     b.insert("C".into(), TensorData::from(vec![777.0f32; 32 * 8]));
-    eval_func(&fused, &HashMap::new(), &mut b).unwrap();
+    exec_func(&fused, &HashMap::new(), &mut b).unwrap();
     let got = read_dense(&b, "C", 32, 8);
     assert!(got.approx_eq(&a.spmm(&x).unwrap(), 1e-3));
 }
@@ -155,11 +161,9 @@ fn simulator_effects_cross_check_figures() {
     // Fig 16: BSR tensor cores ≥ CSR on block masks.
     let mask = band_mask(512, 64);
     let bsr = Bsr::from_csr(&mask, 32).unwrap();
-    let t_bsr = simulate_kernel(
-        &gpu,
-        &batched_bsr_spmm_plan(&bsr, 64, 4, SPARSETIR_BSR_EFFICIENCY, "b"),
-    )
-    .time_ms;
+    let t_bsr =
+        simulate_kernel(&gpu, &batched_bsr_spmm_plan(&bsr, 64, 4, SPARSETIR_BSR_EFFICIENCY, "b"))
+            .time_ms;
     let t_csr = simulate_kernel(&gpu, &batched_csr_spmm_plan(&mask, 64, 4, "c")).time_ms;
     assert!(t_bsr < t_csr);
 
@@ -167,7 +171,8 @@ fn simulator_effects_cross_check_figures() {
     let w = block_pruned_weight(512, 512, 1.0 / 32.0, 9);
     let wb = Bsr::from_csr(&w, 32).unwrap();
     let wd = Dbsr::from_bsr(&wb);
-    let tb = simulate_kernel(&gpu, &bsr_weight_spmm_plan(&wb, 128, PRUNE_TC_EFFICIENCY, "b")).time_ms;
+    let tb =
+        simulate_kernel(&gpu, &bsr_weight_spmm_plan(&wb, 128, PRUNE_TC_EFFICIENCY, "b")).time_ms;
     let td = simulate_kernel(&gpu, &dbsr_weight_spmm_plan(&wd, 512, 128, PRUNE_TC_EFFICIENCY, "d"))
         .time_ms;
     assert!(td <= tb * 1.05, "dbsr {td} vs bsr {tb}");
@@ -217,8 +222,6 @@ fn rgcn_functional_path_on_hetero_slice() {
     let mut rng = gen::rng(7);
     let x = gen::random_dense(64, 16, &mut rng);
     let out = layer.infer(&x).expect("infers");
-    let manual = rgms_reference(&layer.workload.relations, &x, &layer.weights)
-        .unwrap()
-        .relu();
+    let manual = rgms_reference(&layer.workload.relations, &x, &layer.weights).unwrap().relu();
     assert!(out.approx_eq(&manual, 1e-4));
 }
