@@ -1,0 +1,156 @@
+//! The [`TuneCache`]: tuning results keyed by a structural sparsity
+//! fingerprint, so repeated tunes of the same matrix (the common case in a
+//! training run — §2: "the overhead can be amortized") hit cache with zero
+//! recompilation and zero re-measurement.
+
+use sparsetir_smat::prelude::*;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Structural summary of a sparse matrix: dimensions, non-zero count and
+/// the power-of-two degree histogram. Two matrices with the same
+/// fingerprint have the same shape of tuning problem, so a cached decision
+/// transfers. Note the asymmetry: the *configuration* transfers between
+/// colliding matrices by design, but any absolute timings stored alongside
+/// it were observed on the first matrix — treat them as representative,
+/// not exact, for a collider.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SparsityFingerprint {
+    /// Rows of the matrix.
+    pub rows: usize,
+    /// Columns of the matrix.
+    pub cols: usize,
+    /// Stored non-zeros.
+    pub nnz: usize,
+    /// `Csr::degree_histogram_log2` — the degree-skew summary that drives
+    /// bucketing decisions.
+    pub degree_hist: Vec<usize>,
+}
+
+impl SparsityFingerprint {
+    /// Fingerprint a CSR matrix.
+    #[must_use]
+    pub fn of(a: &Csr) -> SparsityFingerprint {
+        SparsityFingerprint {
+            rows: a.rows(),
+            cols: a.cols(),
+            nnz: a.nnz(),
+            degree_hist: a.degree_histogram_log2(),
+        }
+    }
+}
+
+/// Cache key: workload kind, evaluation backend, device, extra workload
+/// parameters (feature width, heads, …) and the matrix fingerprint.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TuneKey {
+    /// Workload kind (`"spmm"`, `"sddmm"`, `"attention"`).
+    pub workload: &'static str,
+    /// Evaluation backend (`"gpusim"` or `"measured"`).
+    pub backend: &'static str,
+    /// `GpuSpec::device_id` of the device tuned for.
+    pub device: &'static str,
+    /// Extra workload parameters (feature width, heads, …).
+    pub extra: Vec<usize>,
+    /// The matrix fingerprint.
+    pub fingerprint: SparsityFingerprint,
+}
+
+/// Thread-safe map from [`TuneKey`] to a tuning result, with hit/miss
+/// statistics.
+#[derive(Default)]
+pub struct TuneCache<V> {
+    map: Mutex<HashMap<TuneKey, V>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl<V: Clone> TuneCache<V> {
+    /// Empty cache.
+    #[must_use]
+    pub fn new() -> TuneCache<V> {
+        TuneCache {
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    /// Look up `key`, computing and inserting on a miss. Returns the value
+    /// and whether it was a hit. `compute` runs outside the lock, so a
+    /// slow tuning run never blocks unrelated lookups. No single-flight
+    /// guard is provided: concurrent callers racing on the same key each
+    /// pay the compute and the last insert wins (for the measured backend
+    /// the racing results may differ by timing noise).
+    pub fn get_or_insert_with(&self, key: TuneKey, compute: impl FnOnce() -> V) -> (V, bool) {
+        if let Some(v) = self.map.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return (v.clone(), true);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let v = compute();
+        self.map.lock().unwrap().insert(key, v.clone());
+        (v, false)
+    }
+
+    /// Number of cached decisions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+
+    /// True when nothing is cached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups answered from cache.
+    #[must_use]
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to tune.
+    #[must_use]
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(tag: usize) -> TuneKey {
+        TuneKey {
+            workload: "spmm",
+            backend: "gpusim",
+            device: "V100",
+            extra: vec![tag],
+            fingerprint: SparsityFingerprint { rows: 4, cols: 4, nnz: 2, degree_hist: vec![2, 2] },
+        }
+    }
+
+    #[test]
+    fn hit_after_miss_and_stats() {
+        let cache = TuneCache::new();
+        let (v, hit) = cache.get_or_insert_with(key(1), || 42);
+        assert!(!hit);
+        assert_eq!(v, 42);
+        let (v, hit) = cache.get_or_insert_with(key(1), || unreachable!("must hit"));
+        assert!(hit);
+        assert_eq!(v, 42);
+        let (_, hit) = cache.get_or_insert_with(key(2), || 7);
+        assert!(!hit);
+        assert_eq!((cache.hits(), cache.misses(), cache.len()), (1, 2, 2));
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_degree_distributions() {
+        let a = Csr::new(2, 2, vec![0, 2, 2], vec![0, 1], vec![1.0, 1.0]).unwrap();
+        let b = Csr::new(2, 2, vec![0, 1, 2], vec![0, 1], vec![1.0, 1.0]).unwrap();
+        assert_ne!(SparsityFingerprint::of(&a), SparsityFingerprint::of(&b));
+    }
+}

@@ -16,6 +16,7 @@ fn main() {
         ("fig23", e::fig23::run),
         ("ablation_hfuse", e::ablation_hfuse::run),
         ("ablation_bucketing", e::ablation_bucketing::run),
+        ("autotuning", e::autotuning::run),
     ] {
         eprintln!("[all_experiments] running {name} …");
         print!("{}", run());

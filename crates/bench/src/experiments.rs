@@ -2,7 +2,7 @@
 //! report (the same rows/series the paper plots).
 
 use crate::util::*;
-use sparsetir_autotune::tune_spmm;
+use sparsetir_autotune::{tune_sddmm, tune_spmm};
 use sparsetir_baselines::prelude::*;
 use sparsetir_gpusim::prelude::*;
 use sparsetir_graphs::prelude::*;
@@ -226,7 +226,7 @@ pub mod fig14 {
                 simulate_kernel(spec, &sddmm::dgsparse_csr_plan(g, d)).time_ms,
                 simulate_kernel(spec, &sddmm::dgsparse_coo_plan(g, d)).time_ms,
                 simulate_kernel(spec, &sddmm::taco_plan(g, d)).time_ms,
-                tuned_sddmm_time(spec, g, d).time_ms,
+                tune_sddmm(spec, g, d).report.time_ms,
             ];
             for (i, t) in times.iter().enumerate() {
                 per_system[i].push(base / t);
@@ -285,16 +285,19 @@ pub mod fig15 {
                     GraphSage::new(&g, dims.0, dims.1, dims.2, 0xF1).expect("model construction");
                 let dgl = dgl_step_time(&spec, &model, dims);
                 let stir = sparsetir_step_time(&spec, &model, dims);
+                let tuned = tuned_step_time(&spec, &model, dims);
                 rows.push(vec![
                     gs.name.to_string(),
                     fmt_ms(dgl),
                     fmt_ms(stir),
+                    fmt_ms(tuned),
                     fmt_speedup(dgl / stir),
+                    fmt_speedup(dgl / tuned),
                 ]);
             }
             out.push_str(&render_table(
                 &format!("Figure 15: GraphSAGE training step vs DGL ({})", spec.name),
-                &["Graph", "DGL", "PyTorch+SparseTIR", "speedup"],
+                &["Graph", "DGL", "PyTorch+SparseTIR", "autotuned", "speedup", "tuned speedup"],
                 &rows,
             ));
             out.push('\n');
@@ -664,9 +667,83 @@ pub mod ablation_hfuse {
     }
 }
 
+/// Autotuning report: the joint format × schedule search of §2 evaluated
+/// by both backends — the GPU simulator (pruning pass) and the measured
+/// evaluator, which compiles each shortlisted candidate through
+/// `ir::exec::Runtime` and wall-clock-times real executions. Rows compare
+/// the simulator-picked and measured-picked configurations and the
+/// measured gain over the untuned default CSR schedule; measured trials
+/// run on a row slice so wall clock stays bounded (smoke-mode capped
+/// further).
+pub mod autotuning {
+    use super::*;
+    use sparsetir_autotune::{
+        spmm_measured_cache, spmm_sim_cache, tune_spmm_measured, MeasureOpts,
+    };
+
+    /// Render the comparison plus `TuneCache` statistics.
+    #[must_use]
+    pub fn run() -> String {
+        let spec = GpuSpec::v100();
+        let feat = 32;
+        let cap = if smoke() { 512 } else { 2048 };
+        let mut rows = Vec::new();
+        for gs in bench_graphs() {
+            let g = gs.generate();
+            let keep: Vec<u32> = (0..g.rows().min(cap) as u32).collect();
+            let g = g.select_rows(&keep);
+            let sim = tune_spmm(&spec, &g, feat);
+            let measured = tune_spmm_measured(&spec, &g, feat, MeasureOpts::default());
+            // The simulator's pick is always rank 1 of the pruning pass,
+            // so its measured time is in the shortlist trials.
+            let sim_pick_seconds = measured
+                .measured
+                .iter()
+                .find(|t| t.candidate == sim.config)
+                .map_or(f64::NAN, |t| t.score);
+            rows.push(vec![
+                gs.name.to_string(),
+                sim.config.label(),
+                fmt_us(sim_pick_seconds),
+                measured.config.label(),
+                fmt_us(measured.seconds),
+                fmt_us(measured.default_seconds),
+                fmt_speedup(measured.default_seconds / measured.seconds),
+                measured.sim_trials.to_string(),
+            ]);
+        }
+        let mut out = render_table(
+            &format!("Autotuning: simulator-picked vs measured-picked SpMM configs (d={feat}, row cap {cap})"),
+            &[
+                "Graph",
+                "sim pick",
+                "sim pick (meas.)",
+                "measured pick",
+                "measured",
+                "untuned",
+                "gain",
+                "sim trials",
+            ],
+            &rows,
+        );
+        out.push_str(&format!(
+            "TuneCache: sim {} hits / {} misses, measured {} hits / {} misses\n",
+            spmm_sim_cache().hits(),
+            spmm_sim_cache().misses(),
+            spmm_measured_cache().hits(),
+            spmm_measured_cache().misses(),
+        ));
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    // The `autotuning` module is exercised by the smoke integration test
+    // (`tests/smoke_experiments.rs`), which owns its test binary and can
+    // therefore set `SPARSETIR_SMOKE` without racing sibling tests.
 
     #[test]
     fn table1_renders_every_graph() {
@@ -719,7 +796,7 @@ pub mod ablation_bucketing {
             // Unbucketed: one bucket wide enough for the largest row
             // (k = ⌈log2(max_degree)⌉) — maximal padding, uniform rows.
             let (max_deg, _, _) = g.degree_stats();
-            let k_single = (max_deg.max(1) as f64).log2().ceil() as u32;
+            let k_single = ceil_log2(max_deg.max(1));
             let single = Hyb::from_csr(&g, 1, k_single).expect("valid k");
             let ts = hyb_spmm_time(&spec, &single, feat, CsrSpmmParams::default());
             rows.push(vec![

@@ -55,6 +55,12 @@ pub fn fmt_ms(x: f64) -> String {
     format!("{x:.3}ms")
 }
 
+/// Format a seconds value as microseconds (measured tuning trials).
+#[must_use]
+pub fn fmt_us(seconds: f64) -> String {
+    format!("{:.1} µs", seconds * 1e6)
+}
+
 /// Format a percentage.
 #[must_use]
 pub fn fmt_pct(x: f64) -> String {

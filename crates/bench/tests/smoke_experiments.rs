@@ -23,6 +23,7 @@ fn all_experiments_run_end_to_end_in_smoke_mode() {
         ("fig23", e::fig23::run),
         ("ablation_hfuse", e::ablation_hfuse::run),
         ("ablation_bucketing", e::ablation_bucketing::run),
+        ("autotuning", e::autotuning::run),
     ] {
         let out = run();
         assert!(!out.trim().is_empty(), "{name} rendered nothing");

@@ -95,6 +95,16 @@ impl KernelPlan {
         self.blocks.iter().map(|b| b.read_bytes() + b.write_bytes()).sum()
     }
 
+    /// Horizontally fuse several plans into one named launch (§3.5).
+    #[must_use]
+    pub fn fused(plans: &[KernelPlan], name: &str) -> KernelPlan {
+        let mut out = KernelPlan::new(name);
+        for p in plans {
+            out.fuse(p);
+        }
+        out
+    }
+
     /// Concatenate another plan's blocks (horizontal fusion at plan level:
     /// one launch, the union of blocks).
     pub fn fuse(&mut self, other: &KernelPlan) {

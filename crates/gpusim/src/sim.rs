@@ -79,11 +79,7 @@ pub fn simulate_sequence(spec: &GpuSpec, plans: &[KernelPlan]) -> (Vec<KernelRep
 /// launch, all blocks scheduled together (§3.5).
 #[must_use]
 pub fn simulate_fused(spec: &GpuSpec, plans: &[KernelPlan], name: &str) -> KernelReport {
-    let mut fused = KernelPlan::new(name);
-    for p in plans {
-        fused.fuse(p);
-    }
-    simulate_kernel(spec, &fused)
+    simulate_kernel(spec, &KernelPlan::fused(plans, name))
 }
 
 struct Simulator<'a> {

@@ -58,6 +58,13 @@ impl GpuSpec {
         self.tensor_flops_per_sm_per_cycle * self.num_sms as f64 * self.clock_ghz * 1e9
     }
 
+    /// Stable identifier for caching decisions keyed by device: a tuned
+    /// configuration is only valid for the GPU it was searched on.
+    #[must_use]
+    pub fn device_id(&self) -> &'static str {
+        self.name
+    }
+
     /// NVIDIA Tesla V100 (Volta, SXM2 16 GB).
     #[must_use]
     pub fn v100() -> GpuSpec {

@@ -1535,6 +1535,7 @@ impl CompiledKernel {
 #[derive(Default)]
 pub struct Runtime {
     cache: Mutex<HashMap<u64, Arc<CompiledKernel>>>,
+    compilations: std::sync::atomic::AtomicUsize,
 }
 
 impl Runtime {
@@ -1571,6 +1572,7 @@ impl Runtime {
             return Ok(Arc::clone(k));
         }
         let kernel = Arc::new(CompiledKernel::compile(func)?);
+        self.compilations.fetch_add(1, Ordering::Relaxed);
         self.cache.lock().unwrap().insert(key, Arc::clone(&kernel));
         Ok(kernel)
     }
@@ -1579,6 +1581,14 @@ impl Runtime {
     #[must_use]
     pub fn cached(&self) -> usize {
         self.cache.lock().unwrap().len()
+    }
+
+    /// Monotonic count of actual compilations performed (cache misses).
+    /// Unlike [`Runtime::cached`] this never decreases, so it cleanly
+    /// asserts "no new compilation happened" across an operation.
+    #[must_use]
+    pub fn compilations(&self) -> usize {
+        self.compilations.load(Ordering::Relaxed)
     }
 }
 

@@ -10,7 +10,7 @@ use sparsetir_smat::prelude::*;
 use std::collections::HashMap;
 
 /// Schedule parameters of the SDDMM kernel.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SddmmParams {
     /// Non-zeros handled per thread block (nnz-parallel decomposition from
     /// `sparse_fuse`; ignored by the row-parallel variant).
@@ -146,22 +146,30 @@ pub fn sddmm_row_parallel_plan(
     plan
 }
 
-/// Tune the SDDMM schedule over the paper's parameter space (group size /
-/// non-zeros per CTA, vector length — §4.2.2: "we generalize the
-/// parameters … as tunable parameters") and return the best plan's report.
+/// The paper's SDDMM schedule space (group size / non-zeros per CTA,
+/// vector length — §4.2.2: "we generalize the parameters … as tunable
+/// parameters"). The autotuner's `SddmmSpace` enumerates exactly these.
 #[must_use]
-pub fn tuned_sddmm_time(spec: &GpuSpec, a: &Csr, feat: usize) -> KernelReport {
-    let mut best: Option<KernelReport> = None;
+pub fn sddmm_param_candidates() -> Vec<SddmmParams> {
+    let mut out = Vec::new();
     for nnz_per_block in [8usize, 16, 32, 64] {
         for vec_width in [2usize, 4] {
-            let params = SddmmParams { nnz_per_block, vec_width, two_stage: true, threads: 128 };
-            let r = simulate_kernel(spec, &sddmm_plan(a, feat, params, "sparsetir_sddmm"));
-            if best.as_ref().is_none_or(|b| r.time_ms < b.time_ms) {
-                best = Some(r);
-            }
+            out.push(SddmmParams { nnz_per_block, vec_width, two_stage: true, threads: 128 });
         }
     }
-    best.expect("non-empty search space")
+    out
+}
+
+/// Tune the SDDMM schedule over [`sddmm_param_candidates`] and return the
+/// best plan's report (grid kept here for plan-only callers; the cached,
+/// engine-driven variant lives in `sparsetir-autotune`).
+#[must_use]
+pub fn tuned_sddmm_time(spec: &GpuSpec, a: &Csr, feat: usize) -> KernelReport {
+    sddmm_param_candidates()
+        .into_iter()
+        .map(|params| simulate_kernel(spec, &sddmm_plan(a, feat, params, "sparsetir_sddmm")))
+        .min_by(|a, b| a.time_ms.total_cmp(&b.time_ms))
+        .expect("non-empty search space")
 }
 
 /// IR-path fused SDDMM for functional validation.

@@ -12,7 +12,7 @@ use std::collections::HashMap;
 
 /// Schedule parameters of the CSR SpMM kernel (the knobs of the paper's
 /// schedule template).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CsrSpmmParams {
     /// Rows handled per thread block.
     pub rows_per_block: usize,
@@ -28,6 +28,39 @@ impl Default for CsrSpmmParams {
     fn default() -> Self {
         // The GE-SpMM defaults the paper builds on.
         CsrSpmmParams { rows_per_block: 4, vec_width: 4, register_cache: true, threads: 128 }
+    }
+}
+
+/// One point of the joint SpMM format × schedule space of §2: the `c` of
+/// `hyb(c, k)` (`None` = no format decomposition), the bucket exponent
+/// `k`, and the schedule parameters. The autotuner searches over these;
+/// the `tuned_*` entry points below consume a chosen configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpmmConfig {
+    /// Column partitions `c` (`None` = no format decomposition).
+    pub col_parts: Option<usize>,
+    /// Bucket exponent `k` (ignored without decomposition).
+    pub bucket_k: u32,
+    /// Schedule parameters.
+    pub params: CsrSpmmParams,
+}
+
+impl SpmmConfig {
+    /// The untuned baseline: plain CSR with the default GE-SpMM schedule.
+    #[must_use]
+    pub fn default_csr() -> SpmmConfig {
+        SpmmConfig { col_parts: None, bucket_k: 0, params: CsrSpmmParams::default() }
+    }
+
+    /// Compact human-readable label, e.g. `csr/rpb4/vw4` or
+    /// `hyb(c=2,k=3)/rpb4/vw4`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        let fmt = match self.col_parts {
+            None => "csr".to_string(),
+            Some(c) => format!("hyb(c={c},k={})", self.bucket_k),
+        };
+        format!("{fmt}/rpb{}/vw{}", self.params.rows_per_block, self.params.vec_width)
     }
 }
 
@@ -87,7 +120,7 @@ pub fn hyb_spmm_plans(hyb: &Hyb, feat: usize, params: CsrSpmmParams) -> Vec<Kern
                 continue;
             }
             let width = bucket.width;
-            let i = (width as f64).log2() as u32;
+            let i = width.trailing_zeros(); // width is 2^i by construction
             let rows_per_block = (1usize << (k - i.min(k))).max(1);
             let name = format!("spmm_hyb_p{pi}_w{width}");
             let cols_name = format!("{name}_cols");
@@ -153,6 +186,28 @@ pub fn hyb_spmm_time(
     simulate_fused(spec, &plans, "spmm_hyb_fused")
 }
 
+/// Simulator plans for a tuned SpMM configuration: one CSR plan, or the
+/// per-bucket hyb plans of the decomposed format.
+#[must_use]
+pub fn tuned_spmm_plans(a: &Csr, feat: usize, config: &SpmmConfig, name: &str) -> Vec<KernelPlan> {
+    match config.col_parts.and_then(|c| Hyb::from_csr(a, c, config.bucket_k).ok()) {
+        Some(hyb) => hyb_spmm_plans(&hyb, feat, config.params),
+        None => vec![csr_spmm_plan(a, feat, config.params, name)],
+    }
+}
+
+/// Simulated time of a tuned SpMM configuration (hyb buckets horizontally
+/// fused, as §3.5 prescribes).
+#[must_use]
+pub fn tuned_spmm_time(spec: &GpuSpec, a: &Csr, feat: usize, config: &SpmmConfig) -> KernelReport {
+    let plans = tuned_spmm_plans(a, feat, config, "spmm_tuned");
+    if config.col_parts.is_some() {
+        simulate_fused(spec, &plans, "spmm_tuned_fused")
+    } else {
+        simulate_kernel(spec, &plans[0])
+    }
+}
+
 /// Build, lower and schedule the IR-path CSR SpMM for functional
 /// validation / codegen (Figure 3 → Figure 9/10 pipeline).
 ///
@@ -166,6 +221,117 @@ pub fn csr_spmm_ir(a: &Csr, feat: usize) -> Result<PrimFunc, Box<dyn std::error:
     let (_, ki) = sch.split("k", 32.min(feat as i64).max(1))?;
     sch.bind(&ki, ThreadAxis::ThreadIdxX)?;
     Ok(sch.into_func())
+}
+
+/// Like [`csr_spmm_ir`] but with the schedule driven by `params`: rows are
+/// grouped `rows_per_block` per `blockIdx.x`, and the feature loop is split
+/// by a vector-width-scaled factor for `threadIdx.x`. Distinct parameters
+/// lower to distinct Stage III functions, so the measured evaluator can
+/// tell schedule candidates apart by wall clock.
+///
+/// # Errors
+/// Propagates lowering/scheduling errors.
+pub fn csr_spmm_ir_with(
+    a: &Csr,
+    feat: usize,
+    params: CsrSpmmParams,
+) -> Result<PrimFunc, Box<dyn std::error::Error>> {
+    let program = spmm_program(a.rows(), a.cols(), a.nnz(), feat);
+    let f = lower(&program)?;
+    let mut sch = Schedule::new(f);
+    let rpb = params.rows_per_block.clamp(1, a.rows().max(1)) as i64;
+    let (io, _ii) = sch.split("i", rpb)?;
+    sch.bind(&io, ThreadAxis::BlockIdxX)?;
+    let kf = (params.vec_width.max(1) * 8).clamp(1, feat.max(1)) as i64;
+    let (_, ki) = sch.split("k", kf)?;
+    sch.bind(&ki, ThreadAxis::ThreadIdxX)?;
+    Ok(sch.into_func())
+}
+
+/// A lowered SpMM ready for repeated compiled execution: the Stage III
+/// function plus its tensor bindings, with `C` zero-initialized.
+pub struct PreparedSpmm {
+    /// Lowered (and, for the CSR arm, scheduled) function.
+    pub func: PrimFunc,
+    /// Tensor bindings for `exec_func` / `CompiledKernel::run`.
+    pub bindings: Bindings,
+    /// Output rows.
+    pub rows: usize,
+    /// Output columns (feature width).
+    pub feat: usize,
+}
+
+impl PreparedSpmm {
+    /// Reset the output buffer to zeros (between repeated timed runs).
+    pub fn reset_output(&mut self) {
+        bind_zeros(&mut self.bindings, "C", self.rows * self.feat);
+    }
+}
+
+/// Lower `config` into an executable kernel for `a · x`: the scheduled CSR
+/// kernel, or the `hyb(c, k)` decomposition via `decompose_format` bucket
+/// rewrites (the Figure 11 pipeline), bound and ready to run.
+///
+/// # Errors
+/// Propagates decomposition and lowering errors.
+pub fn prepare_spmm(
+    a: &Csr,
+    x: &Dense,
+    config: &SpmmConfig,
+) -> Result<PreparedSpmm, Box<dyn std::error::Error>> {
+    let feat = x.cols();
+    let mut bindings = Bindings::new();
+    let func = match config.col_parts {
+        None => csr_spmm_ir_with(a, feat, config.params)?,
+        Some(c) => {
+            let hyb = Hyb::from_csr(a, c, config.bucket_k)?;
+            let program = spmm_program(a.rows(), a.cols(), a.nnz(), feat);
+            let mut rules = Vec::new();
+            for (pi, part) in hyb.partitions().iter().enumerate() {
+                for bucket in &part.buckets {
+                    if bucket.is_empty() {
+                        continue;
+                    }
+                    let tag = format!("p{pi}_w{}", bucket.width);
+                    rules.push(FormatRewriteRule::bucket_ell(
+                        "A",
+                        &tag,
+                        bucket.width,
+                        bucket.len(),
+                        a.cols(),
+                    ));
+                    bind_bucket(
+                        &mut bindings,
+                        &format!("A_hyb_{tag}"),
+                        &format!("hyb_{tag}"),
+                        bucket,
+                    );
+                }
+            }
+            let decomposed = decompose_format(&program, &rules)?.strip_copies();
+            lower(&decomposed)?
+        }
+    };
+    bind_csr(&mut bindings, "A", "J", a);
+    bind_dense(&mut bindings, "B", x);
+    bind_zeros(&mut bindings, "C", a.rows() * feat);
+    Ok(PreparedSpmm { func, bindings, rows: a.rows(), feat })
+}
+
+/// Execute `a · x` under a tuned configuration through the slot-compiled
+/// executor — the measured-evaluator entry point and the runtime face of a
+/// tuning decision.
+///
+/// # Errors
+/// Propagates lowering and execution errors.
+pub fn tuned_spmm_execute(
+    a: &Csr,
+    x: &Dense,
+    config: &SpmmConfig,
+) -> Result<Dense, Box<dyn std::error::Error>> {
+    let mut prepared = prepare_spmm(a, x, config)?;
+    exec_func(&prepared.func, &HashMap::new(), &mut prepared.bindings)?;
+    Ok(read_dense(&prepared.bindings, "C", a.rows(), x.cols()))
 }
 
 /// Execute the IR-path CSR SpMM through the slot-compiled executor
@@ -227,6 +393,59 @@ mod tests {
         let x = gen::random_dense(10, 6, &mut rng);
         let got = csr_spmm_execute(&a, &x).unwrap();
         assert!(got.approx_eq(&a.spmm(&x).unwrap(), 1e-4));
+    }
+
+    #[test]
+    fn tuned_execute_matches_reference_on_both_arms() {
+        let mut rng = gen::rng(41);
+        let a = gen::random_csr(24, 20, 0.2, &mut rng);
+        let x = gen::random_dense(20, 6, &mut rng);
+        let want = a.spmm(&x).unwrap();
+        for config in [
+            SpmmConfig::default_csr(),
+            SpmmConfig {
+                col_parts: None,
+                bucket_k: 0,
+                params: CsrSpmmParams { rows_per_block: 2, vec_width: 2, ..Default::default() },
+            },
+            SpmmConfig { col_parts: Some(2), bucket_k: 3, params: CsrSpmmParams::default() },
+            SpmmConfig { col_parts: Some(4), bucket_k: 1, params: CsrSpmmParams::default() },
+        ] {
+            let got = tuned_spmm_execute(&a, &x, &config).unwrap();
+            assert!(got.approx_eq(&want, 1e-3), "config {}", config.label());
+        }
+    }
+
+    #[test]
+    fn prepared_spmm_is_idempotent_across_runs() {
+        // The measured evaluator reuses one prepared kernel across warmup
+        // and timed repeats; with the output reset, every run must agree.
+        let mut rng = gen::rng(43);
+        let a = gen::random_csr(16, 16, 0.25, &mut rng);
+        let x = gen::random_dense(16, 4, &mut rng);
+        let config =
+            SpmmConfig { col_parts: Some(2), bucket_k: 2, params: CsrSpmmParams::default() };
+        let mut prepared = prepare_spmm(&a, &x, &config).unwrap();
+        let scalars = HashMap::new();
+        exec_func(&prepared.func, &scalars, &mut prepared.bindings).unwrap();
+        let first = read_dense(&prepared.bindings, "C", 16, 4);
+        prepared.reset_output();
+        exec_func(&prepared.func, &scalars, &mut prepared.bindings).unwrap();
+        let second = read_dense(&prepared.bindings, "C", 16, 4);
+        assert_eq!(first, second);
+        assert!(first.approx_eq(&a.spmm(&x).unwrap(), 1e-3));
+    }
+
+    #[test]
+    fn parameterized_schedules_lower_to_distinct_functions() {
+        let mut rng = gen::rng(44);
+        let a = gen::random_csr(32, 32, 0.1, &mut rng);
+        let f1 = csr_spmm_ir_with(&a, 16, CsrSpmmParams::default()).unwrap();
+        let f2 =
+            csr_spmm_ir_with(&a, 16, CsrSpmmParams { rows_per_block: 8, ..Default::default() })
+                .unwrap();
+        use sparsetir_ir::exec::Runtime;
+        assert_ne!(Runtime::fingerprint(&f1), Runtime::fingerprint(&f2));
     }
 
     #[test]

@@ -14,6 +14,8 @@ pub mod rgcn;
 
 /// Common imports.
 pub mod prelude {
-    pub use crate::graphsage::{dgl_step_time, sparsetir_step_time, GraphSage, SageActivations};
-    pub use crate::rgcn::{figure20_measurements, RgcnLayer, RgcnMeasurement};
+    pub use crate::graphsage::{
+        dgl_step_time, sparsetir_step_time, tuned_step_time, GraphSage, SageActivations,
+    };
+    pub use crate::rgcn::{figure20_measurements, tuned_rgms, RgcnLayer, RgcnMeasurement};
 }

@@ -4,6 +4,7 @@
 //! SparseTIR naive / hyb / hyb+TC fused kernels — plus GPU memory
 //! footprints.
 
+use sparsetir_autotune::{tune, Evaluator, SearchSpace};
 use sparsetir_baselines::prelude::rgcn as baseline_rgcn;
 use sparsetir_gpusim::prelude::*;
 use sparsetir_kernels::prelude::*;
@@ -85,7 +86,43 @@ pub fn figure20_measurements(spec: &GpuSpec, layer: &RgcnLayer) -> Vec<RgcnMeasu
             time_ms: simulate_kernel(spec, &rgms_hyb_plan(w, 5, true, "stir_hyb_tc")).time_ms,
             footprint_bytes: fused_footprint_bytes(w, true),
         },
+        RgcnMeasurement {
+            system: "SparseTIR(tuned)",
+            time_ms: tuned_rgms(spec, layer, true).1,
+            footprint_bytes: fused_footprint_bytes(w, true),
+        },
     ]
+}
+
+/// Search the 3-D hyb bucket exponent `k` through the generic tuning
+/// engine (the fixed `k = 5` of the figure is one candidate) and return
+/// `(k, simulated_ms)` of the winner. Demonstrates that RGCN picks its
+/// operator through the same `SearchSpace`/`Evaluator` layer as SpMM.
+#[must_use]
+pub fn tuned_rgms(spec: &GpuSpec, layer: &RgcnLayer, tensor_cores: bool) -> (u32, f64) {
+    struct KSpace;
+    impl SearchSpace for KSpace {
+        type Candidate = u32;
+        fn candidates(&self) -> Vec<u32> {
+            vec![2, 3, 4, 5, 6]
+        }
+    }
+    struct KEval<'a> {
+        spec: &'a GpuSpec,
+        w: &'a RgmsWorkload,
+        tc: bool,
+    }
+    impl Evaluator<u32> for KEval<'_> {
+        fn evaluate(&self, k: &u32) -> Option<f64> {
+            Some(
+                simulate_kernel(self.spec, &rgms_hyb_plan(self.w, *k, self.tc, "stir_tuned"))
+                    .time_ms,
+            )
+        }
+    }
+    let outcome = tune(&KSpace, &KEval { spec, w: &layer.workload, tc: tensor_cores })
+        .expect("non-empty k space");
+    (outcome.best.candidate, outcome.best.score)
 }
 
 #[cfg(test)]
@@ -123,6 +160,18 @@ mod tests {
         let y = layer.infer(&x).unwrap();
         let manual = rgms_reference(&layer.workload.relations, &x, &layer.weights).unwrap().relu();
         assert!(y.approx_eq(&manual, 1e-4));
+    }
+
+    #[test]
+    fn tuned_rgms_no_slower_than_fixed_k() {
+        let layer = RgcnLayer::new(hetero_relations(600, 24, 7), 32, 8);
+        let spec = GpuSpec::v100();
+        let (k, t) = tuned_rgms(&spec, &layer, true);
+        assert!((2..=6).contains(&k));
+        // The figure's fixed k = 5 is one of the candidates, so the tuned
+        // pick can never be slower.
+        let fixed = simulate_kernel(&spec, &rgms_hyb_plan(&layer.workload, 5, true, "fx")).time_ms;
+        assert!(t <= fixed, "tuned {t} vs fixed {fixed}");
     }
 
     #[test]

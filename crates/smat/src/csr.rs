@@ -282,33 +282,61 @@ impl Csr {
         (max, mean, var.sqrt())
     }
 
+    /// Histogram of row lengths over power-of-two bins: bin `i` counts the
+    /// rows whose length `l` satisfies `⌈log2(l)⌉ = i` (empty rows land in
+    /// bin 0). This is the degree-skew summary the tuning cache uses to
+    /// fingerprint a sparsity structure.
+    #[must_use]
+    pub fn degree_histogram_log2(&self) -> Vec<usize> {
+        let mut hist = Vec::new();
+        for r in 0..self.rows {
+            let bin = crate::hyb::ceil_log2(self.row_nnz(r)) as usize;
+            if bin >= hist.len() {
+                hist.resize(bin + 1, 0);
+            }
+            hist[bin] += 1;
+        }
+        hist
+    }
+
     /// Split columns into `parts` contiguous partitions of equal width
     /// (the last absorbs the remainder). Column indices stay global.
     /// This is the column-partition step of `hyb(c, k)` (paper Fig. 11).
+    ///
+    /// Single pass over the matrix: each entry is bucketed directly into
+    /// its partition (`O(nnz + rows·parts)`), rather than rescanning the
+    /// full matrix once per partition — this is the decomposition hot path
+    /// every hyb tuning trial pays.
     #[must_use]
     pub fn column_partition(&self, parts: usize) -> Vec<Csr> {
         let parts = parts.max(1);
-        let width = self.cols.div_ceil(parts);
-        let mut out = Vec::with_capacity(parts);
-        for p in 0..parts {
-            let lo = (p * width).min(self.cols) as u32;
-            let hi = (((p + 1) * width).min(self.cols)) as u32;
-            let mut indptr = vec![0usize; self.rows + 1];
-            let mut indices = Vec::new();
-            let mut values = Vec::new();
-            for r in 0..self.rows {
-                let (cols, vals) = self.row(r);
-                for (&c, &v) in cols.iter().zip(vals) {
-                    if c >= lo && c < hi {
-                        indices.push(c);
-                        values.push(v);
-                    }
-                }
-                indptr[r + 1] = indices.len();
+        let width = self.cols.div_ceil(parts).max(1);
+        let mut indptrs = vec![vec![0usize; self.rows + 1]; parts];
+        let mut indices: Vec<Vec<u32>> = vec![Vec::new(); parts];
+        let mut values: Vec<Vec<f32>> = vec![Vec::new(); parts];
+        for r in 0..self.rows {
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                let p = c as usize / width;
+                indices[p].push(c);
+                values[p].push(v);
             }
-            out.push(Csr { rows: self.rows, cols: self.cols, indptr, indices, values });
+            for p in 0..parts {
+                indptrs[p][r + 1] = indices[p].len();
+            }
         }
-        out
+        indptrs
+            .into_iter()
+            .zip(indices)
+            .zip(values)
+            .map(|((indptr, indices), values)| Csr {
+                rows: self.rows,
+                cols: self.cols,
+                indptr,
+                indices,
+                values,
+            })
+            .collect()
     }
 
     /// Extract the sub-matrix of the given rows (keeping all columns); used
@@ -413,6 +441,27 @@ mod tests {
         let merged =
             parts.iter().fold(Dense::zeros(3, 3), |acc, p| acc.add(&p.to_dense()).unwrap());
         assert_eq!(merged, m.to_dense());
+    }
+
+    #[test]
+    fn column_partition_buckets_by_range() {
+        let m = Csr::new(2, 5, vec![0, 3, 5], vec![0, 2, 4, 1, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0])
+            .unwrap();
+        // width = ⌈5/3⌉ = 2: ranges [0,2), [2,4), [4,…).
+        let parts = m.column_partition(3);
+        assert_eq!(parts[0].indices(), &[0, 1]);
+        assert_eq!(parts[1].indices(), &[2, 3]);
+        assert_eq!(parts[2].indices(), &[4]);
+        assert_eq!(parts[0].row(0).0, &[0]);
+        assert_eq!(parts[0].row(1).0, &[1]);
+        assert_eq!(parts[2].row(1).0, &[] as &[u32]);
+    }
+
+    #[test]
+    fn degree_histogram_log2_counts_rows() {
+        // Row lengths 2, 0, 2 → bins {1: two rows, 0: one empty row}.
+        let m = sample();
+        assert_eq!(m.degree_histogram_log2(), vec![1, 2]);
     }
 
     #[test]

@@ -21,6 +21,11 @@ pub struct EllBucket {
     pub col_indices: Vec<u32>,
     /// Values, `row_ids.len() × width`, padded entries are `0`.
     pub values: Vec<f32>,
+    /// Real (non-padding) entries across all bucket rows. Tracked
+    /// structurally at construction time: a stored value of `0.0` may be an
+    /// explicitly-stored zero of the source matrix, so padding cannot be
+    /// recovered by inspecting `values`.
+    pub real: usize,
 }
 
 impl EllBucket {
@@ -42,10 +47,12 @@ impl EllBucket {
         self.row_ids.len() * self.width
     }
 
-    /// Padded zero entries.
+    /// Padded entries (`stored − real`), counted structurally so that
+    /// explicitly-stored zero values are not misattributed to padding and
+    /// the per-bucket sum always agrees with [`Hyb::padding_ratio`].
     #[must_use]
     pub fn padding(&self) -> usize {
-        self.values.iter().filter(|&&v| v == 0.0).count()
+        self.stored() - self.real
     }
 }
 
@@ -93,6 +100,7 @@ impl Hyb {
                     row_ids: Vec::new(),
                     col_indices: Vec::new(),
                     values: Vec::new(),
+                    real: 0,
                 })
                 .collect();
             for r in 0..part.rows() {
@@ -110,6 +118,7 @@ impl Hyb {
                     let width = 1usize << bucket_idx;
                     let b = &mut buckets[bucket_idx as usize];
                     b.row_ids.push(r as u32);
+                    b.real += chunk;
                     let pad_col = *ccols.last().expect("nonempty chunk");
                     for j in 0..width {
                         if j < chunk {
@@ -250,23 +259,35 @@ impl Hyb {
     }
 }
 
+/// Exact `⌈log2(n)⌉` for positive `n` (0 for `n ≤ 1`), computed with bit
+/// arithmetic. Unlike `(n as f64).log2().ceil()`, this cannot misround near
+/// power-of-two boundaries once `n` exceeds the 53-bit mantissa of `f64`.
+#[must_use]
+pub fn ceil_log2(n: usize) -> u32 {
+    if n <= 1 {
+        0
+    } else {
+        usize::BITS - (n - 1).leading_zeros()
+    }
+}
+
 /// Bucket exponent for a row chunk of length `len` (`2^{i-1} < len ≤ 2^i`),
 /// clamped to `k`.
 #[must_use]
 pub fn bucket_for(len: usize, k: u32) -> u32 {
     debug_assert!(len > 0);
-    let i = (len as f64).log2().ceil() as u32;
-    i.min(k)
+    ceil_log2(len).min(k)
 }
 
-/// The paper's default `k = ⌈log2(nnz / rows)⌉`, at least 0.
+/// The paper's default `k = ⌈log2(nnz / rows)⌉`, at least 0. The real
+/// quotient never materializes: `2^k ≥ nnz/rows ⇔ 2^k ≥ ⌈nnz/rows⌉` for
+/// integer `2^k`, so the exact answer is `⌈log2(⌈nnz/rows⌉)⌉`.
 #[must_use]
 pub fn default_k(csr: &Csr) -> u32 {
     if csr.rows() == 0 || csr.nnz() == 0 {
         return 0;
     }
-    let avg = csr.nnz() as f64 / csr.rows() as f64;
-    avg.log2().ceil().max(0.0) as u32
+    ceil_log2(csr.nnz().div_ceil(csr.rows()))
 }
 
 #[cfg(test)]
@@ -285,6 +306,33 @@ mod tests {
             coo.push(2, c, 0.5);
         }
         Csr::from_coo(&coo)
+    }
+
+    #[test]
+    fn ceil_log2_exact_at_large_boundaries() {
+        assert_eq!(ceil_log2(0), 0);
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(1usize << 40), 40);
+        assert_eq!(ceil_log2((1usize << 40) + 1), 41);
+        // Beyond f64's 53-bit mantissa the float path misrounds near
+        // power-of-two boundaries; the bit-arithmetic path stays exact.
+        assert_eq!(ceil_log2((1usize << 53) + 1), 54);
+    }
+
+    #[test]
+    fn padding_is_structural_not_value_based() {
+        // Row 0 stores an explicit zero: structurally a real entry, not
+        // padding. Row 0 (3 nnz) pads to width 4 → 1 padded slot; row 1
+        // (1 nnz) fills bucket 0 exactly.
+        let csr =
+            Csr::new(2, 4, vec![0, 3, 4], vec![0, 1, 2, 0], vec![1.0, 0.0, 2.0, 3.0]).unwrap();
+        let hyb = Hyb::from_csr(&csr, 1, 2).unwrap();
+        let pad: usize =
+            hyb.partitions().iter().flat_map(|p| &p.buckets).map(EllBucket::padding).sum();
+        assert_eq!(pad, 1);
+        assert_eq!(pad, hyb.stored() - hyb.original_nnz());
     }
 
     #[test]

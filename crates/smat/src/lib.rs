@@ -63,7 +63,7 @@ pub mod prelude {
     pub use crate::dia::Dia;
     pub use crate::ell::Ell;
     pub use crate::gen;
-    pub use crate::hyb::{default_k, EllBucket, Hyb, HybPartition};
+    pub use crate::hyb::{bucket_for, ceil_log2, default_k, EllBucket, Hyb, HybPartition};
     pub use crate::io::{parse_matrix_market, to_matrix_market};
     pub use crate::linalg::{batched_sddmm, batched_spmm, rgms_reference};
     pub use crate::srbcrs::SrBcrs;

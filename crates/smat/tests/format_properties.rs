@@ -22,8 +22,64 @@ fn sparse_matrix(max_dim: usize, max_nnz: usize) -> impl Strategy<Value = Csr> {
     })
 }
 
+/// Like [`sparse_matrix`], but roughly a third of the stored values are
+/// explicit zeros — entries the format must keep (they are part of the
+/// sparsity structure) yet never confuse with padding.
+fn sparse_matrix_with_zeros(max_dim: usize, max_nnz: usize) -> impl Strategy<Value = Csr> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(move |(rows, cols)| {
+        let total = rows * cols;
+        proptest::collection::vec(
+            (
+                0..rows as u32,
+                0..cols as u32,
+                prop_oneof![Just(0.0f32), Just(0.0f32), 0.1f32..2.0f32, 0.1f32..2.0f32],
+            ),
+            1..max_nnz.min(total).max(2),
+        )
+        .prop_map(move |entries| {
+            let coo = Coo::from_entries(rows, cols, entries).expect("in-bounds");
+            Csr::from_coo(&coo)
+        })
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hyb_with_explicit_zeros_roundtrips(
+        m in sparse_matrix_with_zeros(20, 48),
+        c in 1usize..4,
+        k in 0u32..4,
+    ) {
+        let hyb = Hyb::from_csr(&m, c, k).expect("positive c");
+        prop_assert_eq!(hyb.to_dense(), m.to_dense());
+    }
+
+    #[test]
+    fn hyb_padding_sums_structurally(
+        m in sparse_matrix_with_zeros(20, 48),
+        c in 1usize..4,
+        k in 0u32..4,
+    ) {
+        // Per-bucket structural padding must always reconcile with the
+        // matrix-level accounting, explicit zeros included.
+        let hyb = Hyb::from_csr(&m, c, k).expect("positive c");
+        let pad: usize = hyb
+            .partitions()
+            .iter()
+            .flat_map(|p| &p.buckets)
+            .map(EllBucket::padding)
+            .sum();
+        prop_assert_eq!(pad, hyb.stored() - hyb.original_nnz());
+        let real: usize = hyb
+            .partitions()
+            .iter()
+            .flat_map(|p| &p.buckets)
+            .map(|b| b.real)
+            .sum();
+        prop_assert_eq!(real, hyb.original_nnz());
+    }
 
     #[test]
     fn csr_dense_roundtrip(m in sparse_matrix(24, 64)) {

@@ -254,7 +254,7 @@ pub mod collection {
         VecStrategy { elem, len }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S> {
         elem: S,
         len: Range<usize>,
