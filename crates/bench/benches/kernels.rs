@@ -29,6 +29,7 @@ fn bench_executor(c: &mut Criterion) {
         let f = csr_spmm_ir(&g, feat).expect("lowers");
         let runtime = Runtime::new();
         let kernel = runtime.compile(&f).expect("compiles");
+        let generic = runtime.compile_with(&f, false).expect("compiles");
         let mut rng = gen::rng(3);
         let x = gen::random_dense(g.cols(), feat, &mut rng);
         let mut bindings = Bindings::new();
@@ -39,7 +40,10 @@ fn bench_executor(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("interpreter", feat), &feat, |b, _| {
             b.iter(|| eval_func(&f, &no_scalars, &mut bindings).expect("interprets"))
         });
-        group.bench_with_input(BenchmarkId::new("compiled", feat), &feat, |b, _| {
+        group.bench_with_input(BenchmarkId::new("compiled_generic", feat), &feat, |b, _| {
+            b.iter(|| generic.run(&no_scalars, &mut bindings).expect("executes"))
+        });
+        group.bench_with_input(BenchmarkId::new("compiled_fused", feat), &feat, |b, _| {
             b.iter(|| kernel.run(&no_scalars, &mut bindings).expect("executes"))
         });
         group.bench_with_input(BenchmarkId::new("compile_plus_run", feat), &feat, |b, _| {
@@ -51,15 +55,20 @@ fn bench_executor(c: &mut Criterion) {
     }
     group.finish();
 
-    // Headline number: median speedup of the cached compiled path over
-    // the interpreter on CSR SpMM (d=32). The acceptance bar is ≥ 5×.
+    // Headline numbers on CSR SpMM (d=32): the *generic* slot executor
+    // must beat the interpreter by ≥ 5× (the original slot-compilation
+    // claim, asserted on the generic build so fusion cannot mask a
+    // generic-path regression), and the fused microkernel build must
+    // beat the generic executor by ≥ 2× (mirroring the perf-gate bar).
     // Skipped in smoke mode (it times 7 full interpreter runs).
     if std::env::var_os("SPARSETIR_BENCH_SMOKE").is_some() {
         return;
     }
     let feat = 32;
     let f = csr_spmm_ir(&g, feat).expect("lowers");
-    let kernel = Runtime::new().compile(&f).expect("compiles");
+    let rt = Runtime::new();
+    let generic = rt.compile_with(&f, false).expect("compiles");
+    let fused = rt.compile_with(&f, true).expect("compiles");
     let mut rng = gen::rng(3);
     let x = gen::random_dense(g.cols(), feat, &mut rng);
     let mut bindings = Bindings::new();
@@ -72,19 +81,29 @@ fn bench_executor(c: &mut Criterion) {
         times[times.len() / 2]
     };
     let mut interp_times = Vec::new();
-    let mut compiled_times = Vec::new();
+    let mut generic_times = Vec::new();
+    let mut fused_times = Vec::new();
     for _ in 0..7 {
         let t0 = Instant::now();
         eval_func(&f, &no_scalars, &mut bindings).expect("interprets");
         interp_times.push(t0.elapsed().as_secs_f64());
         let t0 = Instant::now();
-        kernel.run(&no_scalars, &mut bindings).expect("executes");
-        compiled_times.push(t0.elapsed().as_secs_f64());
+        generic.run(&no_scalars, &mut bindings).expect("executes");
+        generic_times.push(t0.elapsed().as_secs_f64());
+        let t0 = Instant::now();
+        fused.run(&no_scalars, &mut bindings).expect("executes");
+        fused_times.push(t0.elapsed().as_secs_f64());
     }
-    let speedup = median(&mut interp_times) / median(&mut compiled_times);
-    println!("executor/speedup (csr spmm, cora, d=32): {speedup:.1}x (bar: >= 5x)");
+    let interp = median(&mut interp_times);
+    let tg = median(&mut generic_times);
+    let tf = median(&mut fused_times);
+    let speedup = interp / tg;
+    let fused_speedup = tg / tf;
+    println!("executor/speedup (csr spmm, cora, d=32): {speedup:.1}x generic vs interpreter (bar: >= 5x)");
+    println!("executor/fused_speedup (csr spmm, cora, d=32): {fused_speedup:.1}x fused vs generic (bar: >= 2x)");
     if std::env::var_os("SPARSETIR_BENCH_ASSERT").is_some() {
-        assert!(speedup >= 5.0, "compiled executor speedup {speedup:.1}x below the 5x bar");
+        assert!(speedup >= 5.0, "generic executor speedup {speedup:.1}x below the 5x bar");
+        assert!(fused_speedup >= 2.0, "fused speedup {fused_speedup:.1}x below the 2x bar");
     }
 }
 

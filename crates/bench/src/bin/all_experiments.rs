@@ -1,5 +1,6 @@
-//! Runs every experiment harness in sequence (the full reproduction).
-use sparsetir_bench::experiments as e;
+//! Runs every experiment harness in sequence (the full reproduction) and
+//! writes the collected timing records to `BENCH_results.json`.
+use sparsetir_bench::{experiments as e, report};
 
 fn main() {
     for (name, run) in [
@@ -17,9 +18,14 @@ fn main() {
         ("ablation_hfuse", e::ablation_hfuse::run),
         ("ablation_bucketing", e::ablation_bucketing::run),
         ("autotuning", e::autotuning::run),
+        ("executor_vectorization", e::executor_vectorization::run),
     ] {
         eprintln!("[all_experiments] running {name} …");
         print!("{}", run());
         println!();
     }
+    let records = report::take_records();
+    let path = std::path::Path::new("BENCH_results.json");
+    report::write_results(path, &records, e::smoke()).expect("write BENCH_results.json");
+    eprintln!("[all_experiments] wrote {} records to {}", records.len(), path.display());
 }

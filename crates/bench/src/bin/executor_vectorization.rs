@@ -1,0 +1,14 @@
+//! Runs the executor-vectorization bench (generic slot dispatch vs fused
+//! dense-lane microkernels) and writes `BENCH_results.json` — the input
+//! of the CI perf-gate. `SPARSETIR_BENCH_ASSERT=1` enforces the ≥ 2×
+//! fused-over-generic bar on CSR SpMM (cora, d=32).
+
+use sparsetir_bench::{experiments, report};
+
+fn main() {
+    print!("{}", experiments::executor_vectorization::run());
+    let records = report::take_records();
+    let path = std::path::Path::new("BENCH_results.json");
+    report::write_results(path, &records, experiments::smoke()).expect("write BENCH_results.json");
+    eprintln!("[executor_vectorization] wrote {} records to {}", records.len(), path.display());
+}

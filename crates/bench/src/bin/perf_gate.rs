@@ -1,0 +1,75 @@
+//! CI perf-gate: compares `BENCH_results.json` against the committed
+//! `BENCH_baseline.json` with a relative tolerance (±30% by default) and
+//! exits non-zero on regression, printing one line per offending metric.
+//!
+//! `SPARSETIR_BENCH_GATE` selects which units are *fatal*: `all`
+//! (default — same-machine comparisons, the baseline-refresh workflow)
+//! or `ratio` (CI on shared runners, where absolute-nanosecond records
+//! measured on other hardware are reported but only machine-portable
+//! speedup ratios fail the job). Paths and tolerance are overridable via
+//! `SPARSETIR_BENCH_RESULTS`, `SPARSETIR_BENCH_BASELINE` and
+//! `SPARSETIR_BENCH_TOL`. Refresh the baseline intentionally with
+//! `scripts/update_bench_baseline.sh`.
+
+use sparsetir_bench::report;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let results = PathBuf::from(
+        std::env::var("SPARSETIR_BENCH_RESULTS").unwrap_or_else(|_| "BENCH_results.json".into()),
+    );
+    let baseline = PathBuf::from(
+        std::env::var("SPARSETIR_BENCH_BASELINE").unwrap_or_else(|_| "BENCH_baseline.json".into()),
+    );
+    let tolerance = std::env::var("SPARSETIR_BENCH_TOL")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(0.30);
+    let ratio_only =
+        matches!(std::env::var("SPARSETIR_BENCH_GATE").as_deref(), Ok("ratio") | Ok("ratios"));
+
+    let cmp = match report::compare_files(&results, &baseline, tolerance) {
+        Ok(cmp) => cmp,
+        Err(msg) => {
+            eprintln!("perf-gate error: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "perf-gate: {} metric(s) compared against {} (tolerance ±{:.0}%, gating {})",
+        cmp.compared,
+        baseline.display(),
+        tolerance * 100.0,
+        if ratio_only { "ratio records only" } else { "all records" }
+    );
+    for m in &cmp.missing {
+        println!("  missing from results (not gated): {m}");
+    }
+    for i in &cmp.improvements {
+        println!("  improvement (consider refreshing the baseline): {}", i.detail);
+    }
+    if cmp.compared == 0 {
+        eprintln!("perf-gate: nothing compared — baseline and results share no metrics");
+        return ExitCode::FAILURE;
+    }
+    let (fatal, advisory): (Vec<_>, Vec<_>) =
+        cmp.regressions.iter().partition(|d| !ratio_only || d.unit == "ratio");
+    for r in &advisory {
+        println!("  regression (ns, advisory under ratio gating): {}", r.detail);
+    }
+    if fatal.is_empty() {
+        println!("perf-gate: OK");
+        ExitCode::SUCCESS
+    } else {
+        for r in &fatal {
+            eprintln!("  REGRESSION: {}", r.detail);
+        }
+        eprintln!(
+            "perf-gate: {} regression(s) beyond ±{:.0}% — run scripts/update_bench_baseline.sh if intentional",
+            fatal.len(),
+            tolerance * 100.0
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,5 +1,8 @@
 //! One module per paper table/figure; each `run()` returns the rendered
-//! report (the same rows/series the paper plots).
+//! report (the same rows/series the paper plots). Experiments that time
+//! real executions additionally push [`crate::report::BenchRecord`]s into
+//! the process-wide collector, which the harness binaries flush to
+//! `BENCH_results.json` (see [`crate::report`]).
 
 use crate::util::*;
 use sparsetir_autotune::{tune_sddmm, tune_spmm};
@@ -694,6 +697,18 @@ pub mod autotuning {
             let g = g.select_rows(&keep);
             let sim = tune_spmm(&spec, &g, feat);
             let measured = tune_spmm_measured(&spec, &g, feat, MeasureOpts::default());
+            for (metric, seconds) in
+                [("tuned", measured.seconds), ("untuned", measured.default_seconds)]
+            {
+                crate::report::record(crate::report::BenchRecord {
+                    experiment: "autotuning".to_string(),
+                    name: format!("spmm/{}/d{feat}/{metric}", gs.name),
+                    value: seconds * 1e9,
+                    unit: "ns",
+                    better: "lower",
+                    config: format!("row_cap={cap} smoke={}", smoke()),
+                });
+            }
             // The simulator's pick is always rank 1 of the pruning pass,
             // so its measured time is in the shortlist trials.
             let sim_pick_seconds = measured
@@ -771,6 +786,140 @@ mod tests {
         for c in ["1 ", "2 ", "4 ", "8 ", "16"] {
             assert!(t.lines().any(|l| l.starts_with(c)), "missing row {c} in:\n{t}");
         }
+    }
+}
+
+/// Executor vectorization: the generic slot-dispatched executor vs the
+/// dense-lane fused microkernel executor on the *same* compiled-IR SpMM
+/// kernels, wall-clock-timed single-threaded so the ratio isolates the
+/// per-lane dispatch overhead the fusion pass removes. Emits `ns` and
+/// `ratio` records for `BENCH_results.json`; under
+/// `SPARSETIR_BENCH_ASSERT=1` the CSR SpMM (cora, d=32) fused path must
+/// beat the generic path by ≥ 2× — the CI perf-gate's structural floor.
+pub mod executor_vectorization {
+    use super::*;
+    use crate::report::{self, BenchRecord};
+    use sparsetir_core::prelude::{bind_csr, bind_dense, bind_zeros, Bindings};
+    use sparsetir_ir::prelude::*;
+    use std::collections::HashMap;
+
+    /// Acceptance floor for fused-over-generic on CSR SpMM (cora, d=32).
+    pub const SPEEDUP_BAR: f64 = 2.0;
+
+    fn push(name: &str, value: f64, unit: &'static str, better: &'static str, config: &str) {
+        report::record(BenchRecord {
+            experiment: "executor_vectorization".to_string(),
+            name: name.to_string(),
+            value,
+            unit,
+            better,
+            config: config.to_string(),
+        });
+    }
+
+    /// Render the comparison (and record it).
+    ///
+    /// # Panics
+    /// Panics when fusion fails to fire on a kernel that must fuse, or —
+    /// under `SPARSETIR_BENCH_ASSERT=1` — when the fused executor misses
+    /// the ≥ 2× bar on CSR SpMM (cora, d=32).
+    #[must_use]
+    pub fn run() -> String {
+        // Single-threaded so medians measure lane dispatch, not thread
+        // scheduling; restored afterwards.
+        let prev = std::env::var("SPARSETIR_NUM_THREADS").ok();
+        std::env::set_var("SPARSETIR_NUM_THREADS", "1");
+        let out = run_single_threaded();
+        match prev {
+            Some(v) => std::env::set_var("SPARSETIR_NUM_THREADS", v),
+            None => std::env::remove_var("SPARSETIR_NUM_THREADS"),
+        }
+        out
+    }
+
+    fn time_kernel(kernel: &CompiledKernel, bindings: &Bindings, reps: usize) -> f64 {
+        let scalars = HashMap::new();
+        let mut work = bindings.clone();
+        report::median_ns(reps, || {
+            kernel.run(&scalars, &mut work).expect("kernel executes");
+        })
+    }
+
+    fn run_single_threaded() -> String {
+        let reps = if smoke() { 5 } else { 9 };
+        let config = format!("threads=1 reps={reps} smoke={}", smoke());
+        let g = graph_by_name("cora").expect("registered").generate();
+        let mut rows = Vec::new();
+        let mut csr_d32_speedup = 0.0;
+        for &feat in &feat_sweep() {
+            let f = csr_spmm_ir(&g, feat).expect("lowers");
+            let generic = CompiledKernel::compile_with(&f, false).expect("compiles");
+            let fused = CompiledKernel::compile_with(&f, true).expect("compiles");
+            assert!(fused.fused_ops() > 0, "CSR SpMM inner loop must fuse");
+            let mut rng = gen::rng(3);
+            let x = gen::random_dense(g.cols(), feat, &mut rng);
+            let mut bindings = Bindings::new();
+            bind_csr(&mut bindings, "A", "J", &g);
+            bind_dense(&mut bindings, "B", &x);
+            bind_zeros(&mut bindings, "C", g.rows() * feat);
+            let tg = time_kernel(&generic, &bindings, reps);
+            let tf = time_kernel(&fused, &bindings, reps);
+            let speedup = tg / tf;
+            if feat == 32 {
+                csr_d32_speedup = speedup;
+            }
+            let tag = format!("csr_spmm/cora/d{feat}");
+            push(&format!("{tag}/generic"), tg, "ns", "lower", &config);
+            push(&format!("{tag}/fused"), tf, "ns", "lower", &config);
+            push(&format!("{tag}/speedup"), speedup, "ratio", "higher", &config);
+            rows.push(vec![
+                "csr".to_string(),
+                feat.to_string(),
+                fmt_ms(tg / 1e6),
+                fmt_ms(tf / 1e6),
+                fmt_speedup(speedup),
+                fused.fused_kinds().join("+"),
+            ]);
+        }
+
+        // The hyb(c=2) decomposition: fill + per-bucket axpy microkernels.
+        let feat = 32;
+        let mut rng = gen::rng(7);
+        let x = gen::random_dense(g.cols(), feat, &mut rng);
+        let cfg = SpmmConfig { col_parts: Some(2), bucket_k: 3, params: CsrSpmmParams::default() };
+        let prepared = prepare_spmm(&g, &x, &cfg).expect("decomposes");
+        let generic = CompiledKernel::compile_with(&prepared.func, false).expect("compiles");
+        let fused = CompiledKernel::compile_with(&prepared.func, true).expect("compiles");
+        assert!(fused.fused_ops() > 1, "hyb init + bucket loops must fuse");
+        let tg = time_kernel(&generic, &prepared.bindings, reps);
+        let tf = time_kernel(&fused, &prepared.bindings, reps);
+        push("hyb_spmm/cora/d32/generic", tg, "ns", "lower", &config);
+        push("hyb_spmm/cora/d32/fused", tf, "ns", "lower", &config);
+        push("hyb_spmm/cora/d32/speedup", tg / tf, "ratio", "higher", &config);
+        let mut kinds: Vec<&str> = fused.fused_kinds();
+        kinds.dedup();
+        rows.push(vec![
+            "hyb(c=2,k=3)".to_string(),
+            feat.to_string(),
+            fmt_ms(tg / 1e6),
+            fmt_ms(tf / 1e6),
+            fmt_speedup(tg / tf),
+            format!("{}×{}", fused.fused_ops(), kinds.join("+")),
+        ]);
+
+        if std::env::var_os("SPARSETIR_BENCH_ASSERT").is_some() {
+            assert!(
+                csr_d32_speedup >= SPEEDUP_BAR,
+                "fused executor {csr_d32_speedup:.2}x below the {SPEEDUP_BAR}x bar on CSR SpMM (cora, d=32)"
+            );
+        }
+        render_table(
+            &format!(
+                "Executor vectorization: generic vs fused dense-lane microkernels (cora, 1 thread, bar ≥ {SPEEDUP_BAR}x at d=32)"
+            ),
+            &["format", "d", "generic", "fused", "speedup", "microkernels"],
+            &rows,
+        )
     }
 }
 

@@ -10,4 +10,5 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod report;
 pub mod util;

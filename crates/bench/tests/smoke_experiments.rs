@@ -3,7 +3,7 @@
 //! feature sizes, one GPU, smaller synthetic instances) so the whole
 //! battery — the same list `all_experiments` runs — finishes in test time.
 
-use sparsetir_bench::experiments as e;
+use sparsetir_bench::{experiments as e, report};
 
 #[test]
 fn all_experiments_run_end_to_end_in_smoke_mode() {
@@ -24,9 +24,34 @@ fn all_experiments_run_end_to_end_in_smoke_mode() {
         ("ablation_hfuse", e::ablation_hfuse::run),
         ("ablation_bucketing", e::ablation_bucketing::run),
         ("autotuning", e::autotuning::run),
+        ("executor_vectorization", e::executor_vectorization::run),
     ] {
         let out = run();
         assert!(!out.trim().is_empty(), "{name} rendered nothing");
         assert!(out.contains('|') || out.contains('-'), "{name} is not a table:\n{out}");
     }
+
+    // The run must have produced machine-readable records that round-trip
+    // through the BENCH JSON schema — what `all_experiments` writes to
+    // `BENCH_results.json` and the CI perf-gate consumes.
+    let records = report::take_records();
+    assert!(
+        records.iter().any(|r| r.experiment == "executor_vectorization"),
+        "executor_vectorization must record bench results"
+    );
+    assert!(
+        records.iter().any(|r| r.experiment == "autotuning"),
+        "autotuning must record measured times"
+    );
+    let dir = std::env::temp_dir().join(format!("sparsetir_bench_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("BENCH_results.json");
+    report::write_results(&path, &records, true).unwrap();
+    let parsed = report::parse_results(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    assert_eq!(parsed, records, "BENCH JSON must round-trip");
+    // A results file compared against itself is always within tolerance.
+    let cmp = report::compare_files(&path, &path, 0.30).unwrap();
+    assert_eq!(cmp.compared, records.len());
+    assert!(cmp.regressions.is_empty());
+    std::fs::remove_dir_all(&dir).ok();
 }

@@ -33,6 +33,18 @@
 //! `f32`, integer division is euclidean with explicit divide-by-zero
 //! errors, casts to integer round-trip through `f64`, and per-dimension
 //! bounds checks fire with the interpreter's error wording.
+//!
+//! On top of the generic tree, a **dense-lane fusion pass** (the `fuse`
+//! submodule)
+//! recognizes innermost loops over contiguous dense axes (the feature
+//! dimension of SpMM/SDDMM, ELL bucket lanes) at compile time and lowers
+//! them to specialized microkernel instructions — `FillLanes`,
+//! `AxpyLanes`, `DotLanes`, `GatherScaleAccumulate` — that run tight
+//! per-lane loops instead of per-element instruction dispatch. Fusion is
+//! on by default (`SPARSETIR_NO_FUSE` disables it); the generic tree is
+//! retained inside every fused node as the bit-exact fallback, and the
+//! kernel-cache key includes the fusion flag so toggling it never serves
+//! a stale compiled kernel.
 
 use crate::buffer::Buffer;
 use crate::eval::TensorData;
@@ -47,6 +59,9 @@ use std::hash::{Hash, Hasher};
 use std::rc::Rc;
 use std::sync::atomic::{AtomicI32, AtomicU32, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+
+mod fuse;
+use fuse::FusedLanes;
 
 /// Error raised while compiling or executing a kernel.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -109,7 +124,7 @@ enum CmpOp {
 }
 
 /// Integer-typed compiled expression. Slots index the scalar frame.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq)]
 enum IntExpr {
     Const(i64),
     Slot(u32),
@@ -141,7 +156,7 @@ enum IntExpr {
 }
 
 /// Float-typed compiled expression (computes in `f64` like the interpreter).
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq)]
 enum FloatExpr {
     Const(f64),
     Bin { op: FloatOp, lhs: Box<FloatExpr>, rhs: Box<FloatExpr> },
@@ -154,7 +169,7 @@ enum FloatExpr {
 }
 
 /// Bool-typed compiled expression.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq)]
 enum BoolExpr {
     CmpI {
         op: CmpOp,
@@ -177,7 +192,7 @@ enum BoolExpr {
 /// Flattened buffer access: per-dimension `(index, extent)` programs plus
 /// the buffer name for error messages. Bounds are checked per dimension
 /// with the interpreter's wording.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq)]
 struct IndexExpr {
     name: String,
     dims: Vec<(IntExpr, IntExpr)>,
@@ -243,6 +258,9 @@ enum CStmt {
     },
     EvalV(ValueExpr),
     Mma(Box<MmaOp>),
+    /// Fused dense-lane loop: microkernel fast path with the generic loop
+    /// retained inside as the bit-exact semantic fallback (see [`fuse`]).
+    Fused(Box<FusedLanes>),
     /// Statement that is ill-typed but only errors if actually executed
     /// (matching the interpreter's lazy runtime errors).
     Fail(String),
@@ -368,7 +386,16 @@ impl IndexExpr {
     /// Interpreter-identical flattening: per-dimension bound check, then
     /// `flat = flat * extent + index`.
     fn eval(&self, fr: &Frame) -> Result<usize, ExecError> {
+        self.eval_with_last(fr).map(|(flat, _, _)| flat as usize)
+    }
+
+    /// Like [`IndexExpr::eval`], but also returns the innermost
+    /// dimension's index and extent (the fused lane kernels stride the
+    /// innermost dimension and need its headroom to bounds-check every
+    /// lane up front).
+    fn eval_with_last(&self, fr: &Frame) -> Result<(i64, i64, i64), ExecError> {
         let mut flat: i64 = 0;
+        let mut last = (0i64, 1i64);
         for (idx, dim) in &self.dims {
             let d = dim.eval(fr)?;
             let i = idx.eval(fr)?;
@@ -379,8 +406,9 @@ impl IndexExpr {
                 )));
             }
             flat = flat * d + i;
+            last = (i, d);
         }
-        Ok(flat as usize)
+        Ok((flat, last.0, last.1))
     }
 }
 
@@ -734,6 +762,7 @@ impl CStmt {
             }
             CStmt::EvalV(e) => e.eval_for_effect(fr),
             CStmt::Mma(op) => exec_mma(fr, &op.c, &op.a, &op.b, op.m, op.n, op.k),
+            CStmt::Fused(f) => f.exec(fr),
             CStmt::Fail(msg) => Err(ExecError::new(msg.clone())),
         }
     }
@@ -1418,6 +1447,8 @@ pub struct CompiledKernel {
     n_slots: u32,
     n_bufs: u32,
     body: CStmt,
+    /// Number of dense-lane microkernel instructions fused into the body.
+    fused_ops: usize,
     /// Scratch scalar frames reused across invocations.
     frame_pool: Mutex<Vec<Vec<i64>>>,
 }
@@ -1433,12 +1464,25 @@ impl fmt::Debug for CompiledKernel {
 }
 
 impl CompiledKernel {
-    /// Compile `func` into a slot-indexed program.
+    /// Compile `func` into a slot-indexed program with the default fusion
+    /// setting ([`fusion_default`]).
     ///
     /// # Errors
     /// Returns [`ExecError`] on references to unbound names or ill-typed
     /// constructs that the interpreter would also reject.
     pub fn compile(func: &PrimFunc) -> Result<CompiledKernel, ExecError> {
+        Self::compile_with(func, fusion_default())
+    }
+
+    /// Compile `func`, explicitly enabling (`true`) or disabling
+    /// (`false`) the dense-lane microkernel fusion pass. With fusion off
+    /// the kernel runs entirely on the generic slot-dispatched tree — the
+    /// baseline the `executor_vectorization` bench compares against.
+    ///
+    /// # Errors
+    /// Returns [`ExecError`] on references to unbound names or ill-typed
+    /// constructs that the interpreter would also reject.
+    pub fn compile_with(func: &PrimFunc, fuse: bool) -> Result<CompiledKernel, ExecError> {
         let mut c = Compiler::new();
         let mut params = Vec::with_capacity(func.params.len());
         for p in &func.params {
@@ -1451,6 +1495,7 @@ impl CompiledKernel {
             buffers.push((b.name.to_string(), b.dtype.is_float(), slot));
         }
         let body = c.compile_stmt(&func.body, true)?;
+        let (body, fused_ops) = if fuse { fuse::fuse_stmt(body) } else { (body, 0) };
         Ok(CompiledKernel {
             name: func.name.to_string(),
             params,
@@ -1458,6 +1503,7 @@ impl CompiledKernel {
             n_slots: c.n_slots,
             n_bufs: c.n_bufs,
             body,
+            fused_ops,
             frame_pool: Mutex::new(Vec::new()),
         })
     }
@@ -1473,6 +1519,24 @@ impl CompiledKernel {
     #[must_use]
     pub fn scalar_slots(&self) -> usize {
         self.n_slots as usize
+    }
+
+    /// Number of dense-lane microkernel instructions (`FillLanes`,
+    /// `AxpyLanes`, `DotLanes`, `GatherScaleAccumulate`) the fusion pass
+    /// produced. Zero when compiled with fusion disabled or when no
+    /// innermost loop matched a contiguous dense-lane pattern.
+    #[must_use]
+    pub fn fused_ops(&self) -> usize {
+        self.fused_ops
+    }
+
+    /// Names of the fused microkernel instructions, in tree order
+    /// (diagnostics; e.g. `["FillLanes", "AxpyLanes"]` for the hyb SpMM).
+    #[must_use]
+    pub fn fused_kinds(&self) -> Vec<&'static str> {
+        let mut out = Vec::with_capacity(self.fused_ops);
+        fuse::collect_micros(&self.body, &mut out);
+        out
     }
 
     /// True when the outermost loop dispatches iterations across threads.
@@ -1530,19 +1594,50 @@ impl CompiledKernel {
     }
 }
 
+/// Fusion default for [`CompiledKernel::compile`] and new [`Runtime`]s:
+/// on, unless the `SPARSETIR_NO_FUSE` environment variable is set.
+#[must_use]
+pub fn fusion_default() -> bool {
+    std::env::var_os("SPARSETIR_NO_FUSE").is_none()
+}
+
 /// Compile-once/run-many cache of [`CompiledKernel`]s keyed by function
-/// identity (name + printed IR).
-#[derive(Default)]
+/// identity (name + printed IR) *and* the fusion flag, so toggling fusion
+/// never serves a stale compiled kernel.
 pub struct Runtime {
-    cache: Mutex<HashMap<u64, Arc<CompiledKernel>>>,
+    cache: Mutex<HashMap<(u64, bool), Arc<CompiledKernel>>>,
     compilations: std::sync::atomic::AtomicUsize,
+    fuse: bool,
+}
+
+impl Default for Runtime {
+    fn default() -> Runtime {
+        Runtime::with_fusion(fusion_default())
+    }
 }
 
 impl Runtime {
-    /// Empty runtime.
+    /// Empty runtime with the default fusion setting.
     #[must_use]
     pub fn new() -> Runtime {
         Runtime::default()
+    }
+
+    /// Empty runtime with an explicit fusion setting for
+    /// [`Runtime::compile`].
+    #[must_use]
+    pub fn with_fusion(fuse: bool) -> Runtime {
+        Runtime {
+            cache: Mutex::new(HashMap::new()),
+            compilations: std::sync::atomic::AtomicUsize::new(0),
+            fuse,
+        }
+    }
+
+    /// This runtime's fusion setting.
+    #[must_use]
+    pub fn fusion(&self) -> bool {
+        self.fuse
     }
 
     /// The process-wide shared runtime (what [`exec_func`] uses).
@@ -1561,17 +1656,33 @@ impl Runtime {
         h.finish()
     }
 
-    /// Compile `func`, or return the cached kernel compiled earlier for an
-    /// identical function.
+    /// Compile `func` under this runtime's fusion setting, or return the
+    /// cached kernel compiled earlier for an identical function.
     ///
     /// # Errors
     /// Propagates [`CompiledKernel::compile`] errors.
     pub fn compile(&self, func: &PrimFunc) -> Result<Arc<CompiledKernel>, ExecError> {
-        let key = Self::fingerprint(func);
+        self.compile_with(func, self.fuse)
+    }
+
+    /// Compile `func` with an explicit fusion flag. The cache key is
+    /// `(fingerprint, fuse)`, so the generic and fused compilations of
+    /// the same function coexist and every recompilation — including a
+    /// fused recompilation after toggling the flag — is counted by
+    /// [`Runtime::compilations`].
+    ///
+    /// # Errors
+    /// Propagates [`CompiledKernel::compile`] errors.
+    pub fn compile_with(
+        &self,
+        func: &PrimFunc,
+        fuse: bool,
+    ) -> Result<Arc<CompiledKernel>, ExecError> {
+        let key = (Self::fingerprint(func), fuse);
         if let Some(k) = self.cache.lock().unwrap().get(&key) {
             return Ok(Arc::clone(k));
         }
-        let kernel = Arc::new(CompiledKernel::compile(func)?);
+        let kernel = Arc::new(CompiledKernel::compile_with(func, fuse)?);
         self.compilations.fetch_add(1, Ordering::Relaxed);
         self.cache.lock().unwrap().insert(key, Arc::clone(&kernel));
         Ok(kernel)
@@ -1967,6 +2078,182 @@ mod tests {
         let k3 = rt.compile(&other).unwrap();
         assert!(!Arc::ptr_eq(&k1, &k3));
         assert_eq!(rt.cached(), 2);
+    }
+
+    /// Build the canonical fusable lane loop:
+    /// `for k in 0..n { block { init: C[k] = 0 if j == 0; C[k] += A[0] * B[k] } }`
+    /// wrapped in a serial `j` loop supplying the reduce binding.
+    fn axpy_func(n: i64) -> PrimFunc {
+        let j = Var::i32("j");
+        let k = Var::i32("k");
+        let vk = Var::i32("vk");
+        let vp = Var::i32("vp");
+        let a = Buffer::global_f32("A", vec![Expr::i32(1)]);
+        let b = Buffer::global_f32("B", vec![Expr::i32(n)]);
+        let c = Buffer::global_f32("C", vec![Expr::i32(n)]);
+        let block = Stmt::Block(Block {
+            name: "acc".into(),
+            iter_vars: vec![
+                IterVar::spatial(vk.clone(), Expr::var(&k)),
+                IterVar::reduce(vp.clone(), Expr::var(&j)),
+            ],
+            reads: vec![],
+            writes: vec![],
+            init: Some(Box::new(Stmt::BufferStore {
+                buffer: c.clone(),
+                indices: vec![Expr::var(&vk)],
+                value: Expr::f32(0.0),
+            })),
+            body: Box::new(Stmt::BufferStore {
+                buffer: c.clone(),
+                indices: vec![Expr::var(&vk)],
+                value: c.load(vec![Expr::var(&vk)])
+                    + a.load(vec![Expr::i32(0)]) * b.load(vec![Expr::var(&vk)]),
+            }),
+        });
+        let body = Stmt::for_serial(j.clone(), 3, Stmt::for_serial(k.clone(), n, block));
+        PrimFunc::new("axpy", vec![], vec![a, b, c], body)
+    }
+
+    #[test]
+    fn fusion_produces_axpy_and_matches_generic() {
+        let f = axpy_func(8);
+        let fused = CompiledKernel::compile_with(&f, true).unwrap();
+        let generic = CompiledKernel::compile_with(&f, false).unwrap();
+        assert_eq!(fused.fused_ops(), 1);
+        assert_eq!(fused.fused_kinds(), vec!["AxpyLanes"]);
+        assert_eq!(generic.fused_ops(), 0);
+        let mut t = HashMap::new();
+        t.insert("A".to_string(), TensorData::from(vec![1.5f32]));
+        t.insert("B".to_string(), TensorData::from((0..8).map(|x| x as f32).collect::<Vec<_>>()));
+        t.insert("C".to_string(), TensorData::zeros(DType::F32, 8));
+        let mut tf = t.clone();
+        let mut tg = t.clone();
+        fused.run(&HashMap::new(), &mut tf).unwrap();
+        generic.run(&HashMap::new(), &mut tg).unwrap();
+        assert_eq!(tf["C"], tg["C"]);
+        // Three reduce iterations of 1.5 * B[k].
+        let expect: Vec<f32> = (0..8).map(|x| 4.5 * x as f32).collect();
+        assert_eq!(tf["C"].as_f32(), expect.as_slice());
+    }
+
+    /// Toggling fusion must recompile (counted) and never serve the other
+    /// flag's kernel from the cache — the cache key includes the flag.
+    #[test]
+    fn fusion_flag_is_part_of_the_cache_key() {
+        let rt = Runtime::with_fusion(true);
+        let f = axpy_func(8);
+        let generic = rt.compile_with(&f, false).unwrap();
+        assert_eq!(rt.compilations(), 1);
+        let fused = rt.compile_with(&f, true).unwrap();
+        assert_eq!(rt.compilations(), 2, "fused recompilation must be counted");
+        assert!(!Arc::ptr_eq(&generic, &fused));
+        assert_eq!(generic.fused_ops(), 0);
+        assert_eq!(fused.fused_ops(), 1);
+        // Both flags now hit their own cache entries.
+        assert!(Arc::ptr_eq(&generic, &rt.compile_with(&f, false).unwrap()));
+        assert!(Arc::ptr_eq(&fused, &rt.compile_with(&f, true).unwrap()));
+        assert!(Arc::ptr_eq(&fused, &rt.compile(&f).unwrap()), "runtime default is fused");
+        assert_eq!(rt.compilations(), 2);
+        assert_eq!(rt.cached(), 2);
+    }
+
+    /// A lane loop whose source walks a non-unit stride must stay on the
+    /// generic tree (contiguity requirement) yet still execute correctly.
+    #[test]
+    fn non_contiguous_source_is_not_fused() {
+        let k = Var::i32("k");
+        let b = Buffer::global_f32("B", vec![Expr::i32(16)]);
+        let c = Buffer::global_f32("C", vec![Expr::i32(8)]);
+        let body = Stmt::for_serial(
+            k.clone(),
+            8,
+            Stmt::BufferStore {
+                buffer: c.clone(),
+                indices: vec![Expr::var(&k)],
+                value: c.load(vec![Expr::var(&k)]) + b.load(vec![Expr::var(&k) * 2]) * 2.0f32,
+            },
+        );
+        let f = PrimFunc::new("strided", vec![], vec![b, c], body);
+        let fused = CompiledKernel::compile_with(&f, true).unwrap();
+        assert_eq!(fused.fused_ops(), 0, "stride-2 source must not fuse");
+        let mut t = HashMap::new();
+        t.insert("B".to_string(), TensorData::from((0..16).map(|x| x as f32).collect::<Vec<_>>()));
+        t.insert("C".to_string(), TensorData::zeros(DType::F32, 8));
+        let mut t2 = t.clone();
+        fused.run(&HashMap::new(), &mut t).unwrap();
+        eval_func(&f, &HashMap::new(), &mut t2).unwrap();
+        assert_eq!(t["C"], t2["C"]);
+    }
+
+    /// Reading the written buffer anywhere in the loop (here: the scale
+    /// factor) defeats invariance hoisting, so fusion must decline.
+    #[test]
+    fn aliased_coefficient_is_not_fused() {
+        let k = Var::i32("k");
+        let b = Buffer::global_f32("B", vec![Expr::i32(8)]);
+        let c = Buffer::global_f32("C", vec![Expr::i32(8)]);
+        let body = Stmt::for_serial(
+            k.clone(),
+            8,
+            Stmt::BufferStore {
+                buffer: c.clone(),
+                indices: vec![Expr::var(&k)],
+                value: c.load(vec![Expr::var(&k)])
+                    + c.load(vec![Expr::i32(0)]) * b.load(vec![Expr::var(&k)]),
+            },
+        );
+        let f = PrimFunc::new("alias", vec![], vec![b, c], body);
+        let fused = CompiledKernel::compile_with(&f, true).unwrap();
+        assert_eq!(fused.fused_ops(), 0, "coefficient loads the written buffer");
+        let mut t = HashMap::new();
+        t.insert("B".to_string(), TensorData::from(vec![1.0f32; 8]));
+        t.insert("C".to_string(), TensorData::from(vec![2.0f32; 8]));
+        let mut t2 = t.clone();
+        fused.run(&HashMap::new(), &mut t).unwrap();
+        eval_func(&f, &HashMap::new(), &mut t2).unwrap();
+        assert_eq!(t["C"], t2["C"]);
+    }
+
+    /// Out-of-bounds lanes must fall back to the generic loop and report
+    /// the interpreter's exact error.
+    #[test]
+    fn fused_bounds_violation_falls_back_with_identical_error() {
+        let k = Var::i32("k");
+        let n = Var::i32("n");
+        let b = Buffer::global_f32("B", vec![Expr::i32(8)]);
+        let c = Buffer::global_f32("C", vec![Expr::i32(8)]);
+        // Extent is a scalar param: the kernel fuses (extent is dynamic),
+        // and binding n = 12 overruns both buffers at run time.
+        let body = Stmt::For {
+            var: k.clone(),
+            extent: Expr::var(&n),
+            kind: ForKind::Serial,
+            body: Box::new(Stmt::BufferStore {
+                buffer: c.clone(),
+                indices: vec![Expr::var(&k)],
+                value: c.load(vec![Expr::var(&k)]) + Expr::f32(2.0) * b.load(vec![Expr::var(&k)]),
+            }),
+        };
+        let f = PrimFunc::new("oob", vec![n], vec![b, c], body);
+        let fused = CompiledKernel::compile_with(&f, true).unwrap();
+        assert_eq!(fused.fused_ops(), 1);
+        let mut tensors = HashMap::new();
+        tensors.insert("B".to_string(), TensorData::from(vec![1.0f32; 8]));
+        tensors.insert("C".to_string(), TensorData::zeros(DType::F32, 8));
+        let scalars = scalar_map(&[("n", 12)]);
+        let mut t2 = tensors.clone();
+        let fast = fused.run(&scalars, &mut tensors).unwrap_err();
+        let generic = CompiledKernel::compile_with(&f, false).unwrap();
+        let slow = generic.run(&scalars, &mut t2).unwrap_err();
+        assert_eq!(fast, slow, "fallback must reproduce the generic error exactly");
+        let mut t3 = t2.clone();
+        let interp = eval_func(&f, &scalars, &mut t3).unwrap_err();
+        assert!(interp
+            .to_string()
+            .ends_with("index 8 out of bounds for dim of extent 8 in buffer `C`"));
+        // The in-bounds prefix written by the generic fallback matches.
+        assert_eq!(tensors["C"], t2["C"]);
     }
 
     #[test]

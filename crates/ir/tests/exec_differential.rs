@@ -1,9 +1,11 @@
-//! Differential property suite: the slot-compiled executor must produce
-//! **bit-identical** results to the reference interpreter on random
-//! lowered programs over F32 and I32 buffers — including thread-bound
-//! reduction loops and parallel-dispatched `blockIdx` loops.
+//! Differential property suite: the slot-compiled executor — both the
+//! generic slot-dispatched tree and the dense-lane **fused** microkernel
+//! build — must produce **bit-identical** results to the reference
+//! interpreter on random lowered programs over F32 and I32 buffers,
+//! including thread-bound reduction loops and parallel-dispatched
+//! `blockIdx` loops.
 //!
-//! Programs are drawn in four families:
+//! Programs are drawn in five families:
 //!
 //! * `serial_nest` — arbitrary (even colliding) stores under serial /
 //!   `threadIdx` / vectorized loops, wide expression coverage;
@@ -13,10 +15,16 @@
 //! * `block_reduction` — a reduction block whose reduce axis is bound to
 //!   `threadIdx.x` under a `blockIdx.x` spatial loop (§3.3 semantics);
 //! * `scheduled_nest` — random `split`/`bind`/`unroll`/`vectorize`
-//!   compositions applied by the real `Schedule` machinery.
+//!   compositions applied by the real `Schedule` machinery;
+//! * `lane_kernel` — axpy/dot-shaped lane loops with random lane counts
+//!   (including 1/2/3/32/33), strides, init seeding and aliasing, aimed
+//!   squarely at the fused `FillLanes`/`AxpyLanes`/`DotLanes`/
+//!   `GatherScaleAccumulate` microkernels and their fallback boundary.
 //!
-//! Each case also runs the compiled kernel twice (through the cache) to
-//! check that frame reuse cannot leak state between invocations.
+//! Every case runs three ways — interpreter, generic executor
+//! (`compile_with(f, false)`), fused executor (`compile_with(f, true)`) —
+//! and each compiled kernel also runs twice (through the cache) to check
+//! that frame reuse cannot leak state between invocations.
 
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
@@ -56,10 +64,10 @@ fn assert_bits_eq(name: &str, a: &TensorData, b: &TensorData) -> Result<(), Stri
     }
 }
 
-/// Run the interpreter and the compiled executor on the same program and
-/// initial tensors; demand bit-identical tensor maps afterwards. The
-/// compiled path runs twice (cache hit + pooled frame) to catch state
-/// leaking between invocations.
+/// Run the interpreter, the generic executor and the fused executor on
+/// the same program and initial tensors; demand bit-identical tensor maps
+/// afterwards. Each compiled path runs twice (cache hit + pooled frame)
+/// to catch state leaking between invocations.
 fn differential(
     f: &PrimFunc,
     scalars: &HashMap<String, i64>,
@@ -68,21 +76,24 @@ fn differential(
     let mut interp = tensors.clone();
     eval_func(f, scalars, &mut interp).map_err(|e| format!("interpreter failed: {e}"))?;
 
-    let rt = Runtime::new();
-    let kernel = rt.compile(f).map_err(|e| format!("compile failed: {e}"))?;
-    let mut compiled = tensors.clone();
-    kernel.run(scalars, &mut compiled).map_err(|e| format!("executor failed: {e}"))?;
-    for (name, data) in &interp {
-        let got = compiled.get(name).ok_or_else(|| format!("`{name}` missing"))?;
-        assert_bits_eq(name, data, got)?;
-    }
+    for fuse in [false, true] {
+        let label = if fuse { "fused" } else { "generic" };
+        let rt = Runtime::with_fusion(fuse);
+        let kernel = rt.compile(f).map_err(|e| format!("{label} compile failed: {e}"))?;
+        let mut compiled = tensors.clone();
+        kernel.run(scalars, &mut compiled).map_err(|e| format!("{label} executor failed: {e}"))?;
+        for (name, data) in &interp {
+            let got = compiled.get(name).ok_or_else(|| format!("`{name}` missing"))?;
+            assert_bits_eq(name, data, got).map_err(|e| format!("[{label}] {e}"))?;
+        }
 
-    // Second run through the cache with a pooled frame.
-    let kernel2 = rt.compile(f).map_err(|e| format!("recompile failed: {e}"))?;
-    let mut again = tensors.clone();
-    kernel2.run(scalars, &mut again).map_err(|e| format!("second run failed: {e}"))?;
-    for (name, data) in &interp {
-        assert_bits_eq(name, data, &again[name])?;
+        // Second run through the cache with a pooled frame.
+        let kernel2 = rt.compile(f).map_err(|e| format!("{label} recompile failed: {e}"))?;
+        let mut again = tensors.clone();
+        kernel2.run(scalars, &mut again).map_err(|e| format!("{label} second run failed: {e}"))?;
+        for (name, data) in &interp {
+            assert_bits_eq(name, data, &again[name]).map_err(|e| format!("[{label}#2] {e}"))?;
+        }
     }
     Ok(())
 }
@@ -494,6 +505,203 @@ fn scheduled_nest(seed: u64) -> (PrimFunc, HashMap<String, TensorData>) {
     (f, tensors)
 }
 
+// ---------------------------------------------------------------------------
+// Family 5: lane-kernel programs targeting the fusion pass
+// ---------------------------------------------------------------------------
+
+/// Lane counts the fused microkernels must handle, straddling the warp
+/// width (1/2/3 short remainders, 32 exact, 33 just past the boundary).
+const LANE_COUNTS: [i64; 5] = [1, 2, 3, 32, 33];
+
+/// Axpy-shaped lane loop under a serial reduce loop:
+/// `for j in 0..reps { for k in 0..n { block { init C[k·ds] = seed if j == 0;
+/// C[k·ds] += A[0] · B[k·ss] } } }`. `ds`/`ss` ≠ 1 must fall back;
+/// `alias_coeff` loads the coefficient from the written buffer (must fall
+/// back); `alias_src` accumulates `C` from `C` itself (must fall back).
+fn lane_axpy(
+    n: i64,
+    ds: i64,
+    ss: i64,
+    alias_coeff: bool,
+    alias_src: bool,
+    seed: u64,
+) -> (PrimFunc, HashMap<String, TensorData>) {
+    let mut g = ProgGen::new(seed);
+    let clen = n * ds + i64::from(alias_src);
+    let blen = n * ss;
+    let a = Buffer::global_f32("A", vec![Expr::i32(1)]);
+    let b = Buffer::global_f32("B", vec![Expr::i32(blen)]);
+    let c = Buffer::global_f32("C", vec![Expr::i32(clen)]);
+    let j = Var::i32("j");
+    let k = Var::i32("k");
+    let vk = Var::i32("vk");
+    let vp = Var::i32("vp");
+    let src = if alias_src { c.clone() } else { b.clone() };
+    let src_idx = if alias_src { Expr::var(&vk) + Expr::i32(1) } else { Expr::var(&vk) * ss };
+    let coeff = if alias_coeff { c.load(vec![Expr::i32(0)]) } else { a.load(vec![Expr::i32(0)]) };
+    let block = Stmt::Block(sparsetir_ir::stmt::Block {
+        name: "axpy".into(),
+        iter_vars: vec![
+            IterVar::spatial(vk.clone(), Expr::var(&k)),
+            IterVar::reduce(vp.clone(), Expr::var(&j)),
+        ],
+        reads: vec![],
+        writes: vec![],
+        init: Some(Box::new(Stmt::BufferStore {
+            buffer: c.clone(),
+            indices: vec![Expr::var(&vk) * ds],
+            value: Expr::f32(f64::from(g.rng.gen_range(-1.0f32..1.0))),
+        })),
+        body: Box::new(Stmt::BufferStore {
+            buffer: c.clone(),
+            indices: vec![Expr::var(&vk) * ds],
+            value: c.load(vec![Expr::var(&vk) * ds]) + coeff * src.load(vec![src_idx]),
+        }),
+    });
+    let body = Stmt::for_serial(j.clone(), 2, Stmt::for_serial(k.clone(), n, block));
+    let f = PrimFunc::new("lane_axpy", vec![], vec![a, b, c], body);
+    let mut tensors = HashMap::new();
+    tensors.insert("A".to_string(), TensorData::F32(vec![g.rng.gen_range(-2.0f32..2.0)]));
+    tensors.insert(
+        "B".to_string(),
+        TensorData::F32((0..blen).map(|_| g.rng.gen_range(-2.0f32..2.0)).collect()),
+    );
+    tensors.insert(
+        "C".to_string(),
+        TensorData::F32((0..clen).map(|_| g.rng.gen_range(-2.0f32..2.0)).collect()),
+    );
+    (f, tensors)
+}
+
+/// Scalar dot/gather lane loop whose reduce binding strides with the
+/// lane (accumulator-init-at-lane-0 semantics):
+/// `for k in 0..n { block { init S[0] = 0 at k == 0;
+/// S[0] += (A[0] · X[k]) · Y[k·bs] } }`.
+fn lane_dot(
+    n: i64,
+    bs: i64,
+    with_coeff: bool,
+    seed: u64,
+) -> (PrimFunc, HashMap<String, TensorData>) {
+    let mut g = ProgGen::new(seed);
+    let a = Buffer::global_f32("A", vec![Expr::i32(1)]);
+    let x = Buffer::global_f32("X", vec![Expr::i32(n)]);
+    let y = Buffer::global_f32("Y", vec![Expr::i32(n * bs)]);
+    let s = Buffer::global_f32("S", vec![Expr::i32(1)]);
+    let k = Var::i32("k");
+    let vk = Var::i32("vk");
+    let vp = Var::i32("vp");
+    let xl = x.load(vec![Expr::var(&vk)]);
+    let yl = y.load(vec![Expr::var(&vk) * bs]);
+    let term = if with_coeff { a.load(vec![Expr::i32(0)]) * xl * yl } else { xl * yl };
+    let block = Stmt::Block(sparsetir_ir::stmt::Block {
+        name: "dot".into(),
+        iter_vars: vec![
+            IterVar::spatial(vk.clone(), Expr::var(&k)),
+            IterVar::reduce(vp.clone(), Expr::var(&k)),
+        ],
+        reads: vec![],
+        writes: vec![],
+        init: Some(Box::new(Stmt::BufferStore {
+            buffer: s.clone(),
+            indices: vec![Expr::i32(0)],
+            value: Expr::f32(0.0),
+        })),
+        body: Box::new(Stmt::BufferStore {
+            buffer: s.clone(),
+            indices: vec![Expr::i32(0)],
+            value: s.load(vec![Expr::i32(0)]) + term,
+        }),
+    });
+    let body = Stmt::for_serial(k.clone(), n, block);
+    let f = PrimFunc::new("lane_dot", vec![], vec![a, x, y, s], body);
+    let mut tensors = HashMap::new();
+    tensors.insert("A".to_string(), TensorData::F32(vec![g.rng.gen_range(-2.0f32..2.0)]));
+    tensors.insert(
+        "X".to_string(),
+        TensorData::F32((0..n).map(|_| g.rng.gen_range(-2.0f32..2.0)).collect()),
+    );
+    tensors.insert(
+        "Y".to_string(),
+        TensorData::F32((0..n * bs).map(|_| g.rng.gen_range(-2.0f32..2.0)).collect()),
+    );
+    tensors.insert("S".to_string(), TensorData::F32(vec![g.rng.gen_range(-1.0f32..1.0)]));
+    (f, tensors)
+}
+
+/// Random draw from the lane-kernel family.
+fn lane_kernel(seed: u64) -> (PrimFunc, HashMap<String, TensorData>) {
+    let mut g = ProgGen::new(seed ^ 0xA5A5);
+    let n = LANE_COUNTS[g.rng.gen_range(0..LANE_COUNTS.len())];
+    match g.rng.gen_range(0..6) {
+        0 => lane_axpy(n, 1, 1, false, false, seed),
+        1 => lane_axpy(n, g.rng.gen_range(2i64..4), 1, false, false, seed),
+        2 => lane_axpy(n, 1, g.rng.gen_range(2i64..4), false, false, seed),
+        3 => lane_axpy(n, 1, 1, true, false, seed),
+        4 => lane_axpy(n, 1, 1, false, true, seed),
+        _ => lane_dot(n, g.rng.gen_range(1i64..4), g.rng.gen_bool(0.5), seed),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Targeted fused-vs-generic-vs-interpreter cases
+// ---------------------------------------------------------------------------
+
+#[test]
+fn fused_lane_counts_cover_the_fallback_boundary() {
+    for n in LANE_COUNTS {
+        let (f, tensors) = lane_axpy(n, 1, 1, false, false, 0x100 + n as u64);
+        let fused = CompiledKernel::compile_with(&f, true).expect("compiles");
+        assert_eq!(fused.fused_ops(), 1, "n = {n} must fuse");
+        assert_eq!(fused.fused_kinds(), vec!["AxpyLanes"]);
+        differential(&f, &HashMap::new(), &tensors).unwrap_or_else(|m| panic!("n = {n}: {m}"));
+
+        let (f, tensors) = lane_dot(n, 3, true, 0x200 + n as u64);
+        let fused = CompiledKernel::compile_with(&f, true).expect("compiles");
+        assert_eq!(fused.fused_ops(), 1, "dot n = {n} must fuse");
+        assert_eq!(fused.fused_kinds(), vec!["GatherScaleAccumulate"]);
+        differential(&f, &HashMap::new(), &tensors).unwrap_or_else(|m| panic!("dot n = {n}: {m}"));
+
+        let (f, tensors) = lane_dot(n, 1, false, 0x300 + n as u64);
+        let fused = CompiledKernel::compile_with(&f, true).expect("compiles");
+        assert_eq!(fused.fused_kinds(), vec!["DotLanes"]);
+        differential(&f, &HashMap::new(), &tensors)
+            .unwrap_or_else(|m| panic!("pure dot n = {n}: {m}"));
+    }
+}
+
+#[test]
+fn non_contiguous_strides_fall_back_to_generic() {
+    for (ds, ss) in [(2, 1), (1, 2), (3, 3)] {
+        let (f, tensors) = lane_axpy(32, ds, ss, false, false, 0x400 + (ds * 8 + ss) as u64);
+        let fused = CompiledKernel::compile_with(&f, true).expect("compiles");
+        assert_eq!(fused.fused_ops(), 0, "strides ({ds},{ss}) must not fuse");
+        differential(&f, &HashMap::new(), &tensors)
+            .unwrap_or_else(|m| panic!("strides ({ds},{ss}): {m}"));
+    }
+    // Strided gather operands on a *scalar* reduction stay fused (the
+    // GatherScaleAccumulate shape) and still bit-match.
+    let (f, tensors) = lane_dot(33, 2, true, 0x777);
+    let fused = CompiledKernel::compile_with(&f, true).expect("compiles");
+    assert_eq!(fused.fused_kinds(), vec!["GatherScaleAccumulate"]);
+    differential(&f, &HashMap::new(), &tensors).unwrap();
+}
+
+#[test]
+fn aliased_buffers_fall_back_to_generic() {
+    // Coefficient loaded from the written buffer.
+    let (f, tensors) = lane_axpy(33, 1, 1, true, false, 0x500);
+    let fused = CompiledKernel::compile_with(&f, true).expect("compiles");
+    assert_eq!(fused.fused_ops(), 0, "aliased coefficient must not fuse");
+    differential(&f, &HashMap::new(), &tensors).unwrap();
+
+    // Source lanes overlapping the destination lanes (C[k] += A·C[k+1]).
+    let (f, tensors) = lane_axpy(32, 1, 1, false, true, 0x600);
+    let fused = CompiledKernel::compile_with(&f, true).expect("compiles");
+    assert_eq!(fused.fused_ops(), 0, "self-aliasing source must not fuse");
+    differential(&f, &HashMap::new(), &tensors).unwrap();
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
@@ -524,6 +732,14 @@ proptest! {
     #[test]
     fn scheduled_nests_bit_match(seed in 0u64..1_000_000) {
         let (f, tensors) = scheduled_nest(seed);
+        if let Err(msg) = differential(&f, &HashMap::new(), &tensors) {
+            prop_assert!(false, "seed {seed}: {msg}\n{}", print_func(&f));
+        }
+    }
+
+    #[test]
+    fn lane_kernels_bit_match(seed in 0u64..1_000_000) {
+        let (f, tensors) = lane_kernel(seed);
         if let Err(msg) = differential(&f, &HashMap::new(), &tensors) {
             prop_assert!(false, "seed {seed}: {msg}\n{}", print_func(&f));
         }

@@ -221,6 +221,18 @@ mod tests {
         }
     }
 
+    /// The SDDMM feature loop — one contiguous operand, one
+    /// column-strided operand, an invariant edge weight — must fuse to
+    /// the `GatherScaleAccumulate` microkernel.
+    #[test]
+    fn sddmm_inner_loop_fuses_to_gather_scale_accumulate() {
+        let mut rng = gen::rng(16);
+        let a = gen::random_csr(10, 12, 0.2, &mut rng);
+        let f = sddmm_ir(&a, 5).unwrap();
+        let kernel = sparsetir_ir::exec::Runtime::global().compile(&f).unwrap();
+        assert_eq!(kernel.fused_kinds(), vec!["GatherScaleAccumulate"]);
+    }
+
     #[test]
     fn nnz_parallel_beats_row_parallel_on_skew() {
         let mut rng = gen::rng(21);

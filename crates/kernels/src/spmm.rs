@@ -543,6 +543,30 @@ mod crosscheck_tests {
         assert_eq!(plan.blocks.len(), a.rows().div_ceil(4));
     }
 
+    /// The fusion pass must recognize the SpMM inner loops: the CSR
+    /// schedule's feature loop fuses to one `AxpyLanes`, and the hyb
+    /// decomposition fuses its init nest (`FillLanes`) plus one
+    /// `AxpyLanes` per non-empty bucket — all picked up transparently
+    /// through the global kernel cache.
+    #[test]
+    fn spmm_inner_loops_fuse_to_microkernels() {
+        let mut rng = gen::rng(91);
+        let a = gen::random_csr(48, 40, 0.15, &mut rng);
+        let x = gen::random_dense(40, 8, &mut rng);
+
+        let f = csr_spmm_ir(&a, 8).unwrap();
+        let kernel = Runtime::global().compile(&f).unwrap();
+        assert_eq!(kernel.fused_kinds(), vec!["AxpyLanes"]);
+
+        let config =
+            SpmmConfig { col_parts: Some(2), bucket_k: 2, params: CsrSpmmParams::default() };
+        let prepared = prepare_spmm(&a, &x, &config).unwrap();
+        let hyb_kernel = Runtime::global().compile(&prepared.func).unwrap();
+        let kinds = hyb_kernel.fused_kinds();
+        assert!(kinds.contains(&"FillLanes"), "hyb init nest must fuse: {kinds:?}");
+        assert!(kinds.iter().filter(|k| **k == "AxpyLanes").count() >= 2, "{kinds:?}");
+    }
+
     /// The compiled executor must agree bit-for-bit with the reference
     /// interpreter on the lowered, scheduled SpMM kernel.
     #[test]
