@@ -77,6 +77,19 @@ impl<V: Clone> TuneCache<V> {
         }
     }
 
+    /// Read-only probe: the cached value for `key`, counting a hit when
+    /// present (a miss is not counted — callers falling through to
+    /// [`TuneCache::get_or_insert_with`] would double-count it). Lets a
+    /// caller with its own single-flight guard serve hits without taking
+    /// that guard.
+    pub fn get(&self, key: &TuneKey) -> Option<V> {
+        let v = self.map.lock().unwrap().get(key).cloned();
+        if v.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        v
+    }
+
     /// Look up `key`, computing and inserting on a miss. Returns the value
     /// and whether it was a hit. `compute` runs outside the lock, so a
     /// slow tuning run never blocks unrelated lookups. No single-flight

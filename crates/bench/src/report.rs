@@ -125,7 +125,7 @@ fn escape(s: &str) -> String {
 pub fn render_results(records: &[BenchRecord], smoke: bool) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"schema\": 1,");
+    let _ = writeln!(out, "  \"schema\": {SCHEMA_VERSION},");
     let _ = writeln!(out, "  \"git_sha\": \"{}\",", escape(&git_sha()));
     let _ = writeln!(out, "  \"smoke\": {smoke},");
     out.push_str("  \"records\": [\n");
@@ -372,12 +372,25 @@ fn parse_json(s: &str) -> Result<Json, String> {
     Ok(v)
 }
 
+/// The schema version this module writes and reads.
+pub const SCHEMA_VERSION: f64 = 1.0;
+
 /// Parse a `BENCH_results.json` document into its records.
 ///
 /// # Errors
-/// Returns a description of the first malformed construct.
+/// Returns a description of the first malformed construct, including a
+/// missing or unknown `schema` version — the perf-gate must refuse to
+/// compare documents written under a different schema rather than
+/// silently misreading them.
 pub fn parse_results(text: &str) -> Result<Vec<BenchRecord>, String> {
     let doc = parse_json(text)?;
+    match doc.get("schema").and_then(Json::as_num) {
+        Some(v) if v == SCHEMA_VERSION => {}
+        Some(v) => {
+            return Err(format!("unsupported schema version {v} (expected {SCHEMA_VERSION})"))
+        }
+        None => return Err("missing `schema` version".to_string()),
+    }
     let records = doc
         .get("records")
         .and_then(|r| match r {
@@ -448,11 +461,16 @@ pub struct Comparison {
 /// Compare `results` against `baseline` with relative `tolerance`
 /// (0.30 = ±30%). A `lower`-is-better metric regresses when
 /// `value > baseline · (1 + tolerance)`; a `higher`-is-better metric when
-/// `value < baseline · (1 − tolerance)`. Metrics only present in the
-/// results pass silently (new benches need a baseline refresh to be
-/// gated).
+/// `value < baseline · (1 − tolerance)`. The boundary itself is *inside*
+/// the tolerance — a ratio landing exactly on ±tolerance passes, with a
+/// tiny epsilon absorbing the floating-point rounding of the
+/// `value / baseline` division (without it, `130.0` against a `100.0`
+/// baseline at 0.30 tolerance computes `0.30000000000000004` and fails).
+/// Metrics only present in the results pass silently (new benches need a
+/// baseline refresh to be gated).
 #[must_use]
 pub fn compare(results: &[BenchRecord], baseline: &[BenchRecord], tolerance: f64) -> Comparison {
+    const BOUNDARY_EPS: f64 = 1e-9;
     let by_key: HashMap<(&str, &str), &BenchRecord> =
         results.iter().map(|r| ((r.experiment.as_str(), r.name.as_str()), r)).collect();
     let mut cmp = Comparison::default();
@@ -482,9 +500,9 @@ pub fn compare(results: &[BenchRecord], baseline: &[BenchRecord], tolerance: f64
             "higher" => -rel,
             _ => rel,
         };
-        if worse > tolerance {
+        if worse > tolerance + BOUNDARY_EPS {
             cmp.regressions.push(describe(rel));
-        } else if worse < -tolerance {
+        } else if worse < -(tolerance + BOUNDARY_EPS) {
             cmp.improvements.push(describe(rel));
         }
     }

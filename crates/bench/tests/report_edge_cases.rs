@@ -1,0 +1,150 @@
+//! Edge-case coverage for the `bench::report` JSON reader and the
+//! perf-gate comparator — the paths CI trusts to fail loudly: unknown
+//! schema versions, baseline entries missing from the results, ratios
+//! sitting exactly on the ± tolerance boundary, and unreadable/empty
+//! files.
+
+use sparsetir_bench::report::{compare, compare_files, parse_results, render_results, BenchRecord};
+
+fn rec(name: &str, value: f64, unit: &'static str, better: &'static str) -> BenchRecord {
+    BenchRecord {
+        experiment: "edge".to_string(),
+        name: name.to_string(),
+        value,
+        unit,
+        better,
+        config: String::new(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Schema versioning
+// ---------------------------------------------------------------------------
+
+#[test]
+fn unknown_schema_version_is_rejected() {
+    let doc = render_results(&[rec("a", 1.0, "ns", "lower")], false);
+    let future = doc.replace("\"schema\": 1,", "\"schema\": 2,");
+    assert_ne!(doc, future, "replacement must have applied");
+    let err = parse_results(&future).expect_err("schema 2 must be rejected");
+    assert!(err.contains("unsupported schema version 2"), "{err}");
+}
+
+#[test]
+fn missing_schema_version_is_rejected() {
+    let doc = render_results(&[rec("a", 1.0, "ns", "lower")], false);
+    let stripped = doc.replace("  \"schema\": 1,\n", "");
+    assert_ne!(doc, stripped, "replacement must have applied");
+    let err = parse_results(&stripped).expect_err("missing schema must be rejected");
+    assert!(err.contains("missing `schema`"), "{err}");
+}
+
+#[test]
+fn current_schema_round_trips() {
+    let records = vec![rec("a", 1.0, "ns", "lower"), rec("b", 2.5, "ratio", "higher")];
+    let parsed = parse_results(&render_results(&records, true)).expect("schema 1 parses");
+    assert_eq!(parsed, records);
+}
+
+// ---------------------------------------------------------------------------
+// Baseline entries missing from the results
+// ---------------------------------------------------------------------------
+
+#[test]
+fn baseline_entries_missing_from_results_are_reported_not_fatal() {
+    let baseline = vec![
+        rec("kept", 100.0, "ns", "lower"),
+        rec("renamed_away", 5.0, "ratio", "higher"),
+        rec("deleted", 1.0, "ns", "lower"),
+    ];
+    let results = vec![rec("kept", 100.0, "ns", "lower")];
+    let cmp = compare(&results, &baseline, 0.30);
+    assert_eq!(cmp.compared, 1);
+    assert!(cmp.regressions.is_empty());
+    assert_eq!(
+        cmp.missing,
+        vec!["edge::renamed_away".to_string(), "edge::deleted".to_string()],
+        "every baseline metric absent from the results must be surfaced"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Exact tolerance boundary: the gate is strict-greater-than
+// ---------------------------------------------------------------------------
+
+#[test]
+fn value_exactly_at_the_tolerance_boundary_does_not_regress() {
+    let tol = 0.30;
+    let baseline = vec![rec("time", 100.0, "ns", "lower"), rec("speedup", 10.0, "ratio", "higher")];
+    // Exactly +tol on a lower-is-better and −tol on a higher-is-better
+    // metric: on the fence is still inside the fence.
+    let at_boundary = vec![
+        rec("time", 100.0 * (1.0 + tol), "ns", "lower"),
+        rec("speedup", 10.0 * (1.0 - tol), "ratio", "higher"),
+    ];
+    let cmp = compare(&at_boundary, &baseline, tol);
+    assert!(cmp.regressions.is_empty(), "{:?}", cmp.regressions);
+    assert!(cmp.improvements.is_empty(), "{:?}", cmp.improvements);
+
+    // One part in a million past the boundary regresses.
+    let past = vec![
+        rec("time", 100.0 * (1.0 + tol) * (1.0 + 1e-6), "ns", "lower"),
+        rec("speedup", 10.0 * (1.0 - tol) / (1.0 + 1e-6), "ratio", "higher"),
+    ];
+    let cmp = compare(&past, &baseline, tol);
+    assert_eq!(cmp.regressions.len(), 2, "{:?}", cmp.regressions);
+
+    // The same margin in the better direction is an improvement, also
+    // strict.
+    let better = vec![
+        rec("time", 100.0 * (1.0 - tol) / (1.0 + 1e-6), "ns", "lower"),
+        rec("speedup", 10.0 * (1.0 + tol) * (1.0 + 1e-6), "ratio", "higher"),
+    ];
+    let cmp = compare(&better, &baseline, tol);
+    assert!(cmp.regressions.is_empty());
+    assert_eq!(cmp.improvements.len(), 2, "{:?}", cmp.improvements);
+}
+
+#[test]
+fn zero_valued_baseline_entries_are_skipped_not_divided_by() {
+    let baseline = vec![rec("zero", 0.0, "ns", "lower")];
+    let results = vec![rec("zero", 50.0, "ns", "lower")];
+    let cmp = compare(&results, &baseline, 0.30);
+    assert_eq!(cmp.compared, 1);
+    assert!(cmp.regressions.is_empty(), "a zero baseline cannot gate anything");
+}
+
+// ---------------------------------------------------------------------------
+// Empty / unreadable files
+// ---------------------------------------------------------------------------
+
+#[test]
+fn empty_file_parse_fails_loudly() {
+    let err = parse_results("").expect_err("empty document must not parse");
+    assert!(err.contains("unexpected end"), "{err}");
+    // Whitespace-only is equally empty.
+    let err = parse_results("  \n\t ").expect_err("blank document must not parse");
+    assert!(err.contains("unexpected end"), "{err}");
+    // A valid-JSON document that is not a results document.
+    let err = parse_results("{}").expect_err("no schema, no records");
+    assert!(err.contains("missing `schema`"), "{err}");
+}
+
+#[test]
+fn compare_files_propagates_read_and_parse_failures() {
+    let dir = std::env::temp_dir().join(format!("sparsetir_report_edge_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let good = dir.join("good.json");
+    let empty = dir.join("empty.json");
+    let absent = dir.join("does_not_exist.json");
+    std::fs::write(&good, render_results(&[rec("a", 1.0, "ns", "lower")], true)).unwrap();
+    std::fs::write(&empty, "").unwrap();
+
+    let err = compare_files(&good, &empty, 0.30).expect_err("empty baseline must fail");
+    assert!(err.contains("empty.json"), "{err}");
+    let err = compare_files(&absent, &good, 0.30).expect_err("missing results must fail");
+    assert!(err.contains("cannot read"), "{err}");
+    let ok = compare_files(&good, &good, 0.30).expect("self-comparison");
+    assert_eq!(ok.compared, 1);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -25,6 +25,7 @@ fn all_experiments_run_end_to_end_in_smoke_mode() {
         ("ablation_bucketing", e::ablation_bucketing::run),
         ("autotuning", e::autotuning::run),
         ("executor_vectorization", e::executor_vectorization::run),
+        ("serving_throughput", e::serving_throughput::run),
     ] {
         let out = run();
         assert!(!out.trim().is_empty(), "{name} rendered nothing");
@@ -42,6 +43,10 @@ fn all_experiments_run_end_to_end_in_smoke_mode() {
     assert!(
         records.iter().any(|r| r.experiment == "autotuning"),
         "autotuning must record measured times"
+    );
+    assert!(
+        records.iter().any(|r| r.experiment == "serving_throughput"),
+        "serving_throughput must record requests/sec results"
     );
     let dir = std::env::temp_dir().join(format!("sparsetir_bench_{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();

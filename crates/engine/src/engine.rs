@@ -1,0 +1,527 @@
+//! The serving engine: a bounded multi-producer request queue drained by
+//! a worker pool that batches fingerprint-compatible SpMM requests into
+//! single wider kernel launches.
+
+use crate::stats::{EngineStats, StatsInner};
+use sparsetir_autotune::{tune_spmm, SparsityFingerprint, TuneCache, TuneKey};
+use sparsetir_gpusim::prelude::GpuSpec;
+use sparsetir_ir::exec::Runtime;
+use sparsetir_kernels::prelude::{sddmm_execute_on, spmm_batched_execute_on, SpmmConfig};
+use sparsetir_smat::prelude::{Csr, Dense};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::VecDeque;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// Default bound on the request queue (the backpressure knob).
+pub const DEFAULT_QUEUE_DEPTH: usize = 64;
+
+/// Error answered to a serving client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// Request shapes are incompatible with the adjacency.
+    Shape(String),
+    /// The bounded queue was full (`try_submit_*` only; blocking submits
+    /// wait instead).
+    Saturated,
+    /// The engine shut down before (or while) answering.
+    Shutdown,
+    /// Kernel lowering/compilation/execution failed.
+    Exec(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Shape(msg) => write!(f, "engine shape error: {msg}"),
+            EngineError::Saturated => write!(f, "engine queue is full"),
+            EngineError::Shutdown => write!(f, "engine has shut down"),
+            EngineError::Exec(msg) => write!(f, "engine execution error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// A shareable, fingerprinted adjacency: the unit of kernel reuse and
+/// request batching. The fingerprint is a content hash over the full CSR
+/// (shape, structure and values), computed once at construction, so the
+/// engine can group same-adjacency requests in O(1) per request —
+/// cloning an `Adjacency` is an `Arc` bump.
+///
+/// Two requests batch together only when their fingerprints *and* their
+/// matrix dimensions match; distinct matrices colliding in the 64-bit
+/// hash is the usual negligible-probability caveat.
+#[derive(Debug, Clone)]
+pub struct Adjacency {
+    csr: Arc<Csr>,
+    fingerprint: u64,
+    /// Structural sparsity summary for [`TuneCache`] keys, precomputed so
+    /// the tuned path never rescans the matrix per batch.
+    sparsity: Arc<SparsityFingerprint>,
+}
+
+impl Adjacency {
+    /// Fingerprint and wrap a CSR adjacency for serving.
+    #[must_use]
+    pub fn new(csr: Csr) -> Adjacency {
+        let mut h = DefaultHasher::new();
+        csr.rows().hash(&mut h);
+        csr.cols().hash(&mut h);
+        csr.indptr().hash(&mut h);
+        csr.indices().hash(&mut h);
+        for v in csr.values() {
+            v.to_bits().hash(&mut h);
+        }
+        let sparsity = Arc::new(SparsityFingerprint::of(&csr));
+        Adjacency { csr: Arc::new(csr), fingerprint: h.finish(), sparsity }
+    }
+
+    /// The wrapped matrix.
+    #[must_use]
+    pub fn csr(&self) -> &Csr {
+        &self.csr
+    }
+
+    /// The content fingerprint requests are batched by.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// True when `other` may share a batched kernel launch with `self`.
+    fn batches_with(&self, other: &Adjacency) -> bool {
+        self.fingerprint == other.fingerprint
+            && self.csr.rows() == other.csr.rows()
+            && self.csr.cols() == other.csr.cols()
+            && self.csr.nnz() == other.csr.nnz()
+    }
+}
+
+/// Engine construction parameters.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads draining the queue.
+    pub workers: usize,
+    /// Bound on queued (not yet dispatched) requests — the backpressure
+    /// knob: blocking submits wait for space, `try_submit_*` fails with
+    /// [`EngineError::Saturated`].
+    pub queue_depth: usize,
+    /// Most requests folded into one batched kernel launch; `1` disables
+    /// batching (every request runs alone — the unbatched baseline the
+    /// `serving_throughput` experiment compares against).
+    pub max_batch: usize,
+    /// When true, the first request for each adjacency runs the
+    /// simulator-backed `tune_spmm` search and the winning format/schedule
+    /// configuration is cached in the engine's [`TuneCache`] for every
+    /// later batch on that adjacency. When false, all SpMM requests use
+    /// [`SpmmConfig::default_csr`].
+    pub tune: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            workers: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            queue_depth: DEFAULT_QUEUE_DEPTH,
+            max_batch: 8,
+            tune: false,
+        }
+    }
+}
+
+struct SpmmJob {
+    adj: Adjacency,
+    feat: Dense,
+    enqueued: Instant,
+    reply: mpsc::Sender<Result<Dense, EngineError>>,
+}
+
+struct SddmmJob {
+    adj: Adjacency,
+    x: Dense,
+    y: Dense,
+    enqueued: Instant,
+    reply: mpsc::Sender<Result<Vec<f32>, EngineError>>,
+}
+
+enum Job {
+    Spmm(SpmmJob),
+    Sddmm(SddmmJob),
+}
+
+struct QueueState {
+    queue: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<QueueState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    config: EngineConfig,
+    runtime: Arc<Runtime>,
+    tune_cache: TuneCache<SpmmConfig>,
+    /// Single-flight guard for tuning searches: [`TuneCache`] computes
+    /// outside its lock by design, so without this, workers racing the
+    /// *first* batches of one adjacency would each pay the full search.
+    tune_flight: Mutex<()>,
+    stats: StatsInner,
+}
+
+/// Pending result of a submitted SpMM request.
+#[derive(Debug)]
+#[must_use = "wait() on the ticket to receive the result"]
+pub struct SpmmTicket {
+    rx: mpsc::Receiver<Result<Dense, EngineError>>,
+}
+
+impl SpmmTicket {
+    /// Block until the engine answers.
+    ///
+    /// # Errors
+    /// Propagates the worker-side error, or [`EngineError::Shutdown`]
+    /// when the engine died before answering.
+    pub fn wait(self) -> Result<Dense, EngineError> {
+        self.rx.recv().unwrap_or(Err(EngineError::Shutdown))
+    }
+}
+
+/// Pending result of a submitted SDDMM request.
+#[derive(Debug)]
+#[must_use = "wait() on the ticket to receive the result"]
+pub struct SddmmTicket {
+    rx: mpsc::Receiver<Result<Vec<f32>, EngineError>>,
+}
+
+impl SddmmTicket {
+    /// Block until the engine answers.
+    ///
+    /// # Errors
+    /// Propagates the worker-side error, or [`EngineError::Shutdown`]
+    /// when the engine died before answering.
+    pub fn wait(self) -> Result<Vec<f32>, EngineError> {
+        self.rx.recv().unwrap_or(Err(EngineError::Shutdown))
+    }
+}
+
+/// Multi-tenant serving engine: owns a shared kernel-cache [`Runtime`]
+/// and [`TuneCache`], accepts SpMM/SDDMM requests from any number of
+/// client threads, and batches concurrent SpMM requests that share an
+/// [`Adjacency`] fingerprint into single wider kernel launches.
+///
+/// Dropping the engine shuts it down: queued requests are still drained
+/// and answered, then the workers exit.
+pub struct Engine {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Engine {
+    /// Start an engine with `config.workers` worker threads and a fresh
+    /// kernel cache.
+    #[must_use]
+    pub fn new(config: EngineConfig) -> Engine {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState { queue: VecDeque::new(), shutdown: false }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            config: config.clone(),
+            runtime: Arc::new(Runtime::new()),
+            tune_cache: TuneCache::new(),
+            tune_flight: Mutex::new(()),
+            stats: StatsInner::default(),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("sparsetir-engine-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn engine worker")
+            })
+            .collect();
+        Engine { shared, workers }
+    }
+
+    /// The engine's kernel-cache runtime (for compilation accounting:
+    /// `runtime().compilations()`, `runtime().cached()`).
+    #[must_use]
+    pub fn runtime(&self) -> &Runtime {
+        &self.shared.runtime
+    }
+
+    /// The engine's per-adjacency tuning cache.
+    #[must_use]
+    pub fn tune_cache(&self) -> &TuneCache<SpmmConfig> {
+        &self.shared.tune_cache
+    }
+
+    /// Snapshot the serving counters.
+    #[must_use]
+    pub fn stats(&self) -> EngineStats {
+        self.shared.stats.snapshot()
+    }
+
+    /// Submit an SpMM request (`adj · feat`), blocking while the queue is
+    /// at capacity.
+    ///
+    /// # Errors
+    /// [`EngineError::Shape`] on a row-count mismatch and
+    /// [`EngineError::Shutdown`] after shutdown.
+    pub fn submit_spmm(&self, adj: &Adjacency, feat: Dense) -> Result<SpmmTicket, EngineError> {
+        self.spmm_job(adj, feat, true)
+    }
+
+    /// Submit an SpMM request without blocking.
+    ///
+    /// # Errors
+    /// Like [`Engine::submit_spmm`], plus [`EngineError::Saturated`]
+    /// when the queue is full.
+    pub fn try_submit_spmm(&self, adj: &Adjacency, feat: Dense) -> Result<SpmmTicket, EngineError> {
+        self.spmm_job(adj, feat, false)
+    }
+
+    /// Blocking convenience: submit an SpMM request and wait for the
+    /// result.
+    ///
+    /// # Errors
+    /// See [`Engine::submit_spmm`] and [`SpmmTicket::wait`].
+    pub fn spmm(&self, adj: &Adjacency, feat: Dense) -> Result<Dense, EngineError> {
+        self.submit_spmm(adj, feat)?.wait()
+    }
+
+    /// Submit an SDDMM request (`adj ⊙ (x · y)` sampled at the non-zeros),
+    /// blocking while the queue is at capacity.
+    ///
+    /// # Errors
+    /// [`EngineError::Shape`] on incompatible operand shapes and
+    /// [`EngineError::Shutdown`] after shutdown.
+    pub fn submit_sddmm(
+        &self,
+        adj: &Adjacency,
+        x: Dense,
+        y: Dense,
+    ) -> Result<SddmmTicket, EngineError> {
+        if x.rows() != adj.csr().rows() || y.cols() != adj.csr().cols() || y.rows() != x.cols() {
+            return Err(EngineError::Shape(format!(
+                "sddmm operands {}x{} · {}x{} incompatible with {}x{} adjacency",
+                x.rows(),
+                x.cols(),
+                y.rows(),
+                y.cols(),
+                adj.csr().rows(),
+                adj.csr().cols()
+            )));
+        }
+        let (tx, rx) = mpsc::channel();
+        self.push(
+            Job::Sddmm(SddmmJob { adj: adj.clone(), x, y, enqueued: Instant::now(), reply: tx }),
+            true,
+        )?;
+        Ok(SddmmTicket { rx })
+    }
+
+    /// Blocking convenience: submit an SDDMM request and wait for the
+    /// per-non-zero results.
+    ///
+    /// # Errors
+    /// See [`Engine::submit_sddmm`] and [`SddmmTicket::wait`].
+    pub fn sddmm(&self, adj: &Adjacency, x: Dense, y: Dense) -> Result<Vec<f32>, EngineError> {
+        self.submit_sddmm(adj, x, y)?.wait()
+    }
+
+    fn spmm_job(
+        &self,
+        adj: &Adjacency,
+        feat: Dense,
+        block: bool,
+    ) -> Result<SpmmTicket, EngineError> {
+        if feat.rows() != adj.csr().cols() {
+            return Err(EngineError::Shape(format!(
+                "feature matrix has {} rows, adjacency has {} cols",
+                feat.rows(),
+                adj.csr().cols()
+            )));
+        }
+        let (tx, rx) = mpsc::channel();
+        self.push(
+            Job::Spmm(SpmmJob { adj: adj.clone(), feat, enqueued: Instant::now(), reply: tx }),
+            block,
+        )?;
+        Ok(SpmmTicket { rx })
+    }
+
+    fn push(&self, job: Job, block: bool) -> Result<(), EngineError> {
+        let mut st = self.shared.state.lock().unwrap();
+        loop {
+            if st.shutdown {
+                return Err(EngineError::Shutdown);
+            }
+            if st.queue.len() < self.shared.config.queue_depth.max(1) {
+                break;
+            }
+            if !block {
+                self.shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(EngineError::Saturated);
+            }
+            st = self.shared.not_full.wait(st).unwrap();
+        }
+        st.queue.push_back(job);
+        let depth = st.queue.len();
+        self.shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        self.shared.stats.queue_high_water.fetch_max(depth, Ordering::Relaxed);
+        drop(st);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.shared.state.lock().unwrap().shutdown = true;
+        self.shared.not_empty.notify_all();
+        self.shared.not_full.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker side
+// ---------------------------------------------------------------------------
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let work = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if let Some(job) = st.queue.pop_front() {
+                    break match job {
+                        // Greedily fold queued same-fingerprint SpMM
+                        // requests into this dispatch (up to max_batch).
+                        Job::Spmm(first) => Work::SpmmBatch(drain_batch(
+                            &mut st.queue,
+                            first,
+                            shared.config.max_batch,
+                        )),
+                        Job::Sddmm(job) => Work::Sddmm(job),
+                    };
+                }
+                if st.shutdown {
+                    return;
+                }
+                st = shared.not_empty.wait(st).unwrap();
+            }
+        };
+        // Space was freed: wake blocked submitters.
+        shared.not_full.notify_all();
+        match work {
+            Work::SpmmBatch(batch) => serve_spmm_batch(shared, batch),
+            Work::Sddmm(job) => serve_sddmm(shared, job),
+        }
+    }
+}
+
+enum Work {
+    SpmmBatch(Vec<SpmmJob>),
+    Sddmm(SddmmJob),
+}
+
+/// Pull every queued SpMM job batch-compatible with `first` (same
+/// adjacency fingerprint and dimensions) out of the queue, preserving the
+/// relative order of everything else.
+fn drain_batch(queue: &mut VecDeque<Job>, first: SpmmJob, max_batch: usize) -> Vec<SpmmJob> {
+    let mut batch = vec![first];
+    if max_batch <= 1 {
+        return batch;
+    }
+    let mut i = 0;
+    while i < queue.len() && batch.len() < max_batch {
+        let compatible = matches!(
+            &queue[i],
+            Job::Spmm(job) if batch[0].adj.batches_with(&job.adj)
+        );
+        if compatible {
+            match queue.remove(i) {
+                Some(Job::Spmm(job)) => batch.push(job),
+                _ => unreachable!("matched an SpMM job at index i"),
+            }
+        } else {
+            i += 1;
+        }
+    }
+    batch
+}
+
+/// The format/schedule configuration for one adjacency: the engine-owned
+/// [`TuneCache`] memoizes the (simulator-backed) search per sparsity
+/// fingerprint, so only the first batch on a new adjacency pays it. The
+/// decision is keyed on the adjacency alone — widths vary per batch, so
+/// the search runs at the triggering request's width and the winner is
+/// reused for all widths (the §2 amortization trade).
+fn spmm_config_for(shared: &Shared, adj: &Adjacency, feat: usize) -> SpmmConfig {
+    if !shared.config.tune {
+        return SpmmConfig::default_csr();
+    }
+    let spec = GpuSpec::v100();
+    let key = TuneKey {
+        workload: "spmm",
+        backend: "gpusim",
+        device: spec.device_id(),
+        extra: vec![],
+        fingerprint: (*adj.sparsity).clone(),
+    };
+    // Double-checked single flight: serve hits without the guard, and
+    // take it only on a miss — TuneCache computes outside its own lock,
+    // so concurrent first batches of one adjacency would otherwise each
+    // run the full search, while a global guard on the hit path would
+    // serialize unrelated adjacencies behind a slow search.
+    if let Some(config) = shared.tune_cache.get(&key) {
+        return config;
+    }
+    let _flight = shared.tune_flight.lock().unwrap();
+    shared.tune_cache.get_or_insert_with(key, || tune_spmm(&spec, adj.csr(), feat.max(1)).config).0
+}
+
+fn serve_spmm_batch(shared: &Shared, batch: Vec<SpmmJob>) {
+    let config = spmm_config_for(shared, &batch[0].adj, batch[0].feat.cols());
+    let xs: Vec<&Dense> = batch.iter().map(|j| &j.feat).collect();
+    let result = spmm_batched_execute_on(&shared.runtime, batch[0].adj.csr(), &xs, &config);
+    shared.stats.record_batch(batch.len());
+    match result {
+        Ok(outs) => {
+            for (job, out) in batch.into_iter().zip(outs) {
+                finish(shared, job.enqueued, true, || job.reply.send(Ok(out)).is_ok());
+            }
+        }
+        Err(e) => {
+            let err = EngineError::Exec(e.to_string());
+            for job in batch {
+                let err = err.clone();
+                finish(shared, job.enqueued, false, || job.reply.send(Err(err)).is_ok());
+            }
+        }
+    }
+}
+
+fn serve_sddmm(shared: &Shared, job: SddmmJob) {
+    shared.stats.record_batch(1);
+    let result = sddmm_execute_on(&shared.runtime, job.adj.csr(), &job.x, &job.y)
+        .map_err(|e| EngineError::Exec(e.to_string()));
+    let ok = result.is_ok();
+    finish(shared, job.enqueued, ok, || job.reply.send(result).is_ok());
+}
+
+/// Record latency + outcome and deliver the reply (a client that dropped
+/// its ticket is not an error).
+fn finish(shared: &Shared, enqueued: Instant, ok: bool, send: impl FnOnce() -> bool) {
+    shared.stats.record_latency(enqueued.elapsed().as_nanos() as u64);
+    let counter = if ok { &shared.stats.completed } else { &shared.stats.failed };
+    counter.fetch_add(1, Ordering::Relaxed);
+    let _ = send();
+}

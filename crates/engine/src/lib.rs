@@ -1,0 +1,39 @@
+//! # sparsetir-engine
+//!
+//! A concurrent, batched serving front end over the SparseTIR kernel
+//! cache. SparseTIR's premise — compile once per sparsity structure, then
+//! reuse the composed kernel across many inputs (§2's amortization
+//! argument) — is exactly the shape of an inference-serving workload:
+//! the adjacency is fixed, requests differ only in their dense feature
+//! operands. The [`Engine`] packages that reuse behind a multi-tenant
+//! request queue:
+//!
+//! * **One shared [`Runtime`](sparsetir_ir::exec::Runtime) and
+//!   [`TuneCache`](sparsetir_autotune::TuneCache)** per engine: every
+//!   worker compiles through the same striped kernel cache and reuses the
+//!   same per-adjacency tuning decisions.
+//! * **Batching by adjacency fingerprint**: concurrent SpMM requests that
+//!   share an [`Adjacency`] are stacked column-wise into one kernel
+//!   launch of width `Σ feat_i` and split back per request — the fixed
+//!   per-request costs (lowering, IR fingerprinting, the per-non-zero
+//!   index walk) are paid once per batch. Results are bit-identical to
+//!   unbatched execution.
+//! * **Bounded queue with backpressure**: [`Engine::submit_spmm`] blocks
+//!   while the queue is at `queue_depth`; [`Engine::try_submit_spmm`]
+//!   fails fast with [`EngineError::Saturated`] instead.
+//! * **Per-request latency and throughput stats** ([`EngineStats`]),
+//!   fed by every worker.
+//!
+//! The `serving_throughput` experiment in `sparsetir-bench` measures the
+//! batched-vs-unbatched requests/sec of this engine, and
+//! `sparsetir-nn`'s serving path drives GraphSAGE inference through it.
+
+#![warn(missing_docs)]
+
+mod engine;
+mod stats;
+
+pub use engine::{
+    Adjacency, Engine, EngineConfig, EngineError, SddmmTicket, SpmmTicket, DEFAULT_QUEUE_DEPTH,
+};
+pub use stats::EngineStats;

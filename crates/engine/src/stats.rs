@@ -1,0 +1,101 @@
+//! Engine serving statistics: lock-free counters updated by workers and
+//! submitters, snapshotted into [`EngineStats`] on demand.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Atomic counter block shared by the engine's submitters and workers.
+#[derive(Default)]
+pub(crate) struct StatsInner {
+    pub submitted: AtomicU64,
+    pub completed: AtomicU64,
+    pub failed: AtomicU64,
+    pub rejected: AtomicU64,
+    pub batches: AtomicU64,
+    pub batched_requests: AtomicU64,
+    pub max_batch: AtomicUsize,
+    pub queue_high_water: AtomicUsize,
+    pub latency_ns_sum: AtomicU64,
+    pub latency_ns_max: AtomicU64,
+}
+
+impl StatsInner {
+    pub fn record_latency(&self, ns: u64) {
+        self.latency_ns_sum.fetch_add(ns, Ordering::Relaxed);
+        self.latency_ns_max.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    pub fn record_batch(&self, size: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        if size > 1 {
+            self.batched_requests.fetch_add(size as u64, Ordering::Relaxed);
+        }
+        self.max_batch.fetch_max(size, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> EngineStats {
+        let completed = self.completed.load(Ordering::Relaxed);
+        EngineStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed,
+            failed: self.failed.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_requests: self.batched_requests.load(Ordering::Relaxed),
+            max_batch: self.max_batch.load(Ordering::Relaxed),
+            queue_high_water: self.queue_high_water.load(Ordering::Relaxed),
+            latency_ns_sum: self.latency_ns_sum.load(Ordering::Relaxed),
+            latency_ns_max: self.latency_ns_max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time snapshot of an [`Engine`](crate::Engine)'s serving
+/// counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests answered successfully.
+    pub completed: u64,
+    /// Requests answered with an error.
+    pub failed: u64,
+    /// `try_submit_*` calls refused because the queue was full.
+    pub rejected: u64,
+    /// Kernel dispatches (a batch of *n* requests counts once).
+    pub batches: u64,
+    /// Requests that were served as part of a batch of size ≥ 2.
+    pub batched_requests: u64,
+    /// Largest batch dispatched so far.
+    pub max_batch: usize,
+    /// Deepest the request queue has been.
+    pub queue_high_water: usize,
+    /// Total enqueue-to-completion latency over all answered requests.
+    pub latency_ns_sum: u64,
+    /// Worst single-request enqueue-to-completion latency.
+    pub latency_ns_max: u64,
+}
+
+impl EngineStats {
+    /// Mean enqueue-to-completion latency in nanoseconds (0 when nothing
+    /// has completed).
+    #[must_use]
+    pub fn mean_latency_ns(&self) -> f64 {
+        let answered = self.completed + self.failed;
+        if answered == 0 {
+            0.0
+        } else {
+            self.latency_ns_sum as f64 / answered as f64
+        }
+    }
+
+    /// Fraction of answered requests that rode in a batch of size ≥ 2.
+    #[must_use]
+    pub fn batching_rate(&self) -> f64 {
+        let answered = self.completed + self.failed;
+        if answered == 0 {
+            0.0
+        } else {
+            self.batched_requests as f64 / answered as f64
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Behavioral tests for the serving engine: correctness of served
+//! results, batching under a busy worker, backpressure, shape
+//! validation, drain-on-shutdown, and the tuned configuration path.
+
+use sparsetir_engine::{Adjacency, Engine, EngineConfig, EngineError};
+use sparsetir_kernels::prelude::{sddmm_execute, tuned_spmm_execute, SpmmConfig};
+use sparsetir_smat::prelude::*;
+use std::sync::Arc;
+
+fn power_law_csr(n: usize, seed: u64) -> Csr {
+    let mut rng = gen::rng(seed);
+    gen::random_csr_with_row_lengths(
+        n,
+        n,
+        |r| {
+            use rand::Rng;
+            let u: f64 = r.gen_range(0.0..1.0);
+            ((2.0 / (u + 0.01)) as usize).clamp(1, n / 2)
+        },
+        &mut rng,
+    )
+}
+
+fn bit_eq(a: &Dense, b: &Dense) -> bool {
+    a.rows() == b.rows()
+        && a.cols() == b.cols()
+        && a.data().iter().zip(b.data()).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+#[test]
+fn served_spmm_matches_direct_execution() {
+    let mut rng = gen::rng(21);
+    let a = gen::random_csr(24, 20, 0.2, &mut rng);
+    let x = gen::random_dense(20, 6, &mut rng);
+    let adj = Adjacency::new(a.clone());
+    let engine = Engine::new(EngineConfig::default());
+    let served = engine.spmm(&adj, x.clone()).expect("serves");
+    let direct = tuned_spmm_execute(&a, &x, &SpmmConfig::default_csr()).expect("executes");
+    assert!(bit_eq(&served, &direct), "served result must be bit-identical to direct execution");
+    assert!(served.approx_eq(&a.spmm(&x).unwrap(), 1e-4));
+    let stats = engine.stats();
+    assert_eq!((stats.submitted, stats.completed, stats.failed), (1, 1, 0));
+    assert!(stats.latency_ns_max > 0);
+}
+
+#[test]
+fn served_sddmm_matches_direct_execution() {
+    let mut rng = gen::rng(22);
+    let a = gen::random_csr(12, 10, 0.25, &mut rng);
+    let x = gen::random_dense(12, 5, &mut rng);
+    let y = gen::random_dense(5, 10, &mut rng);
+    let adj = Adjacency::new(a.clone());
+    let engine = Engine::new(EngineConfig::default());
+    let served = engine.sddmm(&adj, x.clone(), y.clone()).expect("serves");
+    let direct = sddmm_execute(&a, &x, &y).expect("executes");
+    assert_eq!(served.len(), direct.len());
+    for (s, d) in served.iter().zip(&direct) {
+        assert_eq!(s.to_bits(), d.to_bits());
+    }
+}
+
+/// A busy single worker accumulates queued same-adjacency requests, which
+/// must then dispatch as one wider batch — and every batched result must
+/// still be bit-identical to unbatched execution.
+#[test]
+fn queued_requests_batch_and_stay_bit_identical() {
+    let big = power_law_csr(1500, 31);
+    let small = power_law_csr(64, 32);
+    let adj_big = Adjacency::new(big);
+    let adj = Adjacency::new(small.clone());
+    let engine =
+        Engine::new(EngineConfig { workers: 1, queue_depth: 64, max_batch: 8, tune: false });
+    let mut rng = gen::rng(33);
+    // Occupy the single worker with a heavyweight request (compile +
+    // run is milliseconds; the submissions below are microseconds).
+    let plug = engine
+        .submit_spmm(&adj_big, gen::random_dense(adj_big.csr().cols(), 32, &mut rng))
+        .expect("submits");
+    let xs: Vec<Dense> = (0..6).map(|_| gen::random_dense(64, 4, &mut rng)).collect();
+    let tickets: Vec<_> =
+        xs.iter().map(|x| engine.submit_spmm(&adj, x.clone()).expect("submits")).collect();
+    plug.wait().expect("plug completes");
+    for (x, t) in xs.iter().zip(tickets) {
+        let got = t.wait().expect("completes");
+        let want = tuned_spmm_execute(&small, x, &SpmmConfig::default_csr()).expect("executes");
+        assert!(bit_eq(&got, &want));
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.completed, 7);
+    assert!(stats.max_batch >= 2, "queued requests should have batched: {stats:?}");
+    assert!(
+        stats.batches < stats.completed,
+        "batching must dispatch fewer kernels than requests: {stats:?}"
+    );
+}
+
+#[test]
+fn try_submit_saturates_on_a_full_queue() {
+    let big = power_law_csr(1500, 41);
+    let adj_big = Adjacency::new(big.clone());
+    let engine =
+        Engine::new(EngineConfig { workers: 1, queue_depth: 1, max_batch: 1, tune: false });
+    let mut rng = gen::rng(42);
+    // First request occupies the worker for milliseconds; second fills
+    // the depth-1 queue; the third must bounce.
+    let t1 =
+        engine.submit_spmm(&adj_big, gen::random_dense(big.cols(), 32, &mut rng)).expect("submits");
+    let t2 =
+        engine.submit_spmm(&adj_big, gen::random_dense(big.cols(), 2, &mut rng)).expect("submits");
+    let err = engine
+        .try_submit_spmm(&adj_big, gen::random_dense(big.cols(), 2, &mut rng))
+        .expect_err("queue is full");
+    assert_eq!(err, EngineError::Saturated);
+    assert_eq!(engine.stats().rejected, 1);
+    t1.wait().expect("completes");
+    t2.wait().expect("completes");
+}
+
+#[test]
+fn shape_mismatches_are_rejected_at_submit() {
+    let mut rng = gen::rng(51);
+    let a = gen::random_csr(10, 8, 0.3, &mut rng);
+    let adj = Adjacency::new(a);
+    let engine = Engine::new(EngineConfig::default());
+    let bad = gen::random_dense(9, 2, &mut rng);
+    match engine.submit_spmm(&adj, bad) {
+        Err(EngineError::Shape(msg)) => assert!(msg.contains("9 rows"), "{msg}"),
+        other => panic!("expected shape error, got {other:?}"),
+    }
+    let x = gen::random_dense(10, 3, &mut rng);
+    let y_bad = gen::random_dense(4, 8, &mut rng); // y.rows != x.cols
+    assert!(matches!(engine.submit_sddmm(&adj, x, y_bad), Err(EngineError::Shape(_))));
+    assert_eq!(engine.stats().submitted, 0, "rejected requests never enqueue");
+}
+
+/// Dropping the engine drains the queue: already-submitted requests are
+/// still answered, and submissions after shutdown fail.
+#[test]
+fn shutdown_drains_pending_requests() {
+    let mut rng = gen::rng(61);
+    let a = gen::random_csr(40, 40, 0.15, &mut rng);
+    let adj = Adjacency::new(a.clone());
+    let engine =
+        Engine::new(EngineConfig { workers: 1, queue_depth: 64, max_batch: 4, tune: false });
+    let xs: Vec<Dense> = (0..5).map(|_| gen::random_dense(40, 3, &mut rng)).collect();
+    let tickets: Vec<_> =
+        xs.iter().map(|x| engine.submit_spmm(&adj, x.clone()).expect("submits")).collect();
+    drop(engine);
+    for (x, t) in xs.iter().zip(tickets) {
+        let got = t.wait().expect("drained on shutdown");
+        assert!(got.approx_eq(&a.spmm(x).unwrap(), 1e-4));
+    }
+}
+
+/// Concurrent clients hammering one engine from many threads: every
+/// response must be the right answer for *its* request (no cross-request
+/// mixups from the batching split), and the counters must reconcile.
+#[test]
+fn concurrent_clients_get_their_own_answers() {
+    const CLIENTS: usize = 8;
+    const PER_CLIENT: usize = 6;
+    let a = power_law_csr(96, 71);
+    let adj = Adjacency::new(a.clone());
+    let engine = Arc::new(Engine::new(EngineConfig {
+        workers: 2,
+        queue_depth: 32,
+        max_batch: 8,
+        tune: false,
+    }));
+    let a = Arc::new(a);
+    std::thread::scope(|s| {
+        for client in 0..CLIENTS {
+            let engine = Arc::clone(&engine);
+            let adj = adj.clone();
+            let a = Arc::clone(&a);
+            s.spawn(move || {
+                let mut rng = gen::rng(100 + client as u64);
+                for i in 0..PER_CLIENT {
+                    // Mixed widths so the column split-back is exercised.
+                    let w = 1 + (client + i) % 5;
+                    let x = gen::random_dense(96, w, &mut rng);
+                    let got = engine.spmm(&adj, x.clone()).expect("serves");
+                    let want = a.spmm(&x).unwrap();
+                    assert!(
+                        got.approx_eq(&want, 1e-4),
+                        "client {client} request {i} got a wrong answer"
+                    );
+                }
+            });
+        }
+    });
+    let stats = engine.stats();
+    assert_eq!(stats.submitted, (CLIENTS * PER_CLIENT) as u64);
+    assert_eq!(stats.completed, (CLIENTS * PER_CLIENT) as u64);
+    assert_eq!(stats.failed, 0);
+    assert!(stats.queue_high_water >= 1);
+}
+
+/// `tune: true` routes the first request of each adjacency through the
+/// simulator-backed search exactly once, caches the decision, and keeps
+/// serving correct results under the tuned (possibly hyb-decomposed)
+/// configuration.
+#[test]
+fn tuned_engine_caches_one_decision_per_adjacency() {
+    let a = power_law_csr(300, 81);
+    let adj = Adjacency::new(a.clone());
+    let engine =
+        Engine::new(EngineConfig { workers: 1, queue_depth: 16, max_batch: 4, tune: true });
+    let mut rng = gen::rng(82);
+    for _ in 0..3 {
+        let x = gen::random_dense(300, 8, &mut rng);
+        let got = engine.spmm(&adj, x.clone()).expect("serves");
+        assert!(got.approx_eq(&a.spmm(&x).unwrap(), 1e-3));
+    }
+    assert_eq!(engine.tune_cache().len(), 1, "one cached decision for one adjacency");
+    assert_eq!(engine.tune_cache().misses(), 1, "only the first batch tunes");
+    assert!(engine.tune_cache().hits() >= 1);
+}
+
+/// The engine's private runtime caches kernels across requests: repeated
+/// same-width requests on one adjacency compile exactly once.
+#[test]
+fn repeated_requests_reuse_compiled_kernels() {
+    let mut rng = gen::rng(91);
+    let a = gen::random_csr(32, 32, 0.2, &mut rng);
+    let adj = Adjacency::new(a);
+    let engine =
+        Engine::new(EngineConfig { workers: 1, queue_depth: 16, max_batch: 1, tune: false });
+    for _ in 0..4 {
+        let x = gen::random_dense(32, 4, &mut rng);
+        engine.spmm(&adj, x).expect("serves");
+    }
+    assert_eq!(
+        engine.runtime().compilations(),
+        1,
+        "four same-shape requests must share one compiled kernel"
+    );
+    assert_eq!(engine.runtime().cached(), 1);
+}

@@ -1601,11 +1601,29 @@ pub fn fusion_default() -> bool {
     std::env::var_os("SPARSETIR_NO_FUSE").is_none()
 }
 
+/// Number of stripes in the [`Runtime`] kernel cache. Keys land in a
+/// stripe by fingerprint bits, so concurrent compilations of *unrelated*
+/// functions (the serving engine's steady state) almost never touch the
+/// same lock.
+const CACHE_SHARDS: usize = 16;
+
+/// One cache entry: a single-flight cell. The first thread to claim a key
+/// inserts the cell under the stripe lock (cheap) and compiles *outside*
+/// it; racing threads for the same key block on [`OnceLock::get_or_init`]
+/// and receive the one shared kernel, so a compile storm on one hot
+/// function costs exactly one compilation. Compile errors are cached too —
+/// compilation is deterministic in the printed IR, so a failing function
+/// fails identically forever.
+type CacheCell = Arc<OnceLock<Result<Arc<CompiledKernel>, ExecError>>>;
+
 /// Compile-once/run-many cache of [`CompiledKernel`]s keyed by function
 /// identity (name + printed IR) *and* the fusion flag, so toggling fusion
-/// never serves a stale compiled kernel.
+/// never serves a stale compiled kernel. The map is striped across
+/// `CACHE_SHARDS` locks with per-key single-flight compilation (see
+/// `CacheCell`); [`Runtime::cached`] and [`Runtime::compilations`]
+/// remain exact across shards.
 pub struct Runtime {
-    cache: Mutex<HashMap<(u64, bool), Arc<CompiledKernel>>>,
+    shards: Vec<Mutex<HashMap<(u64, bool), CacheCell>>>,
     compilations: std::sync::atomic::AtomicUsize,
     fuse: bool,
 }
@@ -1628,7 +1646,7 @@ impl Runtime {
     #[must_use]
     pub fn with_fusion(fuse: bool) -> Runtime {
         Runtime {
-            cache: Mutex::new(HashMap::new()),
+            shards: (0..CACHE_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             compilations: std::sync::atomic::AtomicUsize::new(0),
             fuse,
         }
@@ -1669,7 +1687,9 @@ impl Runtime {
     /// `(fingerprint, fuse)`, so the generic and fused compilations of
     /// the same function coexist and every recompilation — including a
     /// fused recompilation after toggling the flag — is counted by
-    /// [`Runtime::compilations`].
+    /// [`Runtime::compilations`]. Concurrent callers racing on one key
+    /// are single-flighted: exactly one thread compiles, the rest block
+    /// and share the result.
     ///
     /// # Errors
     /// Propagates [`CompiledKernel::compile`] errors.
@@ -1679,19 +1699,36 @@ impl Runtime {
         fuse: bool,
     ) -> Result<Arc<CompiledKernel>, ExecError> {
         let key = (Self::fingerprint(func), fuse);
-        if let Some(k) = self.cache.lock().unwrap().get(&key) {
-            return Ok(Arc::clone(k));
-        }
-        let kernel = Arc::new(CompiledKernel::compile_with(func, fuse)?);
-        self.compilations.fetch_add(1, Ordering::Relaxed);
-        self.cache.lock().unwrap().insert(key, Arc::clone(&kernel));
-        Ok(kernel)
+        let cell: CacheCell = {
+            let mut shard = self.shards[self.shard_of(key)].lock().unwrap();
+            Arc::clone(shard.entry(key).or_default())
+        };
+        // Outside the stripe lock: a slow compilation never blocks lookups
+        // of other keys in the same stripe, only co-claimants of this key.
+        cell.get_or_init(|| {
+            let kernel = Arc::new(CompiledKernel::compile_with(func, fuse)?);
+            self.compilations.fetch_add(1, Ordering::Relaxed);
+            Ok(kernel)
+        })
+        .clone()
     }
 
-    /// Number of cached kernels.
+    fn shard_of(&self, key: (u64, bool)) -> usize {
+        // The fingerprint is already a hash; fold the fusion flag into
+        // the low (shard-selecting) bits so the two compilations of one
+        // function can land apart.
+        ((key.0 ^ u64::from(key.1)) % CACHE_SHARDS as u64) as usize
+    }
+
+    /// Number of cached kernels (successful compilations present in the
+    /// cache; in-flight and failed entries are not counted). Exact across
+    /// shards.
     #[must_use]
     pub fn cached(&self) -> usize {
-        self.cache.lock().unwrap().len()
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap().values().filter(|c| matches!(c.get(), Some(Ok(_)))).count())
+            .sum()
     }
 
     /// Monotonic count of actual compilations performed (cache misses).

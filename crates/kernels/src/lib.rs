@@ -40,15 +40,16 @@ pub mod prelude {
         two_stage_footprint_bytes, RgmsWorkload, RGMS_TC_EFFICIENCY,
     };
     pub use crate::sddmm::{
-        sddmm_execute, sddmm_ir, sddmm_param_candidates, sddmm_plan, sddmm_row_parallel_plan,
-        tuned_sddmm_time, SddmmParams,
+        sddmm_execute, sddmm_execute_on, sddmm_ir, sddmm_param_candidates, sddmm_plan,
+        sddmm_row_parallel_plan, tuned_sddmm_time, SddmmParams,
     };
     pub use crate::sparse_conv::{
         conv_reference, sparsetir_conv_plan, torchsparse_plans, ConvMaps,
     };
     pub use crate::spmm::{
         csr_spmm_execute, csr_spmm_interpret, csr_spmm_ir, csr_spmm_ir_with, csr_spmm_plan,
-        hyb_spmm_plans, hyb_spmm_time, prepare_spmm, tuned_spmm_execute, tuned_spmm_plans,
-        tuned_spmm_time, CsrSpmmParams, PreparedSpmm, SpmmConfig,
+        hyb_spmm_plans, hyb_spmm_time, prepare_spmm, spmm_batched_execute, spmm_batched_execute_on,
+        tuned_spmm_execute, tuned_spmm_execute_on, tuned_spmm_plans, tuned_spmm_time,
+        CsrSpmmParams, PreparedSpmm, SpmmConfig,
     };
 }

@@ -193,13 +193,28 @@ pub fn sddmm_execute(
     x: &Dense,
     y: &Dense,
 ) -> Result<Vec<f32>, Box<dyn std::error::Error>> {
+    sddmm_execute_on(Runtime::global(), a, x, y)
+}
+
+/// Like [`sddmm_execute`], but compiling through an explicit [`Runtime`]
+/// instead of the process-wide global one — the serving-engine entry
+/// point.
+///
+/// # Errors
+/// Propagates lowering and execution errors.
+pub fn sddmm_execute_on(
+    rt: &Runtime,
+    a: &Csr,
+    x: &Dense,
+    y: &Dense,
+) -> Result<Vec<f32>, Box<dyn std::error::Error>> {
     let f = sddmm_ir(a, x.cols())?;
     let mut bindings = Bindings::new();
     bind_csr(&mut bindings, "A", "J", a);
     bind_dense(&mut bindings, "X", x);
     bind_dense(&mut bindings, "Y", y);
     bind_zeros(&mut bindings, "Bout", a.nnz());
-    exec_func(&f, &HashMap::new(), &mut bindings)?;
+    rt.compile(&f)?.run(&HashMap::new(), &mut bindings)?;
     Ok(bindings["Bout"].as_f32().to_vec())
 }
 

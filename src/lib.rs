@@ -16,6 +16,7 @@
 //! | [`graphs`] | synthetic workload generators for every dataset in the evaluation |
 //! | [`nn`] | end-to-end GraphSAGE training and RGCN inference |
 //! | [`autotune`] | the joint format × schedule search of §2 |
+//! | [`engine`] | concurrent batched serving engine over the kernel cache |
 //!
 //! See `DESIGN.md` for the system inventory and the per-experiment index,
 //! and `EXPERIMENTS.md` for paper-vs-measured results. The `examples/`
@@ -27,6 +28,7 @@
 pub use sparsetir_autotune as autotune;
 pub use sparsetir_baselines as baselines;
 pub use sparsetir_core as core;
+pub use sparsetir_engine as engine;
 pub use sparsetir_gpusim as gpusim;
 pub use sparsetir_graphs as graphs;
 pub use sparsetir_ir as ir;
@@ -39,6 +41,7 @@ pub mod prelude {
     pub use sparsetir_autotune::{random_search, tune_spmm, SpmmConfig, TuneResult};
     pub use sparsetir_baselines::prelude::*;
     pub use sparsetir_core::prelude::*;
+    pub use sparsetir_engine::{Adjacency, Engine, EngineConfig, EngineError, EngineStats};
     pub use sparsetir_gpusim::prelude::*;
     pub use sparsetir_graphs::prelude::*;
     pub use sparsetir_ir::prelude::*;
