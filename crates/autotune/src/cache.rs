@@ -3,43 +3,14 @@
 //! training run — §2: "the overhead can be amortized") hit cache with zero
 //! recompilation and zero re-measurement.
 
-use sparsetir_smat::prelude::*;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// Structural summary of a sparse matrix: dimensions, non-zero count and
-/// the power-of-two degree histogram. Two matrices with the same
-/// fingerprint have the same shape of tuning problem, so a cached decision
-/// transfers. Note the asymmetry: the *configuration* transfers between
-/// colliding matrices by design, but any absolute timings stored alongside
-/// it were observed on the first matrix — treat them as representative,
-/// not exact, for a collider.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub struct SparsityFingerprint {
-    /// Rows of the matrix.
-    pub rows: usize,
-    /// Columns of the matrix.
-    pub cols: usize,
-    /// Stored non-zeros.
-    pub nnz: usize,
-    /// `Csr::degree_histogram_log2` — the degree-skew summary that drives
-    /// bucketing decisions.
-    pub degree_hist: Vec<usize>,
-}
-
-impl SparsityFingerprint {
-    /// Fingerprint a CSR matrix.
-    #[must_use]
-    pub fn of(a: &Csr) -> SparsityFingerprint {
-        SparsityFingerprint {
-            rows: a.rows(),
-            cols: a.cols(),
-            nnz: a.nnz(),
-            degree_hist: a.degree_histogram_log2(),
-        }
-    }
-}
+// The fingerprint moved into `sparsetir-smat` (it is a pure structural
+// summary) so the op layer in `sparsetir-kernels` can key on it without a
+// dependency cycle; re-exported here for the existing tuner-facing path.
+pub use sparsetir_smat::fingerprint::SparsityFingerprint;
 
 /// Cache key: workload kind, evaluation backend, device, extra workload
 /// parameters (feature width, heads, …) and the matrix fingerprint.
@@ -158,12 +129,5 @@ mod tests {
         let (_, hit) = cache.get_or_insert_with(key(2), || 7);
         assert!(!hit);
         assert_eq!((cache.hits(), cache.misses(), cache.len()), (1, 2, 2));
-    }
-
-    #[test]
-    fn fingerprint_distinguishes_degree_distributions() {
-        let a = Csr::new(2, 2, vec![0, 2, 2], vec![0, 1], vec![1.0, 1.0]).unwrap();
-        let b = Csr::new(2, 2, vec![0, 1, 2], vec![0, 1], vec![1.0, 1.0]).unwrap();
-        assert_ne!(SparsityFingerprint::of(&a), SparsityFingerprint::of(&b));
     }
 }

@@ -17,12 +17,19 @@
 //!   cols, nnz, degree histogram), so repeated tunes of the same matrix
 //!   hit cache with zero recompilation — the amortization the paper
 //!   assumes.
+//!
+//! Every operator tunes through the one generic [`tune_op`] path: a
+//! [`TunableOp`] contributes its candidate space and simulator scoring,
+//! and the shared machinery handles caching and winner selection. The
+//! per-op entry points below (`tune_spmm`, `tune_sddmm`,
+//! `tune_attention_block`) are thin typed wrappers over it.
 
 #![warn(missing_docs)]
 
 pub mod cache;
 pub mod engine;
 pub mod evaluate;
+pub mod op;
 pub mod space;
 
 pub use cache::{SparsityFingerprint, TuneCache, TuneKey};
@@ -30,9 +37,11 @@ pub use engine::{tune, Evaluator, ListSpace, SearchSpace, Trial, TuneOutcome};
 pub use evaluate::{
     AttentionSimEvaluator, MeasureOpts, SddmmSimEvaluator, SpmmMeasuredEvaluator, SpmmSimEvaluator,
 };
+pub use op::{op_sim_cache, tune_op, FnEvaluator, OpDecision, OpTuneResult, TunableOp};
 pub use space::{col_part_candidates, schedule_candidates, AttentionSpace, SddmmSpace, SpmmSpace};
-// The configuration type the search ranges over lives with the kernels
-// that consume it; re-exported here so tuner callers need one import.
+// The configuration types the searches range over live with the kernels
+// that consume them; re-exported here so tuner callers need one import.
+pub use sparsetir_kernels::op::OpConfig;
 pub use sparsetir_kernels::spmm::SpmmConfig;
 
 use sparsetir_gpusim::prelude::*;
@@ -86,27 +95,10 @@ pub struct SddmmTuneResult {
     pub from_cache: bool,
 }
 
-/// Process-wide cache of simulator-picked SpMM decisions.
-pub fn spmm_sim_cache() -> &'static TuneCache<TuneResult> {
-    static CACHE: OnceLock<TuneCache<TuneResult>> = OnceLock::new();
-    CACHE.get_or_init(TuneCache::new)
-}
-
-/// Process-wide cache of measured SpMM decisions.
+/// Process-wide cache of measured SpMM decisions (the simulator-backed
+/// decisions of every op share [`op_sim_cache`] instead).
 pub fn spmm_measured_cache() -> &'static TuneCache<MeasuredTuneResult> {
     static CACHE: OnceLock<TuneCache<MeasuredTuneResult>> = OnceLock::new();
-    CACHE.get_or_init(TuneCache::new)
-}
-
-/// Process-wide cache of SDDMM decisions.
-pub fn sddmm_cache() -> &'static TuneCache<SddmmTuneResult> {
-    static CACHE: OnceLock<TuneCache<SddmmTuneResult>> = OnceLock::new();
-    CACHE.get_or_init(TuneCache::new)
-}
-
-/// Process-wide cache of attention block decisions.
-pub fn attention_cache() -> &'static TuneCache<(usize, KernelReport)> {
-    static CACHE: OnceLock<TuneCache<(usize, KernelReport)>> = OnceLock::new();
     CACHE.get_or_init(TuneCache::new)
 }
 
@@ -128,25 +120,18 @@ fn tune_key(
 
 /// Grid-search the joint format × schedule space for SpMM on `a` at
 /// feature width `feat` under the simulator, returning the fastest
-/// configuration. Cached by sparsity fingerprint: a repeated tune of the
-/// same matrix is a [`TuneCache`] hit.
+/// configuration. A thin typed wrapper over the generic [`tune_op`] path;
+/// cached by sparsity fingerprint, so a repeated tune of the same matrix
+/// is a [`TuneCache`] hit.
 #[must_use]
 pub fn tune_spmm(spec: &GpuSpec, a: &Csr, feat: usize) -> TuneResult {
-    let (mut result, hit) = spmm_sim_cache().get_or_insert_with(
-        tune_key("spmm", "gpusim", spec, a, vec![feat]),
-        || {
-            let outcome = tune(&SpmmSpace::joint(a), &SpmmSimEvaluator::new(spec, a, feat))
-                .expect("non-empty SpMM search space");
-            let config = outcome.best.candidate;
-            let report = tuned_spmm_time(spec, a, feat, &config);
-            // In debug builds, verify the tuned operator actually computes
-            // SpMM (compiled-executor path, amortized by the kernel cache).
-            debug_assert!(functional_check_spmm(a, feat), "tuned SpMM failed the functional check");
-            TuneResult { config, report, trials: outcome.trials.len(), from_cache: false }
-        },
-    );
-    result.from_cache = hit;
-    result
+    let r = tune_op::<SpmmOp>(spec, a, &[feat]);
+    if !r.from_cache {
+        // In debug builds, verify the tuned operator actually computes
+        // SpMM (compiled-executor path, amortized by the kernel cache).
+        debug_assert!(functional_check_spmm(a, feat), "tuned SpMM failed the functional check");
+    }
+    TuneResult { config: r.config, report: r.report, trials: r.trials, from_cache: r.from_cache }
 }
 
 /// Two-phase measured tuning for SpMM: the simulator prunes the joint
@@ -201,27 +186,26 @@ pub fn tune_spmm_measured(
     result
 }
 
-/// Tune the SDDMM schedule (§4.2.2) under the simulator, cached by
-/// sparsity fingerprint.
+/// Tune the SDDMM schedule (§4.2.2) under the simulator — a thin typed
+/// wrapper over the generic [`tune_op`] path, cached by sparsity
+/// fingerprint.
 #[must_use]
 pub fn tune_sddmm(spec: &GpuSpec, a: &Csr, feat: usize) -> SddmmTuneResult {
-    let key = tune_key("sddmm", "gpusim", spec, a, vec![feat]);
-    let (mut result, hit) = sddmm_cache().get_or_insert_with(key, || {
-        let outcome = tune(&SddmmSpace, &SddmmSimEvaluator { spec, matrix: a, feat })
-            .expect("non-empty SDDMM search space");
-        let params = outcome.best.candidate;
-        let report = simulate_kernel(spec, &sddmm_plan(a, feat, params, "sparsetir_sddmm"));
-        SddmmTuneResult { params, report, trials: outcome.trials.len(), from_cache: false }
-    });
-    result.from_cache = hit;
-    result
+    let r = tune_op::<SddmmOp>(spec, a, &[feat]);
+    SddmmTuneResult {
+        params: r.config,
+        report: r.report,
+        trials: r.trials,
+        from_cache: r.from_cache,
+    }
 }
 
 /// Tune the BSR block size for a sparse-attention mask (§4.3.1: "the
 /// sparse matrices used in sparse attentions … have a block-sparse
 /// pattern"; SparseTIR searches the block granularity while Triton fixes
-/// 64). Returns `(block, report)` of the fastest candidate; cached by
-/// mask fingerprint.
+/// 64). A thin typed wrapper over the generic [`tune_op`] path; returns
+/// `(block, report)` of the fastest candidate, cached by mask
+/// fingerprint.
 #[must_use]
 pub fn tune_attention_block(
     spec: &GpuSpec,
@@ -229,19 +213,8 @@ pub fn tune_attention_block(
     feat: usize,
     heads: usize,
 ) -> (usize, KernelReport) {
-    let key = tune_key("attention", "gpusim", spec, mask, vec![feat, heads]);
-    let (result, _) = attention_cache().get_or_insert_with(key, || {
-        let outcome = tune(&AttentionSpace, &AttentionSimEvaluator { spec, mask, feat, heads })
-            .expect("non-empty block candidates");
-        let block = outcome.best.candidate;
-        let bsr = Bsr::from_csr(mask, block).expect("winning block is valid");
-        let report = simulate_kernel(
-            spec,
-            &batched_bsr_spmm_plan(&bsr, feat, heads, SPARSETIR_BSR_EFFICIENCY, "tune_attn"),
-        );
-        (block, report)
-    });
-    result
+    let r = tune_op::<AttentionOp>(spec, mask, &[feat, heads]);
+    (r.config.block, r.report)
 }
 
 /// Functional spot-check of the tuned operator through the slot-compiled

@@ -680,9 +680,7 @@ pub mod ablation_hfuse {
 /// further).
 pub mod autotuning {
     use super::*;
-    use sparsetir_autotune::{
-        spmm_measured_cache, spmm_sim_cache, tune_spmm_measured, MeasureOpts,
-    };
+    use sparsetir_autotune::{op_sim_cache, spmm_measured_cache, tune_spmm_measured, MeasureOpts};
 
     /// Render the comparison plus `TuneCache` statistics.
     #[must_use]
@@ -743,8 +741,8 @@ pub mod autotuning {
         );
         out.push_str(&format!(
             "TuneCache: sim {} hits / {} misses, measured {} hits / {} misses\n",
-            spmm_sim_cache().hits(),
-            spmm_sim_cache().misses(),
+            op_sim_cache().hits(),
+            op_sim_cache().misses(),
             spmm_measured_cache().hits(),
             spmm_measured_cache().misses(),
         ));
@@ -967,20 +965,32 @@ pub mod ablation_bucketing {
 
 /// Serving throughput: requests/sec through the batched engine vs
 /// unbatched per-request execution, at 1/4/8 client threads sharing one
-/// adjacency. The batched arm folds fingerprint-compatible concurrent
-/// SpMM requests into single wider kernel launches (feature matrices
-/// stacked column-wise); the unbatched arm runs the identical engine
-/// machinery with `max_batch = 1`, isolating the batching effect.
+/// adjacency — for both batchable ops of the generic request path. The
+/// batched arms fold fingerprint-compatible concurrent requests into
+/// single widened kernel launches (SpMM: feature matrices stacked
+/// column-wise; SDDMM: block-diagonal stacking); the unbatched arms run
+/// the identical engine machinery with `max_batch = 1`, isolating the
+/// batching effect.
 pub mod serving_throughput {
     use super::*;
     use crate::report::{self, BenchRecord};
-    use sparsetir_engine::{Adjacency, Engine, EngineConfig, EngineStats};
+    use sparsetir_engine::{Adjacency, Engine, EngineConfig, EngineStats, OpRequest};
     use std::sync::Arc;
     use std::time::Instant;
 
-    /// Acceptance floor: batched requests/sec over unbatched at 8 client
-    /// threads sharing one adjacency.
+    /// Acceptance floor: batched SpMM requests/sec over unbatched at 8
+    /// client threads sharing one adjacency.
     pub const BATCHED_SPEEDUP_BAR: f64 = 2.0;
+
+    /// Acceptance floor for the batched SDDMM arm. Lower than SpMM's:
+    /// block-diagonal stacking amortizes the per-launch fixed costs
+    /// (program build, lowering, IR fingerprinting, per-request queue
+    /// round-trips) but — unlike column stacking — cannot share the
+    /// per-non-zero index walk across riders, so the win is the
+    /// amortization alone. It pays in the many-small-requests regime
+    /// (the arm's dedicated adjacency below), where the stacked operands
+    /// stay cache-resident.
+    pub const SDDMM_BATCHED_SPEEDUP_BAR: f64 = 1.1;
 
     fn push(name: &str, value: f64, unit: &'static str, better: &'static str, config: &str) {
         report::record(BenchRecord {
@@ -999,26 +1009,24 @@ pub mod serving_throughput {
     /// repetition.
     fn run_arm_median(
         adj: &Adjacency,
-        clients: usize,
-        per_client: usize,
-        feat: usize,
+        payloads: &[Vec<OpRequest>],
+        warm: &OpRequest,
         batched: bool,
     ) -> (f64, EngineStats) {
         let mut reps: Vec<(f64, EngineStats)> =
-            (0..3).map(|_| run_arm(adj, clients, per_client, feat, batched)).collect();
+            (0..3).map(|_| run_arm(adj, payloads.to_vec(), warm.clone(), batched)).collect();
         reps.sort_by(|a, b| a.0.total_cmp(&b.0));
         reps.swap_remove(1)
     }
 
-    /// One serving arm: `clients` threads each issue `per_client`
-    /// blocking SpMM requests of width `feat` against the shared
-    /// adjacency. Returns mean wall-clock nanoseconds per request and the
-    /// engine's final counters.
+    /// One serving arm: one client thread per payload list, each issuing
+    /// its requests blocking against the shared adjacency through the
+    /// engine's generic submit path. Returns mean wall-clock nanoseconds
+    /// per request and the engine's final counters.
     fn run_arm(
         adj: &Adjacency,
-        clients: usize,
-        per_client: usize,
-        feat: usize,
+        payloads: Vec<Vec<OpRequest>>,
+        warm: OpRequest,
         batched: bool,
     ) -> (f64, EngineStats) {
         // One worker on both arms: a single dispatcher, so the batched
@@ -1030,30 +1038,24 @@ pub mod serving_throughput {
             max_batch: if batched { 16 } else { 1 },
             tune: false,
         }));
-        let n = adj.csr().cols();
-        // Pre-generate request payloads (RNG cost stays outside the timed
-        // window) and warm the single-request-width kernel so neither arm
-        // pays first-compile latency for it while timed.
-        let mut rng = gen::rng(0x5e41);
-        let warm = engine.spmm(adj, gen::random_dense(n, feat, &mut rng)).expect("warmup");
-        assert_eq!(warm.rows(), adj.csr().rows());
-        let payloads: Vec<Vec<Dense>> = (0..clients)
-            .map(|_| (0..per_client).map(|_| gen::random_dense(n, feat, &mut rng)).collect())
-            .collect();
+        // Warm the single-request-shape kernel so neither arm pays
+        // first-compile latency while timed (payloads were pre-generated
+        // by the caller, so RNG cost is outside the window too).
+        engine.serve(adj, warm).expect("warmup");
+        let total: usize = payloads.iter().map(Vec::len).sum();
         let warmed = engine.stats();
         let t0 = Instant::now();
         std::thread::scope(|s| {
-            for feats in payloads {
+            for reqs in payloads {
                 let engine = Arc::clone(&engine);
                 let adj = adj.clone();
                 s.spawn(move || {
-                    for x in feats {
-                        engine.spmm(&adj, x).expect("request served");
+                    for req in reqs {
+                        engine.serve(&adj, req).expect("request served");
                     }
                 });
             }
         });
-        let total = (clients * per_client) as f64;
         let elapsed = t0.elapsed().as_nanos() as f64;
         // Report counters for the timed window only (the warmup request
         // would otherwise deflate the batching rate); maxima are
@@ -1070,22 +1072,70 @@ pub mod serving_throughput {
             queue_high_water: end.queue_high_water,
             latency_ns_sum: end.latency_ns_sum - warmed.latency_ns_sum,
             latency_ns_max: end.latency_ns_max,
+            worker_panics: end.worker_panics - warmed.worker_panics,
         };
-        (elapsed / total, stats)
+        (elapsed / total.max(1) as f64, stats)
+    }
+
+    /// Sweep one op arm over 1/4/8 clients, record its ratio records, and
+    /// return `(table rows, speedup at 8 clients)`.
+    fn sweep_op(
+        adj: &Adjacency,
+        op: &str,
+        per_client: usize,
+        config: &str,
+        mut make: impl FnMut() -> OpRequest,
+    ) -> (Vec<Vec<String>>, f64) {
+        let warm = make();
+        let mut rows = Vec::new();
+        let mut speedup_at_8 = 0.0;
+        for &clients in &[1usize, 4, 8] {
+            let payloads: Vec<Vec<OpRequest>> =
+                (0..clients).map(|_| (0..per_client).map(|_| make()).collect()).collect();
+            let (ns_unbatched, _) = run_arm_median(adj, &payloads, &warm, false);
+            let (ns_batched, stats) = run_arm_median(adj, &payloads, &warm, true);
+            let speedup = ns_unbatched / ns_batched;
+            if clients == 8 {
+                speedup_at_8 = speedup;
+            }
+            let tag = format!("{op}/c{clients}");
+            push(&format!("{tag}/unbatched"), ns_unbatched, "ns", "lower", config);
+            push(&format!("{tag}/batched"), ns_batched, "ns", "lower", config);
+            if clients == 8 {
+                // Only the 8-client speedup carries signal: at 1 and 4
+                // clients the ratio hovers near 1.0 and is dominated by
+                // wall-clock noise, so recording it as a machine-portable
+                // "ratio" would make the CI perf-gate flaky. The ns
+                // records above still track the low-client arms
+                // (advisory under ratio gating).
+                push(&format!("{tag}/speedup"), speedup, "ratio", "higher", config);
+            }
+            rows.push(vec![
+                op.to_string(),
+                clients.to_string(),
+                format!("{:.0}", 1e9 / ns_unbatched),
+                format!("{:.0}", 1e9 / ns_batched),
+                fmt_speedup(speedup),
+                format!("{}", stats.max_batch),
+                fmt_pct(stats.batching_rate() * 100.0),
+            ]);
+        }
+        (rows, speedup_at_8)
     }
 
     /// Render the sweep (and record it).
     ///
     /// # Panics
-    /// Panics when a served result disagrees with the reference SpMM, or
-    /// — under `SPARSETIR_BENCH_ASSERT=1` — when batched serving at 8
-    /// clients misses the ≥ 2× requests/sec bar over unbatched.
+    /// Panics when a served result disagrees with the reference, or —
+    /// under `SPARSETIR_BENCH_ASSERT=1` — when a batched arm at 8 clients
+    /// misses its requests/sec bar over unbatched (≥ 2× for SpMM, ≥ 1.1×
+    /// for SDDMM).
     #[must_use]
     pub fn run() -> String {
         // Full mode serves a mid-size graph: big enough that kernel work
         // dominates scheduling noise, small enough that the stacked dense
         // operand stays cache-resident (the regime batching targets).
-        let (n, per_client) = if smoke() { (1000, 16) } else { (2000, 24) };
+        let (n, per_client): (usize, usize) = if smoke() { (1000, 16) } else { (2000, 24) };
         let feat = 16;
         let mut rng = gen::rng(0xE6);
         let g = gen::random_csr_with_row_lengths(
@@ -1101,12 +1151,23 @@ pub mod serving_throughput {
         let adj = Adjacency::new(g.clone());
         // Served results must be the real answer, not just fast.
         {
-            let x = gen::random_dense(n, feat, &mut rng);
             let engine = Engine::new(EngineConfig::default());
+            let x = gen::random_dense(n, feat, &mut rng);
             let served = engine.spmm(&adj, x.clone()).expect("serves");
             assert!(
                 served.approx_eq(&g.spmm(&x).expect("reference"), 1e-3),
                 "served SpMM must match the reference"
+            );
+            let (sx, sy) =
+                (gen::random_dense(n, feat, &mut rng), gen::random_dense(feat, n, &mut rng));
+            let sddmm = engine.sddmm(&adj, sx.clone(), sy.clone()).expect("serves");
+            let want = g.sddmm(&sx, &sy).expect("reference");
+            assert!(
+                sddmm
+                    .iter()
+                    .zip(want.values())
+                    .all(|(s, w)| (s - w).abs() <= 1e-2 * w.abs().max(1.0)),
+                "served SDDMM must match the reference"
             );
         }
         let config = format!(
@@ -1114,39 +1175,63 @@ pub mod serving_throughput {
             g.nnz(),
             smoke()
         );
-        let mut rows = Vec::new();
-        let mut speedup_at_8 = 0.0;
-        for &clients in &[1usize, 4, 8] {
-            let (ns_unbatched, _) = run_arm_median(&adj, clients, per_client, feat, false);
-            let (ns_batched, stats) = run_arm_median(&adj, clients, per_client, feat, true);
-            let speedup = ns_unbatched / ns_batched;
-            if clients == 8 {
-                speedup_at_8 = speedup;
-            }
-            let tag = format!("spmm/c{clients}");
-            push(&format!("{tag}/unbatched"), ns_unbatched, "ns", "lower", &config);
-            push(&format!("{tag}/batched"), ns_batched, "ns", "lower", &config);
-            push(&format!("{tag}/speedup"), speedup, "ratio", "higher", &config);
-            rows.push(vec![
-                clients.to_string(),
-                format!("{:.0}", 1e9 / ns_unbatched),
-                format!("{:.0}", 1e9 / ns_batched),
-                fmt_speedup(speedup),
-                format!("{}", stats.max_batch),
-                fmt_pct(stats.batching_rate() * 100.0),
-            ]);
-        }
+        let mut rng_spmm = gen::rng(0x5e41);
+        let (spmm_rows, spmm_at_8) = sweep_op(&adj, "spmm", per_client, &config, || {
+            OpRequest::Spmm(gen::random_dense(n, feat, &mut rng_spmm))
+        });
+        // The SDDMM arm serves its own *small* adjacency: block-diagonal
+        // stacking amortizes per-launch and per-request fixed costs but
+        // duplicates the per-non-zero walk, so its win lives in the
+        // many-small-requests regime where those fixed costs are a big
+        // slice and the stacked operands stay cache-resident (on the big
+        // graph above the H-times-wider stacked Y falls out of cache and
+        // batching is a wash).
+        let sn = 128;
+        let sfeat = 8;
+        let mut rng_sddmm = gen::rng(0x5e42);
+        let sg = gen::random_csr_with_row_lengths(
+            sn,
+            sn,
+            |r| {
+                use rand::Rng;
+                let u: f64 = r.gen_range(0.0..1.0);
+                ((2.0 / (u + 0.01)) as usize).clamp(1, sn / 2)
+            },
+            &mut rng_sddmm,
+        );
+        let sadj = Adjacency::new(sg);
+        // Small-graph SDDMM requests are ~10x faster than the SpMM arm's,
+        // so issue proportionally more per client — otherwise the timed
+        // windows are a few tens of milliseconds and too noisy to gate.
+        let sddmm_per_client = per_client * 4;
+        let sconfig = format!(
+            "n={sn} nnz={} d={sfeat} per_client={sddmm_per_client} workers=1 smoke={}",
+            sadj.csr().nnz(),
+            smoke()
+        );
+        let (sddmm_rows, sddmm_at_8) = sweep_op(&sadj, "sddmm", sddmm_per_client, &sconfig, || {
+            OpRequest::Sddmm((
+                gen::random_dense(sn, sfeat, &mut rng_sddmm),
+                gen::random_dense(sfeat, sn, &mut rng_sddmm),
+            ))
+        });
         if std::env::var_os("SPARSETIR_BENCH_ASSERT").is_some() {
             assert!(
-                speedup_at_8 >= BATCHED_SPEEDUP_BAR,
-                "batched serving {speedup_at_8:.2}x below the {BATCHED_SPEEDUP_BAR}x bar at 8 clients"
+                spmm_at_8 >= BATCHED_SPEEDUP_BAR,
+                "batched SpMM serving {spmm_at_8:.2}x below the {BATCHED_SPEEDUP_BAR}x bar at 8 clients"
+            );
+            assert!(
+                sddmm_at_8 >= SDDMM_BATCHED_SPEEDUP_BAR,
+                "batched SDDMM serving {sddmm_at_8:.2}x below the {SDDMM_BATCHED_SPEEDUP_BAR}x bar at 8 clients"
             );
         }
+        let mut rows = spmm_rows;
+        rows.extend(sddmm_rows);
         render_table(
             &format!(
-                "Serving throughput: batched vs unbatched engine (shared adjacency, d={feat}, bar ≥ {BATCHED_SPEEDUP_BAR}x at 8 clients)"
+                "Serving throughput: batched vs unbatched engine (shared adjacency, d={feat}, bars at 8 clients: spmm ≥ {BATCHED_SPEEDUP_BAR}x, sddmm ≥ {SDDMM_BATCHED_SPEEDUP_BAR}x)"
             ),
-            &["clients", "unbatched req/s", "batched req/s", "speedup", "max batch", "batched %"],
+            &["op", "clients", "unbatched req/s", "batched req/s", "speedup", "max batch", "batched %"],
             &rows,
         )
     }

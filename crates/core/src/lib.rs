@@ -47,7 +47,8 @@ pub mod prelude {
     pub use crate::rewrite::{decompose_format, FormatRewriteRule, RewriteError};
     pub use crate::schedule1::{sparse_fuse, sparse_reorder, Stage1Error};
     pub use crate::stage1::{
-        sddmm_program, spmm_program, ProgramBuilder, SpBuffer, SpIter, SpProgram, SpStore,
+        batched_sddmm_program, sddmm_program, spmm_program, ProgramBuilder, SpBuffer, SpIter,
+        SpProgram, SpStore,
     };
     pub use crate::validate::{validate, ValidateError};
 }

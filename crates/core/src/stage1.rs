@@ -488,6 +488,62 @@ pub fn sddmm_program(m: usize, n: usize, nnz: usize, feat: usize) -> SpProgram {
     b.finish()
 }
 
+/// Build the *batched* (multi-head) SDDMM sharing one sparsity structure:
+/// `Bout[i, j, h] = A[i, j] · Σ_k X[i, h, k] · Y[h, k, j]`.
+///
+/// This is the widened-launch form a serving engine folds same-adjacency
+/// SDDMM requests into: the head axis `H` sits *inside* the sparse
+/// `(I, J)` pair, so after `sparse_fuse` on `(I, J)` the per-non-zero
+/// coordinate walk (binary-searched row recovery, index loads) is paid
+/// once and shared by every head — the SDDMM analogue of column-stacking
+/// an SpMM batch. With `heads = 1` the loop body degenerates to exactly
+/// [`sddmm_program`]'s, so per-head results are bit-identical to
+/// unbatched execution (same reduction order over `K`).
+///
+/// Operand layouts (row-major coordinate space): `X` is `(m, heads,
+/// feat)` — each head's `X_h` occupies `feat` consecutive columns of an
+/// `m × heads·feat` matrix; `Y` is `(heads, feat, n)` — the heads' `Y_h`
+/// stacked row-wise; `Bout` is `(nnz, heads)` interleaved per non-zero.
+#[must_use]
+pub fn batched_sddmm_program(
+    m: usize,
+    n: usize,
+    nnz: usize,
+    heads: usize,
+    feat: usize,
+) -> SpProgram {
+    let mut b = ProgramBuilder::new("sddmm");
+    b.dense_fixed("I", m);
+    b.sparse_variable("J", "I", n, nnz, "J_indptr", "J_indices");
+    b.dense_fixed("H", heads);
+    b.dense_fixed("K", feat);
+    b.dense_fixed("I_", m);
+    b.dense_fixed("J_d", n);
+    let a = b.sparse_buffer("A", &["I", "J"], DType::F32);
+    let x = b.sparse_buffer("X", &["I_", "H", "K"], DType::F32);
+    let y = b.sparse_buffer("Y", &["H", "K", "J_d"], DType::F32);
+    let out = b.sparse_buffer("Bout", &["I", "J", "H"], DType::F32);
+    let axes = b.axes.clone();
+    b.sp_iter("sddmm", &["I", "J", "H", "K"], "SSSR", |vars| {
+        let (i, j, h, k) = (&vars[0], &vars[1], &vars[2], &vars[3]);
+        let init = vec![SpStore {
+            buffer: out.name.clone(),
+            indices: vec![Expr::var(i), Expr::var(j), Expr::var(h)],
+            value: Expr::f32(0.0),
+        }];
+        let body = vec![SpStore {
+            buffer: out.name.clone(),
+            indices: vec![Expr::var(i), Expr::var(j), Expr::var(h)],
+            value: out.load(&axes, vec![Expr::var(i), Expr::var(j), Expr::var(h)])
+                + a.load(&axes, vec![Expr::var(i), Expr::var(j)])
+                    * x.load(&axes, vec![Expr::var(i), Expr::var(h), Expr::var(k)])
+                    * y.load(&axes, vec![Expr::var(h), Expr::var(k), Expr::var(j)]),
+        }];
+        (init, body)
+    });
+    b.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

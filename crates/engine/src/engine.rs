@@ -1,36 +1,50 @@
 //! The serving engine: a bounded multi-producer request queue drained by
-//! a worker pool that batches fingerprint-compatible SpMM requests into
-//! single wider kernel launches.
+//! a worker pool that folds fingerprint-compatible requests of *any*
+//! batchable [`SparseOp`] — SpMM, SDDMM, multi-head attention — into
+//! single widened kernel launches through one generic request path.
 
 use crate::stats::{EngineStats, StatsInner};
-use sparsetir_autotune::{tune_spmm, SparsityFingerprint, TuneCache, TuneKey};
+use sparsetir_autotune::{tune_op, SparsityFingerprint, TunableOp, TuneCache, TuneKey};
 use sparsetir_gpusim::prelude::GpuSpec;
 use sparsetir_ir::exec::Runtime;
-use sparsetir_kernels::prelude::{sddmm_execute_on, spmm_batched_execute_on, SpmmConfig};
+use sparsetir_kernels::prelude::{AttentionOp, OpConfig, SddmmOp, SparseOp, SpmmOp};
 use sparsetir_smat::prelude::{Csr, Dense};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::VecDeque;
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
 /// Default bound on the request queue (the backpressure knob).
 pub const DEFAULT_QUEUE_DEPTH: usize = 64;
+
+/// Lock a mutex, recovering from poisoning: a panicking worker must not
+/// wedge every subsequent submit/shutdown on the client threads. The
+/// queue state stays structurally consistent across a worker unwind (a
+/// popped job either completes or is answered with an error), so the
+/// poison flag carries no information we act on.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Error answered to a serving client.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EngineError {
     /// Request shapes are incompatible with the adjacency.
     Shape(String),
-    /// The bounded queue was full (`try_submit_*` only; blocking submits
+    /// The bounded queue was full (`try_submit*` only; blocking submits
     /// wait instead).
     Saturated,
     /// The engine shut down before (or while) answering.
     Shutdown,
-    /// Kernel lowering/compilation/execution failed.
+    /// Kernel lowering/compilation/execution failed (including a worker
+    /// panic, which the engine survives).
     Exec(String),
+    /// A ticket was asked for a different op's output variant.
+    Output(String),
 }
 
 impl fmt::Display for EngineError {
@@ -40,6 +54,7 @@ impl fmt::Display for EngineError {
             EngineError::Saturated => write!(f, "engine queue is full"),
             EngineError::Shutdown => write!(f, "engine has shut down"),
             EngineError::Exec(msg) => write!(f, "engine execution error: {msg}"),
+            EngineError::Output(msg) => write!(f, "engine output error: {msg}"),
         }
     }
 }
@@ -101,24 +116,126 @@ impl Adjacency {
     }
 }
 
+/// One request for any served op, as queued by the generic submit path.
+/// The variant carries exactly the op's [`SparseOp::Operands`].
+#[derive(Debug, Clone)]
+pub enum OpRequest {
+    /// SpMM `A · X`: one dense feature operand.
+    Spmm(Dense),
+    /// SDDMM `A ⊙ (X · Y)`: the dense operand pair.
+    Sddmm((Dense, Dense)),
+    /// Multi-head attention aggregation: one feature operand per head.
+    Attention(Vec<Dense>),
+}
+
+impl OpRequest {
+    /// The op kind tag this request routes to (`"spmm"`, `"sddmm"`,
+    /// `"attention"`) — useful for logging and metrics.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            OpRequest::Spmm(_) => SpmmOp::kind(),
+            OpRequest::Sddmm(_) => SddmmOp::kind(),
+            OpRequest::Attention(_) => AttentionOp::kind(),
+        }
+    }
+
+    /// Shape-validate against the adjacency via the op's own contract.
+    fn validate(&self, adj: &Adjacency) -> Result<(), EngineError> {
+        match self {
+            OpRequest::Spmm(x) => SpmmOp::validate(adj.csr(), x),
+            OpRequest::Sddmm(pair) => SddmmOp::validate(adj.csr(), pair),
+            OpRequest::Attention(heads) => AttentionOp::validate(adj.csr(), heads),
+        }
+        .map_err(EngineError::Shape)
+    }
+
+    /// The op-level batching contract, lifted to the request enum: same
+    /// kind, and the op's [`SparseOp::can_batch`] agrees.
+    fn can_batch_with(&self, other: &OpRequest) -> bool {
+        match (self, other) {
+            (OpRequest::Spmm(a), OpRequest::Spmm(b)) => SpmmOp::can_batch(a, b),
+            (OpRequest::Sddmm(a), OpRequest::Sddmm(b)) => SddmmOp::can_batch(a, b),
+            (OpRequest::Attention(a), OpRequest::Attention(b)) => AttentionOp::can_batch(a, b),
+            _ => false,
+        }
+    }
+}
+
+/// The result of any served op — the one shape of output handling every
+/// ticket answers with. Typed accessors convert back to the op's native
+/// result.
+#[derive(Debug, Clone)]
+pub enum OpOutput {
+    /// A dense matrix (SpMM).
+    Dense(Dense),
+    /// Per-non-zero edge values (SDDMM).
+    Edges(Vec<f32>),
+    /// One dense matrix per head (attention).
+    Heads(Vec<Dense>),
+}
+
+impl OpOutput {
+    fn variant(&self) -> &'static str {
+        match self {
+            OpOutput::Dense(_) => "Dense",
+            OpOutput::Edges(_) => "Edges",
+            OpOutput::Heads(_) => "Heads",
+        }
+    }
+
+    /// The dense SpMM result.
+    ///
+    /// # Errors
+    /// [`EngineError::Output`] when this output belongs to a different op.
+    pub fn into_dense(self) -> Result<Dense, EngineError> {
+        match self {
+            OpOutput::Dense(d) => Ok(d),
+            other => Err(EngineError::Output(format!("expected Dense, got {}", other.variant()))),
+        }
+    }
+
+    /// The per-non-zero SDDMM result.
+    ///
+    /// # Errors
+    /// [`EngineError::Output`] when this output belongs to a different op.
+    pub fn into_edges(self) -> Result<Vec<f32>, EngineError> {
+        match self {
+            OpOutput::Edges(v) => Ok(v),
+            other => Err(EngineError::Output(format!("expected Edges, got {}", other.variant()))),
+        }
+    }
+
+    /// The per-head attention result.
+    ///
+    /// # Errors
+    /// [`EngineError::Output`] when this output belongs to a different op.
+    pub fn into_heads(self) -> Result<Vec<Dense>, EngineError> {
+        match self {
+            OpOutput::Heads(v) => Ok(v),
+            other => Err(EngineError::Output(format!("expected Heads, got {}", other.variant()))),
+        }
+    }
+}
+
 /// Engine construction parameters.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
     /// Worker threads draining the queue.
     pub workers: usize,
     /// Bound on queued (not yet dispatched) requests — the backpressure
-    /// knob: blocking submits wait for space, `try_submit_*` fails with
+    /// knob: blocking submits wait for space, `try_submit*` fails with
     /// [`EngineError::Saturated`].
     pub queue_depth: usize,
     /// Most requests folded into one batched kernel launch; `1` disables
     /// batching (every request runs alone — the unbatched baseline the
     /// `serving_throughput` experiment compares against).
     pub max_batch: usize,
-    /// When true, the first request for each adjacency runs the
-    /// simulator-backed `tune_spmm` search and the winning format/schedule
-    /// configuration is cached in the engine's [`TuneCache`] for every
-    /// later batch on that adjacency. When false, all SpMM requests use
-    /// [`SpmmConfig::default_csr`].
+    /// When true, the first batch for each `(adjacency, op)` pair runs
+    /// the op's simulator-backed search through the generic `tune_op`
+    /// path and the winning configuration is cached in the engine's
+    /// [`TuneCache`] for every later batch on that pair. When false, all
+    /// requests use the op's default configuration.
     pub tune: bool,
 }
 
@@ -133,28 +250,22 @@ impl Default for EngineConfig {
     }
 }
 
-struct SpmmJob {
+struct Job {
     adj: Adjacency,
-    feat: Dense,
+    req: OpRequest,
     enqueued: Instant,
-    reply: mpsc::Sender<Result<Dense, EngineError>>,
+    reply: mpsc::Sender<Result<OpOutput, EngineError>>,
 }
 
-struct SddmmJob {
-    adj: Adjacency,
-    x: Dense,
-    y: Dense,
-    enqueued: Instant,
-    reply: mpsc::Sender<Result<Vec<f32>, EngineError>>,
-}
-
-enum Job {
-    Spmm(SpmmJob),
-    Sddmm(SddmmJob),
+enum QueueItem {
+    Job(Job),
+    /// Crash-safety test hook: makes the popping worker panic while it
+    /// holds the queue lock (poisoning the mutex on purpose).
+    InjectPanic,
 }
 
 struct QueueState {
-    queue: VecDeque<Job>,
+    queue: VecDeque<QueueItem>,
     shutdown: bool,
 }
 
@@ -164,7 +275,7 @@ struct Shared {
     not_full: Condvar,
     config: EngineConfig,
     runtime: Arc<Runtime>,
-    tune_cache: TuneCache<SpmmConfig>,
+    tune_cache: TuneCache<OpConfig>,
     /// Single-flight guard for tuning searches: [`TuneCache`] computes
     /// outside its lock by design, so without this, workers racing the
     /// *first* batches of one adjacency would each pay the full search.
@@ -172,46 +283,59 @@ struct Shared {
     stats: StatsInner,
 }
 
-/// Pending result of a submitted SpMM request.
+/// Pending result of any submitted request: the one generic ticket every
+/// op answers through. [`Ticket::wait`] yields the unified [`OpOutput`];
+/// the `wait_*` conveniences convert to the op's native result.
 #[derive(Debug)]
 #[must_use = "wait() on the ticket to receive the result"]
-pub struct SpmmTicket {
-    rx: mpsc::Receiver<Result<Dense, EngineError>>,
+pub struct Ticket {
+    rx: mpsc::Receiver<Result<OpOutput, EngineError>>,
 }
 
-impl SpmmTicket {
+impl Ticket {
     /// Block until the engine answers.
     ///
     /// # Errors
     /// Propagates the worker-side error, or [`EngineError::Shutdown`]
     /// when the engine died before answering.
-    pub fn wait(self) -> Result<Dense, EngineError> {
+    pub fn wait(self) -> Result<OpOutput, EngineError> {
         self.rx.recv().unwrap_or(Err(EngineError::Shutdown))
     }
-}
 
-/// Pending result of a submitted SDDMM request.
-#[derive(Debug)]
-#[must_use = "wait() on the ticket to receive the result"]
-pub struct SddmmTicket {
-    rx: mpsc::Receiver<Result<Vec<f32>, EngineError>>,
-}
-
-impl SddmmTicket {
-    /// Block until the engine answers.
+    /// Wait and unwrap a dense (SpMM) result.
     ///
     /// # Errors
-    /// Propagates the worker-side error, or [`EngineError::Shutdown`]
-    /// when the engine died before answering.
-    pub fn wait(self) -> Result<Vec<f32>, EngineError> {
-        self.rx.recv().unwrap_or(Err(EngineError::Shutdown))
+    /// Like [`Ticket::wait`], plus [`EngineError::Output`] on an op
+    /// mismatch.
+    pub fn wait_dense(self) -> Result<Dense, EngineError> {
+        self.wait()?.into_dense()
+    }
+
+    /// Wait and unwrap a per-non-zero (SDDMM) result.
+    ///
+    /// # Errors
+    /// Like [`Ticket::wait`], plus [`EngineError::Output`] on an op
+    /// mismatch.
+    pub fn wait_edges(self) -> Result<Vec<f32>, EngineError> {
+        self.wait()?.into_edges()
+    }
+
+    /// Wait and unwrap a per-head (attention) result.
+    ///
+    /// # Errors
+    /// Like [`Ticket::wait`], plus [`EngineError::Output`] on an op
+    /// mismatch.
+    pub fn wait_heads(self) -> Result<Vec<Dense>, EngineError> {
+        self.wait()?.into_heads()
     }
 }
 
 /// Multi-tenant serving engine: owns a shared kernel-cache [`Runtime`]
-/// and [`TuneCache`], accepts SpMM/SDDMM requests from any number of
-/// client threads, and batches concurrent SpMM requests that share an
-/// [`Adjacency`] fingerprint into single wider kernel launches.
+/// and an op-agnostic [`TuneCache`], accepts requests for any served
+/// [`SparseOp`] from any number of client threads through one generic
+/// submit path, and batches concurrent requests that share an
+/// [`Adjacency`] fingerprint (and satisfy the op's batching contract)
+/// into single widened kernel launches.
 ///
 /// Dropping the engine shuts it down: queued requests are still drained
 /// and answered, then the workers exit.
@@ -254,9 +378,9 @@ impl Engine {
         &self.shared.runtime
     }
 
-    /// The engine's per-adjacency tuning cache.
+    /// The engine's per-(adjacency, op) tuning cache.
     #[must_use]
-    pub fn tune_cache(&self) -> &TuneCache<SpmmConfig> {
+    pub fn tune_cache(&self) -> &TuneCache<OpConfig> {
         &self.shared.tune_cache
     }
 
@@ -266,97 +390,125 @@ impl Engine {
         self.shared.stats.snapshot()
     }
 
-    /// Submit an SpMM request (`adj · feat`), blocking while the queue is
-    /// at capacity.
+    /// Submit any op request, blocking while the queue is at capacity —
+    /// the one generic submit path every typed wrapper routes through.
     ///
     /// # Errors
-    /// [`EngineError::Shape`] on a row-count mismatch and
-    /// [`EngineError::Shutdown`] after shutdown.
-    pub fn submit_spmm(&self, adj: &Adjacency, feat: Dense) -> Result<SpmmTicket, EngineError> {
-        self.spmm_job(adj, feat, true)
+    /// [`EngineError::Shape`] when the operands are incompatible with the
+    /// adjacency and [`EngineError::Shutdown`] after shutdown.
+    pub fn submit(&self, adj: &Adjacency, req: OpRequest) -> Result<Ticket, EngineError> {
+        self.submit_request(adj, req, true)
+    }
+
+    /// Submit any op request without blocking.
+    ///
+    /// # Errors
+    /// Like [`Engine::submit`], plus [`EngineError::Saturated`] when the
+    /// queue is full.
+    pub fn try_submit(&self, adj: &Adjacency, req: OpRequest) -> Result<Ticket, EngineError> {
+        self.submit_request(adj, req, false)
+    }
+
+    /// Blocking convenience: submit any op request and wait for the
+    /// unified [`OpOutput`].
+    ///
+    /// # Errors
+    /// See [`Engine::submit`] and [`Ticket::wait`].
+    pub fn serve(&self, adj: &Adjacency, req: OpRequest) -> Result<OpOutput, EngineError> {
+        self.submit(adj, req)?.wait()
+    }
+
+    /// Submit an SpMM request (`adj · feat`), blocking while the queue is
+    /// at capacity. Thin typed wrapper over [`Engine::submit`].
+    ///
+    /// # Errors
+    /// See [`Engine::submit`].
+    pub fn submit_spmm(&self, adj: &Adjacency, feat: Dense) -> Result<Ticket, EngineError> {
+        self.submit(adj, OpRequest::Spmm(feat))
     }
 
     /// Submit an SpMM request without blocking.
     ///
     /// # Errors
-    /// Like [`Engine::submit_spmm`], plus [`EngineError::Saturated`]
-    /// when the queue is full.
-    pub fn try_submit_spmm(&self, adj: &Adjacency, feat: Dense) -> Result<SpmmTicket, EngineError> {
-        self.spmm_job(adj, feat, false)
+    /// See [`Engine::try_submit`].
+    pub fn try_submit_spmm(&self, adj: &Adjacency, feat: Dense) -> Result<Ticket, EngineError> {
+        self.try_submit(adj, OpRequest::Spmm(feat))
     }
 
-    /// Blocking convenience: submit an SpMM request and wait for the
-    /// result.
+    /// Blocking convenience: SpMM request → dense result.
     ///
     /// # Errors
-    /// See [`Engine::submit_spmm`] and [`SpmmTicket::wait`].
+    /// See [`Engine::submit`] and [`Ticket::wait_dense`].
     pub fn spmm(&self, adj: &Adjacency, feat: Dense) -> Result<Dense, EngineError> {
-        self.submit_spmm(adj, feat)?.wait()
+        self.submit_spmm(adj, feat)?.wait_dense()
     }
 
-    /// Submit an SDDMM request (`adj ⊙ (x · y)` sampled at the non-zeros),
-    /// blocking while the queue is at capacity.
+    /// Submit an SDDMM request (`adj ⊙ (x · y)` sampled at the
+    /// non-zeros), blocking while the queue is at capacity. Thin typed
+    /// wrapper over [`Engine::submit`].
     ///
     /// # Errors
-    /// [`EngineError::Shape`] on incompatible operand shapes and
-    /// [`EngineError::Shutdown`] after shutdown.
-    pub fn submit_sddmm(
-        &self,
-        adj: &Adjacency,
-        x: Dense,
-        y: Dense,
-    ) -> Result<SddmmTicket, EngineError> {
-        if x.rows() != adj.csr().rows() || y.cols() != adj.csr().cols() || y.rows() != x.cols() {
-            return Err(EngineError::Shape(format!(
-                "sddmm operands {}x{} · {}x{} incompatible with {}x{} adjacency",
-                x.rows(),
-                x.cols(),
-                y.rows(),
-                y.cols(),
-                adj.csr().rows(),
-                adj.csr().cols()
-            )));
-        }
-        let (tx, rx) = mpsc::channel();
-        self.push(
-            Job::Sddmm(SddmmJob { adj: adj.clone(), x, y, enqueued: Instant::now(), reply: tx }),
-            true,
-        )?;
-        Ok(SddmmTicket { rx })
+    /// See [`Engine::submit`].
+    pub fn submit_sddmm(&self, adj: &Adjacency, x: Dense, y: Dense) -> Result<Ticket, EngineError> {
+        self.submit(adj, OpRequest::Sddmm((x, y)))
     }
 
-    /// Blocking convenience: submit an SDDMM request and wait for the
-    /// per-non-zero results.
+    /// Blocking convenience: SDDMM request → per-non-zero values.
     ///
     /// # Errors
-    /// See [`Engine::submit_sddmm`] and [`SddmmTicket::wait`].
+    /// See [`Engine::submit`] and [`Ticket::wait_edges`].
     pub fn sddmm(&self, adj: &Adjacency, x: Dense, y: Dense) -> Result<Vec<f32>, EngineError> {
-        self.submit_sddmm(adj, x, y)?.wait()
+        self.submit_sddmm(adj, x, y)?.wait_edges()
     }
 
-    fn spmm_job(
+    /// Submit a multi-head attention aggregation (one SpMM per head over
+    /// the shared mask), blocking while the queue is at capacity. Thin
+    /// typed wrapper over [`Engine::submit`].
+    ///
+    /// # Errors
+    /// See [`Engine::submit`].
+    pub fn submit_attention(
         &self,
         adj: &Adjacency,
-        feat: Dense,
+        heads: Vec<Dense>,
+    ) -> Result<Ticket, EngineError> {
+        self.submit(adj, OpRequest::Attention(heads))
+    }
+
+    /// Blocking convenience: attention request → per-head results.
+    ///
+    /// # Errors
+    /// See [`Engine::submit`] and [`Ticket::wait_heads`].
+    pub fn attention(&self, adj: &Adjacency, heads: Vec<Dense>) -> Result<Vec<Dense>, EngineError> {
+        self.submit_attention(adj, heads)?.wait_heads()
+    }
+
+    /// Crash-safety regression hook: make the next worker that drains the
+    /// queue panic *while holding the queue lock*, poisoning the mutex.
+    /// The engine must recover — the worker survives, later submits
+    /// succeed, and [`EngineStats::worker_panics`] counts the event.
+    #[doc(hidden)]
+    pub fn inject_worker_panic(&self) {
+        let mut st = lock(&self.shared.state);
+        st.queue.push_back(QueueItem::InjectPanic);
+        drop(st);
+        self.shared.not_empty.notify_one();
+    }
+
+    fn submit_request(
+        &self,
+        adj: &Adjacency,
+        req: OpRequest,
         block: bool,
-    ) -> Result<SpmmTicket, EngineError> {
-        if feat.rows() != adj.csr().cols() {
-            return Err(EngineError::Shape(format!(
-                "feature matrix has {} rows, adjacency has {} cols",
-                feat.rows(),
-                adj.csr().cols()
-            )));
-        }
+    ) -> Result<Ticket, EngineError> {
+        req.validate(adj)?;
         let (tx, rx) = mpsc::channel();
-        self.push(
-            Job::Spmm(SpmmJob { adj: adj.clone(), feat, enqueued: Instant::now(), reply: tx }),
-            block,
-        )?;
-        Ok(SpmmTicket { rx })
+        self.push(Job { adj: adj.clone(), req, enqueued: Instant::now(), reply: tx }, block)?;
+        Ok(Ticket { rx })
     }
 
     fn push(&self, job: Job, block: bool) -> Result<(), EngineError> {
-        let mut st = self.shared.state.lock().unwrap();
+        let mut st = lock(&self.shared.state);
         loop {
             if st.shutdown {
                 return Err(EngineError::Shutdown);
@@ -368,9 +520,9 @@ impl Engine {
                 self.shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
                 return Err(EngineError::Saturated);
             }
-            st = self.shared.not_full.wait(st).unwrap();
+            st = self.shared.not_full.wait(st).unwrap_or_else(PoisonError::into_inner);
         }
-        st.queue.push_back(job);
+        st.queue.push_back(QueueItem::Job(job));
         let depth = st.queue.len();
         self.shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
         self.shared.stats.queue_high_water.fetch_max(depth, Ordering::Relaxed);
@@ -382,7 +534,7 @@ impl Engine {
 
 impl Drop for Engine {
     fn drop(&mut self) {
-        self.shared.state.lock().unwrap().shutdown = true;
+        lock(&self.shared.state).shutdown = true;
         self.shared.not_empty.notify_all();
         self.shared.not_full.notify_all();
         for h in self.workers.drain(..) {
@@ -395,47 +547,126 @@ impl Drop for Engine {
 // Worker side
 // ---------------------------------------------------------------------------
 
+/// The engine-side face of a servable op: how to pull this op's typed
+/// operands out of the [`OpRequest`] enum and wrap its output back into
+/// the unified [`OpOutput`]. Everything else — batching, tuning,
+/// execution — comes from the generic [`SparseOp`]/[`TunableOp`]
+/// contracts, so adding a served op is one enum variant plus one impl of
+/// this glue.
+trait Served: TunableOp<Adj = Csr> {
+    fn extract(req: OpRequest) -> Self::Operands;
+    fn peek(req: &OpRequest) -> &Self::Operands;
+    fn wrap(out: Self::Output) -> OpOutput;
+}
+
+impl Served for SpmmOp {
+    fn extract(req: OpRequest) -> Dense {
+        match req {
+            OpRequest::Spmm(x) => x,
+            _ => unreachable!("kind-matched batch"),
+        }
+    }
+
+    fn peek(req: &OpRequest) -> &Dense {
+        match req {
+            OpRequest::Spmm(x) => x,
+            _ => unreachable!("kind-matched batch"),
+        }
+    }
+
+    fn wrap(out: Dense) -> OpOutput {
+        OpOutput::Dense(out)
+    }
+}
+
+impl Served for SddmmOp {
+    fn extract(req: OpRequest) -> (Dense, Dense) {
+        match req {
+            OpRequest::Sddmm(pair) => pair,
+            _ => unreachable!("kind-matched batch"),
+        }
+    }
+
+    fn peek(req: &OpRequest) -> &(Dense, Dense) {
+        match req {
+            OpRequest::Sddmm(pair) => pair,
+            _ => unreachable!("kind-matched batch"),
+        }
+    }
+
+    fn wrap(out: Vec<f32>) -> OpOutput {
+        OpOutput::Edges(out)
+    }
+}
+
+impl Served for AttentionOp {
+    fn extract(req: OpRequest) -> Vec<Dense> {
+        match req {
+            OpRequest::Attention(heads) => heads,
+            _ => unreachable!("kind-matched batch"),
+        }
+    }
+
+    fn peek(req: &OpRequest) -> &Vec<Dense> {
+        match req {
+            OpRequest::Attention(heads) => heads,
+            _ => unreachable!("kind-matched batch"),
+        }
+    }
+
+    fn wrap(out: Vec<Dense>) -> OpOutput {
+        OpOutput::Heads(out)
+    }
+}
+
 fn worker_loop(shared: &Shared) {
     loop {
-        let work = {
-            let mut st = shared.state.lock().unwrap();
-            loop {
-                if let Some(job) = st.queue.pop_front() {
-                    break match job {
-                        // Greedily fold queued same-fingerprint SpMM
-                        // requests into this dispatch (up to max_batch).
-                        Job::Spmm(first) => Work::SpmmBatch(drain_batch(
-                            &mut st.queue,
-                            first,
-                            shared.config.max_batch,
-                        )),
-                        Job::Sddmm(job) => Work::Sddmm(job),
-                    };
-                }
-                if st.shutdown {
-                    return;
-                }
-                st = shared.not_empty.wait(st).unwrap();
+        // A panic anywhere in a tick — including the injected lock-held
+        // panic of the crash-safety tests — must not kill the worker:
+        // catch it, count it, keep draining. The queue mutex recovers
+        // from the poisoning via `lock`.
+        match catch_unwind(AssertUnwindSafe(|| worker_tick(shared))) {
+            Ok(true) => {}
+            Ok(false) => return,
+            Err(_) => {
+                shared.stats.worker_panics.fetch_add(1, Ordering::Relaxed);
             }
-        };
-        // Space was freed: wake blocked submitters.
-        shared.not_full.notify_all();
-        match work {
-            Work::SpmmBatch(batch) => serve_spmm_batch(shared, batch),
-            Work::Sddmm(job) => serve_sddmm(shared, job),
         }
     }
 }
 
-enum Work {
-    SpmmBatch(Vec<SpmmJob>),
-    Sddmm(SddmmJob),
+/// One drain-and-serve iteration; `false` means shutdown.
+fn worker_tick(shared: &Shared) -> bool {
+    let batch = {
+        let mut st = lock(&shared.state);
+        loop {
+            match st.queue.pop_front() {
+                // Greedily fold queued compatible requests (same
+                // adjacency fingerprint, same op, op-level can_batch)
+                // into this dispatch, up to max_batch.
+                Some(QueueItem::Job(first)) => {
+                    break drain_batch(&mut st.queue, first, shared.config.max_batch);
+                }
+                Some(QueueItem::InjectPanic) => {
+                    panic!("injected worker panic (crash-safety test hook)")
+                }
+                None => {}
+            }
+            if st.shutdown {
+                return false;
+            }
+            st = shared.not_empty.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    };
+    // Space was freed: wake blocked submitters.
+    shared.not_full.notify_all();
+    serve_batch(shared, batch);
+    true
 }
 
-/// Pull every queued SpMM job batch-compatible with `first` (same
-/// adjacency fingerprint and dimensions) out of the queue, preserving the
-/// relative order of everything else.
-fn drain_batch(queue: &mut VecDeque<Job>, first: SpmmJob, max_batch: usize) -> Vec<SpmmJob> {
+/// Pull every queued job batch-compatible with `first` out of the queue,
+/// preserving the relative order of everything else.
+fn drain_batch(queue: &mut VecDeque<QueueItem>, first: Job, max_batch: usize) -> Vec<Job> {
     let mut batch = vec![first];
     if max_batch <= 1 {
         return batch;
@@ -444,12 +675,13 @@ fn drain_batch(queue: &mut VecDeque<Job>, first: SpmmJob, max_batch: usize) -> V
     while i < queue.len() && batch.len() < max_batch {
         let compatible = matches!(
             &queue[i],
-            Job::Spmm(job) if batch[0].adj.batches_with(&job.adj)
+            QueueItem::Job(job)
+                if batch[0].adj.batches_with(&job.adj) && batch[0].req.can_batch_with(&job.req)
         );
         if compatible {
             match queue.remove(i) {
-                Some(Job::Spmm(job)) => batch.push(job),
-                _ => unreachable!("matched an SpMM job at index i"),
+                Some(QueueItem::Job(job)) => batch.push(job),
+                _ => unreachable!("matched a job at index i"),
             }
         } else {
             i += 1;
@@ -458,19 +690,35 @@ fn drain_batch(queue: &mut VecDeque<Job>, first: SpmmJob, max_batch: usize) -> V
     batch
 }
 
-/// The format/schedule configuration for one adjacency: the engine-owned
-/// [`TuneCache`] memoizes the (simulator-backed) search per sparsity
-/// fingerprint, so only the first batch on a new adjacency pays it. The
-/// decision is keyed on the adjacency alone — widths vary per batch, so
-/// the search runs at the triggering request's width and the winner is
-/// reused for all widths (the §2 amortization trade).
-fn spmm_config_for(shared: &Shared, adj: &Adjacency, feat: usize) -> SpmmConfig {
+/// One dispatch: route the kind-matched batch to its op's generic serve
+/// path.
+fn serve_batch(shared: &Shared, batch: Vec<Job>) {
+    match &batch[0].req {
+        OpRequest::Spmm(_) => serve_as::<SpmmOp>(shared, batch),
+        OpRequest::Sddmm(_) => serve_as::<SddmmOp>(shared, batch),
+        OpRequest::Attention(_) => serve_as::<AttentionOp>(shared, batch),
+    }
+}
+
+/// The configuration for one `(adjacency, op)` pair: the engine-owned
+/// [`TuneCache`] memoizes the op's simulator-backed `tune_op` search per
+/// sparsity fingerprint, so only the first batch on a new pair pays it.
+/// The decision is keyed on the adjacency and op kind alone — request
+/// shapes vary per batch, so the search runs at the triggering request's
+/// shape and the winner is reused for all shapes (the §2 amortization
+/// trade).
+fn op_config_for<O>(shared: &Shared, adj: &Adjacency, shape: &[usize]) -> O::Config
+where
+    O: Served,
+    OpConfig: From<O::Config>,
+    O::Config: TryFrom<OpConfig>,
+{
     if !shared.config.tune {
-        return SpmmConfig::default_csr();
+        return O::default_config();
     }
     let spec = GpuSpec::v100();
     let key = TuneKey {
-        workload: "spmm",
+        workload: O::kind(),
         backend: "gpusim",
         device: spec.device_id(),
         extra: vec![],
@@ -481,40 +729,74 @@ fn spmm_config_for(shared: &Shared, adj: &Adjacency, feat: usize) -> SpmmConfig 
     // so concurrent first batches of one adjacency would otherwise each
     // run the full search, while a global guard on the hit path would
     // serialize unrelated adjacencies behind a slow search.
-    if let Some(config) = shared.tune_cache.get(&key) {
-        return config;
-    }
-    let _flight = shared.tune_flight.lock().unwrap();
-    shared.tune_cache.get_or_insert_with(key, || tune_spmm(&spec, adj.csr(), feat.max(1)).config).0
+    let cached = match shared.tune_cache.get(&key) {
+        Some(config) => config,
+        None => {
+            let _flight = lock(&shared.tune_flight);
+            shared
+                .tune_cache
+                .get_or_insert_with(key, || tune_op::<O>(&spec, adj.csr(), shape).config.into())
+                .0
+        }
+    };
+    O::Config::try_from(cached).unwrap_or_else(|_| O::default_config())
 }
 
-fn serve_spmm_batch(shared: &Shared, batch: Vec<SpmmJob>) {
-    let config = spmm_config_for(shared, &batch[0].adj, batch[0].feat.cols());
-    let xs: Vec<&Dense> = batch.iter().map(|j| &j.feat).collect();
-    let result = spmm_batched_execute_on(&shared.runtime, batch[0].adj.csr(), &xs, &config);
+/// Serve one kind-matched batch through the op's generic contract:
+/// config lookup → widened `execute_batch_on` → per-request replies. A
+/// panicking kernel answers every rider with [`EngineError::Exec`]
+/// instead of killing the worker.
+fn serve_as<O>(shared: &Shared, batch: Vec<Job>)
+where
+    O: Served,
+    OpConfig: From<O::Config>,
+    O::Config: TryFrom<OpConfig>,
+{
+    let shape = O::shape_of(O::peek(&batch[0].req));
+    let adj = batch[0].adj.clone();
     shared.stats.record_batch(batch.len());
+    let mut replies = Vec::with_capacity(batch.len());
+    let mut reqs = Vec::with_capacity(batch.len());
+    for job in batch {
+        replies.push((job.enqueued, job.reply));
+        reqs.push(O::extract(job.req));
+    }
+    // The config lookup sits inside the catch: a panicking tuning search
+    // must answer its riders with `Exec` too, not drop their replies.
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let config = op_config_for::<O>(shared, &adj, &shape);
+        O::execute_batch_on(&shared.runtime, adj.csr(), &reqs, &config)
+    }));
     match result {
-        Ok(outs) => {
-            for (job, out) in batch.into_iter().zip(outs) {
-                finish(shared, job.enqueued, true, || job.reply.send(Ok(out)).is_ok());
+        Ok(Ok(outs)) => {
+            for ((enqueued, reply), out) in replies.into_iter().zip(outs) {
+                finish(shared, enqueued, true, || reply.send(Ok(O::wrap(out))).is_ok());
             }
         }
-        Err(e) => {
-            let err = EngineError::Exec(e.to_string());
-            for job in batch {
-                let err = err.clone();
-                finish(shared, job.enqueued, false, || job.reply.send(Err(err)).is_ok());
-            }
+        Ok(Err(e)) => {
+            answer_error(shared, replies, &EngineError::Exec(e.to_string()));
+        }
+        Err(panic) => {
+            shared.stats.worker_panics.fetch_add(1, Ordering::Relaxed);
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "worker panicked while executing the batch".to_string());
+            answer_error(shared, replies, &EngineError::Exec(format!("worker panic: {msg}")));
         }
     }
 }
 
-fn serve_sddmm(shared: &Shared, job: SddmmJob) {
-    shared.stats.record_batch(1);
-    let result = sddmm_execute_on(&shared.runtime, job.adj.csr(), &job.x, &job.y)
-        .map_err(|e| EngineError::Exec(e.to_string()));
-    let ok = result.is_ok();
-    finish(shared, job.enqueued, ok, || job.reply.send(result).is_ok());
+fn answer_error(
+    shared: &Shared,
+    replies: Vec<(Instant, mpsc::Sender<Result<OpOutput, EngineError>>)>,
+    err: &EngineError,
+) {
+    for (enqueued, reply) in replies {
+        let err = err.clone();
+        finish(shared, enqueued, false, || reply.send(Err(err)).is_ok());
+    }
 }
 
 /// Record latency + outcome and deliver the reply (a client that dropped

@@ -8,25 +8,36 @@
 //! operands. The [`Engine`] packages that reuse behind a multi-tenant
 //! request queue:
 //!
-//! * **One shared [`Runtime`](sparsetir_ir::exec::Runtime) and
-//!   [`TuneCache`](sparsetir_autotune::TuneCache)** per engine: every
-//!   worker compiles through the same striped kernel cache and reuses the
-//!   same per-adjacency tuning decisions.
-//! * **Batching by adjacency fingerprint**: concurrent SpMM requests that
-//!   share an [`Adjacency`] are stacked column-wise into one kernel
-//!   launch of width `Σ feat_i` and split back per request — the fixed
-//!   per-request costs (lowering, IR fingerprinting, the per-non-zero
-//!   index walk) are paid once per batch. Results are bit-identical to
-//!   unbatched execution.
-//! * **Bounded queue with backpressure**: [`Engine::submit_spmm`] blocks
-//!   while the queue is at `queue_depth`; [`Engine::try_submit_spmm`]
-//!   fails fast with [`EngineError::Saturated`] instead.
+//! * **One generic request path for every op**: requests are the
+//!   [`OpRequest`] enum over the kernel crate's
+//!   [`SparseOp`](sparsetir_kernels::op::SparseOp) layer — SpMM, SDDMM
+//!   and multi-head attention all submit, batch, tune and answer through
+//!   the same machinery ([`Engine::submit`] → [`Ticket`] → [`OpOutput`]),
+//!   with thin typed wrappers for ergonomics.
+//! * **One shared [`Runtime`](sparsetir_ir::exec::Runtime) and an
+//!   op-agnostic [`TuneCache`](sparsetir_autotune::TuneCache)** per
+//!   engine: every worker compiles through the same striped kernel cache
+//!   and reuses the same per-`(adjacency, op)` tuning decisions.
+//! * **Batching by adjacency fingerprint**: concurrent requests that
+//!   share an [`Adjacency`] and satisfy their op's batching contract are
+//!   folded into one widened kernel launch — column stacking for
+//!   SpMM/attention, block-diagonal stacking for SDDMM — and split back
+//!   per request. The fixed per-request costs (lowering, IR
+//!   fingerprinting, dispatch) are paid once per batch. Results are
+//!   bit-identical to unbatched execution.
+//! * **Bounded queue with backpressure**: blocking submits wait while
+//!   the queue is at `queue_depth`; [`Engine::try_submit`] fails fast
+//!   with [`EngineError::Saturated`] instead.
+//! * **Crash containment**: a panicking worker answers its riders with
+//!   [`EngineError::Exec`], recovers the queue mutex from poisoning, and
+//!   keeps serving ([`EngineStats::worker_panics`] counts the events).
 //! * **Per-request latency and throughput stats** ([`EngineStats`]),
 //!   fed by every worker.
 //!
 //! The `serving_throughput` experiment in `sparsetir-bench` measures the
-//! batched-vs-unbatched requests/sec of this engine, and
-//! `sparsetir-nn`'s serving path drives GraphSAGE inference through it.
+//! batched-vs-unbatched requests/sec of this engine for both SpMM and
+//! SDDMM, and `sparsetir-nn`'s serving path drives GraphSAGE inference
+//! through it.
 
 #![warn(missing_docs)]
 
@@ -34,6 +45,6 @@ mod engine;
 mod stats;
 
 pub use engine::{
-    Adjacency, Engine, EngineConfig, EngineError, SddmmTicket, SpmmTicket, DEFAULT_QUEUE_DEPTH,
+    Adjacency, Engine, EngineConfig, EngineError, OpOutput, OpRequest, Ticket, DEFAULT_QUEUE_DEPTH,
 };
 pub use stats::EngineStats;

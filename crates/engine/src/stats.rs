@@ -16,6 +16,7 @@ pub(crate) struct StatsInner {
     pub queue_high_water: AtomicUsize,
     pub latency_ns_sum: AtomicU64,
     pub latency_ns_max: AtomicU64,
+    pub worker_panics: AtomicU64,
 }
 
 impl StatsInner {
@@ -45,6 +46,7 @@ impl StatsInner {
             queue_high_water: self.queue_high_water.load(Ordering::Relaxed),
             latency_ns_sum: self.latency_ns_sum.load(Ordering::Relaxed),
             latency_ns_max: self.latency_ns_max.load(Ordering::Relaxed),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
         }
     }
 }
@@ -73,6 +75,10 @@ pub struct EngineStats {
     pub latency_ns_sum: u64,
     /// Worst single-request enqueue-to-completion latency.
     pub latency_ns_max: u64,
+    /// Worker panics survived (the affected requests are answered with
+    /// [`EngineError::Exec`](crate::EngineError::Exec) and the worker
+    /// keeps serving; the queue mutex recovers from the poisoning).
+    pub worker_panics: u64,
 }
 
 impl EngineStats {

@@ -1,13 +1,16 @@
-//! Property-based differential test: for random CSR matrices and random
-//! request sets — feature widths 0, 1, and mixed — the batched engine
-//! output must be bit-identical to a sequential loop of
-//! `csr_spmm_execute` calls, including the column split-back. This is the
+//! Property-based differential tests: for random CSR matrices and random
+//! request sets — widths 0, 1, and mixed — the batched engine output of
+//! *every served op* (SpMM, SDDMM, multi-head attention) must be
+//! bit-identical to a sequential loop of the op's single-request
+//! `*_execute` calls, including the stack/split round-trips. This is the
 //! serving-path analogue of the executor's interpreter-differential
 //! suite: batching must be a pure performance transformation.
 
 use proptest::prelude::*;
 use sparsetir_engine::{Adjacency, Engine, EngineConfig};
-use sparsetir_kernels::prelude::{csr_spmm_execute, spmm_batched_execute, SpmmConfig};
+use sparsetir_kernels::prelude::{
+    csr_spmm_execute, sddmm_batched_execute, sddmm_execute, spmm_batched_execute, SpmmConfig,
+};
 use sparsetir_smat::prelude::*;
 
 /// Strategy: a small random sparse matrix (dims 1..=max_dim, bounded nnz).
@@ -31,9 +34,26 @@ fn request_widths() -> impl Strategy<Value = Vec<usize>> {
     proptest::collection::vec(prop_oneof![Just(0usize), Just(1usize), 2usize..8], 1..7)
 }
 
+/// Strategy: per-request head counts for attention (0-head requests are
+/// legal and must split back to empty results).
+fn head_counts() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(prop_oneof![Just(0usize), Just(1usize), 2usize..4], 1..5)
+}
+
 fn random_feats(a: &Csr, widths: &[usize], seed: u64) -> Vec<Dense> {
     let mut rng = gen::rng(seed);
     widths.iter().map(|&w| gen::random_dense(a.cols(), w, &mut rng)).collect()
+}
+
+/// SDDMM operand pairs at the given inner (reduction) widths.
+fn random_pairs(a: &Csr, widths: &[usize], seed: u64) -> Vec<(Dense, Dense)> {
+    let mut rng = gen::rng(seed);
+    widths
+        .iter()
+        .map(|&k| {
+            (gen::random_dense(a.rows(), k, &mut rng), gen::random_dense(k, a.cols(), &mut rng))
+        })
+        .collect()
 }
 
 fn assert_bit_identical(got: &Dense, want: &Dense, tag: &str) -> Result<(), TestCaseError> {
@@ -54,11 +74,27 @@ fn assert_bit_identical(got: &Dense, want: &Dense, tag: &str) -> Result<(), Test
     Ok(())
 }
 
+fn assert_bits_eq(got: &[f32], want: &[f32], tag: &str) -> Result<(), TestCaseError> {
+    if got.len() != want.len() {
+        return Err(TestCaseError::fail(format!("{tag}: len {} vs {}", got.len(), want.len())));
+    }
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        if g.to_bits() != w.to_bits() {
+            return Err(TestCaseError::fail(format!("{tag}: elem {i}: {g} vs {w}")));
+        }
+    }
+    Ok(())
+}
+
+fn test_engine() -> Engine {
+    Engine::new(EngineConfig { workers: 2, queue_depth: 16, max_batch: 8, tune: false })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
-    /// The pure batching primitive: one stacked launch vs a sequential
-    /// loop of single-request executions.
+    /// The pure SpMM batching primitive: one stacked launch vs a
+    /// sequential loop of single-request executions.
     #[test]
     fn batched_kernel_matches_sequential_loop(
         a in sparse_matrix(20, 60),
@@ -66,8 +102,7 @@ proptest! {
         seed in 0u64..1 << 32,
     ) {
         let xs = random_feats(&a, &widths, seed);
-        let refs: Vec<&Dense> = xs.iter().collect();
-        let batched = spmm_batched_execute(&a, &refs, &SpmmConfig::default_csr())
+        let batched = spmm_batched_execute(&a, &xs, &SpmmConfig::default_csr())
             .expect("batched execution");
         prop_assert_eq!(batched.len(), xs.len());
         for (i, (x, got)) in xs.iter().zip(&batched).enumerate() {
@@ -76,8 +111,8 @@ proptest! {
         }
     }
 
-    /// The full engine path: requests submitted as tickets (so the worker
-    /// can fold them into batches), answers compared against the
+    /// The full engine SpMM path: requests submitted as tickets (so the
+    /// worker can fold them into batches), answers compared against the
     /// sequential loop.
     #[test]
     fn engine_output_matches_sequential_loop(
@@ -87,23 +122,99 @@ proptest! {
     ) {
         let xs = random_feats(&a, &widths, seed);
         let adj = Adjacency::new(a.clone());
-        let engine = Engine::new(EngineConfig {
-            workers: 2,
-            queue_depth: 16,
-            max_batch: 8,
-            tune: false,
-        });
+        let engine = test_engine();
         let tickets: Vec<_> = xs
             .iter()
             .map(|x| engine.submit_spmm(&adj, x.clone()).expect("submits"))
             .collect();
         for (i, (x, t)) in xs.iter().zip(tickets).enumerate() {
-            let got = t.wait().expect("engine answers");
+            let got = t.wait_dense().expect("engine answers");
             let want = csr_spmm_execute(&a, x).expect("sequential execution");
             assert_bit_identical(&got, &want, &format!("request {i}"))?;
         }
         let stats = engine.stats();
         prop_assert_eq!(stats.completed, xs.len() as u64);
+        prop_assert_eq!(stats.failed, 0);
+    }
+
+    /// The pure SDDMM batching primitive (block-diagonal stacking): one
+    /// launch over `blockdiag(A, …, A)` vs a sequential loop of
+    /// `sddmm_execute` calls. All requests share one inner width here
+    /// (the batching contract); widths 0 and 1 are included.
+    #[test]
+    fn batched_sddmm_kernel_matches_sequential_loop(
+        a in sparse_matrix(14, 40),
+        k in prop_oneof![Just(0usize), Just(1usize), 2usize..7],
+        n in 1usize..5,
+        seed in 0u64..1 << 32,
+    ) {
+        let reqs = random_pairs(&a, &vec![k; n], seed);
+        let batched = sddmm_batched_execute(&a, &reqs).expect("batched execution");
+        prop_assert_eq!(batched.len(), reqs.len());
+        for (i, ((x, y), got)) in reqs.iter().zip(&batched).enumerate() {
+            let want = sddmm_execute(&a, x, y).expect("sequential execution");
+            assert_bits_eq(got, &want, &format!("request {i}"))?;
+        }
+    }
+
+    /// The full engine SDDMM path with *mixed* inner widths: compatible
+    /// requests batch block-diagonally, incompatible ones dispatch alone,
+    /// and every answer must still be bit-identical to the sequential
+    /// loop.
+    #[test]
+    fn engine_sddmm_output_matches_sequential_loop(
+        a in sparse_matrix(12, 36),
+        widths in request_widths(),
+        seed in 0u64..1 << 32,
+    ) {
+        let reqs = random_pairs(&a, &widths, seed);
+        let adj = Adjacency::new(a.clone());
+        let engine = test_engine();
+        let tickets: Vec<_> = reqs
+            .iter()
+            .map(|(x, y)| engine.submit_sddmm(&adj, x.clone(), y.clone()).expect("submits"))
+            .collect();
+        for (i, ((x, y), t)) in reqs.iter().zip(tickets).enumerate() {
+            let got = t.wait_edges().expect("engine answers");
+            let want = sddmm_execute(&a, x, y).expect("sequential execution");
+            assert_bits_eq(&got, &want, &format!("request {i}"))?;
+        }
+        let stats = engine.stats();
+        prop_assert_eq!(stats.completed, reqs.len() as u64);
+        prop_assert_eq!(stats.failed, 0);
+    }
+
+    /// The full engine multi-head attention path: per-request head lists
+    /// (including 0-head requests) batch column-wise across requests, and
+    /// every head's answer must be bit-identical to a sequential
+    /// `csr_spmm_execute` loop over the heads.
+    #[test]
+    fn engine_attention_output_matches_sequential_loop(
+        a in sparse_matrix(12, 36),
+        heads_per_req in head_counts(),
+        seed in 0u64..1 << 32,
+    ) {
+        let mut rng = gen::rng(seed);
+        let reqs: Vec<Vec<Dense>> = heads_per_req
+            .iter()
+            .map(|&h| (0..h).map(|_| gen::random_dense(a.cols(), 1 + (h % 4), &mut rng)).collect())
+            .collect();
+        let adj = Adjacency::new(a.clone());
+        let engine = test_engine();
+        let tickets: Vec<_> = reqs
+            .iter()
+            .map(|heads| engine.submit_attention(&adj, heads.clone()).expect("submits"))
+            .collect();
+        for (i, (heads, t)) in reqs.iter().zip(tickets).enumerate() {
+            let got = t.wait_heads().expect("engine answers");
+            prop_assert_eq!(got.len(), heads.len());
+            for (h, (x, out)) in heads.iter().zip(&got).enumerate() {
+                let want = csr_spmm_execute(&a, x).expect("sequential execution");
+                assert_bit_identical(out, &want, &format!("request {i} head {h}"))?;
+            }
+        }
+        let stats = engine.stats();
+        prop_assert_eq!(stats.completed, reqs.len() as u64);
         prop_assert_eq!(stats.failed, 0);
     }
 }

@@ -79,9 +79,9 @@ fn queued_requests_batch_and_stay_bit_identical() {
     let xs: Vec<Dense> = (0..6).map(|_| gen::random_dense(64, 4, &mut rng)).collect();
     let tickets: Vec<_> =
         xs.iter().map(|x| engine.submit_spmm(&adj, x.clone()).expect("submits")).collect();
-    plug.wait().expect("plug completes");
+    plug.wait_dense().expect("plug completes");
     for (x, t) in xs.iter().zip(tickets) {
-        let got = t.wait().expect("completes");
+        let got = t.wait_dense().expect("completes");
         let want = tuned_spmm_execute(&small, x, &SpmmConfig::default_csr()).expect("executes");
         assert!(bit_eq(&got, &want));
     }
@@ -112,8 +112,8 @@ fn try_submit_saturates_on_a_full_queue() {
         .expect_err("queue is full");
     assert_eq!(err, EngineError::Saturated);
     assert_eq!(engine.stats().rejected, 1);
-    t1.wait().expect("completes");
-    t2.wait().expect("completes");
+    t1.wait_dense().expect("completes");
+    t2.wait_dense().expect("completes");
 }
 
 #[test]
@@ -147,7 +147,7 @@ fn shutdown_drains_pending_requests() {
         xs.iter().map(|x| engine.submit_spmm(&adj, x.clone()).expect("submits")).collect();
     drop(engine);
     for (x, t) in xs.iter().zip(tickets) {
-        let got = t.wait().expect("drained on shutdown");
+        let got = t.wait_dense().expect("drained on shutdown");
         assert!(got.approx_eq(&a.spmm(x).unwrap(), 1e-4));
     }
 }
@@ -236,4 +236,183 @@ fn repeated_requests_reuse_compiled_kernels() {
         "four same-shape requests must share one compiled kernel"
     );
     assert_eq!(engine.runtime().cached(), 1);
+}
+
+/// The generic submit path serves every op through one ticket shape:
+/// submit an [`OpRequest`], get an [`OpOutput`], convert with the typed
+/// accessors.
+#[test]
+fn generic_submit_path_serves_every_op() {
+    use sparsetir_engine::{OpOutput, OpRequest};
+    let mut rng = gen::rng(101);
+    let a = gen::random_csr(20, 16, 0.25, &mut rng);
+    let adj = Adjacency::new(a.clone());
+    let engine = Engine::new(EngineConfig::default());
+
+    let x = gen::random_dense(16, 4, &mut rng);
+    let spmm = engine.serve(&adj, OpRequest::Spmm(x.clone())).expect("spmm serves");
+    assert!(matches!(&spmm, OpOutput::Dense(_)));
+    assert!(spmm.into_dense().unwrap().approx_eq(&a.spmm(&x).unwrap(), 1e-4));
+
+    let sx = gen::random_dense(20, 3, &mut rng);
+    let sy = gen::random_dense(3, 16, &mut rng);
+    let sddmm =
+        engine.serve(&adj, OpRequest::Sddmm((sx.clone(), sy.clone()))).expect("sddmm serves");
+    let edges = sddmm.into_edges().unwrap();
+    assert_eq!(edges.len(), a.nnz());
+
+    let heads: Vec<Dense> = (0..3).map(|_| gen::random_dense(16, 2, &mut rng)).collect();
+    let attn = engine.serve(&adj, OpRequest::Attention(heads.clone())).expect("attention serves");
+    let outs = attn.into_heads().unwrap();
+    assert_eq!(outs.len(), heads.len());
+    for (h, out) in heads.iter().zip(&outs) {
+        assert!(out.approx_eq(&a.spmm(h).unwrap(), 1e-4));
+    }
+
+    // An op-mismatched accessor is a typed error, not a panic.
+    let again = engine.serve(&adj, OpRequest::Spmm(x)).expect("serves");
+    assert!(matches!(again.into_edges(), Err(EngineError::Output(_))));
+}
+
+/// A worker panic while holding the queue lock poisons the mutex; the
+/// engine must recover — the worker survives, later submits from client
+/// threads succeed, and shutdown drains cleanly. Regression test for the
+/// poisoned-`Mutex` `.lock().unwrap()` panic that used to cascade into
+/// every subsequent `submit_*`/`shutdown` call.
+#[test]
+fn engine_survives_injected_worker_panic() {
+    let mut rng = gen::rng(111);
+    let a = gen::random_csr(24, 24, 0.2, &mut rng);
+    let adj = Adjacency::new(a.clone());
+    let engine =
+        Engine::new(EngineConfig { workers: 1, queue_depth: 16, max_batch: 4, tune: false });
+    // A request before the crash proves the worker was healthy.
+    let x0 = gen::random_dense(24, 3, &mut rng);
+    assert!(engine.spmm(&adj, x0).is_ok());
+
+    engine.inject_worker_panic();
+
+    // Submits *after* the induced panic must not panic in the client
+    // thread and must still be served by the surviving worker.
+    for i in 0..4 {
+        let x = gen::random_dense(24, 2 + i % 3, &mut rng);
+        let got = engine.spmm(&adj, x.clone()).expect("served after worker panic");
+        assert!(got.approx_eq(&a.spmm(&x).unwrap(), 1e-4));
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.worker_panics, 1, "the injected panic must be counted: {stats:?}");
+    assert_eq!(stats.completed, 5);
+    assert_eq!(stats.failed, 0);
+    // Shutdown (Drop) must not hang or panic on the once-poisoned mutex.
+    drop(engine);
+}
+
+/// Concurrent clients racing an injected panic: nobody observes a client-
+/// side panic, every request is answered, and the engine keeps batching.
+#[test]
+fn concurrent_submits_survive_worker_panic() {
+    const CLIENTS: usize = 4;
+    const PER_CLIENT: usize = 6;
+    let a = power_law_csr(64, 121);
+    let adj = Adjacency::new(a.clone());
+    let engine = Arc::new(Engine::new(EngineConfig {
+        workers: 2,
+        queue_depth: 16,
+        max_batch: 4,
+        tune: false,
+    }));
+    engine.inject_worker_panic();
+    std::thread::scope(|s| {
+        for client in 0..CLIENTS {
+            let engine = Arc::clone(&engine);
+            let adj = adj.clone();
+            let a = a.clone();
+            s.spawn(move || {
+                let mut rng = gen::rng(500 + client as u64);
+                for _ in 0..PER_CLIENT {
+                    let x = gen::random_dense(64, 1 + client % 4, &mut rng);
+                    let got = engine.spmm(&adj, x.clone()).expect("served");
+                    assert!(got.approx_eq(&a.spmm(&x).unwrap(), 1e-4));
+                }
+            });
+        }
+    });
+    let stats = engine.stats();
+    assert_eq!(stats.completed, (CLIENTS * PER_CLIENT) as u64);
+    assert_eq!(stats.worker_panics, 1);
+}
+
+/// SDDMM requests queued behind a busy worker must fold into one
+/// block-diagonal batch — and stay bit-identical to unbatched execution.
+#[test]
+fn queued_sddmm_requests_batch_and_stay_bit_identical() {
+    let big = power_law_csr(1500, 131);
+    let small = power_law_csr(48, 132);
+    let adj_big = Adjacency::new(big);
+    let adj = Adjacency::new(small.clone());
+    let engine =
+        Engine::new(EngineConfig { workers: 1, queue_depth: 64, max_batch: 8, tune: false });
+    let mut rng = gen::rng(133);
+    let plug = engine
+        .submit_spmm(&adj_big, gen::random_dense(adj_big.csr().cols(), 32, &mut rng))
+        .expect("submits");
+    let k = 5;
+    let reqs: Vec<(Dense, Dense)> = (0..5)
+        .map(|_| (gen::random_dense(48, k, &mut rng), gen::random_dense(k, 48, &mut rng)))
+        .collect();
+    let tickets: Vec<_> = reqs
+        .iter()
+        .map(|(x, y)| engine.submit_sddmm(&adj, x.clone(), y.clone()).expect("submits"))
+        .collect();
+    plug.wait_dense().expect("plug completes");
+    for ((x, y), t) in reqs.iter().zip(tickets) {
+        let got = t.wait_edges().expect("completes");
+        let want = sddmm_execute(&small, x, y).expect("executes");
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.to_bits(), w.to_bits());
+        }
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.completed, 6);
+    assert!(stats.max_batch >= 2, "queued SDDMM requests should have batched: {stats:?}");
+}
+
+/// Mixed-op queues never cross-batch: SpMM and SDDMM requests on one
+/// adjacency dispatch as separate launches, and SDDMM requests with
+/// different inner widths refuse to share a block-diagonal stack.
+#[test]
+fn incompatible_requests_do_not_batch() {
+    let big = power_law_csr(1500, 141);
+    let small = power_law_csr(32, 142);
+    let adj_big = Adjacency::new(big);
+    let adj = Adjacency::new(small.clone());
+    let engine =
+        Engine::new(EngineConfig { workers: 1, queue_depth: 64, max_batch: 8, tune: false });
+    let mut rng = gen::rng(143);
+    let plug = engine
+        .submit_spmm(&adj_big, gen::random_dense(adj_big.csr().cols(), 32, &mut rng))
+        .expect("submits");
+    // Two SDDMM inner widths plus one SpMM, all queued behind the plug.
+    let s1 = (gen::random_dense(32, 2, &mut rng), gen::random_dense(2, 32, &mut rng));
+    let s2 = (gen::random_dense(32, 3, &mut rng), gen::random_dense(3, 32, &mut rng));
+    let t1 = engine.submit_sddmm(&adj, s1.0.clone(), s1.1.clone()).expect("submits");
+    let t2 = engine.submit_sddmm(&adj, s2.0.clone(), s2.1.clone()).expect("submits");
+    let x = gen::random_dense(32, 4, &mut rng);
+    let t3 = engine.submit_spmm(&adj, x.clone()).expect("submits");
+    plug.wait_dense().expect("plug completes");
+    let got1 = t1.wait_edges().expect("completes");
+    let got2 = t2.wait_edges().expect("completes");
+    let got3 = t3.wait_dense().expect("completes");
+    for (got, (sx, sy)) in [(got1, &s1), (got2, &s2)] {
+        let want = sddmm_execute(&small, sx, sy).expect("executes");
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.to_bits(), w.to_bits());
+        }
+    }
+    assert!(got3.approx_eq(&small.spmm(&x).unwrap(), 1e-4));
+    let stats = engine.stats();
+    // plug + three incompatible dispatches = four separate batches.
+    assert_eq!(stats.batches, 4, "{stats:?}");
+    assert_eq!(stats.max_batch, 1, "{stats:?}");
 }

@@ -11,12 +11,18 @@
 //! * a **plan path** — a [`sparsetir_gpusim::plan::KernelPlan`] whose block
 //!   decomposition mirrors the same schedule parameters, priced by the GPU
 //!   simulator (the substitution for the paper's hardware runs).
+//!
+//! Both faces are unified behind the generic [`op::SparseOp`] layer: one
+//! descriptor per operator with a uniform `plans()` face, a batching
+//! contract (`can_batch`/`stack`/`split`) and a reference-executor hook,
+//! so the autotuner and the serving engine are op-agnostic.
 
 #![warn(missing_docs)]
 
 pub mod attention;
 pub mod common;
 pub mod fusedmm;
+pub mod op;
 pub mod prune;
 pub mod rgms;
 pub mod sddmm;
@@ -31,6 +37,10 @@ pub mod prelude {
     };
     pub use crate::common::{gemm_plan, SpmmCost, SpmmLayout, F16, F32};
     pub use crate::fusedmm::{fusedmm_execute, fusedmm_plan, fusedmm_reference, unfused_plans};
+    pub use crate::op::{
+        AttentionOp, AttentionOpConfig, OpConfig, OpError, RgmsOp, RgmsOperands, SddmmOp,
+        SddmmStacked, SparseOp, SpmmOp,
+    };
     pub use crate::prune::{
         bsr_weight_spmm_plan, dbsr_weight_spmm_plan, srbcrs_weight_spmm_plan,
         weight_spmm_reference, PRUNE_TC_EFFICIENCY,
@@ -40,8 +50,8 @@ pub mod prelude {
         two_stage_footprint_bytes, RgmsWorkload, RGMS_TC_EFFICIENCY,
     };
     pub use crate::sddmm::{
-        sddmm_execute, sddmm_execute_on, sddmm_ir, sddmm_param_candidates, sddmm_plan,
-        sddmm_row_parallel_plan, tuned_sddmm_time, SddmmParams,
+        sddmm_batched_execute, sddmm_batched_execute_on, sddmm_execute, sddmm_execute_on, sddmm_ir,
+        sddmm_param_candidates, sddmm_plan, sddmm_row_parallel_plan, tuned_sddmm_time, SddmmParams,
     };
     pub use crate::sparse_conv::{
         conv_reference, sparsetir_conv_plan, torchsparse_plans, ConvMaps,

@@ -1,0 +1,905 @@
+//! The generic sparse-operator layer: every kernel in this crate —
+//! SpMM, SDDMM, multi-head attention, RGMS — presents one uniform face
+//! ([`SparseOp`]) so the tuning and serving stacks above it can be
+//! op-agnostic. This is the composability thesis applied to our own
+//! plumbing: one prepare → schedule → compile → execute path, many
+//! operators, instead of each kernel re-implementing the pipeline.
+//!
+//! A [`SparseOp`] bundles:
+//! * an **op descriptor** — kind tag, adjacency type, request shape and a
+//!   tunable [`SparseOp::Config`], with a uniform
+//!   [`plans`](SparseOp::plans) face for the GPU simulator;
+//! * a **batching contract** — [`can_batch`](SparseOp::can_batch) plus
+//!   [`stack`](SparseOp::stack) / [`split`](SparseOp::split), so a
+//!   serving engine can fold requests sharing an adjacency fingerprint
+//!   into one widened kernel launch and split the results back
+//!   bit-identically;
+//! * a **reference hook** ([`reference`](SparseOp::reference)) for
+//!   differential testing of every execution path against the smat
+//!   oracles.
+//!
+//! Two stacking strategies cover all batched ops:
+//! * **Column stacking** (SpMM, attention): dense feature operands are
+//!   concatenated column-wise into one operand of width `Σ wᵢ`, the
+//!   schedule's vector split is widened to span the stacked width, and
+//!   the wide output is sliced back per request. Splitting the (spatial)
+//!   feature axis differently never changes a output column's reduction
+//!   order, so results are bit-identical to unbatched execution.
+//! * **Widened multi-head launch** (SDDMM): `n` requests over one
+//!   adjacency fold into a single launch of the batched fused kernel
+//!   ([`crate::sddmm::batched_sddmm_ir`]) whose head axis sits *inside*
+//!   the fused non-zero loop — the per-non-zero coordinate walk
+//!   (binary-searched row recovery, index loads) is shared by every
+//!   rider, and each `(non-zero, head)` pair keeps exactly its unbatched
+//!   feature-reduction order. The interleaved per-non-zero output splits
+//!   back per request. This amortizes both the per-launch fixed costs
+//!   (program build, lowering, IR fingerprinting, dispatch) and the
+//!   shared coordinate walk across the batch.
+
+use crate::attention::{batched_bsr_spmm_plan, batched_csr_spmm_plan, SPARSETIR_BSR_EFFICIENCY};
+use crate::rgms::{rgms_hyb_plan, rgms_naive_plan, RgmsWorkload};
+use crate::sddmm::{sddmm_execute_on, sddmm_plan, SddmmParams};
+use crate::spmm::{tuned_spmm_execute_on, tuned_spmm_plans, SpmmConfig};
+use sparsetir_core::data::{bind_csr, bind_dense, bind_zeros, Bindings};
+use sparsetir_gpusim::prelude::KernelPlan;
+use sparsetir_ir::exec::Runtime;
+use sparsetir_smat::prelude::*;
+
+/// Error type of the op layer (lowering, compilation and execution
+/// failures propagate unchanged from the kernel entry points).
+pub type OpError = Box<dyn std::error::Error>;
+
+/// A sparse operator behind the uniform plan/batch/execute face.
+///
+/// Implementations are zero-sized tag types ([`SpmmOp`], [`SddmmOp`],
+/// [`AttentionOp`], [`RgmsOp`]); all state lives in the adjacency,
+/// the per-request [`Operands`](SparseOp::Operands) and the tunable
+/// [`Config`](SparseOp::Config).
+pub trait SparseOp {
+    /// The sparse structure requests are served against ([`Csr`] for the
+    /// single-matrix ops, [`RgmsWorkload`] for the relational one).
+    type Adj;
+    /// Dense operands of one request.
+    type Operands: Send + 'static;
+    /// Per-request result.
+    type Output: Send + 'static;
+    /// Tunable configuration (format decomposition + schedule knobs).
+    type Config: Clone + Send + Sync + PartialEq + std::fmt::Debug + 'static;
+    /// A batch of requests folded into one widened launch.
+    type Stacked: Send;
+    /// The raw result of a widened launch, before [`split`](SparseOp::split).
+    type Wide: Send;
+
+    /// Stable kind tag (`"spmm"`, `"sddmm"`, …) — tune-cache key material
+    /// and display label.
+    fn kind() -> &'static str;
+
+    /// The untuned default configuration.
+    fn default_config() -> Self::Config;
+
+    /// Structural fingerprint of the adjacency (cache-key material: a
+    /// decision transfers between adjacencies with equal fingerprints).
+    fn sparsity(adj: &Self::Adj) -> SparsityFingerprint;
+
+    /// Workload-shape key of one request (feature width, heads, …): the
+    /// `extra` component of a tuning key, and what [`plans`](SparseOp::plans)
+    /// prices.
+    fn shape_of(req: &Self::Operands) -> Vec<usize>;
+
+    /// Shape-validate one request against the adjacency.
+    ///
+    /// # Errors
+    /// A human-readable description of the first mismatch.
+    fn validate(adj: &Self::Adj, req: &Self::Operands) -> Result<(), String>;
+
+    /// The uniform simulator face: kernel plans of this op at `shape`
+    /// under `config` (the same shape vector [`shape_of`](SparseOp::shape_of)
+    /// produces).
+    fn plans(
+        adj: &Self::Adj,
+        shape: &[usize],
+        config: &Self::Config,
+        name: &str,
+    ) -> Vec<KernelPlan>;
+
+    /// Batching contract: true when two validated requests may share one
+    /// widened launch. Callers must already have matched the adjacency
+    /// fingerprints; this only checks request-shape compatibility.
+    fn can_batch(lhs: &Self::Operands, rhs: &Self::Operands) -> bool;
+
+    /// Fold a batch (length ≥ 2, pairwise [`can_batch`](SparseOp::can_batch))
+    /// into one widened launch operand.
+    ///
+    /// # Errors
+    /// Propagates operand-assembly failures.
+    fn stack(adj: &Self::Adj, reqs: &[Self::Operands]) -> Result<Self::Stacked, OpError>;
+
+    /// Run one widened launch through `rt`'s kernel cache.
+    ///
+    /// # Errors
+    /// Propagates lowering/compilation/execution errors.
+    fn launch(
+        rt: &Runtime,
+        adj: &Self::Adj,
+        stacked: &Self::Stacked,
+        config: &Self::Config,
+    ) -> Result<Self::Wide, OpError>;
+
+    /// Split a widened result back per request, preserving order.
+    fn split(wide: Self::Wide, reqs: &[Self::Operands]) -> Vec<Self::Output>;
+
+    /// Run a single request without the stacking round-trip (the batch-of-
+    /// one fast path — no operand copies).
+    ///
+    /// # Errors
+    /// Propagates lowering/compilation/execution errors.
+    fn launch_one(
+        rt: &Runtime,
+        adj: &Self::Adj,
+        req: &Self::Operands,
+        config: &Self::Config,
+    ) -> Result<Self::Output, OpError>;
+
+    /// Reference executor (the smat semantics oracle) for differential
+    /// testing of every batched and unbatched path.
+    ///
+    /// # Errors
+    /// Propagates shape mismatches.
+    fn reference(adj: &Self::Adj, req: &Self::Operands) -> Result<Self::Output, OpError>;
+
+    /// Execute a batch of requests as one widened kernel launch (the
+    /// serving engine's primitive): validate → [`stack`](SparseOp::stack) →
+    /// [`launch`](SparseOp::launch) → [`split`](SparseOp::split), with a
+    /// copy-free fast path for batches of one. Results are bit-identical
+    /// to executing each request alone.
+    ///
+    /// # Errors
+    /// Reports the index of the first invalid request or the first
+    /// request violating the [`can_batch`](SparseOp::can_batch) contract;
+    /// propagates lowering/compilation/execution errors.
+    fn execute_batch_on(
+        rt: &Runtime,
+        adj: &Self::Adj,
+        reqs: &[Self::Operands],
+        config: &Self::Config,
+    ) -> Result<Vec<Self::Output>, OpError> {
+        for (i, req) in reqs.iter().enumerate() {
+            Self::validate(adj, req)
+                .map_err(|e| format!("batched {} request {i}: {e}", Self::kind()))?;
+            if i > 0 && !Self::can_batch(&reqs[0], req) {
+                return Err(format!(
+                    "batched {} request {i}: cannot share a launch with request 0 \
+                     (can_batch contract violated)",
+                    Self::kind()
+                )
+                .into());
+            }
+        }
+        match reqs {
+            [] => Ok(Vec::new()),
+            [one] => Ok(vec![Self::launch_one(rt, adj, one, config)?]),
+            many => {
+                let stacked = Self::stack(adj, many)?;
+                let wide = Self::launch(rt, adj, &stacked, config)?;
+                Ok(Self::split(wide, many))
+            }
+        }
+    }
+
+    /// Execute one request through the op layer.
+    ///
+    /// # Errors
+    /// Like [`execute_batch_on`](SparseOp::execute_batch_on).
+    fn execute_on(
+        rt: &Runtime,
+        adj: &Self::Adj,
+        req: &Self::Operands,
+        config: &Self::Config,
+    ) -> Result<Self::Output, OpError> {
+        Self::validate(adj, req).map_err(|e| format!("{} request: {e}", Self::kind()))?;
+        Self::launch_one(rt, adj, req, config)
+    }
+}
+
+/// A tuning decision for *any* [`SparseOp`], as stored in op-agnostic
+/// caches ([`TuneCache<OpConfig>`]-shaped maps in the autotuner and the
+/// serving engine). The variant always matches the workload kind of the
+/// key it is cached under.
+///
+/// [`TuneCache<OpConfig>`]: SparseOp
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpConfig {
+    /// SpMM format × schedule decision.
+    Spmm(SpmmConfig),
+    /// SDDMM schedule decision.
+    Sddmm(SddmmParams),
+    /// Block-sparse attention decision.
+    Attention(AttentionOpConfig),
+    /// RGMS bucket exponent.
+    Rgms(u32),
+}
+
+macro_rules! op_config_conversions {
+    ($variant:ident, $ty:ty) => {
+        impl From<$ty> for OpConfig {
+            fn from(c: $ty) -> OpConfig {
+                OpConfig::$variant(c)
+            }
+        }
+
+        impl TryFrom<OpConfig> for $ty {
+            type Error = &'static str;
+
+            fn try_from(c: OpConfig) -> Result<$ty, &'static str> {
+                match c {
+                    OpConfig::$variant(c) => Ok(c),
+                    _ => Err(concat!("OpConfig is not the ", stringify!($variant), " variant")),
+                }
+            }
+        }
+    };
+}
+
+op_config_conversions!(Spmm, SpmmConfig);
+op_config_conversions!(Sddmm, SddmmParams);
+op_config_conversions!(Attention, AttentionOpConfig);
+op_config_conversions!(Rgms, u32);
+
+// ---------------------------------------------------------------------------
+// Column stacking (shared by SpMM and multi-head attention)
+// ---------------------------------------------------------------------------
+
+/// Concatenate dense operands column-wise into one `(rows × Σ wᵢ)`
+/// operand; request `i` owns columns `[offsetᵢ, offsetᵢ + wᵢ)`.
+fn stack_columns<'a>(rows: usize, xs: impl Iterator<Item = &'a Dense>) -> Dense {
+    let xs: Vec<&Dense> = xs.collect();
+    let total: usize = xs.iter().map(|x| x.cols()).sum();
+    let mut stacked = Dense::zeros(rows, total);
+    let mut offset = 0;
+    for x in xs {
+        let w = x.cols();
+        if w > 0 {
+            for r in 0..rows {
+                stacked.row_mut(r)[offset..offset + w].copy_from_slice(x.row(r));
+            }
+            offset += w;
+        }
+    }
+    stacked
+}
+
+/// Slice a wide output back into per-width results (the mirror of
+/// [`stack_columns`]).
+fn split_columns(wide: &Dense, widths: &[usize]) -> Vec<Dense> {
+    let mut results = Vec::with_capacity(widths.len());
+    let mut offset = 0;
+    for &w in widths {
+        let mut res = Dense::zeros(wide.rows(), w);
+        if w > 0 {
+            for r in 0..wide.rows() {
+                res.row_mut(r).copy_from_slice(&wide.row(r)[offset..offset + w]);
+            }
+            offset += w;
+        }
+        results.push(res);
+    }
+    results
+}
+
+/// Run one column-stacked SpMM launch: widen the schedule's vector split
+/// to span the whole stacked width — otherwise the feature loop re-chunks
+/// into `vec_width·8`-lane pieces and the per-non-zero overhead is paid
+/// once per chunk, exactly the cost batching exists to amortize. An
+/// all-zero-width stack skips the kernel entirely.
+fn launch_stacked_spmm(
+    rt: &Runtime,
+    a: &Csr,
+    stacked: &Dense,
+    config: &SpmmConfig,
+) -> Result<Dense, OpError> {
+    if stacked.cols() == 0 {
+        return Ok(Dense::zeros(a.rows(), 0));
+    }
+    let mut wide = *config;
+    wide.params.vec_width = wide.params.vec_width.max(stacked.cols().div_ceil(8));
+    tuned_spmm_execute_on(rt, a, stacked, &wide)
+}
+
+// ---------------------------------------------------------------------------
+// SpMM
+// ---------------------------------------------------------------------------
+
+/// SpMM (`A · X`) as a [`SparseOp`]: one dense feature operand per
+/// request, batched by column stacking.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpmmOp;
+
+impl SparseOp for SpmmOp {
+    type Adj = Csr;
+    type Operands = Dense;
+    type Output = Dense;
+    type Config = SpmmConfig;
+    type Stacked = Dense;
+    type Wide = Dense;
+
+    fn kind() -> &'static str {
+        "spmm"
+    }
+
+    fn default_config() -> SpmmConfig {
+        SpmmConfig::default_csr()
+    }
+
+    fn sparsity(adj: &Csr) -> SparsityFingerprint {
+        SparsityFingerprint::of(adj)
+    }
+
+    fn shape_of(req: &Dense) -> Vec<usize> {
+        vec![req.cols()]
+    }
+
+    fn validate(adj: &Csr, req: &Dense) -> Result<(), String> {
+        if req.rows() != adj.cols() {
+            return Err(format!(
+                "feature matrix has {} rows, adjacency has {} cols",
+                req.rows(),
+                adj.cols()
+            ));
+        }
+        Ok(())
+    }
+
+    fn plans(adj: &Csr, shape: &[usize], config: &SpmmConfig, name: &str) -> Vec<KernelPlan> {
+        let feat = shape.first().copied().unwrap_or(1);
+        tuned_spmm_plans(adj, feat, config, name)
+    }
+
+    fn can_batch(_lhs: &Dense, _rhs: &Dense) -> bool {
+        // Column stacking is width-agnostic: any widths fold together.
+        true
+    }
+
+    fn stack(adj: &Csr, reqs: &[Dense]) -> Result<Dense, OpError> {
+        Ok(stack_columns(adj.cols(), reqs.iter()))
+    }
+
+    fn launch(
+        rt: &Runtime,
+        adj: &Csr,
+        stacked: &Dense,
+        config: &SpmmConfig,
+    ) -> Result<Dense, OpError> {
+        launch_stacked_spmm(rt, adj, stacked, config)
+    }
+
+    fn split(wide: Dense, reqs: &[Dense]) -> Vec<Dense> {
+        let widths: Vec<usize> = reqs.iter().map(Dense::cols).collect();
+        split_columns(&wide, &widths)
+    }
+
+    fn launch_one(
+        rt: &Runtime,
+        adj: &Csr,
+        req: &Dense,
+        config: &SpmmConfig,
+    ) -> Result<Dense, OpError> {
+        if req.cols() == 0 {
+            return Ok(Dense::zeros(adj.rows(), 0));
+        }
+        tuned_spmm_execute_on(rt, adj, req, config)
+    }
+
+    fn reference(adj: &Csr, req: &Dense) -> Result<Dense, OpError> {
+        Ok(adj.spmm(req)?)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SDDMM
+// ---------------------------------------------------------------------------
+
+/// The widened (multi-head) form of an SDDMM batch — operands of the
+/// [`crate::sddmm::batched_sddmm_ir`] kernel.
+pub struct SddmmStacked {
+    /// Column-stacked `X` operands (`rows × heads·k`; head `h` owns
+    /// columns `[h·k, (h+1)·k)`).
+    pub x: Dense,
+    /// Row-stacked `Y` operands (`heads·k × cols`).
+    pub y: Dense,
+    /// Number of folded requests.
+    pub heads: usize,
+}
+
+/// SDDMM (`A ⊙ (X · Y)` sampled at the non-zeros) as a [`SparseOp`]:
+/// requests batch when their inner (reduction) widths agree, folding
+/// into one widened launch whose head axis sits *inside* the fused
+/// non-zero loop — the per-non-zero coordinate walk is shared by every
+/// rider. The executable kernel is the fused nnz-parallel schedule;
+/// [`SddmmParams`] is the plan-face configuration the simulator and
+/// tuner price (the compiled CPU executor derives its own microkernel
+/// from the fused loop).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SddmmOp;
+
+impl SparseOp for SddmmOp {
+    type Adj = Csr;
+    type Operands = (Dense, Dense);
+    type Output = Vec<f32>;
+    type Config = SddmmParams;
+    type Stacked = SddmmStacked;
+    type Wide = Vec<f32>;
+
+    fn kind() -> &'static str {
+        "sddmm"
+    }
+
+    fn default_config() -> SddmmParams {
+        SddmmParams::default()
+    }
+
+    fn sparsity(adj: &Csr) -> SparsityFingerprint {
+        SparsityFingerprint::of(adj)
+    }
+
+    fn shape_of(req: &(Dense, Dense)) -> Vec<usize> {
+        vec![req.0.cols()]
+    }
+
+    fn validate(adj: &Csr, (x, y): &(Dense, Dense)) -> Result<(), String> {
+        if x.rows() != adj.rows() || y.cols() != adj.cols() || y.rows() != x.cols() {
+            return Err(format!(
+                "sddmm operands {}x{} · {}x{} incompatible with {}x{} adjacency",
+                x.rows(),
+                x.cols(),
+                y.rows(),
+                y.cols(),
+                adj.rows(),
+                adj.cols()
+            ));
+        }
+        Ok(())
+    }
+
+    fn plans(adj: &Csr, shape: &[usize], config: &SddmmParams, name: &str) -> Vec<KernelPlan> {
+        let feat = shape.first().copied().unwrap_or(1);
+        vec![sddmm_plan(adj, feat, *config, name)]
+    }
+
+    fn can_batch(lhs: &(Dense, Dense), rhs: &(Dense, Dense)) -> bool {
+        // Block-diagonal stacking needs one rectangular X/Y pair, so only
+        // equal inner (reduction) widths share a launch — the reduction
+        // order of every stored non-zero must stay exactly the unbatched
+        // one for bit-identical results.
+        lhs.0.cols() == rhs.0.cols()
+    }
+
+    fn stack(adj: &Csr, reqs: &[(Dense, Dense)]) -> Result<SddmmStacked, OpError> {
+        let heads = reqs.len();
+        let k = reqs[0].0.cols();
+        // X column-stacked: head h owns columns [h·k, (h+1)·k).
+        let x = stack_columns(adj.rows(), reqs.iter().map(|(xh, _)| xh));
+        // Y row-stacked: head h owns rows [h·k, (h+1)·k).
+        let mut y = Dense::zeros(heads * k, adj.cols());
+        for (h, (_, yh)) in reqs.iter().enumerate() {
+            for r in 0..k {
+                y.row_mut(h * k + r).copy_from_slice(yh.row(r));
+            }
+        }
+        Ok(SddmmStacked { x, y, heads })
+    }
+
+    fn launch(
+        rt: &Runtime,
+        adj: &Csr,
+        stacked: &SddmmStacked,
+        _config: &SddmmParams,
+    ) -> Result<Vec<f32>, OpError> {
+        use crate::sddmm::batched_sddmm_ir;
+        use std::collections::HashMap;
+        let heads = stacked.heads;
+        let feat = stacked.x.cols() / heads.max(1);
+        let f = batched_sddmm_ir(adj, heads, feat)?;
+        let mut bindings = Bindings::new();
+        bind_csr(&mut bindings, "A", "J", adj);
+        bind_dense(&mut bindings, "X", &stacked.x);
+        bind_dense(&mut bindings, "Y", &stacked.y);
+        bind_zeros(&mut bindings, "Bout", adj.nnz() * heads);
+        rt.compile(&f)?.run(&HashMap::new(), &mut bindings)?;
+        Ok(bindings["Bout"].as_f32().to_vec())
+    }
+
+    fn split(wide: Vec<f32>, reqs: &[(Dense, Dense)]) -> Vec<Vec<f32>> {
+        // The widened output interleaves heads per non-zero:
+        // `wide[e·heads + h]`.
+        let heads = reqs.len();
+        if heads == 0 {
+            return Vec::new();
+        }
+        let nnz = wide.len() / heads;
+        (0..heads).map(|h| (0..nnz).map(|e| wide[e * heads + h]).collect()).collect()
+    }
+
+    fn launch_one(
+        rt: &Runtime,
+        adj: &Csr,
+        (x, y): &(Dense, Dense),
+        _config: &SddmmParams,
+    ) -> Result<Vec<f32>, OpError> {
+        sddmm_execute_on(rt, adj, x, y)
+    }
+
+    fn reference(adj: &Csr, (x, y): &(Dense, Dense)) -> Result<Vec<f32>, OpError> {
+        Ok(adj.sddmm(x, y)?.values().to_vec())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-head attention
+// ---------------------------------------------------------------------------
+
+/// Configuration of the block-sparse attention operator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttentionOpConfig {
+    /// BSR block granularity the tensor-core plan face prices (§4.3.1:
+    /// SparseTIR searches it, Triton fixes 64). Falls back to the CSR
+    /// CUDA-core plan when the mask does not digitize at this block.
+    pub block: usize,
+    /// Schedule of the executable column-stacked CSR path.
+    pub spmm: SpmmConfig,
+}
+
+impl Default for AttentionOpConfig {
+    fn default() -> AttentionOpConfig {
+        AttentionOpConfig { block: 32, spmm: SpmmConfig::default_csr() }
+    }
+}
+
+/// Multi-head attention SpMM over one shared mask as a [`SparseOp`]: a
+/// request is a list of per-head feature operands, and *all* heads of
+/// *all* batched requests stack column-wise into one widened launch
+/// (the head axis and the request axis batch identically). The plan face
+/// prices the tensor-core BSR kernel of §4.3.1; execution runs the
+/// stacked CSR path through the compiled executor.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AttentionOp;
+
+impl SparseOp for AttentionOp {
+    type Adj = Csr;
+    type Operands = Vec<Dense>;
+    type Output = Vec<Dense>;
+    type Config = AttentionOpConfig;
+    type Stacked = Dense;
+    type Wide = Dense;
+
+    fn kind() -> &'static str {
+        "attention"
+    }
+
+    fn default_config() -> AttentionOpConfig {
+        AttentionOpConfig::default()
+    }
+
+    fn sparsity(adj: &Csr) -> SparsityFingerprint {
+        SparsityFingerprint::of(adj)
+    }
+
+    fn shape_of(req: &Vec<Dense>) -> Vec<usize> {
+        vec![req.first().map_or(0, Dense::cols), req.len()]
+    }
+
+    fn validate(adj: &Csr, req: &Vec<Dense>) -> Result<(), String> {
+        for (h, x) in req.iter().enumerate() {
+            if x.rows() != adj.cols() {
+                return Err(format!(
+                    "head {h} feature matrix has {} rows, adjacency has {} cols",
+                    x.rows(),
+                    adj.cols()
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn plans(
+        adj: &Csr,
+        shape: &[usize],
+        config: &AttentionOpConfig,
+        name: &str,
+    ) -> Vec<KernelPlan> {
+        let feat = shape.first().copied().unwrap_or(1).max(1);
+        let heads = shape.get(1).copied().unwrap_or(1).max(1);
+        match Bsr::from_csr(adj, config.block) {
+            Ok(bsr) => {
+                vec![batched_bsr_spmm_plan(&bsr, feat, heads, SPARSETIR_BSR_EFFICIENCY, name)]
+            }
+            Err(_) => vec![batched_csr_spmm_plan(adj, feat, heads, name)],
+        }
+    }
+
+    fn can_batch(_lhs: &Vec<Dense>, _rhs: &Vec<Dense>) -> bool {
+        // Head lists concatenate; any head counts and widths fold.
+        true
+    }
+
+    fn stack(adj: &Csr, reqs: &[Vec<Dense>]) -> Result<Dense, OpError> {
+        Ok(stack_columns(adj.cols(), reqs.iter().flatten()))
+    }
+
+    fn launch(
+        rt: &Runtime,
+        adj: &Csr,
+        stacked: &Dense,
+        config: &AttentionOpConfig,
+    ) -> Result<Dense, OpError> {
+        launch_stacked_spmm(rt, adj, stacked, &config.spmm)
+    }
+
+    fn split(wide: Dense, reqs: &[Vec<Dense>]) -> Vec<Vec<Dense>> {
+        let widths: Vec<usize> = reqs.iter().flatten().map(Dense::cols).collect();
+        let mut heads = split_columns(&wide, &widths).into_iter();
+        reqs.iter().map(|req| heads.by_ref().take(req.len()).collect()).collect()
+    }
+
+    fn launch_one(
+        rt: &Runtime,
+        adj: &Csr,
+        req: &Vec<Dense>,
+        config: &AttentionOpConfig,
+    ) -> Result<Vec<Dense>, OpError> {
+        // A single multi-head request is already a batch over its heads.
+        let stacked = stack_columns(adj.cols(), req.iter());
+        let wide = launch_stacked_spmm(rt, adj, &stacked, &config.spmm)?;
+        let widths: Vec<usize> = req.iter().map(Dense::cols).collect();
+        Ok(split_columns(&wide, &widths))
+    }
+
+    fn reference(adj: &Csr, req: &Vec<Dense>) -> Result<Vec<Dense>, OpError> {
+        Ok(batched_spmm(adj, req)?)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RGMS
+// ---------------------------------------------------------------------------
+
+/// The dense operands of one RGMS request: node features plus one weight
+/// matrix per relation.
+#[derive(Debug, Clone)]
+pub struct RgmsOperands {
+    /// Node features (`nodes × d_in`).
+    pub x: Dense,
+    /// Per-relation weights (`d_in × d_out` each).
+    pub weights: Vec<Dense>,
+}
+
+/// Relational Gather-Matmul-Scatter as a [`SparseOp`]: the adjacency is
+/// the multi-relation [`RgmsWorkload`], the configuration is the 3-D hyb
+/// bucket exponent (`0` = the unbucketed naive kernel), and the plan
+/// face prices Figure 20's fused kernels. Requests never batch (each
+/// already spans every relation); execution runs the smat reference
+/// pipeline. Shape vectors are `[d_in, d_out, tensor_cores]`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RgmsOp;
+
+impl SparseOp for RgmsOp {
+    type Adj = RgmsWorkload;
+    type Operands = RgmsOperands;
+    type Output = Dense;
+    type Config = u32;
+    type Stacked = ();
+    type Wide = Dense;
+
+    fn kind() -> &'static str {
+        "rgms"
+    }
+
+    fn default_config() -> u32 {
+        5
+    }
+
+    fn sparsity(adj: &RgmsWorkload) -> SparsityFingerprint {
+        SparsityFingerprint::of_relations(&adj.relations)
+    }
+
+    fn shape_of(req: &RgmsOperands) -> Vec<usize> {
+        // The third element is the tensor-core flag of the plan face —
+        // a caller choice, not derivable from the operands, so it
+        // defaults to 0 (CUDA cores) here; `nn::tuned_rgms` passes the
+        // explicit flag. Keeping the slot in the request-derived shape
+        // means the two forms never collide in a tune-cache key.
+        vec![req.x.cols(), req.weights.first().map_or(0, Dense::cols), 0]
+    }
+
+    fn validate(adj: &RgmsWorkload, req: &RgmsOperands) -> Result<(), String> {
+        if req.weights.len() != adj.relations.len() {
+            return Err(format!(
+                "{} weight matrices for {} relations",
+                req.weights.len(),
+                adj.relations.len()
+            ));
+        }
+        if req.x.rows() != adj.nodes() {
+            return Err(format!(
+                "feature matrix has {} rows, workload has {} nodes",
+                req.x.rows(),
+                adj.nodes()
+            ));
+        }
+        Ok(())
+    }
+
+    fn plans(adj: &RgmsWorkload, shape: &[usize], config: &u32, name: &str) -> Vec<KernelPlan> {
+        let tensor_cores = shape.get(2).is_some_and(|&tc| tc != 0);
+        if *config == 0 {
+            vec![rgms_naive_plan(adj, name)]
+        } else {
+            vec![rgms_hyb_plan(adj, *config, tensor_cores, name)]
+        }
+    }
+
+    fn can_batch(_lhs: &RgmsOperands, _rhs: &RgmsOperands) -> bool {
+        false
+    }
+
+    fn stack(_adj: &RgmsWorkload, _reqs: &[RgmsOperands]) -> Result<(), OpError> {
+        Err("rgms requests do not batch".into())
+    }
+
+    fn launch(
+        _rt: &Runtime,
+        _adj: &RgmsWorkload,
+        _stacked: &(),
+        _config: &u32,
+    ) -> Result<Dense, OpError> {
+        Err("rgms requests do not batch".into())
+    }
+
+    fn split(wide: Dense, _reqs: &[RgmsOperands]) -> Vec<Dense> {
+        vec![wide]
+    }
+
+    fn launch_one(
+        _rt: &Runtime,
+        adj: &RgmsWorkload,
+        req: &RgmsOperands,
+        _config: &u32,
+    ) -> Result<Dense, OpError> {
+        Ok(rgms_reference(&adj.relations, &req.x, &req.weights)?)
+    }
+
+    fn reference(adj: &RgmsWorkload, req: &RgmsOperands) -> Result<Dense, OpError> {
+        Ok(rgms_reference(&adj.relations, &req.x, &req.weights)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt() -> Runtime {
+        Runtime::new()
+    }
+
+    fn bit_eq(a: &[f32], b: &[f32]) -> bool {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+    }
+
+    #[test]
+    fn spmm_op_batch_matches_singles() {
+        let mut rng = gen::rng(71);
+        let a = gen::random_csr(18, 14, 0.25, &mut rng);
+        let xs: Vec<Dense> =
+            [3usize, 0, 1, 5].iter().map(|&w| gen::random_dense(14, w, &mut rng)).collect();
+        let rt = rt();
+        let config = SpmmOp::default_config();
+        let batched = SpmmOp::execute_batch_on(&rt, &a, &xs, &config).unwrap();
+        for (x, got) in xs.iter().zip(&batched) {
+            let want = SpmmOp::execute_on(&rt, &a, x, &config).unwrap();
+            assert!(bit_eq(got.data(), want.data()));
+            assert!(got.approx_eq(&SpmmOp::reference(&a, x).unwrap(), 1e-4));
+        }
+    }
+
+    #[test]
+    fn sddmm_op_block_diagonal_batch_is_bit_identical() {
+        let mut rng = gen::rng(72);
+        let a = gen::random_csr(12, 10, 0.3, &mut rng);
+        let k = 4;
+        let reqs: Vec<(Dense, Dense)> = (0..3)
+            .map(|_| (gen::random_dense(12, k, &mut rng), gen::random_dense(k, 10, &mut rng)))
+            .collect();
+        assert!(SddmmOp::can_batch(&reqs[0], &reqs[1]));
+        let rt = rt();
+        let config = SddmmOp::default_config();
+        let batched = SddmmOp::execute_batch_on(&rt, &a, &reqs, &config).unwrap();
+        assert_eq!(batched.len(), reqs.len());
+        for (req, got) in reqs.iter().zip(&batched) {
+            let want = SddmmOp::execute_on(&rt, &a, req, &config).unwrap();
+            assert!(bit_eq(got, &want));
+        }
+    }
+
+    #[test]
+    fn sddmm_op_refuses_mixed_inner_widths() {
+        let mut rng = gen::rng(73);
+        let a = gen::random_csr(4, 4, 0.5, &mut rng);
+        let narrow = (gen::random_dense(4, 2, &mut rng), gen::random_dense(2, 4, &mut rng));
+        let wide = (gen::random_dense(4, 3, &mut rng), gen::random_dense(3, 4, &mut rng));
+        assert!(!SddmmOp::can_batch(&narrow, &wide));
+        // The contract is enforced by the batch path itself, not just
+        // advertised: a mixed-width batch is a typed error, never a
+        // silently wrong stacked launch.
+        let err = SddmmOp::execute_batch_on(&rt(), &a, &[narrow, wide], &SddmmOp::default_config())
+            .expect_err("mixed inner widths must be rejected");
+        assert!(err.to_string().contains("request 1"), "{err}");
+    }
+
+    #[test]
+    fn attention_op_stacks_heads_across_requests() {
+        let mut rng = gen::rng(74);
+        let a = gen::random_csr(16, 16, 0.2, &mut rng);
+        let reqs: Vec<Vec<Dense>> = vec![
+            (0..3).map(|_| gen::random_dense(16, 4, &mut rng)).collect(),
+            vec![],
+            (0..2).map(|_| gen::random_dense(16, 2, &mut rng)).collect(),
+        ];
+        let rt = rt();
+        let config = AttentionOp::default_config();
+        let batched = AttentionOp::execute_batch_on(&rt, &a, &reqs, &config).unwrap();
+        assert_eq!(batched.len(), 3);
+        assert_eq!(batched[1].len(), 0);
+        for (req, got) in reqs.iter().zip(&batched) {
+            let want = AttentionOp::reference(&a, req).unwrap();
+            for (g, w) in got.iter().zip(&want) {
+                assert!(g.approx_eq(w, 1e-4));
+            }
+            // And bit-identical to the op's own unbatched execution.
+            let solo = AttentionOp::execute_on(&rt, &a, req, &config).unwrap();
+            for (g, s) in got.iter().zip(&solo) {
+                assert!(bit_eq(g.data(), s.data()));
+            }
+        }
+    }
+
+    #[test]
+    fn op_validation_reports_request_index() {
+        let mut rng = gen::rng(75);
+        let a = gen::random_csr(8, 8, 0.3, &mut rng);
+        let good = gen::random_dense(8, 2, &mut rng);
+        let bad = gen::random_dense(9, 2, &mut rng);
+        let err = SpmmOp::execute_batch_on(&rt(), &a, &[good, bad], &SpmmOp::default_config())
+            .expect_err("row mismatch must be rejected");
+        assert!(err.to_string().contains("request 1"), "{err}");
+    }
+
+    #[test]
+    fn rgms_op_executes_and_never_batches() {
+        use rand::Rng;
+        let mut rng = gen::rng(76);
+        let relations: Vec<Csr> = (0..2)
+            .map(|_| {
+                gen::random_csr_with_row_lengths(
+                    20,
+                    20,
+                    |r| {
+                        let u: f64 = r.gen_range(0.0..1.0);
+                        ((3.0 / (u + 0.05)) as usize).clamp(0, 10)
+                    },
+                    &mut rng,
+                )
+            })
+            .collect();
+        let w = RgmsWorkload { relations, din: 6, dout: 5 };
+        let req = RgmsOperands {
+            x: gen::random_dense(20, 6, &mut rng),
+            weights: (0..2).map(|_| gen::random_dense(6, 5, &mut rng)).collect(),
+        };
+        assert!(!RgmsOp::can_batch(&req, &req));
+        let got = RgmsOp::execute_on(&rt(), &w, &req, &RgmsOp::default_config()).unwrap();
+        let want = RgmsOp::reference(&w, &req).unwrap();
+        assert!(bit_eq(got.data(), want.data()));
+        // The plan face covers both the naive and bucketed variants.
+        assert!(!RgmsOp::plans(&w, &[6, 5, 0], &0, "naive").is_empty());
+        assert!(!RgmsOp::plans(&w, &[6, 5, 1], &5, "hyb_tc").is_empty());
+    }
+}

@@ -218,6 +218,59 @@ pub fn sddmm_execute_on(
     Ok(bindings["Bout"].as_f32().to_vec())
 }
 
+/// IR-path *batched* (multi-head) fused SDDMM: one widened launch whose
+/// head axis sits inside the fused non-zero loop, so the per-non-zero
+/// coordinate walk (binary-searched row recovery, index loads) is shared
+/// by every head — the SDDMM analogue of column-stacking an SpMM batch.
+///
+/// # Errors
+/// Propagates lowering/scheduling errors.
+pub fn batched_sddmm_ir(
+    a: &Csr,
+    heads: usize,
+    feat: usize,
+) -> Result<PrimFunc, Box<dyn std::error::Error>> {
+    let mut program = batched_sddmm_program(a.rows(), a.cols(), a.nnz(), heads, feat);
+    sparse_fuse(&mut program, "sddmm", &["I", "J"])?;
+    let f = lower(&program)?;
+    Ok(f)
+}
+
+/// Execute a *batch* of SDDMM requests against one shared adjacency as a
+/// single widened kernel launch (see [`batched_sddmm_ir`]): the per-head
+/// `X` operands stack column-wise into one `m × heads·feat` operand, the
+/// `Y` operands stack row-wise, one kernel walks the non-zeros once
+/// computing every head's dot product, and the interleaved output splits
+/// back per request. All requests must share the inner (reduction)
+/// width; see [`crate::op::SddmmOp`] for the batching contract. Results
+/// are bit-identical to a sequential loop of [`sddmm_execute`] calls:
+/// every `(non-zero, head)` pair keeps exactly its unbatched reduction
+/// order.
+///
+/// # Errors
+/// Returns an error on an operand-shape mismatch or mixed inner widths,
+/// and propagates lowering/execution errors.
+pub fn sddmm_batched_execute(
+    a: &Csr,
+    reqs: &[(Dense, Dense)],
+) -> Result<Vec<Vec<f32>>, Box<dyn std::error::Error>> {
+    sddmm_batched_execute_on(Runtime::global(), a, reqs)
+}
+
+/// [`sddmm_batched_execute`] through an explicit [`Runtime`].
+///
+/// # Errors
+/// Returns an error on an operand-shape mismatch or mixed inner widths,
+/// and propagates lowering/execution errors.
+pub fn sddmm_batched_execute_on(
+    rt: &Runtime,
+    a: &Csr,
+    reqs: &[(Dense, Dense)],
+) -> Result<Vec<Vec<f32>>, Box<dyn std::error::Error>> {
+    use crate::op::{SddmmOp, SparseOp};
+    SddmmOp::execute_batch_on(rt, a, reqs, &SddmmOp::default_config())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -352,11 +352,11 @@ pub fn tuned_spmm_execute_on(
 /// Execute a *batch* of SpMM requests against one shared adjacency as a
 /// single wider kernel launch: the per-request feature matrices are
 /// stacked column-wise into one operand of width `Σ feat_i`, one kernel
-/// runs at that width, and the output splits back into per-request
-/// matrices. This is the serving engine's batching primitive — the fixed
-/// per-request costs (lowering, fingerprinting, the per-non-zero index
-/// walk of the sparse loop) are paid once per batch instead of once per
-/// request.
+/// runs at that width (with the schedule's vector split widened to span
+/// it), and the output splits back into per-request matrices. This is
+/// the serving engine's batching primitive, expressed through the
+/// generic op layer — see [`crate::op::SpmmOp`] for the stacking
+/// contract.
 ///
 /// Width-0 requests are legal and yield `rows × 0` outputs without
 /// joining the stacked launch; an all-empty batch skips the kernel
@@ -369,7 +369,7 @@ pub fn tuned_spmm_execute_on(
 /// `a.cols()`, and propagates lowering/execution errors.
 pub fn spmm_batched_execute(
     a: &Csr,
-    xs: &[&Dense],
+    xs: &[Dense],
     config: &SpmmConfig,
 ) -> Result<Vec<Dense>, Box<dyn std::error::Error>> {
     spmm_batched_execute_on(Runtime::global(), a, xs, config)
@@ -383,60 +383,11 @@ pub fn spmm_batched_execute(
 pub fn spmm_batched_execute_on(
     rt: &Runtime,
     a: &Csr,
-    xs: &[&Dense],
+    xs: &[Dense],
     config: &SpmmConfig,
 ) -> Result<Vec<Dense>, Box<dyn std::error::Error>> {
-    for (i, x) in xs.iter().enumerate() {
-        if x.rows() != a.cols() {
-            return Err(format!(
-                "batched spmm request {i}: feature matrix has {} rows, adjacency has {} cols",
-                x.rows(),
-                a.cols()
-            )
-            .into());
-        }
-    }
-    let total: usize = xs.iter().map(|x| x.cols()).sum();
-    if total == 0 {
-        return Ok(xs.iter().map(|_| Dense::zeros(a.rows(), 0)).collect());
-    }
-    // Stack column-wise: request i owns columns [offset_i, offset_i + w_i).
-    let mut stacked = Dense::zeros(a.cols(), total);
-    let mut offset = 0;
-    for x in xs {
-        let w = x.cols();
-        if w > 0 {
-            for r in 0..a.cols() {
-                stacked.row_mut(r)[offset..offset + w].copy_from_slice(x.row(r));
-            }
-            offset += w;
-        }
-    }
-    // Widen the schedule's vector split to span the whole stacked width:
-    // otherwise the feature loop re-chunks into `vec_width·8`-lane pieces
-    // and the per-non-zero overhead is paid once per chunk — exactly the
-    // cost batching exists to amortize. Splitting the (spatial) feature
-    // axis differently never changes each output column's reduction
-    // order, so results stay bit-identical to unbatched execution.
-    let mut wide = *config;
-    wide.params.vec_width = wide.params.vec_width.max(total.div_ceil(8));
-    let out = tuned_spmm_execute_on(rt, a, &stacked, &wide)?;
-    // Split the wide output back per request (row-slice copies, the
-    // mirror of the stacking loop above).
-    let mut results = Vec::with_capacity(xs.len());
-    let mut offset = 0;
-    for x in xs {
-        let w = x.cols();
-        let mut res = Dense::zeros(a.rows(), w);
-        if w > 0 {
-            for r in 0..a.rows() {
-                res.row_mut(r).copy_from_slice(&out.row(r)[offset..offset + w]);
-            }
-            offset += w;
-        }
-        results.push(res);
-    }
-    Ok(results)
+    use crate::op::{SparseOp, SpmmOp};
+    SpmmOp::execute_batch_on(rt, a, xs, config)
 }
 
 /// Execute the IR-path CSR SpMM through the slot-compiled executor
@@ -529,12 +480,11 @@ mod tests {
         let widths = [3usize, 0, 1, 5];
         let xs: Vec<Dense> =
             widths.iter().map(|&w| gen::random_dense(a.cols(), w, &mut rng)).collect();
-        let refs: Vec<&Dense> = xs.iter().collect();
         for config in [
             SpmmConfig::default_csr(),
             SpmmConfig { col_parts: Some(2), bucket_k: 2, params: CsrSpmmParams::default() },
         ] {
-            let batched = spmm_batched_execute(&a, &refs, &config).unwrap();
+            let batched = spmm_batched_execute(&a, &xs, &config).unwrap();
             assert_eq!(batched.len(), xs.len());
             for (x, got) in xs.iter().zip(&batched) {
                 let want = tuned_spmm_execute(&a, x, &config).unwrap();
@@ -555,7 +505,8 @@ mod tests {
         assert!(none.is_empty());
         // All-zero-width requests skip the kernel launch entirely.
         let empty = Dense::zeros(a.cols(), 0);
-        let out = spmm_batched_execute(&a, &[&empty, &empty], &SpmmConfig::default_csr()).unwrap();
+        let out =
+            spmm_batched_execute(&a, &[empty.clone(), empty], &SpmmConfig::default_csr()).unwrap();
         assert_eq!(out.len(), 2);
         for o in out {
             assert_eq!((o.rows(), o.cols()), (a.rows(), 0));
@@ -568,7 +519,7 @@ mod tests {
         let a = gen::random_csr(8, 8, 0.3, &mut rng);
         let good = gen::random_dense(8, 2, &mut rng);
         let bad = gen::random_dense(9, 2, &mut rng);
-        let err = spmm_batched_execute(&a, &[&good, &bad], &SpmmConfig::default_csr())
+        let err = spmm_batched_execute(&a, &[good, bad], &SpmmConfig::default_csr())
             .expect_err("row mismatch must be rejected");
         assert!(err.to_string().contains("request 1"), "{err}");
     }

@@ -4,7 +4,7 @@
 //! SparseTIR naive / hyb / hyb+TC fused kernels — plus GPU memory
 //! footprints.
 
-use sparsetir_autotune::{tune, Evaluator, SearchSpace};
+use sparsetir_autotune::tune_op;
 use sparsetir_baselines::prelude::rgcn as baseline_rgcn;
 use sparsetir_gpusim::prelude::*;
 use sparsetir_kernels::prelude::*;
@@ -94,35 +94,17 @@ pub fn figure20_measurements(spec: &GpuSpec, layer: &RgcnLayer) -> Vec<RgcnMeasu
     ]
 }
 
-/// Search the 3-D hyb bucket exponent `k` through the generic tuning
-/// engine (the fixed `k = 5` of the figure is one candidate) and return
-/// `(k, simulated_ms)` of the winner. Demonstrates that RGCN picks its
-/// operator through the same `SearchSpace`/`Evaluator` layer as SpMM.
+/// Search the 3-D hyb bucket exponent `k` through the generic, cached
+/// `tune_op` path (the fixed `k = 5` of the figure is one candidate) and
+/// return `(k, simulated_ms)` of the winner. RGCN picks its operator
+/// through exactly the same op-agnostic tuning layer as SpMM, SDDMM and
+/// attention — and a retune of the same relational structure is a cache
+/// hit.
 #[must_use]
 pub fn tuned_rgms(spec: &GpuSpec, layer: &RgcnLayer, tensor_cores: bool) -> (u32, f64) {
-    struct KSpace;
-    impl SearchSpace for KSpace {
-        type Candidate = u32;
-        fn candidates(&self) -> Vec<u32> {
-            vec![2, 3, 4, 5, 6]
-        }
-    }
-    struct KEval<'a> {
-        spec: &'a GpuSpec,
-        w: &'a RgmsWorkload,
-        tc: bool,
-    }
-    impl Evaluator<u32> for KEval<'_> {
-        fn evaluate(&self, k: &u32) -> Option<f64> {
-            Some(
-                simulate_kernel(self.spec, &rgms_hyb_plan(self.w, *k, self.tc, "stir_tuned"))
-                    .time_ms,
-            )
-        }
-    }
-    let outcome = tune(&KSpace, &KEval { spec, w: &layer.workload, tc: tensor_cores })
-        .expect("non-empty k space");
-    (outcome.best.candidate, outcome.best.score)
+    let w = &layer.workload;
+    let r = tune_op::<RgmsOp>(spec, w, &[w.din, w.dout, usize::from(tensor_cores)]);
+    (r.config, r.report.time_ms)
 }
 
 #[cfg(test)]

@@ -6,7 +6,7 @@
 //! per-request by construction).
 
 use crate::graphsage::GraphSage;
-use sparsetir_engine::{Adjacency, Engine, EngineError};
+use sparsetir_engine::{Adjacency, Engine, EngineError, OpRequest};
 use sparsetir_smat::prelude::Dense;
 
 /// The engine-side handle for a model's normalized adjacency. Build it
@@ -35,9 +35,12 @@ pub fn serve_sage_forward(
     adj: &Adjacency,
     x: &Dense,
 ) -> Result<Dense, EngineError> {
-    let agg1 = engine.spmm(adj, x.clone())?;
+    // Both aggregations ride the engine's one generic submit path (the
+    // same path SDDMM and attention requests take); the unified ticket
+    // answers with an `OpOutput` converted back to a dense matrix.
+    let agg1 = engine.serve(adj, OpRequest::Spmm(x.clone()))?.into_dense()?;
     let h1 = agg1.matmul(&model.w1).map_err(shape_err)?.relu();
-    let agg2 = engine.spmm(adj, h1)?;
+    let agg2 = engine.serve(adj, OpRequest::Spmm(h1))?.into_dense()?;
     agg2.matmul(&model.w2).map_err(shape_err)
 }
 

@@ -1,0 +1,85 @@
+//! Structural sparsity fingerprints: the cache-key material that lets a
+//! tuning or serving decision made for one matrix transfer to any matrix
+//! with the same shape of sparsity problem (§2's amortization argument).
+
+use crate::csr::Csr;
+
+/// Structural summary of a sparse matrix: dimensions, non-zero count and
+/// the power-of-two degree histogram. Two matrices with the same
+/// fingerprint have the same shape of tuning problem, so a cached decision
+/// transfers. Note the asymmetry: the *configuration* transfers between
+/// colliding matrices by design, but any absolute timings stored alongside
+/// it were observed on the first matrix — treat them as representative,
+/// not exact, for a collider.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SparsityFingerprint {
+    /// Rows of the matrix.
+    pub rows: usize,
+    /// Columns of the matrix.
+    pub cols: usize,
+    /// Stored non-zeros.
+    pub nnz: usize,
+    /// `Csr::degree_histogram_log2` — the degree-skew summary that drives
+    /// bucketing decisions.
+    pub degree_hist: Vec<usize>,
+}
+
+impl SparsityFingerprint {
+    /// Fingerprint a CSR matrix.
+    #[must_use]
+    pub fn of(a: &Csr) -> SparsityFingerprint {
+        SparsityFingerprint {
+            rows: a.rows(),
+            cols: a.cols(),
+            nnz: a.nnz(),
+            degree_hist: a.degree_histogram_log2(),
+        }
+    }
+
+    /// Fingerprint a family of matrices as one combined structure (the
+    /// multi-relation adjacency of RGMS): dimensions of the first member,
+    /// total non-zeros, and the element-wise sum of the per-member degree
+    /// histograms.
+    #[must_use]
+    pub fn of_relations(relations: &[Csr]) -> SparsityFingerprint {
+        let mut degree_hist: Vec<usize> = Vec::new();
+        for rel in relations {
+            let h = rel.degree_histogram_log2();
+            if h.len() > degree_hist.len() {
+                degree_hist.resize(h.len(), 0);
+            }
+            for (acc, v) in degree_hist.iter_mut().zip(&h) {
+                *acc += v;
+            }
+        }
+        SparsityFingerprint {
+            rows: relations.first().map_or(0, Csr::rows),
+            cols: relations.first().map_or(0, Csr::cols),
+            nnz: relations.iter().map(Csr::nnz).sum(),
+            degree_hist,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_distinguishes_degree_distributions() {
+        let a = Csr::new(2, 2, vec![0, 2, 2], vec![0, 1], vec![1.0, 1.0]).unwrap();
+        let b = Csr::new(2, 2, vec![0, 1, 2], vec![0, 1], vec![1.0, 1.0]).unwrap();
+        assert_ne!(SparsityFingerprint::of(&a), SparsityFingerprint::of(&b));
+    }
+
+    #[test]
+    fn relation_fingerprint_combines_members() {
+        let a = Csr::new(2, 2, vec![0, 2, 2], vec![0, 1], vec![1.0, 1.0]).unwrap();
+        let b = Csr::new(2, 2, vec![0, 1, 2], vec![0, 1], vec![1.0, 1.0]).unwrap();
+        let f = SparsityFingerprint::of_relations(&[a.clone(), b.clone()]);
+        assert_eq!(f.nnz, a.nnz() + b.nnz());
+        assert_eq!((f.rows, f.cols), (2, 2));
+        // Reordering relations must not change the combined fingerprint.
+        assert_eq!(f, SparsityFingerprint::of_relations(&[b, a]));
+    }
+}

@@ -44,6 +44,7 @@ pub mod csr;
 pub mod dense;
 pub mod dia;
 pub mod ell;
+pub mod fingerprint;
 pub mod gen;
 pub mod hyb;
 pub mod io;
@@ -62,6 +63,7 @@ pub mod prelude {
     pub use crate::dense::{Dense, SmatError};
     pub use crate::dia::Dia;
     pub use crate::ell::Ell;
+    pub use crate::fingerprint::SparsityFingerprint;
     pub use crate::gen;
     pub use crate::hyb::{bucket_for, ceil_log2, default_k, EllBucket, Hyb, HybPartition};
     pub use crate::io::{parse_matrix_market, to_matrix_market};

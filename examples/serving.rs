@@ -83,6 +83,31 @@ fn main() {
         stats.completed
     );
 
+    // --- The generic op path: SDDMM and attention ride the same queue ---
+    // Every op submits through one generic path (OpRequest → Ticket →
+    // OpOutput); same-adjacency SDDMM requests with equal inner widths
+    // fold into one widened multi-head launch, attention heads join the
+    // SpMM column stack.
+    let mut rng = gen::rng(77);
+    let sddmm_tickets: Vec<_> = (0..4)
+        .map(|_| {
+            let x = gen::random_dense(n, 8, &mut rng);
+            let y = gen::random_dense(8, n, &mut rng);
+            engine.submit(&adj, OpRequest::Sddmm((x, y))).expect("submits")
+        })
+        .collect();
+    for t in sddmm_tickets {
+        let edges = t.wait_edges().expect("sddmm served");
+        assert_eq!(edges.len(), graph.nnz());
+    }
+    let heads: Vec<Dense> = (0..4).map(|_| gen::random_dense(n, 8, &mut rng)).collect();
+    let outs = engine.attention(&adj, heads).expect("attention served");
+    println!(
+        "generic op path: {} SDDMM requests (per-edge outputs) + one {}-head attention request",
+        4,
+        outs.len()
+    );
+
     // --- GraphSAGE inference through the engine ----------------------
     let model = GraphSage::new(&graph, 16, 16, 4, 7).expect("model");
     let sage_adj = serving_adjacency(&model);

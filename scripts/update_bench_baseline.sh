@@ -1,16 +1,17 @@
 #!/usr/bin/env bash
 # Intentionally refresh the committed perf-gate baseline.
 #
-# Re-runs exactly what the CI perf-gate job runs — the executor +
-# vectorization benches in smoke mode with the ≥2x fused-over-generic
-# assertion armed — and promotes the freshly written BENCH_results.json
-# to BENCH_baseline.json. Commit the updated baseline together with the
+# Re-runs exactly what the CI perf-gate job runs — the perf suite
+# (executor + vectorization benches plus the batched-serving throughput
+# sweep for SpMM and SDDMM) in smoke mode with every assertion armed —
+# and promotes the freshly written BENCH_results.json to
+# BENCH_baseline.json. Commit the updated baseline together with the
 # change that legitimately moved the numbers.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SPARSETIR_SMOKE=1 SPARSETIR_BENCH_ASSERT=1 \
-    cargo run --release -q -p sparsetir-bench --bin executor_vectorization >/dev/null
+    cargo run --release -q -p sparsetir-bench --bin perf_suite >/dev/null
 
 cp BENCH_results.json BENCH_baseline.json
 echo "BENCH_baseline.json refreshed:"

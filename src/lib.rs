@@ -11,12 +11,12 @@
 //! | [`smat`] | sparse matrix formats: CSR/CSC, COO, BSR, DBSR, ELL, DIA, CSF, ragged, SR-BCRS, `hyb(c,k)` |
 //! | [`core`] | the paper's contribution: Stage I sparse IR, format decomposition, Stage I schedules, the two lowering passes, horizontal fusion |
 //! | [`gpusim`] | deterministic GPU performance simulator (V100/RTX 3070) — the substitution for physical GPUs |
-//! | [`kernels`] | SparseTIR-generated operators: SpMM, SDDMM, attention, pruned-weight SpMM, RGMS, sparse conv |
+//! | [`kernels`] | SparseTIR-generated operators: SpMM, SDDMM, attention, pruned-weight SpMM, RGMS, sparse conv — unified behind the generic `SparseOp` layer |
 //! | [`baselines`] | cuSPARSE/cuBLAS/Sputnik/dgSPARSE/TACO/Triton/DGL/PyG/Graphiler/TorchSparse-like baselines |
 //! | [`graphs`] | synthetic workload generators for every dataset in the evaluation |
 //! | [`nn`] | end-to-end GraphSAGE training and RGCN inference |
 //! | [`autotune`] | the joint format × schedule search of §2 |
-//! | [`engine`] | concurrent batched serving engine over the kernel cache |
+//! | [`engine`] | concurrent op-agnostic serving engine: one generic request path batching SpMM/SDDMM/attention over the kernel cache |
 //!
 //! See `DESIGN.md` for the system inventory and the per-experiment index,
 //! and `EXPERIMENTS.md` for paper-vs-measured results. The `examples/`
@@ -38,10 +38,12 @@ pub use sparsetir_smat as smat;
 
 /// Everything the examples and integration tests need, in one import.
 pub mod prelude {
-    pub use sparsetir_autotune::{random_search, tune_spmm, SpmmConfig, TuneResult};
+    pub use sparsetir_autotune::{random_search, tune_op, tune_spmm, SpmmConfig, TuneResult};
     pub use sparsetir_baselines::prelude::*;
     pub use sparsetir_core::prelude::*;
-    pub use sparsetir_engine::{Adjacency, Engine, EngineConfig, EngineError, EngineStats};
+    pub use sparsetir_engine::{
+        Adjacency, Engine, EngineConfig, EngineError, EngineStats, OpOutput, OpRequest, Ticket,
+    };
     pub use sparsetir_gpusim::prelude::*;
     pub use sparsetir_graphs::prelude::*;
     pub use sparsetir_ir::prelude::*;
