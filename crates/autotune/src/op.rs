@@ -194,6 +194,80 @@ impl TunableOp for AttentionOp {
     }
 }
 
+impl TunableOp for FusedAttentionOp {
+    fn search(
+        spec: &GpuSpec,
+        adj: &Csr,
+        shape: &[usize],
+    ) -> Option<TuneOutcome<FusedAttentionConfig>> {
+        // The fused launch is priced as its two flop-dominant phases
+        // (score SDDMM + aggregation SpMM); the searched knob is the
+        // score phase's schedule, scored by the summed phase times.
+        let configs: Vec<FusedAttentionConfig> = sddmm_param_candidates()
+            .into_iter()
+            .map(|sddmm| FusedAttentionConfig { sddmm, ..FusedAttentionConfig::default() })
+            .collect();
+        tune(
+            &ListSpace(configs),
+            &FnEvaluator(|c: &FusedAttentionConfig| {
+                Some(
+                    Self::plans(adj, shape, c, "tune_fused_attn")
+                        .iter()
+                        .map(|p| simulate_kernel(spec, p).time_ms)
+                        .sum(),
+                )
+            }),
+        )
+    }
+
+    fn report(
+        spec: &GpuSpec,
+        adj: &Csr,
+        shape: &[usize],
+        config: &FusedAttentionConfig,
+    ) -> KernelReport {
+        // Store the dominant phase's report (the search already scored
+        // the summed phases).
+        Self::plans(adj, shape, config, "tune_fused_attn")
+            .iter()
+            .map(|p| simulate_kernel(spec, p))
+            .max_by(|a, b| a.time_ms.total_cmp(&b.time_ms))
+            .expect("fused attention plan face is non-empty")
+    }
+}
+
+impl TunableOp for FusedSageOp {
+    fn search(spec: &GpuSpec, adj: &Csr, shape: &[usize]) -> Option<TuneOutcome<FusedSageConfig>> {
+        // One executable schedule today; the single candidate still flows
+        // through the generic trial engine so the decision caches and
+        // reports uniformly.
+        tune(
+            &ListSpace(vec![FusedSageConfig::default()]),
+            &FnEvaluator(|c: &FusedSageConfig| {
+                Some(
+                    Self::plans(adj, shape, c, "tune_fused_sage")
+                        .iter()
+                        .map(|p| simulate_kernel(spec, p).time_ms)
+                        .sum(),
+                )
+            }),
+        )
+    }
+
+    fn report(
+        spec: &GpuSpec,
+        adj: &Csr,
+        shape: &[usize],
+        config: &FusedSageConfig,
+    ) -> KernelReport {
+        Self::plans(adj, shape, config, "tune_fused_sage")
+            .iter()
+            .map(|p| simulate_kernel(spec, p))
+            .max_by(|a, b| a.time_ms.total_cmp(&b.time_ms))
+            .expect("fused sage plan face is non-empty")
+    }
+}
+
 impl TunableOp for RgmsOp {
     fn search(
         spec: &GpuSpec,
@@ -243,6 +317,20 @@ mod tests {
         assert!(!tune_op::<SpmmOp>(&spec, &a, &[32]).from_cache);
         // Same op, different shape: a distinct decision.
         assert!(!tune_op::<SddmmOp>(&spec, &a, &[64]).from_cache);
+    }
+
+    #[test]
+    fn fused_op_tuning_searches_and_caches() {
+        let mut rng = gen::rng(62);
+        let a = gen::random_csr(150, 150, 0.05, &mut rng);
+        let spec = GpuSpec::v100();
+        let r1 = tune_op::<FusedAttentionOp>(&spec, &a, &[16, 16, 4]);
+        assert!(!r1.from_cache);
+        assert_eq!(r1.trials, sddmm_param_candidates().len());
+        assert!(tune_op::<FusedAttentionOp>(&spec, &a, &[16, 16, 4]).from_cache);
+        let sage = tune_op::<FusedSageOp>(&spec, &a, &[16, 8]);
+        assert!(!sage.from_cache, "distinct kind, distinct decision");
+        assert_eq!(sage.trials, 1);
     }
 
     #[test]

@@ -1,9 +1,11 @@
-//! Runs the perf-gated experiments — `executor_vectorization` and
-//! `serving_throughput` — in one process and writes their combined
-//! records to `BENCH_results.json`, the input of the CI perf-gate and of
-//! `scripts/update_bench_baseline.sh`. `SPARSETIR_BENCH_ASSERT=1` arms
-//! every bar: ≥ 2× fused-over-generic on CSR SpMM, ≥ 2× batched SpMM
-//! serving at 8 clients, ≥ 1.1× batched SDDMM serving at 8 clients.
+//! Runs the perf-gated experiments — `executor_vectorization`,
+//! `serving_throughput` and `fused_attention` — in one process and
+//! writes their combined records to `BENCH_results.json`, the input of
+//! the CI perf-gate and of `scripts/update_bench_baseline.sh`.
+//! `SPARSETIR_BENCH_ASSERT=1` arms every bar: ≥ 2× fused-over-generic on
+//! CSR SpMM, ≥ 2× batched SpMM serving at 8 clients, ≥ 1.1× batched
+//! SDDMM serving at 8 clients, ≥ 2× fused attention serving over the
+//! three-launch pipeline at 8 clients.
 
 use sparsetir_bench::{experiments, report};
 
@@ -11,6 +13,8 @@ fn main() {
     print!("{}", experiments::executor_vectorization::run());
     println!();
     print!("{}", experiments::serving_throughput::run());
+    println!();
+    print!("{}", experiments::fused_attention::run());
     let records = report::take_records();
     let path = std::path::Path::new("BENCH_results.json");
     report::write_results(path, &records, experiments::smoke()).expect("write BENCH_results.json");

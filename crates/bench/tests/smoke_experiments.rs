@@ -26,6 +26,7 @@ fn all_experiments_run_end_to_end_in_smoke_mode() {
         ("autotuning", e::autotuning::run),
         ("executor_vectorization", e::executor_vectorization::run),
         ("serving_throughput", e::serving_throughput::run),
+        ("fused_attention", e::fused_attention::run),
     ] {
         let out = run();
         assert!(!out.trim().is_empty(), "{name} rendered nothing");
@@ -47,6 +48,10 @@ fn all_experiments_run_end_to_end_in_smoke_mode() {
     assert!(
         records.iter().any(|r| r.experiment == "serving_throughput"),
         "serving_throughput must record requests/sec results"
+    );
+    assert!(
+        records.iter().any(|r| r.experiment == "fused_attention"),
+        "fused_attention must record fused-vs-pipeline results"
     );
     let dir = std::env::temp_dir().join(format!("sparsetir_bench_{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();

@@ -28,6 +28,7 @@
 pub mod axis;
 pub mod data;
 pub mod flatten;
+pub mod fused;
 pub mod hfuse;
 pub mod lower;
 pub mod rewrite;
@@ -42,6 +43,10 @@ pub mod prelude {
         bind_bsr, bind_bucket, bind_csr, bind_dense, bind_ell, bind_zeros, read_dense, Bindings,
     };
     pub use crate::flatten::{aux_buffer_names, flat_size, flatten_access, lower, lower_to_stage3};
+    pub use crate::fused::{
+        attention_aggregate_program, attention_score_program, edge_softmax_program,
+        fused_attention_program, fused_sage_program, sage_gather_program, sage_matmul_program,
+    };
     pub use crate::hfuse::horizontal_fuse;
     pub use crate::lower::{lower_to_stage2, BufferDomain, LowerError, Stage2Func};
     pub use crate::rewrite::{decompose_format, FormatRewriteRule, RewriteError};

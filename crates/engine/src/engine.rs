@@ -6,8 +6,10 @@
 use crate::stats::{EngineStats, StatsInner};
 use sparsetir_autotune::{tune_op, SparsityFingerprint, TunableOp, TuneCache, TuneKey};
 use sparsetir_gpusim::prelude::GpuSpec;
-use sparsetir_ir::exec::Runtime;
-use sparsetir_kernels::prelude::{AttentionOp, OpConfig, SddmmOp, SparseOp, SpmmOp};
+use sparsetir_ir::exec::{fusion_default, Runtime};
+use sparsetir_kernels::prelude::{
+    AttentionOp, AttnHead, FusedAttentionOp, FusedSageOp, OpConfig, SddmmOp, SparseOp, SpmmOp,
+};
 use sparsetir_smat::prelude::{Csr, Dense};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::VecDeque;
@@ -126,6 +128,12 @@ pub enum OpRequest {
     Sddmm((Dense, Dense)),
     /// Multi-head attention aggregation: one feature operand per head.
     Attention(Vec<Dense>),
+    /// Cross-op fused attention pipeline (SDDMM → edge-softmax → SpMM in
+    /// one kernel): one `(Q, Kᵀ, V)` triple per head.
+    FusedAttention(Vec<AttnHead>),
+    /// Cross-op fused GraphSAGE layer step (gather → normalize → matmul
+    /// in one kernel): the `(X, W)` operand pair.
+    FusedSage((Dense, Dense)),
 }
 
 impl OpRequest {
@@ -137,6 +145,8 @@ impl OpRequest {
             OpRequest::Spmm(_) => SpmmOp::kind(),
             OpRequest::Sddmm(_) => SddmmOp::kind(),
             OpRequest::Attention(_) => AttentionOp::kind(),
+            OpRequest::FusedAttention(_) => FusedAttentionOp::kind(),
+            OpRequest::FusedSage(_) => FusedSageOp::kind(),
         }
     }
 
@@ -146,6 +156,8 @@ impl OpRequest {
             OpRequest::Spmm(x) => SpmmOp::validate(adj.csr(), x),
             OpRequest::Sddmm(pair) => SddmmOp::validate(adj.csr(), pair),
             OpRequest::Attention(heads) => AttentionOp::validate(adj.csr(), heads),
+            OpRequest::FusedAttention(heads) => FusedAttentionOp::validate(adj.csr(), heads),
+            OpRequest::FusedSage(pair) => FusedSageOp::validate(adj.csr(), pair),
         }
         .map_err(EngineError::Shape)
     }
@@ -157,6 +169,10 @@ impl OpRequest {
             (OpRequest::Spmm(a), OpRequest::Spmm(b)) => SpmmOp::can_batch(a, b),
             (OpRequest::Sddmm(a), OpRequest::Sddmm(b)) => SddmmOp::can_batch(a, b),
             (OpRequest::Attention(a), OpRequest::Attention(b)) => AttentionOp::can_batch(a, b),
+            (OpRequest::FusedAttention(a), OpRequest::FusedAttention(b)) => {
+                FusedAttentionOp::can_batch(a, b)
+            }
+            (OpRequest::FusedSage(a), OpRequest::FusedSage(b)) => FusedSageOp::can_batch(a, b),
             _ => false,
         }
     }
@@ -237,6 +253,14 @@ pub struct EngineConfig {
     /// [`TuneCache`] for every later batch on that pair. When false, all
     /// requests use the op's default configuration.
     pub tune: bool,
+    /// Cross-op fusion for the fused op paths: `Some(true)` compiles the
+    /// whole pipeline into one kernel, `Some(false)` forces the
+    /// multi-launch fallback, and `None` (the default) follows the
+    /// `SPARSETIR_NO_FUSE` environment kill switch via
+    /// [`fusion_default`]. The flag is baked into the engine's shared
+    /// [`Runtime`] at construction, so the two modes never share cached
+    /// kernels.
+    pub fuse: Option<bool>,
 }
 
 impl Default for EngineConfig {
@@ -246,6 +270,7 @@ impl Default for EngineConfig {
             queue_depth: DEFAULT_QUEUE_DEPTH,
             max_batch: 8,
             tune: false,
+            fuse: None,
         }
     }
 }
@@ -354,7 +379,7 @@ impl Engine {
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
             config: config.clone(),
-            runtime: Arc::new(Runtime::new()),
+            runtime: Arc::new(Runtime::with_fusion(config.fuse.unwrap_or_else(fusion_default))),
             tune_cache: TuneCache::new(),
             tune_flight: Mutex::new(()),
             stats: StatsInner::default(),
@@ -481,6 +506,56 @@ impl Engine {
     /// See [`Engine::submit`] and [`Ticket::wait_heads`].
     pub fn attention(&self, adj: &Adjacency, heads: Vec<Dense>) -> Result<Vec<Dense>, EngineError> {
         self.submit_attention(adj, heads)?.wait_heads()
+    }
+
+    /// Submit a fused attention pipeline request (SDDMM → edge-softmax →
+    /// SpMM in one kernel, one `(Q, Kᵀ, V)` triple per head), blocking
+    /// while the queue is at capacity. Thin typed wrapper over
+    /// [`Engine::submit`].
+    ///
+    /// # Errors
+    /// See [`Engine::submit`].
+    pub fn submit_fused_attention(
+        &self,
+        adj: &Adjacency,
+        heads: Vec<AttnHead>,
+    ) -> Result<Ticket, EngineError> {
+        self.submit(adj, OpRequest::FusedAttention(heads))
+    }
+
+    /// Blocking convenience: fused attention request → per-head results.
+    ///
+    /// # Errors
+    /// See [`Engine::submit`] and [`Ticket::wait_heads`].
+    pub fn fused_attention(
+        &self,
+        adj: &Adjacency,
+        heads: Vec<AttnHead>,
+    ) -> Result<Vec<Dense>, EngineError> {
+        self.submit_fused_attention(adj, heads)?.wait_heads()
+    }
+
+    /// Submit a fused GraphSAGE layer step (gather → normalize → matmul
+    /// in one kernel over operands `(X, W)`), blocking while the queue is
+    /// at capacity. Thin typed wrapper over [`Engine::submit`].
+    ///
+    /// # Errors
+    /// See [`Engine::submit`].
+    pub fn submit_fused_sage(
+        &self,
+        adj: &Adjacency,
+        x: Dense,
+        w: Dense,
+    ) -> Result<Ticket, EngineError> {
+        self.submit(adj, OpRequest::FusedSage((x, w)))
+    }
+
+    /// Blocking convenience: fused SAGE request → dense layer output.
+    ///
+    /// # Errors
+    /// See [`Engine::submit`] and [`Ticket::wait_dense`].
+    pub fn fused_sage(&self, adj: &Adjacency, x: Dense, w: Dense) -> Result<Dense, EngineError> {
+        self.submit_fused_sage(adj, x, w)?.wait_dense()
     }
 
     /// Crash-safety regression hook: make the next worker that drains the
@@ -619,6 +694,46 @@ impl Served for AttentionOp {
     }
 }
 
+impl Served for FusedAttentionOp {
+    fn extract(req: OpRequest) -> Vec<AttnHead> {
+        match req {
+            OpRequest::FusedAttention(heads) => heads,
+            _ => unreachable!("kind-matched batch"),
+        }
+    }
+
+    fn peek(req: &OpRequest) -> &Vec<AttnHead> {
+        match req {
+            OpRequest::FusedAttention(heads) => heads,
+            _ => unreachable!("kind-matched batch"),
+        }
+    }
+
+    fn wrap(out: Vec<Dense>) -> OpOutput {
+        OpOutput::Heads(out)
+    }
+}
+
+impl Served for FusedSageOp {
+    fn extract(req: OpRequest) -> (Dense, Dense) {
+        match req {
+            OpRequest::FusedSage(pair) => pair,
+            _ => unreachable!("kind-matched batch"),
+        }
+    }
+
+    fn peek(req: &OpRequest) -> &(Dense, Dense) {
+        match req {
+            OpRequest::FusedSage(pair) => pair,
+            _ => unreachable!("kind-matched batch"),
+        }
+    }
+
+    fn wrap(out: Dense) -> OpOutput {
+        OpOutput::Dense(out)
+    }
+}
+
 fn worker_loop(shared: &Shared) {
     loop {
         // A panic anywhere in a tick — including the injected lock-held
@@ -673,10 +788,15 @@ fn drain_batch(queue: &mut VecDeque<QueueItem>, first: Job, max_batch: usize) ->
     }
     let mut i = 0;
     while i < queue.len() && batch.len() < max_batch {
+        // Pairwise against the whole batch, not just the head: batching
+        // contracts need not be transitive (a 0-head fused-attention
+        // request rides with any shape, but must not bridge two
+        // incompatible shape groups into one launch).
         let compatible = matches!(
             &queue[i],
             QueueItem::Job(job)
-                if batch[0].adj.batches_with(&job.adj) && batch[0].req.can_batch_with(&job.req)
+                if batch[0].adj.batches_with(&job.adj)
+                    && batch.iter().all(|b| b.req.can_batch_with(&job.req))
         );
         if compatible {
             match queue.remove(i) {
@@ -697,6 +817,8 @@ fn serve_batch(shared: &Shared, batch: Vec<Job>) {
         OpRequest::Spmm(_) => serve_as::<SpmmOp>(shared, batch),
         OpRequest::Sddmm(_) => serve_as::<SddmmOp>(shared, batch),
         OpRequest::Attention(_) => serve_as::<AttentionOp>(shared, batch),
+        OpRequest::FusedAttention(_) => serve_as::<FusedAttentionOp>(shared, batch),
+        OpRequest::FusedSage(_) => serve_as::<FusedSageOp>(shared, batch),
     }
 }
 
@@ -754,7 +876,7 @@ where
 {
     let shape = O::shape_of(O::peek(&batch[0].req));
     let adj = batch[0].adj.clone();
-    shared.stats.record_batch(batch.len());
+    shared.stats.record_batch(O::kind(), batch.len());
     let mut replies = Vec::with_capacity(batch.len());
     let mut reqs = Vec::with_capacity(batch.len());
     for job in batch {

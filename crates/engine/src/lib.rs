@@ -10,10 +10,17 @@
 //!
 //! * **One generic request path for every op**: requests are the
 //!   [`OpRequest`] enum over the kernel crate's
-//!   [`SparseOp`](sparsetir_kernels::op::SparseOp) layer — SpMM, SDDMM
-//!   and multi-head attention all submit, batch, tune and answer through
-//!   the same machinery ([`Engine::submit`] → [`Ticket`] → [`OpOutput`]),
-//!   with thin typed wrappers for ergonomics.
+//!   [`SparseOp`](sparsetir_kernels::op::SparseOp) layer — SpMM, SDDMM,
+//!   multi-head attention, the cross-op fused attention pipeline and the
+//!   fused GraphSAGE layer step all submit, batch, tune and answer
+//!   through the same machinery ([`Engine::submit`] → [`Ticket`] →
+//!   [`OpOutput`]), with thin typed wrappers for ergonomics.
+//! * **Cross-op fusion with a kill switch**: [`EngineConfig::fuse`]
+//!   selects whether fused ops compile their whole pipeline into one
+//!   kernel or fall back to the multi-launch path (`None` follows the
+//!   `SPARSETIR_NO_FUSE` environment variable). The flag is baked into
+//!   the engine's shared runtime, so toggling it recompiles rather than
+//!   serving stale cached kernels.
 //! * **One shared [`Runtime`](sparsetir_ir::exec::Runtime) and an
 //!   op-agnostic [`TuneCache`](sparsetir_autotune::TuneCache)** per
 //!   engine: every worker compiles through the same striped kernel cache
@@ -47,4 +54,4 @@ mod stats;
 pub use engine::{
     Adjacency, Engine, EngineConfig, EngineError, OpOutput, OpRequest, Ticket, DEFAULT_QUEUE_DEPTH,
 };
-pub use stats::EngineStats;
+pub use stats::{EngineStats, OpBatchWidth};

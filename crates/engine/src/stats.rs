@@ -3,6 +3,20 @@
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
+/// Every op kind the engine can dispatch, in snapshot order. The
+/// per-kind width histogram is a fixed array of atomics (no locks on the
+/// serving path); an unknown kind tag falls through to the global
+/// counters only.
+const OP_KINDS: [&str; 5] = ["spmm", "sddmm", "attention", "fused_attention", "fused_sage"];
+
+/// Per-kind batch-width counters (one slot per [`OP_KINDS`] entry).
+#[derive(Default)]
+struct KindWidths {
+    batches: AtomicU64,
+    width_sum: AtomicU64,
+    max_width: AtomicUsize,
+}
+
 /// Atomic counter block shared by the engine's submitters and workers.
 #[derive(Default)]
 pub(crate) struct StatsInner {
@@ -17,6 +31,7 @@ pub(crate) struct StatsInner {
     pub latency_ns_sum: AtomicU64,
     pub latency_ns_max: AtomicU64,
     pub worker_panics: AtomicU64,
+    kind_widths: [KindWidths; OP_KINDS.len()],
 }
 
 impl StatsInner {
@@ -25,16 +40,33 @@ impl StatsInner {
         self.latency_ns_max.fetch_max(ns, Ordering::Relaxed);
     }
 
-    pub fn record_batch(&self, size: usize) {
+    pub fn record_batch(&self, kind: &str, size: usize) {
         self.batches.fetch_add(1, Ordering::Relaxed);
         if size > 1 {
             self.batched_requests.fetch_add(size as u64, Ordering::Relaxed);
         }
         self.max_batch.fetch_max(size, Ordering::Relaxed);
+        if let Some(slot) = OP_KINDS.iter().position(|k| *k == kind) {
+            let w = &self.kind_widths[slot];
+            w.batches.fetch_add(1, Ordering::Relaxed);
+            w.width_sum.fetch_add(size as u64, Ordering::Relaxed);
+            w.max_width.fetch_max(size, Ordering::Relaxed);
+        }
     }
 
     pub fn snapshot(&self) -> EngineStats {
         let completed = self.completed.load(Ordering::Relaxed);
+        let op_widths = OP_KINDS
+            .iter()
+            .zip(&self.kind_widths)
+            .map(|(kind, w)| OpBatchWidth {
+                kind,
+                batches: w.batches.load(Ordering::Relaxed),
+                width_sum: w.width_sum.load(Ordering::Relaxed),
+                max_width: w.max_width.load(Ordering::Relaxed),
+            })
+            .filter(|w| w.batches > 0)
+            .collect();
         EngineStats {
             submitted: self.submitted.load(Ordering::Relaxed),
             completed,
@@ -47,6 +79,34 @@ impl StatsInner {
             latency_ns_sum: self.latency_ns_sum.load(Ordering::Relaxed),
             latency_ns_max: self.latency_ns_max.load(Ordering::Relaxed),
             worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            op_widths,
+        }
+    }
+}
+
+/// Served-batch-width histogram of one op kind: how many kernel
+/// dispatches that kind got and how wide they were — the batching-
+/// efficacy signal per op, not just globally.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OpBatchWidth {
+    /// Op kind tag (`"spmm"`, `"fused_attention"`, …).
+    pub kind: &'static str,
+    /// Kernel dispatches of this kind.
+    pub batches: u64,
+    /// Total requests over those dispatches (`Σ` batch widths).
+    pub width_sum: u64,
+    /// Widest single dispatch.
+    pub max_width: usize,
+}
+
+impl OpBatchWidth {
+    /// Mean served batch width (0 when this kind never dispatched).
+    #[must_use]
+    pub fn mean_width(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.width_sum as f64 / self.batches as f64
         }
     }
 }
@@ -79,6 +139,9 @@ pub struct EngineStats {
     /// [`EngineError::Exec`](crate::EngineError::Exec) and the worker
     /// keeps serving; the queue mutex recovers from the poisoning).
     pub worker_panics: u64,
+    /// Per-op-kind served-batch-width histogram (kinds that never
+    /// dispatched are omitted).
+    pub op_widths: Vec<OpBatchWidth>,
 }
 
 impl EngineStats {
@@ -103,5 +166,11 @@ impl EngineStats {
         } else {
             self.batched_requests as f64 / answered as f64
         }
+    }
+
+    /// The width histogram of one op kind, if it ever dispatched.
+    #[must_use]
+    pub fn widths_of(&self, kind: &str) -> Option<&OpBatchWidth> {
+        self.op_widths.iter().find(|w| w.kind == kind)
     }
 }

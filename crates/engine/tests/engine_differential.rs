@@ -8,8 +8,10 @@
 
 use proptest::prelude::*;
 use sparsetir_engine::{Adjacency, Engine, EngineConfig};
+use sparsetir_ir::exec::Runtime;
 use sparsetir_kernels::prelude::{
-    csr_spmm_execute, sddmm_batched_execute, sddmm_execute, spmm_batched_execute, SpmmConfig,
+    attention_pipeline_launch, csr_spmm_execute, sddmm_batched_execute, sddmm_execute,
+    spmm_batched_execute, AttnHead, SpmmConfig,
 };
 use sparsetir_smat::prelude::*;
 
@@ -87,7 +89,7 @@ fn assert_bits_eq(got: &[f32], want: &[f32], tag: &str) -> Result<(), TestCaseEr
 }
 
 fn test_engine() -> Engine {
-    Engine::new(EngineConfig { workers: 2, queue_depth: 16, max_batch: 8, tune: false })
+    Engine::new(EngineConfig { workers: 2, queue_depth: 16, max_batch: 8, tune: false, fuse: None })
 }
 
 proptest! {
@@ -216,5 +218,106 @@ proptest! {
         let stats = engine.stats();
         prop_assert_eq!(stats.completed, reqs.len() as u64);
         prop_assert_eq!(stats.failed, 0);
+    }
+}
+
+/// Strategy: per-request fused-attention shapes `(heads, k, vfeat)`.
+/// Head counts include 0 (legal, splits back to an empty result); the
+/// `(k, vfeat)` pairs vary across requests so incompatible requests must
+/// dispatch separately rather than cross-batch.
+fn fused_attn_shapes() -> impl Strategy<Value = Vec<(usize, usize, usize)>> {
+    proptest::collection::vec(
+        (prop_oneof![Just(0usize), Just(1usize), 2usize..4], 1usize..4, 1usize..4),
+        1..5,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The fused-attention serving path vs the sequential three-launch
+    /// oracle: over random adjacencies (empty rows appear by
+    /// construction), 0-head requests, and mixed per-request head counts
+    /// and `(k, vfeat)` shapes, every head the batched fused engine
+    /// answers must be bit-identical to its own unbatched three-launch
+    /// pipeline run. Cross-op fusion and batching must both be pure
+    /// performance transformations.
+    #[test]
+    fn engine_fused_attention_matches_three_launch_oracle(
+        a in sparse_matrix(12, 36),
+        shapes in fused_attn_shapes(),
+        seed in 0u64..1 << 32,
+    ) {
+        let mut rng = gen::rng(seed);
+        let reqs: Vec<Vec<AttnHead>> = shapes
+            .iter()
+            .map(|&(heads, k, vfeat)| {
+                (0..heads)
+                    .map(|_| AttnHead {
+                        q: gen::random_dense(a.rows(), k, &mut rng),
+                        kt: gen::random_dense(k, a.cols(), &mut rng),
+                        v: gen::random_dense(a.cols(), vfeat, &mut rng),
+                    })
+                    .collect()
+            })
+            .collect();
+        let adj = Adjacency::new(a.clone());
+        let engine = Engine::new(EngineConfig {
+            workers: 2,
+            queue_depth: 16,
+            max_batch: 8,
+            tune: false,
+            fuse: Some(true),
+        });
+        let tickets: Vec<_> = reqs
+            .iter()
+            .map(|heads| engine.submit_fused_attention(&adj, heads.clone()).expect("submits"))
+            .collect();
+        let oracle_rt = Runtime::new();
+        for (i, (heads, t)) in reqs.iter().zip(tickets).enumerate() {
+            let got = t.wait_heads().expect("engine answers");
+            prop_assert_eq!(got.len(), heads.len());
+            for (h, (head, out)) in heads.iter().zip(&got).enumerate() {
+                let want =
+                    attention_pipeline_launch(&oracle_rt, &a, &head.q, &head.kt, &head.v, 1)
+                        .expect("three-launch oracle");
+                assert_bit_identical(out, &want, &format!("request {i} head {h}"))?;
+            }
+        }
+        let stats = engine.stats();
+        prop_assert_eq!(stats.completed, reqs.len() as u64);
+        prop_assert_eq!(stats.failed, 0);
+        // Requests with distinct (k, vfeat) shapes must not have shared a
+        // launch: the widest recorded fused-attention batch is bounded by
+        // the largest same-shape group (0-head requests ride with any
+        // group, so they relax the bound).
+        let distinct: std::collections::HashSet<(usize, usize)> = shapes
+            .iter()
+            .filter(|s| s.0 > 0)
+            .map(|&(_, k, v)| (k, v))
+            .collect();
+        if let Some(w) = stats.widths_of("fused_attention") {
+            let zero_heads = shapes.iter().filter(|s| s.0 == 0).count();
+            let largest_group = shapes
+                .iter()
+                .filter(|s| s.0 > 0)
+                .map(|&(_, k, v)| (k, v))
+                .fold(std::collections::HashMap::new(), |mut m, kv| {
+                    *m.entry(kv).or_insert(0usize) += 1;
+                    m
+                })
+                .into_values()
+                .max()
+                .unwrap_or(0);
+            prop_assert!(
+                w.max_width <= largest_group + zero_heads,
+                "incompatible shapes cross-batched: max_width {} vs {} same-shape + {} zero-head \
+                 (distinct shapes: {:?})",
+                w.max_width,
+                largest_group,
+                zero_heads,
+                distinct
+            );
+        }
     }
 }

@@ -3,7 +3,11 @@
 //! validation, drain-on-shutdown, and the tuned configuration path.
 
 use sparsetir_engine::{Adjacency, Engine, EngineConfig, EngineError};
-use sparsetir_kernels::prelude::{sddmm_execute, tuned_spmm_execute, SpmmConfig};
+use sparsetir_ir::exec::Runtime;
+use sparsetir_kernels::prelude::{
+    attention_pipeline_launch, fused_sage_pipeline_launch, sddmm_execute, tuned_spmm_execute,
+    AttnHead, SpmmConfig,
+};
 use sparsetir_smat::prelude::*;
 use std::sync::Arc;
 
@@ -68,8 +72,13 @@ fn queued_requests_batch_and_stay_bit_identical() {
     let small = power_law_csr(64, 32);
     let adj_big = Adjacency::new(big);
     let adj = Adjacency::new(small.clone());
-    let engine =
-        Engine::new(EngineConfig { workers: 1, queue_depth: 64, max_batch: 8, tune: false });
+    let engine = Engine::new(EngineConfig {
+        workers: 1,
+        queue_depth: 64,
+        max_batch: 8,
+        tune: false,
+        fuse: None,
+    });
     let mut rng = gen::rng(33);
     // Occupy the single worker with a heavyweight request (compile +
     // run is milliseconds; the submissions below are microseconds).
@@ -98,8 +107,13 @@ fn queued_requests_batch_and_stay_bit_identical() {
 fn try_submit_saturates_on_a_full_queue() {
     let big = power_law_csr(1500, 41);
     let adj_big = Adjacency::new(big.clone());
-    let engine =
-        Engine::new(EngineConfig { workers: 1, queue_depth: 1, max_batch: 1, tune: false });
+    let engine = Engine::new(EngineConfig {
+        workers: 1,
+        queue_depth: 1,
+        max_batch: 1,
+        tune: false,
+        fuse: None,
+    });
     let mut rng = gen::rng(42);
     // First request occupies the worker for milliseconds; second fills
     // the depth-1 queue; the third must bounce.
@@ -140,8 +154,13 @@ fn shutdown_drains_pending_requests() {
     let mut rng = gen::rng(61);
     let a = gen::random_csr(40, 40, 0.15, &mut rng);
     let adj = Adjacency::new(a.clone());
-    let engine =
-        Engine::new(EngineConfig { workers: 1, queue_depth: 64, max_batch: 4, tune: false });
+    let engine = Engine::new(EngineConfig {
+        workers: 1,
+        queue_depth: 64,
+        max_batch: 4,
+        tune: false,
+        fuse: None,
+    });
     let xs: Vec<Dense> = (0..5).map(|_| gen::random_dense(40, 3, &mut rng)).collect();
     let tickets: Vec<_> =
         xs.iter().map(|x| engine.submit_spmm(&adj, x.clone()).expect("submits")).collect();
@@ -166,6 +185,7 @@ fn concurrent_clients_get_their_own_answers() {
         queue_depth: 32,
         max_batch: 8,
         tune: false,
+        fuse: None,
     }));
     let a = Arc::new(a);
     std::thread::scope(|s| {
@@ -204,8 +224,13 @@ fn concurrent_clients_get_their_own_answers() {
 fn tuned_engine_caches_one_decision_per_adjacency() {
     let a = power_law_csr(300, 81);
     let adj = Adjacency::new(a.clone());
-    let engine =
-        Engine::new(EngineConfig { workers: 1, queue_depth: 16, max_batch: 4, tune: true });
+    let engine = Engine::new(EngineConfig {
+        workers: 1,
+        queue_depth: 16,
+        max_batch: 4,
+        tune: true,
+        fuse: None,
+    });
     let mut rng = gen::rng(82);
     for _ in 0..3 {
         let x = gen::random_dense(300, 8, &mut rng);
@@ -224,8 +249,13 @@ fn repeated_requests_reuse_compiled_kernels() {
     let mut rng = gen::rng(91);
     let a = gen::random_csr(32, 32, 0.2, &mut rng);
     let adj = Adjacency::new(a);
-    let engine =
-        Engine::new(EngineConfig { workers: 1, queue_depth: 16, max_batch: 1, tune: false });
+    let engine = Engine::new(EngineConfig {
+        workers: 1,
+        queue_depth: 16,
+        max_batch: 1,
+        tune: false,
+        fuse: None,
+    });
     for _ in 0..4 {
         let x = gen::random_dense(32, 4, &mut rng);
         engine.spmm(&adj, x).expect("serves");
@@ -284,8 +314,13 @@ fn engine_survives_injected_worker_panic() {
     let mut rng = gen::rng(111);
     let a = gen::random_csr(24, 24, 0.2, &mut rng);
     let adj = Adjacency::new(a.clone());
-    let engine =
-        Engine::new(EngineConfig { workers: 1, queue_depth: 16, max_batch: 4, tune: false });
+    let engine = Engine::new(EngineConfig {
+        workers: 1,
+        queue_depth: 16,
+        max_batch: 4,
+        tune: false,
+        fuse: None,
+    });
     // A request before the crash proves the worker was healthy.
     let x0 = gen::random_dense(24, 3, &mut rng);
     assert!(engine.spmm(&adj, x0).is_ok());
@@ -320,6 +355,7 @@ fn concurrent_submits_survive_worker_panic() {
         queue_depth: 16,
         max_batch: 4,
         tune: false,
+        fuse: None,
     }));
     engine.inject_worker_panic();
     std::thread::scope(|s| {
@@ -350,8 +386,13 @@ fn queued_sddmm_requests_batch_and_stay_bit_identical() {
     let small = power_law_csr(48, 132);
     let adj_big = Adjacency::new(big);
     let adj = Adjacency::new(small.clone());
-    let engine =
-        Engine::new(EngineConfig { workers: 1, queue_depth: 64, max_batch: 8, tune: false });
+    let engine = Engine::new(EngineConfig {
+        workers: 1,
+        queue_depth: 64,
+        max_batch: 8,
+        tune: false,
+        fuse: None,
+    });
     let mut rng = gen::rng(133);
     let plug = engine
         .submit_spmm(&adj_big, gen::random_dense(adj_big.csr().cols(), 32, &mut rng))
@@ -387,8 +428,13 @@ fn incompatible_requests_do_not_batch() {
     let small = power_law_csr(32, 142);
     let adj_big = Adjacency::new(big);
     let adj = Adjacency::new(small.clone());
-    let engine =
-        Engine::new(EngineConfig { workers: 1, queue_depth: 64, max_batch: 8, tune: false });
+    let engine = Engine::new(EngineConfig {
+        workers: 1,
+        queue_depth: 64,
+        max_batch: 8,
+        tune: false,
+        fuse: None,
+    });
     let mut rng = gen::rng(143);
     let plug = engine
         .submit_spmm(&adj_big, gen::random_dense(adj_big.csr().cols(), 32, &mut rng))
@@ -415,4 +461,123 @@ fn incompatible_requests_do_not_batch() {
     // plug + three incompatible dispatches = four separate batches.
     assert_eq!(stats.batches, 4, "{stats:?}");
     assert_eq!(stats.max_batch, 1, "{stats:?}");
+}
+
+fn random_head(a: &Csr, k: usize, vfeat: usize, rng: &mut rand::rngs::SmallRng) -> AttnHead {
+    AttnHead {
+        q: gen::random_dense(a.rows(), k, rng),
+        kt: gen::random_dense(k, a.cols(), rng),
+        v: gen::random_dense(a.cols(), vfeat, rng),
+    }
+}
+
+/// The fused ops serve through the same generic path as everything else,
+/// and their answers are bit-identical to the multi-launch pipeline run
+/// outside the engine — serving adds batching, not rounding.
+#[test]
+fn served_fused_ops_match_their_pipeline_oracles() {
+    let mut rng = gen::rng(151);
+    let a = gen::random_csr(24, 20, 0.2, &mut rng);
+    let adj = Adjacency::new(a.clone());
+    let engine = Engine::new(EngineConfig { fuse: Some(true), ..EngineConfig::default() });
+
+    let head = random_head(&a, 4, 3, &mut rng);
+    let got = engine.fused_attention(&adj, vec![head.clone()]).expect("serves");
+    assert_eq!(got.len(), 1);
+    let oracle = attention_pipeline_launch(&Runtime::new(), &a, &head.q, &head.kt, &head.v, 1)
+        .expect("pipeline oracle");
+    assert!(bit_eq(&got[0], &oracle), "served fused attention must match the three-launch oracle");
+
+    let x = gen::random_dense(20, 5, &mut rng);
+    let w = gen::random_dense(5, 3, &mut rng);
+    let sage = engine.fused_sage(&adj, x.clone(), w.clone()).expect("serves");
+    let sage_oracle =
+        fused_sage_pipeline_launch(&Runtime::new(), &a, &x, &w).expect("pipeline oracle");
+    assert!(bit_eq(&sage, &sage_oracle), "served fused sage must match the two-launch oracle");
+
+    let stats = engine.stats();
+    assert_eq!(stats.widths_of("fused_attention").map(|h| h.batches), Some(1));
+    assert_eq!(stats.widths_of("fused_sage").map(|h| h.batches), Some(1));
+}
+
+/// Toggling [`EngineConfig::fuse`] must *recompile* through the fresh
+/// runtime rather than serve a stale cached kernel: the fused engine
+/// caches one cross-op kernel, the unfused engine caches the pipeline's
+/// three, and both answer bit-identically.
+#[test]
+fn engine_fuse_toggle_recompiles_instead_of_serving_stale_kernels() {
+    let mut rng = gen::rng(161);
+    let a = gen::random_csr(20, 18, 0.25, &mut rng);
+    let adj = Adjacency::new(a.clone());
+    let head = random_head(&a, 3, 2, &mut rng);
+
+    let fused = Engine::new(EngineConfig { fuse: Some(true), ..EngineConfig::default() });
+    let unfused = Engine::new(EngineConfig { fuse: Some(false), ..EngineConfig::default() });
+    assert!(fused.runtime().fusion());
+    assert!(!unfused.runtime().fusion());
+
+    let yes = fused.fused_attention(&adj, vec![head.clone()]).expect("serves");
+    let no = unfused.fused_attention(&adj, vec![head.clone()]).expect("serves");
+    assert_eq!(fused.runtime().cached(), 1, "fused path is one cross-op kernel");
+    assert_eq!(unfused.runtime().cached(), 3, "unfused path is the three-launch pipeline");
+    assert!(bit_eq(&yes[0], &no[0]), "both modes must agree bit-for-bit");
+
+    // Re-serving hits each engine's cache: no recompilation either way.
+    fused.fused_attention(&adj, vec![head.clone()]).expect("serves");
+    unfused.fused_attention(&adj, vec![head]).expect("serves");
+    assert_eq!(fused.runtime().compilations(), 1);
+    assert_eq!(unfused.runtime().compilations(), 3);
+}
+
+/// Fused attention requests queued behind a busy worker fold into one
+/// widened launch — but only compatible `(k, vfeat)` shapes share it —
+/// and the per-op-kind width histogram records exactly that.
+#[test]
+fn queued_fused_attention_batches_and_the_width_histogram_records_it() {
+    let big = power_law_csr(1500, 171);
+    let small = power_law_csr(48, 172);
+    let adj_big = Adjacency::new(big);
+    let adj = Adjacency::new(small.clone());
+    let engine = Engine::new(EngineConfig {
+        workers: 1,
+        queue_depth: 64,
+        max_batch: 8,
+        tune: false,
+        fuse: Some(true),
+    });
+    let mut rng = gen::rng(173);
+    let plug = engine
+        .submit_spmm(&adj_big, gen::random_dense(adj_big.csr().cols(), 32, &mut rng))
+        .expect("submits");
+    // Two compatible (k=2, vfeat=2) requests plus one incompatible
+    // (k=3, vfeat=2): the pair must share a launch, the odd one out must
+    // dispatch alone.
+    let reqs: Vec<Vec<AttnHead>> = vec![
+        vec![random_head(&small, 2, 2, &mut rng)],
+        vec![random_head(&small, 2, 2, &mut rng), random_head(&small, 2, 2, &mut rng)],
+        vec![random_head(&small, 3, 2, &mut rng)],
+    ];
+    let tickets: Vec<_> = reqs
+        .iter()
+        .map(|heads| engine.submit_fused_attention(&adj, heads.clone()).expect("submits"))
+        .collect();
+    plug.wait_dense().expect("plug completes");
+    for (heads, t) in reqs.iter().zip(tickets) {
+        let got = t.wait_heads().expect("completes");
+        assert_eq!(got.len(), heads.len());
+        for (head, out) in heads.iter().zip(&got) {
+            let want =
+                attention_pipeline_launch(&Runtime::new(), &small, &head.q, &head.kt, &head.v, 1)
+                    .expect("pipeline oracle");
+            assert!(bit_eq(out, &want), "batched fused attention must match the oracle");
+        }
+    }
+    let stats = engine.stats();
+    let widths = stats.widths_of("fused_attention").expect("histogram has the kind");
+    assert_eq!(widths.batches, 2, "compatible pair + lone incompatible: {stats:?}");
+    assert_eq!(widths.width_sum, 3);
+    assert_eq!(widths.max_width, 2);
+    assert!((widths.mean_width() - 1.5).abs() < 1e-9);
+    let spmm = stats.widths_of("spmm").expect("the plug was an spmm");
+    assert_eq!((spmm.batches, spmm.max_width), (1, 1));
 }

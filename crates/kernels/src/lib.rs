@@ -21,6 +21,8 @@
 
 pub mod attention;
 pub mod common;
+pub mod fused_attention;
+pub mod fused_sage;
 pub mod fusedmm;
 pub mod op;
 pub mod prune;
@@ -36,9 +38,19 @@ pub mod prelude {
         batched_csr_spmm_plan, batched_spmm_reference, SPARSETIR_BSR_EFFICIENCY,
     };
     pub use crate::common::{gemm_plan, SpmmCost, SpmmLayout, F16, F32};
+    pub use crate::fused_attention::{
+        attention_aggregate_ir, attention_pipeline_launch, attention_score_ir, edge_softmax_ir,
+        fused_attention_execute_on, fused_attention_ir, fused_attention_launch,
+        fused_attention_plans, fused_attention_reference,
+    };
+    pub use crate::fused_sage::{
+        fused_sage_execute_on, fused_sage_ir, fused_sage_launch, fused_sage_pipeline_launch,
+        fused_sage_reference, inverse_degrees,
+    };
     pub use crate::fusedmm::{fusedmm_execute, fusedmm_plan, fusedmm_reference, unfused_plans};
     pub use crate::op::{
-        AttentionOp, AttentionOpConfig, OpConfig, OpError, RgmsOp, RgmsOperands, SddmmOp,
+        AttentionOp, AttentionOpConfig, AttnHead, FusedAttentionConfig, FusedAttentionOp,
+        FusedSageConfig, FusedSageOp, OpConfig, OpError, RgmsOp, RgmsOperands, SddmmOp,
         SddmmStacked, SparseOp, SpmmOp,
     };
     pub use crate::prune::{

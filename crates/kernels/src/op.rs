@@ -37,6 +37,11 @@
 //!   shared coordinate walk across the batch.
 
 use crate::attention::{batched_bsr_spmm_plan, batched_csr_spmm_plan, SPARSETIR_BSR_EFFICIENCY};
+use crate::common::{gemm_plan, F32};
+use crate::fused_attention::{
+    fused_attention_execute_on, fused_attention_plans, fused_attention_reference,
+};
+use crate::fused_sage::{fused_sage_execute_on, fused_sage_reference};
 use crate::rgms::{rgms_hyb_plan, rgms_naive_plan, RgmsWorkload};
 use crate::sddmm::{sddmm_execute_on, sddmm_plan, SddmmParams};
 use crate::spmm::{tuned_spmm_execute_on, tuned_spmm_plans, SpmmConfig};
@@ -217,6 +222,10 @@ pub enum OpConfig {
     Attention(AttentionOpConfig),
     /// RGMS bucket exponent.
     Rgms(u32),
+    /// Cross-op fused attention decision.
+    FusedAttention(FusedAttentionConfig),
+    /// Cross-op fused GraphSAGE-step decision.
+    FusedSage(FusedSageConfig),
 }
 
 macro_rules! op_config_conversions {
@@ -244,6 +253,8 @@ op_config_conversions!(Spmm, SpmmConfig);
 op_config_conversions!(Sddmm, SddmmParams);
 op_config_conversions!(Attention, AttentionOpConfig);
 op_config_conversions!(Rgms, u32);
+op_config_conversions!(FusedAttention, FusedAttentionConfig);
+op_config_conversions!(FusedSage, FusedSageConfig);
 
 // ---------------------------------------------------------------------------
 // Column stacking (shared by SpMM and multi-head attention)
@@ -772,6 +783,318 @@ impl SparseOp for RgmsOp {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Cross-op fused attention (SDDMM → edge-softmax → SpMM, one kernel)
+// ---------------------------------------------------------------------------
+
+/// One attention head's operands: query, transposed key and value
+/// projections against the shared mask.
+#[derive(Debug, Clone)]
+pub struct AttnHead {
+    /// Queries (`rows × k`).
+    pub q: Dense,
+    /// Transposed keys (`k × cols`).
+    pub kt: Dense,
+    /// Values (`cols × vfeat`).
+    pub v: Dense,
+}
+
+/// The widened form of a fused-attention batch: every head of every
+/// request stacked into the batched-SDDMM operand layout
+/// ([`crate::fused_attention`] module docs).
+pub struct FusedAttnStacked {
+    /// Column-stacked queries (`rows × heads·k`).
+    pub q: Dense,
+    /// Row-stacked transposed keys (`heads·k × cols`).
+    pub kt: Dense,
+    /// Column-stacked values (`cols × heads·vfeat`).
+    pub v: Dense,
+    /// Total folded heads.
+    pub heads: usize,
+}
+
+/// Configuration of the fused attention operator: the score phase's
+/// SDDMM schedule plus the aggregation phase's SpMM schedule (the two
+/// flop-dominant phases its [`plans`](SparseOp::plans) face prices).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FusedAttentionConfig {
+    /// Score-phase (SDDMM) schedule.
+    pub sddmm: SddmmParams,
+    /// Aggregation-phase (SpMM) schedule.
+    pub spmm: SpmmConfig,
+}
+
+impl Default for FusedAttentionConfig {
+    fn default() -> FusedAttentionConfig {
+        FusedAttentionConfig { sddmm: SddmmParams::default(), spmm: SpmmConfig::default_csr() }
+    }
+}
+
+/// The whole sparse-attention pipeline (score SDDMM → edge-softmax →
+/// aggregation SpMM) as **one** [`SparseOp`] served by a single fused
+/// kernel launch ([`crate::fused_attention::fused_attention_launch`];
+/// the `SPARSETIR_NO_FUSE` kill switch falls back to the bit-identical
+/// three-launch pipeline). A request is a list of [`AttnHead`]s sharing
+/// one mask; requests batch when their per-head shapes `(k, vfeat)`
+/// agree — every head of every folded request rides the same widened
+/// launch, inside the same fused non-zero walk (the PR 5 multi-head
+/// batching contract), and each `(non-zero, head)` pair keeps exactly
+/// its unbatched reduction order, so batching is bit-identical.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FusedAttentionOp;
+
+/// Per-head `(k, vfeat)` shape of a request, `None` when it has no heads
+/// (0-head requests are compatible with anything — they contribute
+/// nothing to a stacked launch).
+fn attn_head_shape(req: &[AttnHead]) -> Option<(usize, usize)> {
+    req.first().map(|h| (h.q.cols(), h.v.cols()))
+}
+
+impl SparseOp for FusedAttentionOp {
+    type Adj = Csr;
+    type Operands = Vec<AttnHead>;
+    type Output = Vec<Dense>;
+    type Config = FusedAttentionConfig;
+    type Stacked = FusedAttnStacked;
+    type Wide = Dense;
+
+    fn kind() -> &'static str {
+        "fused_attention"
+    }
+
+    fn default_config() -> FusedAttentionConfig {
+        FusedAttentionConfig::default()
+    }
+
+    fn sparsity(adj: &Csr) -> SparsityFingerprint {
+        SparsityFingerprint::of(adj)
+    }
+
+    fn shape_of(req: &Vec<AttnHead>) -> Vec<usize> {
+        let (k, vfeat) = attn_head_shape(req).unwrap_or((0, 0));
+        vec![k, vfeat, req.len()]
+    }
+
+    fn validate(adj: &Csr, req: &Vec<AttnHead>) -> Result<(), String> {
+        let shape = attn_head_shape(req);
+        for (h, head) in req.iter().enumerate() {
+            if head.q.rows() != adj.rows()
+                || head.kt.rows() != head.q.cols()
+                || head.kt.cols() != adj.cols()
+                || head.v.rows() != adj.cols()
+            {
+                return Err(format!(
+                    "head {h}: q {}x{}, kt {}x{}, v {}x{} incompatible with {}x{} adjacency",
+                    head.q.rows(),
+                    head.q.cols(),
+                    head.kt.rows(),
+                    head.kt.cols(),
+                    head.v.rows(),
+                    head.v.cols(),
+                    adj.rows(),
+                    adj.cols()
+                ));
+            }
+            if shape != Some((head.q.cols(), head.v.cols())) {
+                return Err(format!(
+                    "head {h}: shape ({}, {}) differs from head 0's {:?} — all heads of one \
+                     request must share (k, vfeat)",
+                    head.q.cols(),
+                    head.v.cols(),
+                    shape
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn plans(
+        adj: &Csr,
+        shape: &[usize],
+        config: &FusedAttentionConfig,
+        _name: &str,
+    ) -> Vec<KernelPlan> {
+        let k = shape.first().copied().unwrap_or(1).max(1);
+        let vfeat = shape.get(1).copied().unwrap_or(1).max(1);
+        let heads = shape.get(2).copied().unwrap_or(1).max(1);
+        fused_attention_plans(adj, heads, k, vfeat, config.sddmm)
+    }
+
+    fn can_batch(lhs: &Vec<AttnHead>, rhs: &Vec<AttnHead>) -> bool {
+        // One widened launch needs a single rectangular (k, vfeat); 0-head
+        // requests ride along with anything.
+        match (attn_head_shape(lhs), attn_head_shape(rhs)) {
+            (Some(l), Some(r)) => l == r,
+            _ => true,
+        }
+    }
+
+    fn stack(adj: &Csr, reqs: &[Vec<AttnHead>]) -> Result<FusedAttnStacked, OpError> {
+        let heads: Vec<&AttnHead> = reqs.iter().flatten().collect();
+        let shapes: Vec<(usize, usize)> = heads.iter().map(|h| (h.q.cols(), h.v.cols())).collect();
+        if shapes.windows(2).any(|w| w[0] != w[1]) {
+            return Err("fused attention: mixed (k, vfeat) shapes in one stacked launch".into());
+        }
+        let k = shapes.first().map_or(0, |s| s.0);
+        let q = stack_columns(adj.rows(), heads.iter().map(|h| &h.q));
+        let v = stack_columns(adj.cols(), heads.iter().map(|h| &h.v));
+        let mut kt = Dense::zeros(heads.len() * k, adj.cols());
+        for (h, head) in heads.iter().enumerate() {
+            for r in 0..k {
+                kt.row_mut(h * k + r).copy_from_slice(head.kt.row(r));
+            }
+        }
+        Ok(FusedAttnStacked { q, kt, v, heads: heads.len() })
+    }
+
+    fn launch(
+        rt: &Runtime,
+        adj: &Csr,
+        stacked: &FusedAttnStacked,
+        _config: &FusedAttentionConfig,
+    ) -> Result<Dense, OpError> {
+        if stacked.heads == 0 {
+            return Ok(Dense::zeros(adj.rows(), 0));
+        }
+        fused_attention_execute_on(rt, adj, &stacked.q, &stacked.kt, &stacked.v, stacked.heads)
+    }
+
+    fn split(wide: Dense, reqs: &[Vec<AttnHead>]) -> Vec<Vec<Dense>> {
+        let widths: Vec<usize> = reqs.iter().flatten().map(|h| h.v.cols()).collect();
+        let mut heads = split_columns(&wide, &widths).into_iter();
+        reqs.iter().map(|req| heads.by_ref().take(req.len()).collect()).collect()
+    }
+
+    fn launch_one(
+        rt: &Runtime,
+        adj: &Csr,
+        req: &Vec<AttnHead>,
+        config: &FusedAttentionConfig,
+    ) -> Result<Vec<Dense>, OpError> {
+        // A single multi-head request is already a widened launch over its
+        // heads — same stacking, so batched results stay bit-identical.
+        let stacked = Self::stack(adj, std::slice::from_ref(req))?;
+        let wide = Self::launch(rt, adj, &stacked, config)?;
+        let widths: Vec<usize> = req.iter().map(|h| h.v.cols()).collect();
+        Ok(split_columns(&wide, &widths))
+    }
+
+    fn reference(adj: &Csr, req: &Vec<AttnHead>) -> Result<Vec<Dense>, OpError> {
+        Ok(req.iter().map(|h| fused_attention_reference(adj, &h.q, &h.kt, &h.v, 1)).collect())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-op fused GraphSAGE step (gather → normalize → matmul, one kernel)
+// ---------------------------------------------------------------------------
+
+/// Configuration of the fused GraphSAGE-step operator. Wraps the
+/// aggregation phase's SpMM schedule (its own type so the kind-tagged
+/// [`OpConfig`] conversions stay unambiguous with [`OpConfig::Spmm`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FusedSageConfig {
+    /// Aggregation-phase (SpMM-shaped) schedule the plan face prices.
+    pub spmm: SpmmConfig,
+}
+
+impl Default for FusedSageConfig {
+    fn default() -> FusedSageConfig {
+        FusedSageConfig { spmm: SpmmConfig::default_csr() }
+    }
+}
+
+/// GraphSAGE's gather → degree-normalize → feature-matmul layer step as
+/// a [`SparseOp`] served by one fused kernel launch
+/// ([`crate::fused_sage::fused_sage_launch`]; `SPARSETIR_NO_FUSE` falls
+/// back to the bit-identical two-launch pipeline). A request is the
+/// `(features, weights)` pair of one layer; requests never batch (each
+/// already spans the whole graph, RGMS-style).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FusedSageOp;
+
+impl SparseOp for FusedSageOp {
+    type Adj = Csr;
+    type Operands = (Dense, Dense);
+    type Output = Dense;
+    type Config = FusedSageConfig;
+    type Stacked = ();
+    type Wide = Dense;
+
+    fn kind() -> &'static str {
+        "fused_sage"
+    }
+
+    fn default_config() -> FusedSageConfig {
+        FusedSageConfig::default()
+    }
+
+    fn sparsity(adj: &Csr) -> SparsityFingerprint {
+        SparsityFingerprint::of(adj)
+    }
+
+    fn shape_of(req: &(Dense, Dense)) -> Vec<usize> {
+        vec![req.0.cols(), req.1.cols()]
+    }
+
+    fn validate(adj: &Csr, (x, w): &(Dense, Dense)) -> Result<(), String> {
+        if x.rows() != adj.cols() || w.rows() != x.cols() {
+            return Err(format!(
+                "sage operands x {}x{}, w {}x{} incompatible with {}x{} adjacency",
+                x.rows(),
+                x.cols(),
+                w.rows(),
+                w.cols(),
+                adj.rows(),
+                adj.cols()
+            ));
+        }
+        Ok(())
+    }
+
+    fn plans(adj: &Csr, shape: &[usize], _config: &FusedSageConfig, name: &str) -> Vec<KernelPlan> {
+        let feat = shape.first().copied().unwrap_or(1).max(1);
+        let hidden = shape.get(1).copied().unwrap_or(1).max(1);
+        vec![
+            batched_csr_spmm_plan(adj, feat, 1, name),
+            gemm_plan(name, adj.rows(), hidden, feat, F32, false, 1.0),
+        ]
+    }
+
+    fn can_batch(_lhs: &(Dense, Dense), _rhs: &(Dense, Dense)) -> bool {
+        false
+    }
+
+    fn stack(_adj: &Csr, _reqs: &[(Dense, Dense)]) -> Result<(), OpError> {
+        Err("fused sage requests do not batch".into())
+    }
+
+    fn launch(
+        _rt: &Runtime,
+        _adj: &Csr,
+        _stacked: &(),
+        _config: &FusedSageConfig,
+    ) -> Result<Dense, OpError> {
+        Err("fused sage requests do not batch".into())
+    }
+
+    fn split(wide: Dense, _reqs: &[(Dense, Dense)]) -> Vec<Dense> {
+        vec![wide]
+    }
+
+    fn launch_one(
+        rt: &Runtime,
+        adj: &Csr,
+        (x, w): &(Dense, Dense),
+        _config: &FusedSageConfig,
+    ) -> Result<Dense, OpError> {
+        fused_sage_execute_on(rt, adj, x, w)
+    }
+
+    fn reference(adj: &Csr, (x, w): &(Dense, Dense)) -> Result<Dense, OpError> {
+        Ok(fused_sage_reference(adj, x, w))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -901,5 +1224,88 @@ mod tests {
         // The plan face covers both the naive and bucketed variants.
         assert!(!RgmsOp::plans(&w, &[6, 5, 0], &0, "naive").is_empty());
         assert!(!RgmsOp::plans(&w, &[6, 5, 1], &5, "hyb_tc").is_empty());
+    }
+
+    fn attn_req(a: &Csr, heads: usize, k: usize, vfeat: usize, seed: u64) -> Vec<AttnHead> {
+        let mut rng = gen::rng(seed);
+        (0..heads)
+            .map(|_| AttnHead {
+                q: gen::random_dense(a.rows(), k, &mut rng),
+                kt: gen::random_dense(k, a.cols(), &mut rng),
+                v: gen::random_dense(a.cols(), vfeat, &mut rng),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fused_attention_op_batch_is_bit_identical_to_singles() {
+        let mut rng = gen::rng(81);
+        let a = gen::random_csr(14, 12, 0.25, &mut rng);
+        // Mixed head counts (including a 0-head request) share one launch;
+        // (k, vfeat) agree across all of them.
+        let reqs: Vec<Vec<AttnHead>> =
+            vec![attn_req(&a, 2, 4, 3, 82), vec![], attn_req(&a, 1, 4, 3, 83)];
+        assert!(FusedAttentionOp::can_batch(&reqs[0], &reqs[1]));
+        assert!(FusedAttentionOp::can_batch(&reqs[0], &reqs[2]));
+        let rt = rt();
+        let config = FusedAttentionOp::default_config();
+        let batched = FusedAttentionOp::execute_batch_on(&rt, &a, &reqs, &config).unwrap();
+        assert_eq!(batched.len(), 3);
+        assert_eq!(batched[1].len(), 0);
+        for (req, got) in reqs.iter().zip(&batched) {
+            let solo = FusedAttentionOp::execute_on(&rt, &a, req, &config).unwrap();
+            for (g, s) in got.iter().zip(&solo) {
+                assert!(bit_eq(g.data(), s.data()), "batched must be bit-identical to solo");
+            }
+            // Softmax path: relative-epsilon against the f64 reference.
+            let want = FusedAttentionOp::reference(&a, req).unwrap();
+            for (g, w) in got.iter().zip(&want) {
+                assert!(g.approx_eq(w, 1e-4), "max |Δ| = {}", g.max_abs_diff(w));
+            }
+        }
+    }
+
+    #[test]
+    fn fused_attention_op_refuses_mixed_head_shapes() {
+        let mut rng = gen::rng(84);
+        let a = gen::random_csr(8, 8, 0.3, &mut rng);
+        let narrow = attn_req(&a, 1, 2, 3, 85);
+        let wide = attn_req(&a, 1, 4, 3, 86);
+        assert!(!FusedAttentionOp::can_batch(&narrow, &wide));
+        let err = FusedAttentionOp::execute_batch_on(
+            &rt(),
+            &a,
+            &[narrow, wide],
+            &FusedAttentionOp::default_config(),
+        )
+        .expect_err("mixed (k, vfeat) must be rejected");
+        assert!(err.to_string().contains("request 1"), "{err}");
+        // Non-uniform heads inside one request are a validation error.
+        let mut bad = attn_req(&a, 1, 2, 3, 87);
+        bad.extend(attn_req(&a, 1, 2, 5, 88));
+        assert!(FusedAttentionOp::validate(&a, &bad).is_err());
+    }
+
+    #[test]
+    fn fused_attention_op_has_a_plan_face() {
+        let mut rng = gen::rng(89);
+        let a = gen::random_csr(16, 16, 0.2, &mut rng);
+        let req = attn_req(&a, 2, 4, 4, 90);
+        let shape = FusedAttentionOp::shape_of(&req);
+        assert_eq!(shape, vec![4, 4, 2]);
+        let plans = FusedAttentionOp::plans(&a, &shape, &FusedAttentionOp::default_config(), "fa");
+        assert_eq!(plans.len(), 2, "score + aggregation phases");
+    }
+
+    #[test]
+    fn fused_sage_op_executes_and_never_batches() {
+        let mut rng = gen::rng(91);
+        let a = gen::random_csr(12, 12, 0.3, &mut rng);
+        let req = (gen::random_dense(12, 5, &mut rng), gen::random_dense(5, 4, &mut rng));
+        assert!(!FusedSageOp::can_batch(&req, &req));
+        let got = FusedSageOp::execute_on(&rt(), &a, &req, &FusedSageOp::default_config()).unwrap();
+        let want = FusedSageOp::reference(&a, &req).unwrap();
+        assert!(got.approx_eq(&want, 1e-4));
+        assert_eq!(FusedSageOp::plans(&a, &[5, 4], &FusedSageOp::default_config(), "fs").len(), 2);
     }
 }

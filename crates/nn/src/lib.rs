@@ -19,5 +19,5 @@ pub mod prelude {
         dgl_step_time, sparsetir_step_time, tuned_step_time, GraphSage, SageActivations,
     };
     pub use crate::rgcn::{figure20_measurements, tuned_rgms, RgcnLayer, RgcnMeasurement};
-    pub use crate::serving::{serve_sage_forward, serving_adjacency};
+    pub use crate::serving::{serve_sage_forward, serve_sage_forward_fused, serving_adjacency};
 }

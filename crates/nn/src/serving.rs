@@ -44,6 +44,33 @@ pub fn serve_sage_forward(
     agg2.matmul(&model.w2).map_err(shape_err)
 }
 
+/// One GraphSAGE forward pass with *both whole layers* served as
+/// cross-op fused requests: each `FusedSage` request compiles the
+/// gather → degree-normalize → feature-matmul step into a single kernel
+/// (one launch per layer instead of SpMM + host-side GEMM), with only
+/// the elementwise ReLU between layers on the caller's thread. The
+/// fused op's mean aggregator is structural, so it works off the same
+/// [`serving_adjacency`] handle — the normalized values are ignored and
+/// the per-row `1/deg` is folded into the kernel instead. Numerically
+/// this regroups `Σ(x/deg)` as `(Σx)/deg`, so results agree with
+/// [`GraphSage::forward`] to relative epsilon, not bit-for-bit.
+///
+/// # Errors
+/// Propagates engine errors; dense-shape mismatches surface as
+/// [`EngineError::Shape`].
+pub fn serve_sage_forward_fused(
+    engine: &Engine,
+    model: &GraphSage,
+    adj: &Adjacency,
+    x: &Dense,
+) -> Result<Dense, EngineError> {
+    let h1 = engine
+        .serve(adj, OpRequest::FusedSage((x.clone(), model.w1.clone())))?
+        .into_dense()?
+        .relu();
+    engine.serve(adj, OpRequest::FusedSage((h1, model.w2.clone())))?.into_dense()
+}
+
 fn shape_err(e: sparsetir_smat::SmatError) -> EngineError {
     EngineError::Shape(e.to_string())
 }
@@ -87,6 +114,54 @@ mod tests {
         assert_eq!(engine.stats().completed, 2);
     }
 
+    /// The fused serving path agrees with the functional forward pass to
+    /// relative epsilon, runs each layer as one kernel (two cached
+    /// kernels total), and shows up in the per-op width histogram.
+    #[test]
+    fn fused_served_forward_matches_reference_forward() {
+        let adj_csr = toy_graph(48, 9);
+        let model = GraphSage::new(&adj_csr, 8, 6, 4, 11).unwrap();
+        let adj = serving_adjacency(&model);
+        let engine = Engine::new(EngineConfig { fuse: Some(true), ..EngineConfig::default() });
+        let mut rng = gen::rng(19);
+        let x = gen::random_dense(48, 8, &mut rng);
+        let served = serve_sage_forward_fused(&engine, &model, &adj, &x).unwrap();
+        let reference = model.forward(&x).unwrap().out;
+        assert!(
+            served.approx_eq(&reference, 1e-3),
+            "fused inference must agree with the functional forward pass (max |Δ| = {})",
+            served.max_abs_diff(&reference)
+        );
+        let stats = engine.stats();
+        assert_eq!(stats.completed, 2, "one fused request per layer");
+        assert_eq!(stats.widths_of("fused_sage").map(|h| h.batches), Some(2));
+        // One cross-op kernel per layer shape — not SpMM + GEMM pairs.
+        assert_eq!(engine.runtime().cached(), 2);
+    }
+
+    /// The `SPARSETIR_NO_FUSE`-equivalent engine flag routes fused
+    /// requests to the multi-launch pipeline and still answers
+    /// bit-identically to the fused engine.
+    #[test]
+    fn fused_serving_kill_switch_stays_bit_identical() {
+        let adj_csr = toy_graph(40, 29);
+        let model = GraphSage::new(&adj_csr, 6, 5, 3, 31).unwrap();
+        let adj = serving_adjacency(&model);
+        let mut rng = gen::rng(37);
+        let x = gen::random_dense(40, 6, &mut rng);
+        let fused = Engine::new(EngineConfig { fuse: Some(true), ..EngineConfig::default() });
+        let unfused = Engine::new(EngineConfig { fuse: Some(false), ..EngineConfig::default() });
+        let yes = serve_sage_forward_fused(&fused, &model, &adj, &x).unwrap();
+        let no = serve_sage_forward_fused(&unfused, &model, &adj, &x).unwrap();
+        assert_eq!(
+            yes.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            no.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "fused and pipeline serving must agree bit-for-bit"
+        );
+        assert_eq!(fused.runtime().cached(), 2, "one fused kernel per layer");
+        assert_eq!(unfused.runtime().cached(), 4, "gather + matmul kernels per layer");
+    }
+
     /// Many clients serving inference over one shared model: every client
     /// must get its own correct answer, and the engine must have batched
     /// at least some of the concurrent aggregations.
@@ -101,6 +176,7 @@ mod tests {
             queue_depth: 32,
             max_batch: 8,
             tune: false,
+            fuse: None,
         }));
         std::thread::scope(|s| {
             for client in 0..CLIENTS {

@@ -34,6 +34,7 @@ fn main() {
         queue_depth: 64,
         max_batch: 8,
         tune: false,
+        fuse: None,
     }));
 
     // --- Raw SpMM serving: 8 clients share one adjacency ------------
@@ -107,6 +108,41 @@ fn main() {
         4,
         outs.len()
     );
+
+    // --- Cross-op fused attention: SDDMM → softmax → SpMM, one kernel ---
+    // A FusedAttention request carries (Q, Kᵀ, V) per head; the engine
+    // compiles the whole pipeline into a single kernel launch (toggle
+    // with EngineConfig::fuse / SPARSETIR_NO_FUSE) and same-shape
+    // concurrent requests widen into one fused launch.
+    let (k, vfeat) = (8, 8);
+    let fused_tickets: Vec<_> = (0..4)
+        .map(|_| {
+            let head = AttnHead {
+                q: gen::random_dense(n, k, &mut rng),
+                kt: gen::random_dense(k, n, &mut rng),
+                v: gen::random_dense(n, vfeat, &mut rng),
+            };
+            engine.submit_fused_attention(&adj, vec![head]).expect("submits")
+        })
+        .collect();
+    for t in fused_tickets {
+        let outs = t.wait_heads().expect("fused attention served");
+        assert_eq!((outs.len(), outs[0].rows(), outs[0].cols()), (1, n, vfeat));
+    }
+    println!("fused attention: 4 requests served, whole pipeline in one kernel per launch");
+
+    // --- Per-op-kind batching: how wide did each op's launches get? ---
+    let stats = engine.stats();
+    println!("served batch widths by op kind:");
+    for w in &stats.op_widths {
+        println!(
+            "  {:<16} {} launches, mean width {:.1}, max width {}",
+            w.kind,
+            w.batches,
+            w.mean_width(),
+            w.max_width
+        );
+    }
 
     // --- GraphSAGE inference through the engine ----------------------
     let model = GraphSage::new(&graph, 16, 16, 4, 7).expect("model");

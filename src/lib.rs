@@ -42,7 +42,8 @@ pub mod prelude {
     pub use sparsetir_baselines::prelude::*;
     pub use sparsetir_core::prelude::*;
     pub use sparsetir_engine::{
-        Adjacency, Engine, EngineConfig, EngineError, EngineStats, OpOutput, OpRequest, Ticket,
+        Adjacency, Engine, EngineConfig, EngineError, EngineStats, OpBatchWidth, OpOutput,
+        OpRequest, Ticket,
     };
     pub use sparsetir_gpusim::prelude::*;
     pub use sparsetir_graphs::prelude::*;
