@@ -19,6 +19,7 @@ fn main() {
         ("ablation_bucketing", e::ablation_bucketing::run),
         ("autotuning", e::autotuning::run),
         ("executor_vectorization", e::executor_vectorization::run),
+        ("flat_executor", e::flat_executor::run),
         ("serving_throughput", e::serving_throughput::run),
     ] {
         eprintln!("[all_experiments] running {name} …");

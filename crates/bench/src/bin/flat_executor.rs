@@ -1,0 +1,15 @@
+//! Runs the flat-executor bench (bytecode dispatch loop vs recursive
+//! tree walk on the executor-vectorization kernel suite) and writes
+//! `BENCH_results.json` — the input of the CI perf-gate.
+//! `SPARSETIR_BENCH_ASSERT=1` enforces the ≥ 1× bytecode-over-tree bar
+//! on generic CSR SpMM (cora, d=32).
+
+use sparsetir_bench::{experiments, report};
+
+fn main() {
+    print!("{}", experiments::flat_executor::run());
+    let records = report::take_records();
+    let path = std::path::Path::new("BENCH_results.json");
+    report::write_results(path, &records, experiments::smoke()).expect("write BENCH_results.json");
+    eprintln!("[flat_executor] wrote {} records to {}", records.len(), path.display());
+}

@@ -1,16 +1,19 @@
 //! Runs the perf-gated experiments — `executor_vectorization`,
-//! `serving_throughput` and `fused_attention` — in one process and
-//! writes their combined records to `BENCH_results.json`, the input of
-//! the CI perf-gate and of `scripts/update_bench_baseline.sh`.
-//! `SPARSETIR_BENCH_ASSERT=1` arms every bar: ≥ 2× fused-over-generic on
-//! CSR SpMM, ≥ 2× batched SpMM serving at 8 clients, ≥ 1.1× batched
-//! SDDMM serving at 8 clients, ≥ 2× fused attention serving over the
-//! three-launch pipeline at 8 clients.
+//! `flat_executor`, `serving_throughput` and `fused_attention` — in one
+//! process and writes their combined records to `BENCH_results.json`,
+//! the input of the CI perf-gate and of
+//! `scripts/update_bench_baseline.sh`. `SPARSETIR_BENCH_ASSERT=1` arms
+//! every bar: ≥ 2× fused-over-generic on CSR SpMM, ≥ 1× bytecode-over-
+//! tree on generic CSR SpMM, ≥ 2× batched SpMM serving at 8 clients,
+//! ≥ 1.1× batched SDDMM serving at 8 clients, ≥ 2× fused attention
+//! serving over the three-launch pipeline at 8 clients.
 
 use sparsetir_bench::{experiments, report};
 
 fn main() {
     print!("{}", experiments::executor_vectorization::run());
+    println!();
+    print!("{}", experiments::flat_executor::run());
     println!();
     print!("{}", experiments::serving_throughput::run());
     println!();

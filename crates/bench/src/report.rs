@@ -100,8 +100,17 @@ pub fn median_ns(reps: usize, mut f: impl FnMut()) -> f64 {
             t0.elapsed().as_nanos() as f64
         })
         .collect();
-    times.sort_by(f64::total_cmp);
-    times[times.len() / 2]
+    median(&mut times)
+}
+
+/// Median of a sample vector (sorts in place).
+///
+/// # Panics
+/// Panics on an empty slice.
+pub fn median(samples: &mut [f64]) -> f64 {
+    assert!(!samples.is_empty(), "median of no samples");
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
 }
 
 fn escape(s: &str) -> String {

@@ -25,6 +25,7 @@ fn all_experiments_run_end_to_end_in_smoke_mode() {
         ("ablation_bucketing", e::ablation_bucketing::run),
         ("autotuning", e::autotuning::run),
         ("executor_vectorization", e::executor_vectorization::run),
+        ("flat_executor", e::flat_executor::run),
         ("serving_throughput", e::serving_throughput::run),
         ("fused_attention", e::fused_attention::run),
     ] {
@@ -40,6 +41,10 @@ fn all_experiments_run_end_to_end_in_smoke_mode() {
     assert!(
         records.iter().any(|r| r.experiment == "executor_vectorization"),
         "executor_vectorization must record bench results"
+    );
+    assert!(
+        records.iter().any(|r| r.experiment == "flat_executor"),
+        "flat_executor must record bytecode-vs-tree results"
     );
     assert!(
         records.iter().any(|r| r.experiment == "autotuning"),

@@ -41,10 +41,22 @@
 //! them to specialized microkernel instructions — `FillLanes`,
 //! `AxpyLanes`, `DotLanes`, `GatherScaleAccumulate` — that run tight
 //! per-lane loops instead of per-element instruction dispatch. Fusion is
-//! on by default (`SPARSETIR_NO_FUSE` disables it); the generic tree is
-//! retained inside every fused node as the bit-exact fallback, and the
+//! on by default (`SPARSETIR_NO_FUSE` disables it); the generic form is
+//! retained behind every fused op as the bit-exact fallback, and the
 //! kernel-cache key includes the fusion flag so toggling it never serves
 //! a stale compiled kernel.
+//!
+//! Execution itself has two backends sharing one compiled representation
+//! (see [`ExecBackend`]). The default is the **flat bytecode executor**
+//! (the `bytecode` submodule): the statement tree is lowered once to a
+//! flat instruction stream with jump-encoded loops and the fused
+//! microkernels embedded as superinstructions, then driven by a single
+//! `ip`-dispatch loop. The original recursive **tree walker** stays
+//! available behind the `SPARSETIR_TREE_EXEC` kill switch; the cache key
+//! includes the backend so flipping the switch recompiles rather than
+//! serving a stale kernel. [`CompiledKernel::disassemble`] renders the
+//! bytecode (for either backend) as a stable text listing — see the
+//! `disasm` submodule and the golden-file tests under `tests/golden/`.
 
 use crate::buffer::Buffer;
 use crate::eval::TensorData;
@@ -60,6 +72,8 @@ use std::rc::Rc;
 use std::sync::atomic::{AtomicI32, AtomicU32, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
+mod bytecode;
+mod disasm;
 mod fuse;
 use fuse::FusedLanes;
 
@@ -198,14 +212,14 @@ struct IndexExpr {
     dims: Vec<(IntExpr, IntExpr)>,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum ValueExpr {
     I(IntExpr),
     F(FloatExpr),
     B(BoolExpr),
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct CompiledTile {
     buf: u32,
     name: String,
@@ -267,7 +281,7 @@ enum CStmt {
 }
 
 /// Boxed payload of [`CStmt::Mma`] (keeps the statement enum small).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct MmaOp {
     c: CompiledTile,
     a: CompiledTile,
@@ -674,53 +688,8 @@ impl CStmt {
                 }
                 b.body.exec(fr)
             }
-            CStmt::StoreF { buf, index, value } => {
-                let v = value.eval(fr)?;
-                let flat = index.eval(fr)?;
-                match fr.bufs[*buf as usize] {
-                    RawBuf::F32 { ptr, len } => {
-                        if flat >= len {
-                            return Err(oob(&index.name, flat, len));
-                        }
-                        // SAFETY: flat < len.
-                        unsafe { elem_store_f32(ptr, flat, v as f32) };
-                        Ok(())
-                    }
-                    RawBuf::I32 { .. } => {
-                        Err(ExecError::new(format!("expected int, got float {v}")))
-                    }
-                    RawBuf::Absent => {
-                        Err(ExecError::new(format!("unbound buffer `{}`", index.name)))
-                    }
-                }
-            }
-            CStmt::StoreI { buf, index, value } => {
-                let v = value.eval(fr)?;
-                let flat = index.eval(fr)?;
-                match fr.bufs[*buf as usize] {
-                    RawBuf::I32 { ptr, len } => {
-                        if flat >= len {
-                            return Err(oob(&index.name, flat, len));
-                        }
-                        // SAFETY: flat < len.
-                        unsafe { elem_store_i32(ptr, flat, v as i32) };
-                        Ok(())
-                    }
-                    // Int value stored into a float buffer follows the
-                    // interpreter: `as_float() as f32`.
-                    RawBuf::F32 { ptr, len } => {
-                        if flat >= len {
-                            return Err(oob(&index.name, flat, len));
-                        }
-                        // SAFETY: flat < len.
-                        unsafe { elem_store_f32(ptr, flat, v as f64 as f32) };
-                        Ok(())
-                    }
-                    RawBuf::Absent => {
-                        Err(ExecError::new(format!("unbound buffer `{}`", index.name)))
-                    }
-                }
-            }
+            CStmt::StoreF { buf, index, value } => exec_store_f(fr, *buf, index, value),
+            CStmt::StoreI { buf, index, value } => exec_store_i(fr, *buf, index, value),
             CStmt::Seq(stmts) => {
                 for s in stmts {
                     s.exec(fr)?;
@@ -765,6 +734,93 @@ impl CStmt {
             CStmt::Fused(f) => f.exec(fr),
             CStmt::Fail(msg) => Err(ExecError::new(msg.clone())),
         }
+    }
+}
+
+/// `BufferStore` into a float buffer: value first, then index, then the
+/// dtype-dispatched store — shared verbatim by the tree and bytecode
+/// executors so evaluation order and error wording stay identical.
+#[inline]
+fn exec_store_f(
+    fr: &Frame,
+    buf: u32,
+    index: &IndexExpr,
+    value: &FloatExpr,
+) -> Result<(), ExecError> {
+    let v = value.eval(fr)?;
+    let flat = index.eval(fr)?;
+    match fr.bufs[buf as usize] {
+        RawBuf::F32 { ptr, len } => {
+            if flat >= len {
+                return Err(oob(&index.name, flat, len));
+            }
+            // SAFETY: flat < len.
+            unsafe { elem_store_f32(ptr, flat, v as f32) };
+            Ok(())
+        }
+        RawBuf::I32 { .. } => Err(ExecError::new(format!("expected int, got float {v}"))),
+        RawBuf::Absent => Err(ExecError::new(format!("unbound buffer `{}`", index.name))),
+    }
+}
+
+/// `BufferStore` of the reduction-accumulate form `buf[i] = buf[i] + rest`,
+/// evaluating the flat index once for both the load and the store. The
+/// generic statement's error order is index → load bounds → `rest` →
+/// store bounds; reusing the flat index preserves it exactly (the store's
+/// bounds check is implied by the load's on the same buffer).
+#[inline]
+fn exec_accum_f(
+    fr: &Frame,
+    buf: u32,
+    index: &IndexExpr,
+    rest: &FloatExpr,
+) -> Result<(), ExecError> {
+    let flat = index.eval(fr)?;
+    match fr.bufs[buf as usize] {
+        RawBuf::F32 { ptr, len } => {
+            if flat >= len {
+                return Err(oob(&index.name, flat, len));
+            }
+            // SAFETY: flat < len and the view is valid for the run.
+            let cur = f64::from(unsafe { elem_load_f32(ptr, flat) });
+            let v = cur + rest.eval(fr)?;
+            // SAFETY: flat < len, checked above.
+            unsafe { elem_store_f32(ptr, flat, v as f32) };
+            Ok(())
+        }
+        // The generic form fails inside the load, with the load's wording.
+        RawBuf::I32 { .. } => Err(ExecError::new(format!(
+            "buffer `{}` holds i32 data, float load expected",
+            index.name
+        ))),
+        RawBuf::Absent => Err(ExecError::new(format!("unbound buffer `{}`", index.name))),
+    }
+}
+
+/// `BufferStore` of an int value; int-into-float follows the interpreter
+/// (`as_float() as f32`). Shared by both executors like [`exec_store_f`].
+#[inline]
+fn exec_store_i(fr: &Frame, buf: u32, index: &IndexExpr, value: &IntExpr) -> Result<(), ExecError> {
+    let v = value.eval(fr)?;
+    let flat = index.eval(fr)?;
+    match fr.bufs[buf as usize] {
+        RawBuf::I32 { ptr, len } => {
+            if flat >= len {
+                return Err(oob(&index.name, flat, len));
+            }
+            // SAFETY: flat < len.
+            unsafe { elem_store_i32(ptr, flat, v as i32) };
+            Ok(())
+        }
+        RawBuf::F32 { ptr, len } => {
+            if flat >= len {
+                return Err(oob(&index.name, flat, len));
+            }
+            // SAFETY: flat < len.
+            unsafe { elem_store_f32(ptr, flat, v as f64 as f32) };
+            Ok(())
+        }
+        RawBuf::Absent => Err(ExecError::new(format!("unbound buffer `{}`", index.name))),
     }
 }
 
@@ -903,6 +959,10 @@ struct Compiler {
     /// Lexically scoped buffer name → buffer slot map.
     buf_scopes: Vec<HashMap<Rc<str>, u32>>,
     n_bufs: u32,
+    /// Source name of each scalar slot, by slot index (disassembly).
+    slot_names: Vec<String>,
+    /// Source name of each buffer slot, by slot index (disassembly).
+    buf_names: Vec<String>,
 }
 
 impl Compiler {
@@ -912,12 +972,15 @@ impl Compiler {
             n_slots: 0,
             buf_scopes: vec![HashMap::new()],
             n_bufs: 0,
+            slot_names: Vec::new(),
+            buf_names: Vec::new(),
         }
     }
 
     fn fresh_slot(&mut self, name: &Rc<str>) -> u32 {
         let slot = self.n_slots;
         self.n_slots += 1;
+        self.slot_names.push(name.to_string());
         self.var_scopes.last_mut().expect("scope").insert(name.clone(), slot);
         slot
     }
@@ -929,6 +992,7 @@ impl Compiler {
     fn fresh_buf(&mut self, name: &Rc<str>) -> u32 {
         let slot = self.n_bufs;
         self.n_bufs += 1;
+        self.buf_names.push(name.to_string());
         self.buf_scopes.last_mut().expect("scope").insert(name.clone(), slot);
         slot
     }
@@ -1436,6 +1500,49 @@ fn check_parallel(s: &Stmt, tainted: &mut HashSet<Rc<str>>, locals: &mut HashSet
 // Public API
 // ---------------------------------------------------------------------------
 
+/// Executor backend a kernel is compiled for. Both execute the same
+/// slot-compiled program with bit-identical semantics (the interpreter
+/// stays the oracle for both); they differ only in dispatch shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecBackend {
+    /// Recursive typed-instruction-tree walk (the original executor,
+    /// retained behind the `SPARSETIR_TREE_EXEC` kill switch).
+    Tree,
+    /// Flat bytecode stream driven by an instruction-pointer dispatch
+    /// loop, with jump-encoded loops and fused-lane superinstructions.
+    Bytecode,
+}
+
+impl ExecBackend {
+    /// Stable lowercase tag (cache diagnostics, disassembly header).
+    #[must_use]
+    pub fn tag(self) -> &'static str {
+        match self {
+            ExecBackend::Tree => "tree",
+            ExecBackend::Bytecode => "bytecode",
+        }
+    }
+}
+
+/// Backend default for [`CompiledKernel::compile`] and new [`Runtime`]s:
+/// the flat bytecode executor, unless the `SPARSETIR_TREE_EXEC`
+/// environment variable is set (the kill switch back to the tree walker).
+#[must_use]
+pub fn backend_default() -> ExecBackend {
+    if std::env::var_os("SPARSETIR_TREE_EXEC").is_some() {
+        ExecBackend::Tree
+    } else {
+        ExecBackend::Bytecode
+    }
+}
+
+/// Executable form of a compiled kernel body, one variant per backend.
+#[derive(Debug)]
+enum Body {
+    Tree(CStmt),
+    Code(bytecode::Code),
+}
+
 /// A compiled, reusable kernel: run it many times against different tensor
 /// bindings without re-walking the IR.
 pub struct CompiledKernel {
@@ -1446,9 +1553,15 @@ pub struct CompiledKernel {
     buffers: Vec<(String, bool, u32)>,
     n_slots: u32,
     n_bufs: u32,
-    body: CStmt,
+    body: Body,
+    backend: ExecBackend,
+    fuse: bool,
     /// Number of dense-lane microkernel instructions fused into the body.
     fused_ops: usize,
+    /// Source name of every scalar slot, by index (disassembly).
+    slot_names: Vec<String>,
+    /// Source name of every buffer slot, by index (disassembly).
+    buf_names: Vec<String>,
     /// Scratch scalar frames reused across invocations.
     frame_pool: Mutex<Vec<Vec<i64>>>,
 }
@@ -1465,24 +1578,47 @@ impl fmt::Debug for CompiledKernel {
 
 impl CompiledKernel {
     /// Compile `func` into a slot-indexed program with the default fusion
-    /// setting ([`fusion_default`]).
+    /// setting ([`fusion_default`]) and executor backend
+    /// ([`backend_default`]).
     ///
     /// # Errors
     /// Returns [`ExecError`] on references to unbound names or ill-typed
     /// constructs that the interpreter would also reject.
     pub fn compile(func: &PrimFunc) -> Result<CompiledKernel, ExecError> {
-        Self::compile_with(func, fusion_default())
+        Self::compile_opts(func, fusion_default(), backend_default())
     }
 
     /// Compile `func`, explicitly enabling (`true`) or disabling
     /// (`false`) the dense-lane microkernel fusion pass. With fusion off
-    /// the kernel runs entirely on the generic slot-dispatched tree — the
-    /// baseline the `executor_vectorization` bench compares against.
+    /// the kernel runs entirely on generic dispatch — the baseline the
+    /// `executor_vectorization` bench compares against. Uses the default
+    /// executor backend ([`backend_default`]).
     ///
     /// # Errors
     /// Returns [`ExecError`] on references to unbound names or ill-typed
     /// constructs that the interpreter would also reject.
     pub fn compile_with(func: &PrimFunc, fuse: bool) -> Result<CompiledKernel, ExecError> {
+        Self::compile_opts(func, fuse, backend_default())
+    }
+
+    /// Compile `func` with an explicit fusion flag and executor backend.
+    ///
+    /// Both backends start from the same slot-compiled statement tree.
+    /// For [`ExecBackend::Tree`] the fusion pass rewrites matching loops
+    /// into fused tree nodes; for [`ExecBackend::Bytecode`] the tree is
+    /// lowered to a flat instruction stream, with the fusion analysis
+    /// consulted during lowering to emit superinstructions in place of
+    /// matching loops (the generic loop lowers right behind each one as
+    /// the bit-exact fallback).
+    ///
+    /// # Errors
+    /// Returns [`ExecError`] on references to unbound names or ill-typed
+    /// constructs that the interpreter would also reject.
+    pub fn compile_opts(
+        func: &PrimFunc,
+        fuse: bool,
+        backend: ExecBackend,
+    ) -> Result<CompiledKernel, ExecError> {
         let mut c = Compiler::new();
         let mut params = Vec::with_capacity(func.params.len());
         for p in &func.params {
@@ -1494,8 +1630,18 @@ impl CompiledKernel {
             let slot = c.fresh_buf(&b.name);
             buffers.push((b.name.to_string(), b.dtype.is_float(), slot));
         }
-        let body = c.compile_stmt(&func.body, true)?;
-        let (body, fused_ops) = if fuse { fuse::fuse_stmt(body) } else { (body, 0) };
+        let tree = c.compile_stmt(&func.body, true)?;
+        let (body, fused_ops) = match backend {
+            ExecBackend::Tree => {
+                let (tree, fused_ops) = if fuse { fuse::fuse_stmt(tree) } else { (tree, 0) };
+                (Body::Tree(tree), fused_ops)
+            }
+            ExecBackend::Bytecode => {
+                let code = bytecode::lower(&tree, fuse);
+                let fused_ops = code.fused_ops();
+                (Body::Code(code), fused_ops)
+            }
+        };
         Ok(CompiledKernel {
             name: func.name.to_string(),
             params,
@@ -1503,7 +1649,11 @@ impl CompiledKernel {
             n_slots: c.n_slots,
             n_bufs: c.n_bufs,
             body,
+            backend,
+            fuse,
             fused_ops,
+            slot_names: c.slot_names,
+            buf_names: c.buf_names,
             frame_pool: Mutex::new(Vec::new()),
         })
     }
@@ -1530,13 +1680,35 @@ impl CompiledKernel {
         self.fused_ops
     }
 
-    /// Names of the fused microkernel instructions, in tree order
+    /// Names of the fused microkernel instructions, in program order
     /// (diagnostics; e.g. `["FillLanes", "AxpyLanes"]` for the hyb SpMM).
     #[must_use]
     pub fn fused_kinds(&self) -> Vec<&'static str> {
         let mut out = Vec::with_capacity(self.fused_ops);
-        fuse::collect_micros(&self.body, &mut out);
+        match &self.body {
+            Body::Tree(t) => fuse::collect_micros(t, &mut out),
+            Body::Code(c) => c.collect_micros(&mut out),
+        }
         out
+    }
+
+    /// The executor backend this kernel was compiled for.
+    #[must_use]
+    pub fn backend(&self) -> ExecBackend {
+        self.backend
+    }
+
+    /// Stable text listing of the kernel's flat bytecode: header, param
+    /// and buffer tables, the scalar-slot table, and one line per
+    /// instruction. Tree-backed kernels lower their tree on demand, so
+    /// the listing is identical for both backends of one compilation —
+    /// golden-file tests on codegen hold regardless of the kill switch.
+    #[must_use]
+    pub fn disassemble(&self) -> String {
+        match &self.body {
+            Body::Code(code) => disasm::render(self, code),
+            Body::Tree(t) => disasm::render(self, &bytecode::lower(t, self.fuse)),
+        }
     }
 
     /// True when the outermost loop dispatches iterations across threads.
@@ -1549,7 +1721,10 @@ impl CompiledKernel {
                 _ => false,
             }
         }
-        has_par(&self.body)
+        match &self.body {
+            Body::Tree(t) => has_par(t),
+            Body::Code(c) => c.is_parallel(),
+        }
     }
 
     /// Execute against named scalar parameters and tensor storage, exactly
@@ -1588,7 +1763,10 @@ impl CompiledKernel {
             bufs[*slot as usize] = RawBuf::of(data);
         }
         let mut frame = Frame { scalars: frame_scalars, bufs, locals: Vec::new() };
-        let result = self.body.exec(&mut frame);
+        let result = match &self.body {
+            Body::Tree(t) => t.exec(&mut frame),
+            Body::Code(c) => c.exec(&mut frame),
+        };
         self.frame_pool.lock().unwrap().push(frame.scalars);
         result
     }
@@ -1616,39 +1794,52 @@ const CACHE_SHARDS: usize = 16;
 /// fails identically forever.
 type CacheCell = Arc<OnceLock<Result<Arc<CompiledKernel>, ExecError>>>;
 
+/// Cache key: function fingerprint, fusion flag, executor backend.
+type CacheKey = (u64, bool, ExecBackend);
+
 /// Compile-once/run-many cache of [`CompiledKernel`]s keyed by function
-/// identity (name + printed IR) *and* the fusion flag, so toggling fusion
-/// never serves a stale compiled kernel. The map is striped across
-/// `CACHE_SHARDS` locks with per-key single-flight compilation (see
-/// `CacheCell`); [`Runtime::cached`] and [`Runtime::compilations`]
-/// remain exact across shards.
+/// identity (name + printed IR), the fusion flag *and* the executor
+/// backend, so toggling either never serves a stale compiled kernel. The
+/// map is striped across `CACHE_SHARDS` locks with per-key single-flight
+/// compilation (see `CacheCell`); [`Runtime::cached`] and
+/// [`Runtime::compilations`] remain exact across shards even when tree
+/// and bytecode compilations of one function coexist.
 pub struct Runtime {
-    shards: Vec<Mutex<HashMap<(u64, bool), CacheCell>>>,
+    shards: Vec<Mutex<HashMap<CacheKey, CacheCell>>>,
     compilations: std::sync::atomic::AtomicUsize,
     fuse: bool,
+    backend: ExecBackend,
 }
 
 impl Default for Runtime {
     fn default() -> Runtime {
-        Runtime::with_fusion(fusion_default())
+        Runtime::with_options(fusion_default(), backend_default())
     }
 }
 
 impl Runtime {
-    /// Empty runtime with the default fusion setting.
+    /// Empty runtime with the default fusion setting and backend.
     #[must_use]
     pub fn new() -> Runtime {
         Runtime::default()
     }
 
     /// Empty runtime with an explicit fusion setting for
-    /// [`Runtime::compile`].
+    /// [`Runtime::compile`] and the default executor backend.
     #[must_use]
     pub fn with_fusion(fuse: bool) -> Runtime {
+        Runtime::with_options(fuse, backend_default())
+    }
+
+    /// Empty runtime with explicit fusion and executor-backend settings
+    /// for [`Runtime::compile`].
+    #[must_use]
+    pub fn with_options(fuse: bool, backend: ExecBackend) -> Runtime {
         Runtime {
             shards: (0..CACHE_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             compilations: std::sync::atomic::AtomicUsize::new(0),
             fuse,
+            backend,
         }
     }
 
@@ -1656,6 +1847,12 @@ impl Runtime {
     #[must_use]
     pub fn fusion(&self) -> bool {
         self.fuse
+    }
+
+    /// This runtime's executor backend.
+    #[must_use]
+    pub fn backend(&self) -> ExecBackend {
+        self.backend
     }
 
     /// The process-wide shared runtime (what [`exec_func`] uses).
@@ -1674,22 +1871,18 @@ impl Runtime {
         h.finish()
     }
 
-    /// Compile `func` under this runtime's fusion setting, or return the
-    /// cached kernel compiled earlier for an identical function.
+    /// Compile `func` under this runtime's fusion and backend settings,
+    /// or return the cached kernel compiled earlier for an identical
+    /// function.
     ///
     /// # Errors
     /// Propagates [`CompiledKernel::compile`] errors.
     pub fn compile(&self, func: &PrimFunc) -> Result<Arc<CompiledKernel>, ExecError> {
-        self.compile_with(func, self.fuse)
+        self.compile_opts(func, self.fuse, self.backend)
     }
 
-    /// Compile `func` with an explicit fusion flag. The cache key is
-    /// `(fingerprint, fuse)`, so the generic and fused compilations of
-    /// the same function coexist and every recompilation — including a
-    /// fused recompilation after toggling the flag — is counted by
-    /// [`Runtime::compilations`]. Concurrent callers racing on one key
-    /// are single-flighted: exactly one thread compiles, the rest block
-    /// and share the result.
+    /// Compile `func` with an explicit fusion flag under this runtime's
+    /// backend. See [`Runtime::compile_opts`] for the cache-key contract.
     ///
     /// # Errors
     /// Propagates [`CompiledKernel::compile`] errors.
@@ -1698,7 +1891,26 @@ impl Runtime {
         func: &PrimFunc,
         fuse: bool,
     ) -> Result<Arc<CompiledKernel>, ExecError> {
-        let key = (Self::fingerprint(func), fuse);
+        self.compile_opts(func, fuse, self.backend)
+    }
+
+    /// Compile `func` with an explicit fusion flag and executor backend.
+    /// The cache key is `(fingerprint, fuse, backend)`, so all four
+    /// compilations of one function coexist and every recompilation —
+    /// including one after toggling either flag — is counted by
+    /// [`Runtime::compilations`] instead of serving a stale kernel.
+    /// Concurrent callers racing on one key are single-flighted: exactly
+    /// one thread compiles, the rest block and share the result.
+    ///
+    /// # Errors
+    /// Propagates [`CompiledKernel::compile`] errors.
+    pub fn compile_opts(
+        &self,
+        func: &PrimFunc,
+        fuse: bool,
+        backend: ExecBackend,
+    ) -> Result<Arc<CompiledKernel>, ExecError> {
+        let key = (Self::fingerprint(func), fuse, backend);
         let cell: CacheCell = {
             let mut shard = self.shards[self.shard_of(key)].lock().unwrap();
             Arc::clone(shard.entry(key).or_default())
@@ -1706,18 +1918,22 @@ impl Runtime {
         // Outside the stripe lock: a slow compilation never blocks lookups
         // of other keys in the same stripe, only co-claimants of this key.
         cell.get_or_init(|| {
-            let kernel = Arc::new(CompiledKernel::compile_with(func, fuse)?);
+            let kernel = Arc::new(CompiledKernel::compile_opts(func, fuse, backend)?);
             self.compilations.fetch_add(1, Ordering::Relaxed);
             Ok(kernel)
         })
         .clone()
     }
 
-    fn shard_of(&self, key: (u64, bool)) -> usize {
-        // The fingerprint is already a hash; fold the fusion flag into
-        // the low (shard-selecting) bits so the two compilations of one
-        // function can land apart.
-        ((key.0 ^ u64::from(key.1)) % CACHE_SHARDS as u64) as usize
+    fn shard_of(&self, key: CacheKey) -> usize {
+        // The fingerprint is already a hash; fold the fusion and backend
+        // flags into the low (shard-selecting) bits so the compilations
+        // of one function can land apart.
+        let backend_bit = match key.2 {
+            ExecBackend::Tree => 0u64,
+            ExecBackend::Bytecode => 2u64,
+        };
+        ((key.0 ^ u64::from(key.1) ^ backend_bit) % CACHE_SHARDS as u64) as usize
     }
 
     /// Number of cached kernels (successful compilations present in the
@@ -2314,5 +2530,84 @@ mod tests {
             k.run(&HashMap::new(), &mut tensors).unwrap();
         }
         assert_eq!(k.frame_pool.lock().unwrap().len(), 1, "scratch frame is pooled");
+    }
+
+    /// Tree and bytecode compilations of one function must coexist in one
+    /// cache — switching backends recompiles (counted), never serves the
+    /// other backend's kernel, and `cached()`/`compilations()` stay exact
+    /// across all four (fuse × backend) entries.
+    #[test]
+    fn backend_is_part_of_the_cache_key() {
+        let rt = Runtime::with_options(true, ExecBackend::Bytecode);
+        let f = axpy_func(8);
+        let code = rt.compile(&f).unwrap();
+        assert_eq!(code.backend(), ExecBackend::Bytecode);
+        assert_eq!(rt.compilations(), 1);
+        let tree = rt.compile_opts(&f, true, ExecBackend::Tree).unwrap();
+        assert_eq!(rt.compilations(), 2, "backend switch must recompile, not serve stale");
+        assert!(!Arc::ptr_eq(&code, &tree));
+        assert_eq!(tree.backend(), ExecBackend::Tree);
+        // Both backends fuse the same loop.
+        assert_eq!(code.fused_kinds(), vec!["AxpyLanes"]);
+        assert_eq!(tree.fused_kinds(), vec!["AxpyLanes"]);
+        // All four (fuse × backend) combinations occupy distinct entries.
+        let _ = rt.compile_opts(&f, false, ExecBackend::Tree).unwrap();
+        let _ = rt.compile_opts(&f, false, ExecBackend::Bytecode).unwrap();
+        assert_eq!(rt.compilations(), 4);
+        assert_eq!(rt.cached(), 4);
+        // Every key now hits its own cached Arc.
+        assert!(Arc::ptr_eq(&code, &rt.compile(&f).unwrap()));
+        assert!(Arc::ptr_eq(&tree, &rt.compile_opts(&f, true, ExecBackend::Tree).unwrap()));
+        assert_eq!(rt.compilations(), 4);
+        // Both backends produce identical results.
+        let mut t = HashMap::new();
+        t.insert("A".to_string(), TensorData::from(vec![1.5f32]));
+        t.insert("B".to_string(), TensorData::from((0..8).map(|x| x as f32).collect::<Vec<_>>()));
+        t.insert("C".to_string(), TensorData::zeros(DType::F32, 8));
+        let mut tc = t.clone();
+        let mut tt = t.clone();
+        code.run(&HashMap::new(), &mut tc).unwrap();
+        tree.run(&HashMap::new(), &mut tt).unwrap();
+        assert_eq!(tc["C"], tt["C"]);
+    }
+
+    /// The `SPARSETIR_TREE_EXEC` kill switch flips `backend_default()`,
+    /// which feeds freshly constructed runtimes — a flipped runtime must
+    /// recompile rather than reuse the other backend's kernel (the env
+    /// var is read eagerly at construction, so no other test races us).
+    #[test]
+    fn tree_exec_kill_switch_selects_tree_backend() {
+        assert_eq!(backend_default(), ExecBackend::Bytecode, "bytecode is the default");
+        let f = axpy_func(8);
+        let rt = Runtime::with_options(true, ExecBackend::Tree);
+        assert_eq!(rt.backend(), ExecBackend::Tree);
+        let k = rt.compile(&f).unwrap();
+        assert_eq!(k.backend(), ExecBackend::Tree);
+        assert_eq!(rt.compilations(), 1);
+        // Flipping the backend (what a fresh runtime under the kill
+        // switch would do) recompiles into a distinct cache entry.
+        let k2 = rt.compile_opts(&f, true, ExecBackend::Bytecode).unwrap();
+        assert!(!Arc::ptr_eq(&k, &k2));
+        assert_eq!(rt.compilations(), 2);
+        assert_eq!(rt.cached(), 2);
+    }
+
+    /// Disassembly is backend-independent: a tree-backed kernel lowers on
+    /// demand and renders the same listing as the bytecode compilation.
+    #[test]
+    fn disassembly_is_identical_across_backends() {
+        let f = axpy_func(8);
+        for fuse in [false, true] {
+            let tree = CompiledKernel::compile_opts(&f, fuse, ExecBackend::Tree).unwrap();
+            let code = CompiledKernel::compile_opts(&f, fuse, ExecBackend::Bytecode).unwrap();
+            assert_eq!(tree.disassemble(), code.disassemble());
+        }
+        let fused = CompiledKernel::compile_opts(&f, true, ExecBackend::Bytecode).unwrap();
+        let listing = fused.disassemble();
+        assert!(
+            listing.contains("super.axpy"),
+            "fused listing has the superinstruction:\n{listing}"
+        );
+        assert!(listing.contains(";; kernel `axpy` fuse=on"));
     }
 }

@@ -1,0 +1,769 @@
+//! Flat bytecode executor: tree→bytecode lowering and the `ip`-driven
+//! dispatch loop.
+//!
+//! The tree executor ([`CStmt::exec`]) pays a recursive call and an enum
+//! match per statement node per iteration — `Seq` re-iterates its vector,
+//! `Block` re-inspects its option fields, and every loop level is a stack
+//! frame. This module lowers the compiled tree **once** into a flat
+//! `Vec<Instr>` executed by a single `while ip < end { match }` loop:
+//!
+//! * **Loops are jump-encoded.** `LoopStart` pushes a loop record
+//!   (slot, body address, trip count) onto an explicit stack; the
+//!   matching `LoopEnd` is the back edge, jumping to the body address
+//!   until the count is exhausted. Zero-trip loops jump straight past
+//!   their `LoopEnd`. No recursion, no per-iteration `Box` chasing.
+//! * **Blocks are flattened** into bind instructions. A reduce block with
+//!   an init becomes one `BlockHead`: every iter binding plus the
+//!   reduce-init gate (the tree's `init_needed` rule) in a single
+//!   dispatch, jumping over the lowered init when any reduce binding is
+//!   nonzero. Ungated blocks lower to a bare `Bind`/`BindSlot`/`BindAll`.
+//! * **Fusion emits superinstructions.** Lowering consults the same
+//!   [`fuse::build_fused`] analysis the tree rewriter uses; a matching
+//!   loop becomes one [`Instr::Super`] carrying the [`LaneSpec`]
+//!   microkernel, and the generic loop is lowered immediately behind it
+//!   as the bit-exact fallback (taken when per-lane bounds validation
+//!   fails, reproducing the interpreter's errors).
+//!
+//! Semantics are bit-identical to the tree executor, which remains
+//! available behind the `SPARSETIR_TREE_EXEC` kill switch; the
+//! differential suite drives interpreter / tree / bytecode 4-way.
+
+use super::fuse::{self, LaneSpec};
+use super::{
+    exec_accum_f, exec_mma, exec_store_f, exec_store_i, num_threads, BoolExpr, CBlock, CStmt,
+    ExecError, FloatExpr, FloatOp, Frame, IndexExpr, IntExpr, IntOp, MmaOp, RawBuf, SendFrame,
+    TensorData, ValueExpr,
+};
+use std::collections::HashSet;
+use std::sync::Mutex;
+
+/// One flat-stream instruction. Jump targets are absolute instruction
+/// indices into the owning [`Code`].
+#[derive(Debug)]
+pub(super) enum Instr {
+    /// Evaluate `extent`; if positive, set `scalars[slot] = 0`, push a
+    /// loop record and fall through to the body, else jump to `end`
+    /// (the instruction after the matching [`Instr::LoopEnd`]).
+    LoopStart { slot: u32, extent: IntExpr, end: u32 },
+    /// Outermost `blockIdx.*` loop that passed the parallel-safety
+    /// analysis: iterations of the body range `[addr+1, end-1)` dispatch
+    /// across OS threads. With one thread it degenerates to
+    /// [`Instr::LoopStart`], sharing its `LoopEnd` as the back edge.
+    Par { slot: u32, extent: IntExpr, end: u32 },
+    /// Back edge: advance the innermost loop record; jump to its body
+    /// address or pop it and fall through.
+    LoopEnd,
+    /// `scalars[slot] = value` (single block iter bindings and `let`).
+    Bind { slot: u32, value: IntExpr },
+    /// [`Instr::Bind`] specialized for the ubiquitous slot-copy binding
+    /// (`vi = i`): one indexed move, no expression dispatch.
+    BindSlot { slot: u32, src: u32 },
+    /// All iter bindings of an ungated block (all-spatial, or no init),
+    /// evaluated in order in one dispatch.
+    BindAll { iters: Box<[(u32, IntExpr)]> },
+    /// Head of a reduce block with an init: evaluate every iter binding
+    /// in order (`true` marks reduce iters), then jump to `init_end` —
+    /// skipping the lowered init right behind this instruction — when any
+    /// reduce binding is nonzero (the tree's `!any_reduce_nonzero` gate).
+    BlockHead { iters: Box<[(u32, IntExpr, bool)]>, init_end: u32 },
+    /// Conditional: fall through into the then-branch or jump to `else_`.
+    Branch { cond: BoolExpr, else_: u32 },
+    /// Unconditional jump (end of a then-branch over its else-branch).
+    Jump { target: u32 },
+    /// `BufferStore` into a float-typed buffer.
+    StoreF { buf: u32, index: IndexExpr, value: FloatExpr },
+    /// [`Instr::StoreF`] specialized for the reduction-accumulate form
+    /// `@buf[i] = @buf[i] + rest`: the flat index is evaluated once and
+    /// reused for both the load and the store.
+    AccumF { buf: u32, index: IndexExpr, rest: FloatExpr },
+    /// `BufferStore` of an int value (int-into-float handled like the
+    /// interpreter).
+    StoreI { buf: u32, index: IndexExpr, value: IntExpr },
+    /// Push a zeroed staging buffer into `bufs[buf]`, saving the shadowed
+    /// view for the matching [`Instr::Free`].
+    Alloc { buf: u32, is_float: bool, len_dims: Vec<IntExpr> },
+    /// Pop the staging buffer pushed by the matching [`Instr::Alloc`].
+    Free { buf: u32 },
+    /// Evaluate for effect (lazy runtime errors).
+    EvalV(ValueExpr),
+    /// `mma_sync` tile op.
+    Mma(Box<MmaOp>),
+    /// Fused dense-lane superinstruction: run the microkernel fast path
+    /// and jump to `done`, or fall through into the generic loop lowered
+    /// right behind it (which ends at `done`).
+    Super { spec: Box<LaneSpec>, done: u32 },
+    /// Ill-typed statement that errors only if executed (matching the
+    /// interpreter's lazy runtime errors).
+    Fail(String),
+}
+
+/// A lowered kernel body: the flat instruction stream plus lowering
+/// metadata.
+#[derive(Debug)]
+pub(super) struct Code {
+    instrs: Vec<Instr>,
+    fused_ops: usize,
+}
+
+/// Lower a compiled statement tree to flat bytecode. When `fuse` is set,
+/// the fusion analysis runs over each candidate loop during lowering and
+/// emits superinstructions; trees that already contain `CStmt::Fused`
+/// nodes (tree-backend kernels being disassembled) lower those nodes to
+/// the same superinstruction form, so both paths produce identical code.
+pub(super) fn lower(body: &CStmt, fuse: bool) -> Code {
+    let mut lw = Lower { instrs: Vec::new(), fused_ops: 0, fuse };
+    lw.stmt(body);
+    Code { instrs: lw.instrs, fused_ops: lw.fused_ops }
+}
+
+struct Lower {
+    instrs: Vec<Instr>,
+    fused_ops: usize,
+    fuse: bool,
+}
+
+impl Lower {
+    fn here(&self) -> u32 {
+        u32::try_from(self.instrs.len()).expect("kernel exceeds u32 instructions")
+    }
+
+    fn emit(&mut self, i: Instr) -> usize {
+        self.instrs.push(i);
+        self.instrs.len() - 1
+    }
+
+    fn patch(&mut self, at: usize, target: u32) {
+        match &mut self.instrs[at] {
+            Instr::LoopStart { end, .. }
+            | Instr::Par { end, .. }
+            | Instr::BlockHead { init_end: end, .. }
+            | Instr::Branch { else_: end, .. }
+            | Instr::Jump { target: end }
+            | Instr::Super { done: end, .. } => *end = target,
+            other => unreachable!("patching non-jump instruction {other:?}"),
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn stmt(&mut self, s: &CStmt) {
+        match s {
+            CStmt::For { slot, extent, body } => {
+                if self.fuse {
+                    if let Some(spec) = fuse::build_fused(s) {
+                        self.superinstr(spec, s);
+                        return;
+                    }
+                }
+                // Loop-invariant code motion: bindings of a `for { block }`
+                // body that depend on nothing the loop writes evaluate to
+                // the same value every iteration — bind them once, above
+                // the loop.
+                let residual = if let CStmt::Block(b) = &**body {
+                    licm_split(*slot, extent, b).map(|(hoisted, remaining)| {
+                        for (hslot, value) in &hoisted {
+                            self.emit_bind(*hslot, value);
+                        }
+                        remaining
+                    })
+                } else {
+                    None
+                };
+                let at =
+                    self.emit(Instr::LoopStart { slot: *slot, extent: extent.clone(), end: 0 });
+                match (&residual, &**body) {
+                    (Some(iters), CStmt::Block(b)) => self.block(iters, b),
+                    _ => self.stmt(body),
+                }
+                self.emit(Instr::LoopEnd);
+                let end = self.here();
+                self.patch(at, end);
+            }
+            CStmt::ParFor { slot, extent, body } => {
+                let at = self.emit(Instr::Par { slot: *slot, extent: extent.clone(), end: 0 });
+                self.stmt(body);
+                self.emit(Instr::LoopEnd);
+                let end = self.here();
+                self.patch(at, end);
+            }
+            CStmt::Fused(f) => self.superinstr(f.spec.clone(), &f.generic),
+            CStmt::Block(b) => self.block(&b.iters, b),
+            CStmt::StoreF { buf, index, value } => {
+                // Peephole: `@buf[i] = @buf[i] + rest` (every reduction
+                // update) evaluates its destination index twice in the
+                // generic form — once inside the load, once for the store.
+                if let FloatExpr::Bin { op: FloatOp::Add, lhs, rhs } = value {
+                    if matches!(&**lhs,
+                        FloatExpr::Load { buf: lbuf, index: lidx } if lbuf == buf && lidx == index)
+                    {
+                        self.emit(Instr::AccumF {
+                            buf: *buf,
+                            index: index.clone(),
+                            rest: (**rhs).clone(),
+                        });
+                        return;
+                    }
+                }
+                self.emit(Instr::StoreF { buf: *buf, index: index.clone(), value: value.clone() });
+            }
+            CStmt::StoreI { buf, index, value } => {
+                self.emit(Instr::StoreI { buf: *buf, index: index.clone(), value: value.clone() });
+            }
+            CStmt::Seq(stmts) => {
+                for st in stmts {
+                    self.stmt(st);
+                }
+            }
+            CStmt::If { cond, then_, else_ } => {
+                let br = self.emit(Instr::Branch { cond: cond.clone(), else_: 0 });
+                self.stmt(then_);
+                if let Some(e) = else_ {
+                    let jmp = self.emit(Instr::Jump { target: 0 });
+                    let else_at = self.here();
+                    self.patch(br, else_at);
+                    self.stmt(e);
+                    let end = self.here();
+                    self.patch(jmp, end);
+                } else {
+                    let end = self.here();
+                    self.patch(br, end);
+                }
+            }
+            CStmt::Let { slot, value, body } => {
+                self.emit(Instr::Bind { slot: *slot, value: value.clone() });
+                self.stmt(body);
+            }
+            CStmt::Alloc { buf, is_float, len_dims, body } => {
+                self.emit(Instr::Alloc {
+                    buf: *buf,
+                    is_float: *is_float,
+                    len_dims: len_dims.clone(),
+                });
+                self.stmt(body);
+                self.emit(Instr::Free { buf: *buf });
+            }
+            CStmt::EvalV(v) => {
+                self.emit(Instr::EvalV(v.clone()));
+            }
+            CStmt::Mma(op) => {
+                self.emit(Instr::Mma(op.clone()));
+            }
+            CStmt::Fail(msg) => {
+                self.emit(Instr::Fail(msg.clone()));
+            }
+        }
+    }
+
+    /// Lower a block with the given iter list — the block's own, or the
+    /// residual [`licm_split`] left behind after hoisting. The tree gates
+    /// the init on `all_spatial ? init.is_some() : !any_reduce_nonzero`;
+    /// a reduce block's whole head — every binding plus the gate decision
+    /// — is one dispatch.
+    fn block(&mut self, iters: &[(u32, IntExpr, bool)], b: &CBlock) {
+        let gate = !b.all_spatial && b.init.is_some();
+        if gate {
+            let iters: Box<[(u32, IntExpr, bool)]> = iters
+                .iter()
+                .map(|(slot, binding, is_reduce)| (*slot, binding.clone(), *is_reduce))
+                .collect();
+            let at = self.emit(Instr::BlockHead { iters, init_end: 0 });
+            self.stmt(b.init.as_deref().expect("gated block has an init"));
+            let t = self.here();
+            self.patch(at, t);
+        } else {
+            match iters {
+                [] => {}
+                [(slot, binding, _)] => self.emit_bind(*slot, binding),
+                iters => {
+                    let iters: Box<[(u32, IntExpr)]> =
+                        iters.iter().map(|(slot, binding, _)| (*slot, binding.clone())).collect();
+                    self.emit(Instr::BindAll { iters });
+                }
+            }
+            if let Some(init) = &b.init {
+                // All-spatial block with an init: fires always.
+                self.stmt(init);
+            }
+        }
+        self.stmt(&b.body);
+    }
+
+    /// Emit a single binding, specialized to a slot move when possible.
+    fn emit_bind(&mut self, slot: u32, value: &IntExpr) {
+        let ins = if let IntExpr::Slot(src) = value {
+            Instr::BindSlot { slot, src: *src }
+        } else {
+            Instr::Bind { slot, value: value.clone() }
+        };
+        self.emit(ins);
+    }
+
+    /// Emit a superinstruction followed by its generic fallback (the
+    /// original loop, lowered with fusion suppressed so the fallback
+    /// never re-matches itself).
+    fn superinstr(&mut self, spec: LaneSpec, generic: &CStmt) {
+        self.fused_ops += 1;
+        let at = self.emit(Instr::Super { spec: Box::new(spec), done: 0 });
+        let prev = std::mem::replace(&mut self.fuse, false);
+        self.stmt(generic);
+        self.fuse = prev;
+        let done = self.here();
+        self.patch(at, done);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Loop-invariant code motion (lowering-time analysis)
+// ---------------------------------------------------------------------------
+
+/// What a compiled expression reads, and whether evaluating it can error.
+#[derive(Default)]
+struct ExprInfo {
+    slots: HashSet<u32>,
+    bufs: HashSet<u32>,
+    fallible: bool,
+}
+
+fn scan_int(e: &IntExpr, info: &mut ExprInfo) {
+    match e {
+        IntExpr::Const(_) => {}
+        IntExpr::Slot(s) => {
+            info.slots.insert(*s);
+        }
+        IntExpr::Bin { op, lhs, rhs } => {
+            info.fallible |= matches!(op, IntOp::Div | IntOp::Rem);
+            scan_int(lhs, info);
+            scan_int(rhs, info);
+        }
+        IntExpr::Select { cond, then_, else_ } => {
+            scan_bool(cond, info);
+            scan_int(then_, info);
+            scan_int(else_, info);
+        }
+        IntExpr::CastViaF64(v) => scan_float(v, info),
+        IntExpr::BoolToInt(b) => scan_bool(b, info),
+        IntExpr::Load { buf, index } => {
+            info.fallible = true;
+            info.bufs.insert(*buf);
+            scan_index(index, info);
+        }
+        IntExpr::BinarySearch { buf, lo, hi, x, .. } => {
+            info.fallible = true;
+            info.bufs.insert(*buf);
+            scan_int(lo, info);
+            scan_int(hi, info);
+            scan_int(x, info);
+        }
+    }
+}
+
+fn scan_float(e: &FloatExpr, info: &mut ExprInfo) {
+    match e {
+        FloatExpr::Const(_) => {}
+        FloatExpr::Bin { lhs, rhs, .. } => {
+            // Float div/rem follow IEEE (inf/NaN), never error.
+            scan_float(lhs, info);
+            scan_float(rhs, info);
+        }
+        FloatExpr::Select { cond, then_, else_ } => {
+            scan_bool(cond, info);
+            scan_float(then_, info);
+            scan_float(else_, info);
+        }
+        FloatExpr::FromInt(v) => scan_int(v, info),
+        FloatExpr::Load { buf, index } => {
+            info.fallible = true;
+            info.bufs.insert(*buf);
+            scan_index(index, info);
+        }
+        FloatExpr::Exp(v) | FloatExpr::Sqrt(v) | FloatExpr::Relu(v) => scan_float(v, info),
+    }
+}
+
+fn scan_bool(e: &BoolExpr, info: &mut ExprInfo) {
+    match e {
+        BoolExpr::CmpI { lhs, rhs, .. } => {
+            scan_int(lhs, info);
+            scan_int(rhs, info);
+        }
+        BoolExpr::CmpF { lhs, rhs, .. } => {
+            scan_float(lhs, info);
+            scan_float(rhs, info);
+        }
+        BoolExpr::And(a, b) | BoolExpr::Or(a, b) => {
+            scan_bool(a, info);
+            scan_bool(b, info);
+        }
+        BoolExpr::IntNonZero(v) => scan_int(v, info),
+        BoolExpr::FloatNonZero(v) => scan_float(v, info),
+    }
+}
+
+fn scan_index(ix: &IndexExpr, info: &mut ExprInfo) {
+    info.fallible = true; // per-dimension bounds checks
+    for (i, extent) in &ix.dims {
+        scan_int(i, info);
+        scan_int(extent, info);
+    }
+}
+
+/// What a statement subtree writes. `unknown` poisons the analysis.
+#[derive(Default)]
+struct WriteInfo {
+    slots: HashSet<u32>,
+    bufs: HashSet<u32>,
+    unknown: bool,
+}
+
+fn scan_writes(s: &CStmt, w: &mut WriteInfo) {
+    match s {
+        CStmt::For { slot, body, .. } | CStmt::ParFor { slot, body, .. } => {
+            w.slots.insert(*slot);
+            scan_writes(body, w);
+        }
+        CStmt::Block(b) => {
+            for (slot, _, _) in &b.iters {
+                w.slots.insert(*slot);
+            }
+            if let Some(init) = &b.init {
+                scan_writes(init, w);
+            }
+            scan_writes(&b.body, w);
+        }
+        CStmt::StoreF { buf, .. } | CStmt::StoreI { buf, .. } => {
+            w.bufs.insert(*buf);
+        }
+        CStmt::Seq(stmts) => {
+            for st in stmts {
+                scan_writes(st, w);
+            }
+        }
+        CStmt::If { then_, else_, .. } => {
+            scan_writes(then_, w);
+            if let Some(e) = else_ {
+                scan_writes(e, w);
+            }
+        }
+        CStmt::Let { slot, body, .. } => {
+            w.slots.insert(*slot);
+            scan_writes(body, w);
+        }
+        CStmt::Alloc { buf, body, .. } => {
+            w.bufs.insert(*buf);
+            scan_writes(body, w);
+        }
+        // Opaque evaluation — assume it can touch anything.
+        CStmt::EvalV(_) => w.unknown = true,
+        CStmt::Mma(op) => {
+            w.bufs.insert(op.c.buf);
+        }
+        // The microkernel writes a subset of what its generic fallback
+        // writes, so scanning the fallback covers both.
+        CStmt::Fused(f) => scan_writes(&f.generic, w),
+        CStmt::Fail(_) => {}
+    }
+}
+
+/// Hoisted `(slot, value)` bindings plus the residual per-iteration
+/// iter list, as returned by [`licm_split`].
+type LicmSplit = (Vec<(u32, IntExpr)>, Vec<(u32, IntExpr, bool)>);
+
+/// Split a `for { block }` body's iter bindings into a hoistable prefix
+/// set (evaluated once, above the loop) and the residual per-iteration
+/// list. Only constant positive trip counts qualify: such a loop
+/// evaluates every binding at least once, so an invariant binding — or
+/// its error — moves from iteration 0 to just before the loop with
+/// nothing observable in between (slot writes are invisible outside the
+/// frame). A binding hoists when it is spatial, reads no slot the loop
+/// rebinds and no buffer the body writes, and no fallible binding before
+/// it stays inside (iteration-0 error order must be preserved).
+fn licm_split(loop_slot: u32, extent: &IntExpr, b: &CBlock) -> Option<LicmSplit> {
+    if !matches!(extent, IntExpr::Const(n) if *n > 0) {
+        return None;
+    }
+    let mut w = WriteInfo::default();
+    if let Some(init) = &b.init {
+        scan_writes(init, &mut w);
+    }
+    scan_writes(&b.body, &mut w);
+    if w.unknown {
+        return None;
+    }
+    w.slots.insert(loop_slot);
+    for (slot, _, _) in &b.iters {
+        w.slots.insert(*slot);
+    }
+    let mut hoisted = Vec::new();
+    let mut remaining = Vec::new();
+    let mut stayed_fallible = false;
+    for (slot, value, is_reduce) in &b.iters {
+        let mut info = ExprInfo::default();
+        scan_int(value, &mut info);
+        let invariant = info.slots.is_disjoint(&w.slots) && info.bufs.is_disjoint(&w.bufs);
+        if !*is_reduce && !stayed_fallible && invariant {
+            hoisted.push((*slot, value.clone()));
+        } else {
+            stayed_fallible |= info.fallible;
+            remaining.push((*slot, value.clone(), *is_reduce));
+        }
+    }
+    if hoisted.is_empty() {
+        None
+    } else {
+        Some((hoisted, remaining))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch loop
+// ---------------------------------------------------------------------------
+
+/// Live record of one entered loop: the back edge ([`Instr::LoopEnd`])
+/// reads the top of the loop stack instead of carrying state of its own.
+struct LoopFrame {
+    slot: u32,
+    body: u32,
+    i: i64,
+    n: i64,
+}
+
+/// Mutable interpreter state threaded through [`run_range`] alongside the
+/// frame: the loop stack and the alloc shadow stack.
+struct State {
+    loops: Vec<LoopFrame>,
+    saved: Vec<RawBuf>,
+}
+
+impl State {
+    fn new() -> State {
+        State { loops: Vec::new(), saved: Vec::new() }
+    }
+}
+
+impl Code {
+    /// Number of fused superinstructions in the stream.
+    pub(super) fn fused_ops(&self) -> usize {
+        self.fused_ops
+    }
+
+    /// Push the name of each superinstruction's microkernel, in stream
+    /// order (mirrors [`fuse::collect_micros`] on trees).
+    pub(super) fn collect_micros(&self, out: &mut Vec<&'static str>) {
+        for ins in &self.instrs {
+            if let Instr::Super { spec, .. } = ins {
+                out.push(spec.micro.name());
+            }
+        }
+    }
+
+    /// True when the stream contains a thread-dispatching loop.
+    pub(super) fn is_parallel(&self) -> bool {
+        self.instrs.iter().any(|i| matches!(i, Instr::Par { .. }))
+    }
+
+    /// Iterate the instruction stream (disassembly).
+    pub(super) fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// Execute the whole stream against `fr`.
+    pub(super) fn exec(&self, fr: &mut Frame) -> Result<(), ExecError> {
+        let end = u32::try_from(self.instrs.len()).expect("kernel exceeds u32 instructions");
+        run_range(&self.instrs, 0, end, fr, &mut State::new())
+    }
+}
+
+/// The dispatch loop: execute instructions `[start, end)`. On error the
+/// partially-unwound `State` is discarded by the caller (the tree
+/// executor aborts identically), so no cleanup pass is needed.
+#[allow(clippy::too_many_lines)]
+fn run_range(
+    code: &[Instr],
+    start: u32,
+    end: u32,
+    fr: &mut Frame,
+    st: &mut State,
+) -> Result<(), ExecError> {
+    let mut ip = start;
+    while ip < end {
+        // Indexing is in-bounds by construction: every jump target the
+        // lowering pass emits lies within the stream.
+        match &code[ip as usize] {
+            Instr::LoopStart { slot, extent, end: lend } => {
+                let n = extent.eval(fr)?;
+                if n <= 0 {
+                    ip = *lend;
+                    continue;
+                }
+                fr.scalars[*slot as usize] = 0;
+                st.loops.push(LoopFrame { slot: *slot, body: ip + 1, i: 0, n });
+                ip += 1;
+            }
+            Instr::LoopEnd => {
+                let top = st.loops.last_mut().expect("loop stack underflow");
+                top.i += 1;
+                if top.i < top.n {
+                    fr.scalars[top.slot as usize] = top.i;
+                    ip = top.body;
+                } else {
+                    st.loops.pop();
+                    ip += 1;
+                }
+            }
+            Instr::Par { slot, extent, end: lend } => {
+                let n = extent.eval(fr)?;
+                if n <= 0 {
+                    ip = *lend;
+                    continue;
+                }
+                let threads = num_threads().min(n as usize);
+                if threads < 2 {
+                    // Serial degenerate case: exactly a LoopStart, reusing
+                    // the shared LoopEnd at `lend - 1` as the back edge.
+                    fr.scalars[*slot as usize] = 0;
+                    st.loops.push(LoopFrame { slot: *slot, body: ip + 1, i: 0, n });
+                    ip += 1;
+                    continue;
+                }
+                run_parallel(code, ip + 1, *lend - 1, fr, *slot, n, threads)?;
+                ip = *lend;
+            }
+            Instr::Bind { slot, value } => {
+                fr.scalars[*slot as usize] = value.eval(fr)?;
+                ip += 1;
+            }
+            Instr::BindSlot { slot, src } => {
+                fr.scalars[*slot as usize] = fr.scalars[*src as usize];
+                ip += 1;
+            }
+            Instr::BindAll { iters } => {
+                for (slot, value) in iters.iter() {
+                    fr.scalars[*slot as usize] = value.eval(fr)?;
+                }
+                ip += 1;
+            }
+            Instr::BlockHead { iters, init_end } => {
+                let mut any_reduce_nonzero = false;
+                for (slot, value, is_reduce) in iters.iter() {
+                    let v = value.eval(fr)?;
+                    any_reduce_nonzero |= *is_reduce && v != 0;
+                    fr.scalars[*slot as usize] = v;
+                }
+                ip = if any_reduce_nonzero { *init_end } else { ip + 1 };
+            }
+            Instr::Branch { cond, else_ } => {
+                if cond.eval(fr)? {
+                    ip += 1;
+                } else {
+                    ip = *else_;
+                }
+            }
+            Instr::Jump { target } => ip = *target,
+            Instr::AccumF { buf, index, rest } => {
+                exec_accum_f(fr, *buf, index, rest)?;
+                ip += 1;
+            }
+            Instr::StoreF { buf, index, value } => {
+                exec_store_f(fr, *buf, index, value)?;
+                ip += 1;
+            }
+            Instr::StoreI { buf, index, value } => {
+                exec_store_i(fr, *buf, index, value)?;
+                ip += 1;
+            }
+            Instr::Alloc { buf, is_float, len_dims } => {
+                let mut len: i64 = 1;
+                for d in len_dims {
+                    len *= d.eval(fr)?;
+                }
+                let mut data = if *is_float {
+                    TensorData::F32(vec![0.0; len as usize])
+                } else {
+                    TensorData::I32(vec![0; len as usize])
+                };
+                let view = RawBuf::of(&mut data);
+                fr.locals.push(data);
+                st.saved.push(fr.bufs[*buf as usize]);
+                fr.bufs[*buf as usize] = view;
+                ip += 1;
+            }
+            Instr::Free { buf } => {
+                fr.bufs[*buf as usize] = st.saved.pop().expect("alloc stack underflow");
+                fr.locals.pop();
+                ip += 1;
+            }
+            Instr::EvalV(v) => {
+                v.eval_for_effect(fr)?;
+                ip += 1;
+            }
+            Instr::Mma(op) => {
+                exec_mma(fr, &op.c, &op.a, &op.b, op.m, op.n, op.k)?;
+                ip += 1;
+            }
+            Instr::Super { spec, done } => {
+                let n = spec.extent.eval(fr)?;
+                if n <= 0 || spec.try_fast(fr, n).is_some() {
+                    ip = *done;
+                } else {
+                    // Microkernel preconditions failed before any write:
+                    // fall through into the generic loop behind us, which
+                    // reproduces the interpreter's exact behavior.
+                    ip += 1;
+                }
+            }
+            Instr::Fail(msg) => return Err(ExecError::new(msg.clone())),
+        }
+    }
+    Ok(())
+}
+
+/// Dispatch iterations `0..n` of the body range `[body_start, body_end)`
+/// across `threads` scoped threads, chunked exactly like the tree
+/// executor's `ParFor` (same chunking, same per-thread frame cloning,
+/// same first-error-wins reporting).
+fn run_parallel(
+    code: &[Instr],
+    body_start: u32,
+    body_end: u32,
+    fr: &Frame,
+    slot: u32,
+    n: i64,
+    threads: usize,
+) -> Result<(), ExecError> {
+    let chunk = (n as usize).div_ceil(threads);
+    let first_err: Mutex<Option<ExecError>> = Mutex::new(None);
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let lo = (t * chunk) as i64;
+            let hi = n.min(((t + 1) * chunk) as i64);
+            if lo >= hi {
+                break;
+            }
+            let tf = SendFrame(Frame {
+                scalars: fr.scalars.clone(),
+                bufs: fr.bufs.clone(),
+                locals: Vec::new(),
+            });
+            let first_err = &first_err;
+            s.spawn(move || {
+                // Move the whole wrapper (not just `tf.0`) so the `Send`
+                // impl on `SendFrame` applies.
+                let mut tf = tf;
+                let mut st = State::new();
+                for i in lo..hi {
+                    tf.0.scalars[slot as usize] = i;
+                    if let Err(e) = run_range(code, body_start, body_end, &mut tf.0, &mut st) {
+                        let mut g = first_err.lock().unwrap();
+                        if g.is_none() {
+                            *g = Some(e);
+                        }
+                        return;
+                    }
+                }
+            });
+        }
+    });
+    match first_err.into_inner().unwrap() {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}

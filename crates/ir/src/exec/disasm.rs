@@ -1,0 +1,284 @@
+//! Stable text disassembly of flat kernel bytecode.
+//!
+//! [`render`] produces a deterministic listing — header, parameter and
+//! buffer tables, the scalar-slot table, then one line per instruction —
+//! designed for golden-file tests on codegen: any change to lowering,
+//! fusion matching or slot allocation shows up as a readable diff.
+//! Scalar slots print as `%N`, buffer slots as `@N` (both resolvable via
+//! the tables), jump targets as zero-padded absolute instruction
+//! addresses. The listing is backend-independent: tree-backed kernels
+//! lower their tree on demand, so the same compilation disassembles
+//! identically under either executor.
+
+use super::bytecode::{Code, Instr};
+use super::fuse::{InitKind, LaneSpec, LaneView, Micro, TermShape, TermSpec};
+use super::{
+    BoolExpr, CmpOp, CompiledKernel, CompiledTile, FloatExpr, FloatOp, IndexExpr, IntExpr, IntOp,
+    ValueExpr,
+};
+use std::fmt::Write as _;
+
+pub(super) fn render(k: &CompiledKernel, code: &Code) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, ";; kernel `{}` fuse={}", k.name, if k.fuse { "on" } else { "off" });
+    if k.params.is_empty() {
+        out.push_str(";; params: (none)\n");
+    } else {
+        let cells: Vec<String> =
+            k.params.iter().map(|(name, slot)| format!("%{slot}={name}")).collect();
+        let _ = writeln!(out, ";; params: {}", cells.join("  "));
+    }
+    out.push_str(";; buffers:\n");
+    for (slot, name) in k.buf_names.iter().enumerate() {
+        let dtype = k
+            .buffers
+            .iter()
+            .find(|(_, _, s)| *s as usize == slot)
+            .map_or("local", |(_, is_float, _)| if *is_float { "f32" } else { "i32" });
+        let _ = writeln!(out, ";;   @{slot} = {name} : {dtype}");
+    }
+    out.push_str(";; slots:\n");
+    for (slot, name) in k.slot_names.iter().enumerate() {
+        let _ = writeln!(out, ";;   %{slot} = {name}");
+    }
+    let _ = writeln!(out, ";; superinstructions: {}", code.fused_ops());
+    out.push('\n');
+    for (at, ins) in code.instrs().iter().enumerate() {
+        let _ = writeln!(out, "{at:04}  {}", instr(ins));
+    }
+    out
+}
+
+fn instr(ins: &Instr) -> String {
+    match ins {
+        Instr::LoopStart { slot, extent, end } => {
+            format!("for        %{slot} in 0..{}, end={end:04}", int(extent))
+        }
+        Instr::Par { slot, extent, end } => {
+            format!("par        %{slot} in 0..{}, end={end:04}", int(extent))
+        }
+        Instr::LoopEnd => "end".to_string(),
+        Instr::Bind { slot, value } => format!("bind       %{slot} = {}", int(value)),
+        Instr::BindSlot { slot, src } => format!("mov        %{slot} = %{src}"),
+        Instr::BindAll { iters } => {
+            let binds: Vec<String> =
+                iters.iter().map(|(slot, value)| format!("%{slot} = {}", int(value))).collect();
+            format!("bind.all   {}", binds.join(", "))
+        }
+        Instr::BlockHead { iters, init_end } => {
+            let binds: Vec<String> = iters
+                .iter()
+                .map(|(slot, value, is_reduce)| {
+                    let mark = if *is_reduce { " [r]" } else { "" };
+                    format!("%{slot} = {}{mark}", int(value))
+                })
+                .collect();
+            format!("block      {}, skip.init -> {init_end:04}", binds.join(", "))
+        }
+        Instr::Branch { cond, else_ } => {
+            format!("br.false   {} -> {else_:04}", boolean(cond))
+        }
+        Instr::Jump { target } => format!("jmp        -> {target:04}"),
+        Instr::StoreF { buf, index, value } => {
+            format!("st.f32     @{buf}[{}] = {}", index_expr(index), float(value))
+        }
+        Instr::AccumF { buf, index, rest } => {
+            format!("acc.f32    @{buf}[{}] += {}", index_expr(index), float(rest))
+        }
+        Instr::StoreI { buf, index, value } => {
+            format!("st.i32     @{buf}[{}] = {}", index_expr(index), int(value))
+        }
+        Instr::Alloc { buf, is_float, len_dims } => {
+            let dims: Vec<String> = len_dims.iter().map(int).collect();
+            let dtype = if *is_float { "f32" } else { "i32" };
+            format!("alloc      @{buf} = {dtype}[{}]", dims.join(", "))
+        }
+        Instr::Free { buf } => format!("free       @{buf}"),
+        Instr::EvalV(v) => format!("eval       {}", value(v)),
+        Instr::Mma(op) => format!(
+            "mma        {} += {} x {}, m={} n={} k={}",
+            tile(&op.c),
+            tile(&op.a),
+            tile(&op.b),
+            op.m,
+            op.n,
+            op.k
+        ),
+        Instr::Super { spec, done } => format!("{} -> {done:04}", superinstr(spec)),
+        Instr::Fail(msg) => format!("fail       {msg:?}"),
+    }
+}
+
+fn superinstr(spec: &LaneSpec) -> String {
+    let (mnemonic, detail) = match &spec.micro {
+        Micro::FillLanes { dst, value } => {
+            ("super.fill", format!("dst={} val={}", lane_view(dst), float(value)))
+        }
+        Micro::AxpyLanes { dst, term } => {
+            ("super.axpy", format!("dst={} term={}", lane_view(dst), term_spec(term)))
+        }
+        Micro::DotLanes { dst, term } => {
+            ("super.dot ", format!("dst={} term={}", lane_view(dst), term_spec(term)))
+        }
+        Micro::GatherScaleAccumulate { dst, term } => {
+            ("super.gsa ", format!("dst={} term={}", lane_view(dst), term_spec(term)))
+        }
+    };
+    let iters: Vec<String> = spec
+        .iters
+        .iter()
+        .map(|it| {
+            format!(
+                "%{}={} [{}{:+}]",
+                it.slot,
+                int(&it.binding),
+                if it.is_reduce { "r" } else { "s" },
+                it.stride
+            )
+        })
+        .collect();
+    format!(
+        "{mnemonic} %{} in 0..{}, {detail}, init={}, iters=[{}]",
+        spec.lane_slot,
+        int(&spec.extent),
+        init_kind(&spec.init),
+        iters.join("; ")
+    )
+}
+
+fn init_kind(init: &InitKind) -> String {
+    match init {
+        InitKind::None => "none".to_string(),
+        InitKind::Always { value } => format!("always({})", float(value)),
+        InitKind::WhenReduceZero { value } => format!("when-reduce-zero({})", float(value)),
+        InitKind::AtZeroLane { value } => format!("at-zero-lane({})", float(value)),
+    }
+}
+
+fn lane_view(v: &LaneView) -> String {
+    format!("@{}[{}]{:+}", v.buf, index_expr(&v.index), v.stride)
+}
+
+fn term_spec(t: &TermSpec) -> String {
+    let a = lane_view(&t.a);
+    let b = t.b.as_ref().map(lane_view);
+    let c = t.coeff.as_ref().map(float);
+    let (b, c) = (b.as_deref().unwrap_or("?"), c.as_deref().unwrap_or("?"));
+    match t.shape {
+        TermShape::AOnly => a,
+        TermShape::CoeffA => format!("({c} * {a})"),
+        TermShape::ACoeff => format!("({a} * {c})"),
+        TermShape::AB => format!("({a} * {b})"),
+        TermShape::CoeffAB => format!("(({c} * {a}) * {b})"),
+        TermShape::ACoeffB => format!("(({a} * {c}) * {b})"),
+        TermShape::CoeffParenAB => format!("({c} * ({a} * {b}))"),
+    }
+}
+
+fn tile(t: &CompiledTile) -> String {
+    format!("@{}[{} +r*{}]", t.buf, int(&t.offset), int(&t.row_stride))
+}
+
+fn value(v: &ValueExpr) -> String {
+    match v {
+        ValueExpr::I(e) => int(e),
+        ValueExpr::F(e) => float(e),
+        ValueExpr::B(e) => boolean(e),
+    }
+}
+
+fn index_expr(ix: &IndexExpr) -> String {
+    let dims: Vec<String> =
+        ix.dims.iter().map(|(idx, ext)| format!("{}<{}", int(idx), int(ext))).collect();
+    dims.join(", ")
+}
+
+fn int_op(op: IntOp) -> &'static str {
+    match op {
+        IntOp::Add => "+",
+        IntOp::Sub => "-",
+        IntOp::Mul => "*",
+        IntOp::Div => "/",
+        IntOp::Rem => "%",
+        IntOp::Min => "min",
+        IntOp::Max => "max",
+    }
+}
+
+fn float_op(op: FloatOp) -> &'static str {
+    match op {
+        FloatOp::Add => "+",
+        FloatOp::Sub => "-",
+        FloatOp::Mul => "*",
+        FloatOp::Div => "/",
+        FloatOp::Rem => "%",
+        FloatOp::Min => "min",
+        FloatOp::Max => "max",
+    }
+}
+
+fn cmp_op(op: CmpOp) -> &'static str {
+    match op {
+        CmpOp::Eq => "==",
+        CmpOp::Ne => "!=",
+        CmpOp::Lt => "<",
+        CmpOp::Le => "<=",
+        CmpOp::Gt => ">",
+        CmpOp::Ge => ">=",
+    }
+}
+
+fn int(e: &IntExpr) -> String {
+    match e {
+        IntExpr::Const(v) => v.to_string(),
+        IntExpr::Slot(s) => format!("%{s}"),
+        IntExpr::Bin { op, lhs, rhs } => match op {
+            IntOp::Min | IntOp::Max => format!("{}({}, {})", int_op(*op), int(lhs), int(rhs)),
+            _ => format!("({} {} {})", int(lhs), int_op(*op), int(rhs)),
+        },
+        IntExpr::Select { cond, then_, else_ } => {
+            format!("sel({}, {}, {})", boolean(cond), int(then_), int(else_))
+        }
+        IntExpr::CastViaF64(f) => format!("i64({})", float(f)),
+        IntExpr::BoolToInt(b) => format!("int({})", boolean(b)),
+        IntExpr::Load { buf, index } => format!("@{buf}[{}]", index_expr(index)),
+        IntExpr::BinarySearch { buf, lo, hi, x, .. } => {
+            format!("bsearch(@{buf}, {}, {}, {})", int(lo), int(hi), int(x))
+        }
+    }
+}
+
+fn float(e: &FloatExpr) -> String {
+    match e {
+        FloatExpr::Const(v) => format!("{v:?}"),
+        FloatExpr::Bin { op, lhs, rhs } => match op {
+            FloatOp::Min | FloatOp::Max => {
+                format!("f{}({}, {})", float_op(*op), float(lhs), float(rhs))
+            }
+            _ => format!("({} {} {})", float(lhs), float_op(*op), float(rhs)),
+        },
+        FloatExpr::Select { cond, then_, else_ } => {
+            format!("sel({}, {}, {})", boolean(cond), float(then_), float(else_))
+        }
+        FloatExpr::FromInt(i) => format!("f64({})", int(i)),
+        FloatExpr::Load { buf, index } => format!("@{buf}[{}]", index_expr(index)),
+        FloatExpr::Exp(v) => format!("exp({})", float(v)),
+        FloatExpr::Sqrt(v) => format!("sqrt({})", float(v)),
+        FloatExpr::Relu(v) => format!("relu({})", float(v)),
+    }
+}
+
+fn boolean(e: &BoolExpr) -> String {
+    match e {
+        BoolExpr::CmpI { op, lhs, rhs } => {
+            format!("({} {} {})", int(lhs), cmp_op(*op), int(rhs))
+        }
+        BoolExpr::CmpF { op, lhs, rhs } => {
+            format!("({} {} {})", float(lhs), cmp_op(*op), float(rhs))
+        }
+        BoolExpr::And(l, r) => format!("({} && {})", boolean(l), boolean(r)),
+        BoolExpr::Or(l, r) => format!("({} || {})", boolean(l), boolean(r)),
+        BoolExpr::IntNonZero(i) => format!("({} != 0)", int(i)),
+        BoolExpr::FloatNonZero(f) => format!("({} != 0.0)", float(f)),
+    }
+}

@@ -259,7 +259,7 @@ pub(super) enum TermShape {
 /// The per-lane `f64` term `t(l)` added into an accumulator: up to two
 /// lane-striding loads plus an optional lane-invariant coefficient,
 /// combined in one of [`TermShape`]'s association orders.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(super) struct TermSpec {
     pub shape: TermShape,
     pub coeff: Option<FloatExpr>,
@@ -268,7 +268,7 @@ pub(super) struct TermSpec {
 }
 
 /// When (at which lanes) the block's init statement fires.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(super) enum InitKind {
     /// No init statement.
     None,
@@ -285,7 +285,7 @@ pub(super) enum InitKind {
 /// Specialized dense-lane microkernel instructions. Each operates on
 /// `f32` element ranges resolved once per invocation, replacing the
 /// per-lane instruction-tree dispatch of the generic executor.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(super) enum Micro {
     /// `dst[l] = v` for `l ∈ 0..n` — contiguous fill with a
     /// lane-invariant value (format-init loops, `C = 0` epilogues).
@@ -317,7 +317,7 @@ impl Micro {
 }
 
 /// One block-iter binding of the fused loop, with its proven lane stride.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(super) struct FusedIter {
     pub slot: u32,
     pub binding: IntExpr,
@@ -325,15 +325,26 @@ pub(super) struct FusedIter {
     pub stride: i64,
 }
 
-/// A fused innermost lane loop: the microkernel fast path plus the
-/// original generic loop retained as the bit-exact semantic fallback.
-#[derive(Debug)]
-pub(super) struct FusedLanes {
+/// The backend-independent payload of a fused lane loop: everything the
+/// microkernel fast path needs (lane slot, extent, proven iter strides,
+/// init classification, the [`Micro`] op). The tree executor wraps it in
+/// a [`FusedLanes`] node carrying the generic fallback subtree; the
+/// bytecode executor embeds it in a `Super` instruction whose fallback
+/// is the generic loop lowered right after it in the flat stream.
+#[derive(Debug, Clone)]
+pub(super) struct LaneSpec {
     pub lane_slot: u32,
     pub extent: IntExpr,
     pub iters: Vec<FusedIter>,
     pub init: InitKind,
     pub micro: Micro,
+}
+
+/// A fused innermost lane loop: the microkernel fast path plus the
+/// original generic loop retained as the bit-exact semantic fallback.
+#[derive(Debug)]
+pub(super) struct FusedLanes {
+    pub spec: LaneSpec,
     /// The original `For` node; executed whenever a runtime precondition
     /// (lane bounds, evaluation errors during setup) fails, reproducing
     /// the generic path's exact behavior and error messages.
@@ -411,7 +422,7 @@ pub(super) fn fuse_stmt(s: CStmt) -> (CStmt, usize) {
 /// Collect the names of fused microkernels in `s` (diagnostics).
 pub(super) fn collect_micros(s: &CStmt, out: &mut Vec<&'static str>) {
     match s {
-        CStmt::Fused(f) => out.push(f.micro.name()),
+        CStmt::Fused(f) => out.push(f.spec.micro.name()),
         CStmt::For { body, .. } | CStmt::ParFor { body, .. } => collect_micros(body, out),
         CStmt::Seq(v) => v.iter().for_each(|st| collect_micros(st, out)),
         CStmt::If { then_, else_, .. } => {
@@ -433,14 +444,10 @@ pub(super) fn collect_micros(s: &CStmt, out: &mut Vec<&'static str>) {
 
 fn try_fuse_for(node: CStmt) -> Result<FusedLanes, CStmt> {
     match build_fused(&node) {
-        Some((lane_slot, extent, iters, init, micro)) => {
-            Ok(FusedLanes { lane_slot, extent, iters, init, micro, generic: Box::new(node) })
-        }
+        Some(spec) => Ok(FusedLanes { spec, generic: Box::new(node) }),
         None => Err(node),
     }
 }
-
-type FusedParts = (u32, IntExpr, Vec<FusedIter>, InitKind, Micro);
 
 /// See through single-statement `Seq` wrappers (lowering routinely wraps
 /// loop and block bodies in singleton sequences).
@@ -454,8 +461,12 @@ fn single(mut s: &CStmt) -> &CStmt {
     s
 }
 
+/// Analyze a `For` node; `Some(spec)` when it matches a fusible lane
+/// loop. Shared by the tree rewriter ([`fuse_stmt`]) and the bytecode
+/// lowering pass, which emits the spec as a `Super` instruction instead
+/// of rewriting the tree.
 #[allow(clippy::too_many_lines)]
-fn build_fused(node: &CStmt) -> Option<FusedParts> {
+pub(super) fn build_fused(node: &CStmt) -> Option<LaneSpec> {
     let CStmt::For { slot: lane, extent, body } = node else {
         return None;
     };
@@ -556,7 +567,7 @@ fn build_fused(node: &CStmt) -> Option<FusedParts> {
                 return None;
             }
         }
-        return Some((*lane, extent.clone(), iters, init, micro));
+        return Some(LaneSpec { lane_slot: *lane, extent: extent.clone(), iters, init, micro });
     }
 
     // Accumulating store: value = Load(dst, dst_index) + term.
@@ -584,7 +595,7 @@ fn build_fused(node: &CStmt) -> Option<FusedParts> {
             dst: LaneView { buf: dst, index: dst_index.clone(), stride: 1 },
             term,
         };
-        return Some((*lane, extent.clone(), iters, init, micro));
+        return Some(LaneSpec { lane_slot: *lane, extent: extent.clone(), iters, init, micro });
     }
 
     if dst_stride == 0 {
@@ -601,7 +612,7 @@ fn build_fused(node: &CStmt) -> Option<FusedParts> {
         } else {
             Micro::GatherScaleAccumulate { dst: dstv, term }
         };
-        return Some((*lane, extent.clone(), iters, init, micro));
+        return Some(LaneSpec { lane_slot: *lane, extent: extent.clone(), iters, init, micro });
     }
 
     None
@@ -745,21 +756,23 @@ enum LaneInit {
 
 impl FusedLanes {
     pub(super) fn exec(&self, fr: &mut Frame) -> Result<(), ExecError> {
-        let n = self.extent.eval(fr)?;
+        let n = self.spec.extent.eval(fr)?;
         if n <= 0 {
             return Ok(());
         }
-        match self.try_fast(fr, n) {
+        match self.spec.try_fast(fr, n) {
             Some(()) => Ok(()),
             None => self.generic.exec(fr),
         }
     }
+}
 
+impl LaneSpec {
     /// Fast path: evaluate bindings and bases at lane 0, validate every
     /// lane's bounds, then run the microkernel. `None` (no writes done
     /// yet) falls back to the generic loop.
     #[allow(clippy::too_many_lines)]
-    fn try_fast(&self, fr: &mut Frame, n: i64) -> Option<()> {
+    pub(super) fn try_fast(&self, fr: &mut Frame, n: i64) -> Option<()> {
         fr.scalars[self.lane_slot as usize] = 0;
         for it in &self.iters {
             let v = it.binding.eval(fr).ok()?;

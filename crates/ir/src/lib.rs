@@ -66,7 +66,9 @@ pub mod prelude {
     pub use crate::codegen::{codegen_cuda, launch_config};
     pub use crate::dtype::DType;
     pub use crate::eval::{eval_func, eval_func_counting, scalar_map, OpKind, TensorData};
-    pub use crate::exec::{exec_func, fusion_default, CompiledKernel, ExecError, Runtime};
+    pub use crate::exec::{
+        backend_default, exec_func, fusion_default, CompiledKernel, ExecBackend, ExecError, Runtime,
+    };
     pub use crate::expr::{BinOp, Expr, Intrinsic, Var};
     pub use crate::func::PrimFunc;
     pub use crate::printer::{print_expr, print_func};

@@ -1,9 +1,9 @@
-//! Differential property suite: the slot-compiled executor — both the
-//! generic slot-dispatched tree and the dense-lane **fused** microkernel
-//! build — must produce **bit-identical** results to the reference
-//! interpreter on random lowered programs over F32 and I32 buffers,
-//! including thread-bound reduction loops and parallel-dispatched
-//! `blockIdx` loops.
+//! Differential property suite: every compiled executor — the generic
+//! tree walk, the dense-lane **fused** tree build, the flat **bytecode**
+//! stream, and bytecode with fused **superinstructions** — must produce
+//! **bit-identical** results to the reference interpreter on random
+//! lowered programs over F32 and I32 buffers, including thread-bound
+//! reduction loops and parallel-dispatched `blockIdx` loops.
 //!
 //! Programs are drawn in five families:
 //!
@@ -21,10 +21,12 @@
 //!   squarely at the fused `FillLanes`/`AxpyLanes`/`DotLanes`/
 //!   `GatherScaleAccumulate` microkernels and their fallback boundary.
 //!
-//! Every case runs three ways — interpreter, generic executor
-//! (`compile_with(f, false)`), fused executor (`compile_with(f, true)`) —
-//! and each compiled kernel also runs twice (through the cache) to check
-//! that frame reuse cannot leak state between invocations.
+//! Every case runs five ways — interpreter, then the four backend×fusion
+//! executor builds (tree / tree+fused / bytecode / bytecode+super) — and
+//! each compiled kernel also runs twice (through the cache) to check
+//! that frame reuse cannot leak state between invocations. Failure paths
+//! are differential too: runtime bounds/probe errors must carry the same
+//! message and leave the same written prefix on every executor.
 
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
@@ -64,7 +66,16 @@ fn assert_bits_eq(name: &str, a: &TensorData, b: &TensorData) -> Result<(), Stri
     }
 }
 
-/// Run the interpreter, the generic executor and the fused executor on
+/// The four executor builds under differential test: every backend ×
+/// fusion combination, labeled for error reporting.
+const EXECUTORS: [(ExecBackend, bool, &str); 4] = [
+    (ExecBackend::Tree, false, "tree"),
+    (ExecBackend::Tree, true, "tree+fused"),
+    (ExecBackend::Bytecode, false, "bytecode"),
+    (ExecBackend::Bytecode, true, "bytecode+super"),
+];
+
+/// Run the interpreter and all four backend×fusion executor builds on
 /// the same program and initial tensors; demand bit-identical tensor maps
 /// afterwards. Each compiled path runs twice (cache hit + pooled frame)
 /// to catch state leaking between invocations.
@@ -76,9 +87,8 @@ fn differential(
     let mut interp = tensors.clone();
     eval_func(f, scalars, &mut interp).map_err(|e| format!("interpreter failed: {e}"))?;
 
-    for fuse in [false, true] {
-        let label = if fuse { "fused" } else { "generic" };
-        let rt = Runtime::with_fusion(fuse);
+    for (backend, fuse, label) in EXECUTORS {
+        let rt = Runtime::with_options(fuse, backend);
         let kernel = rt.compile(f).map_err(|e| format!("{label} compile failed: {e}"))?;
         let mut compiled = tensors.clone();
         kernel.run(scalars, &mut compiled).map_err(|e| format!("{label} executor failed: {e}"))?;
@@ -96,6 +106,40 @@ fn differential(
         }
     }
     Ok(())
+}
+
+/// Failure-path differential: the program must fail on every executor
+/// build with the **same error message**, and every executor must leave
+/// the **same written prefix** in the tensors (the in-bounds work done
+/// before the error). Returns that shared error message.
+fn differential_failure(
+    f: &PrimFunc,
+    scalars: &HashMap<String, i64>,
+    tensors: &HashMap<String, TensorData>,
+) -> Result<String, String> {
+    let mut first: Option<(String, HashMap<String, TensorData>)> = None;
+    for (backend, fuse, label) in EXECUTORS {
+        let rt = Runtime::with_options(fuse, backend);
+        let kernel = rt.compile(f).map_err(|e| format!("{label} compile failed: {e}"))?;
+        let mut after = tensors.clone();
+        let err = match kernel.run(scalars, &mut after) {
+            Err(e) => e.to_string(),
+            Ok(()) => return Err(format!("[{label}] expected a runtime error, got success")),
+        };
+        match &first {
+            None => first = Some((err, after)),
+            Some((msg, prefix)) => {
+                if *msg != err {
+                    return Err(format!("[{label}] error `{err}` differs from `{msg}`"));
+                }
+                for (name, data) in prefix {
+                    assert_bits_eq(name, data, &after[name])
+                        .map_err(|e| format!("[{label}] written prefix diverged: {e}"))?;
+                }
+            }
+        }
+    }
+    Ok(first.expect("EXECUTORS is non-empty").0)
 }
 
 // ---------------------------------------------------------------------------
@@ -700,6 +744,103 @@ fn aliased_buffers_fall_back_to_generic() {
     let fused = CompiledKernel::compile_with(&f, true).expect("compiles");
     assert_eq!(fused.fused_ops(), 0, "self-aliasing source must not fuse");
     differential(&f, &HashMap::new(), &tensors).unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// Failure-path identity: runtime errors must match on every executor
+// ---------------------------------------------------------------------------
+
+/// A fusable axpy loop whose extent is a scalar param: binding it past
+/// the buffer lengths makes the superinstruction's lane validation fail
+/// and every executor (fused fast paths included) must report the
+/// interpreter's exact out-of-bounds error after the same written prefix.
+#[test]
+fn out_of_bounds_store_fails_identically_on_every_executor() {
+    let k = Var::i32("k");
+    let n = Var::i32("n");
+    let b = Buffer::global_f32("B", vec![Expr::i32(8)]);
+    let c = Buffer::global_f32("C", vec![Expr::i32(8)]);
+    let body = Stmt::For {
+        var: k.clone(),
+        extent: Expr::var(&n),
+        kind: ForKind::Serial,
+        body: Box::new(Stmt::BufferStore {
+            buffer: c.clone(),
+            indices: vec![Expr::var(&k)],
+            value: c.load(vec![Expr::var(&k)]) + Expr::f32(2.0) * b.load(vec![Expr::var(&k)]),
+        }),
+    };
+    let f = PrimFunc::new("oob_store", vec![n], vec![b, c], body);
+    let fused = CompiledKernel::compile_opts(&f, true, ExecBackend::Bytecode).unwrap();
+    assert_eq!(fused.fused_ops(), 1, "dynamic-extent axpy fuses to a superinstruction");
+    let mut tensors = HashMap::new();
+    tensors.insert("B".to_string(), TensorData::F32(vec![1.0; 8]));
+    tensors.insert("C".to_string(), TensorData::zeros(DType::F32, 8));
+    let scalars = scalar_map(&[("n", 12)]);
+    let msg = differential_failure(&f, &scalars, &tensors).unwrap();
+    assert_eq!(msg, "executor error: index 8 out of bounds for dim of extent 8 in buffer `C`");
+    let mut interp = tensors.clone();
+    let ierr = eval_func(&f, &scalars, &mut interp).unwrap_err();
+    let bare = msg.strip_prefix("executor error: ").unwrap();
+    assert!(ierr.to_string().ends_with(bare), "interpreter error `{ierr}` must end with `{bare}`");
+}
+
+/// An out-of-bounds *load* (probe failure) part-way through a serial
+/// loop: the first two iterations must land before the error, identically
+/// everywhere.
+#[test]
+fn out_of_bounds_probe_fails_identically_after_the_same_prefix() {
+    let k = Var::i32("k");
+    let b = Buffer::global_f32("B", vec![Expr::i32(2)]);
+    let c = Buffer::global_f32("C", vec![Expr::i32(8)]);
+    let body = Stmt::for_serial(
+        k.clone(),
+        8,
+        Stmt::BufferStore {
+            buffer: c.clone(),
+            indices: vec![Expr::var(&k)],
+            // B has extent 2: iteration k == 2 probes out of bounds.
+            value: b.load(vec![Expr::var(&k)]) * 3.0f32,
+        },
+    );
+    let f = PrimFunc::new("oob_probe", vec![], vec![b, c], body);
+    let mut tensors = HashMap::new();
+    tensors.insert("B".to_string(), TensorData::F32(vec![1.5, -2.5]));
+    tensors.insert("C".to_string(), TensorData::zeros(DType::F32, 8));
+    let msg = differential_failure(&f, &HashMap::new(), &tensors).unwrap();
+    assert_eq!(msg, "executor error: index 2 out of bounds for dim of extent 2 in buffer `B`");
+}
+
+/// Integer division by a zero loaded at run time.
+#[test]
+fn division_by_zero_fails_identically_on_every_executor() {
+    let k = Var::i32("k");
+    let b = Buffer::global_i32("B", vec![Expr::i32(4)]);
+    let d = Buffer::global_i32("D", vec![Expr::i32(4)]);
+    let body = Stmt::for_serial(
+        k.clone(),
+        4,
+        Stmt::BufferStore {
+            buffer: d.clone(),
+            indices: vec![Expr::var(&k)],
+            value: Expr::i32(7) / b.load(vec![Expr::var(&k)]),
+        },
+    );
+    let f = PrimFunc::new("div_zero", vec![], vec![b, d], body);
+    let mut tensors = HashMap::new();
+    tensors.insert("B".to_string(), TensorData::I32(vec![2, 1, 0, 3]));
+    tensors.insert("D".to_string(), TensorData::I32(vec![0; 4]));
+    let msg = differential_failure(&f, &HashMap::new(), &tensors).unwrap();
+    assert!(msg.contains("division by zero"), "got `{msg}`");
+}
+
+/// A missing tensor binding errors identically before any execution.
+#[test]
+fn missing_binding_fails_identically_on_every_executor() {
+    let (f, mut tensors) = lane_axpy(8, 1, 1, false, false, 0x900);
+    tensors.remove("B");
+    let msg = differential_failure(&f, &HashMap::new(), &tensors).unwrap();
+    assert_eq!(msg, "executor error: missing tensor binding for buffer `B`");
 }
 
 proptest! {

@@ -1,0 +1,98 @@
+//! Golden-file tests on the kernel disassembler: canonical kernels (CSR
+//! SpMM, hyb SpMM, batched SDDMM, fused attention) must disassemble to
+//! byte-identical listings committed under `tests/golden/`. Any change to
+//! slot allocation, lowering, fusion matching or the instruction set
+//! shows up here as a readable diff.
+//!
+//! * Re-bless after an intentional codegen change with
+//!   `SPARSETIR_BLESS=1 cargo test -p sparsetir-ir --test golden_disasm`.
+//! * On mismatch the produced listing is written next to the golden file
+//!   as `<name>.disasm.actual` (CI uploads these as artifacts).
+//!
+//! The kernels are built from a hand-constructed deterministic matrix —
+//! no RNG — so the listings are stable across runs and platforms. Every
+//! kernel is also compiled for both executor backends to pin down that
+//! disassembly is backend-independent (tree kernels lower on demand).
+
+use sparsetir_ir::prelude::*;
+use sparsetir_kernels::prelude::*;
+use sparsetir_kernels::sddmm::batched_sddmm_ir;
+use sparsetir_smat::prelude::*;
+use std::path::PathBuf;
+
+/// Deterministic 6×6 sparse matrix with varied row degrees (0 to 5), so
+/// the hyb decomposition produces several non-empty buckets.
+fn fixture_csr() -> Csr {
+    let indptr = vec![0, 3, 4, 4, 9, 10, 12];
+    let indices: Vec<u32> = vec![0, 2, 4, 1, 0, 1, 2, 3, 5, 3, 2, 4];
+    let values: Vec<f32> = (0..12).map(|i| 0.5 + i as f32 * 0.25).collect();
+    Csr::new(6, 6, indptr, indices, values).expect("valid fixture matrix")
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(format!("{name}.disasm"))
+}
+
+/// Compile `func` for both backends, check their listings agree, then
+/// compare (or bless) the golden file.
+fn check_golden(name: &str, func: &PrimFunc) {
+    let code = CompiledKernel::compile_opts(func, true, ExecBackend::Bytecode).expect("compiles");
+    let tree = CompiledKernel::compile_opts(func, true, ExecBackend::Tree).expect("compiles");
+    let listing = code.disassemble();
+    assert_eq!(listing, tree.disassemble(), "{name}: disassembly must be backend-independent");
+
+    let path = golden_path(name);
+    if std::env::var_os("SPARSETIR_BLESS").is_some() {
+        std::fs::write(&path, &listing).expect("write golden file");
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden file {} ({e}); regenerate with SPARSETIR_BLESS=1", path.display())
+    });
+    if want != listing {
+        let actual = path.with_extension("disasm.actual");
+        std::fs::write(&actual, &listing).expect("write actual listing");
+        let diff_at = want.lines().zip(listing.lines()).position(|(a, b)| a != b).map_or_else(
+            || "listing lengths differ".to_string(),
+            |l| format!("first diff at line {}", l + 1),
+        );
+        panic!(
+            "{name}: disassembly drifted from {} ({diff_at}); \
+             actual listing written to {}; re-bless with SPARSETIR_BLESS=1 if intentional",
+            path.display(),
+            actual.display()
+        );
+    }
+}
+
+#[test]
+fn csr_spmm_disassembly_is_stable() {
+    let a = fixture_csr();
+    let f = csr_spmm_ir(&a, 4).expect("builds");
+    let k = CompiledKernel::compile_opts(&f, true, ExecBackend::Bytecode).unwrap();
+    assert!(k.fused_ops() > 0, "CSR SpMM inner loop fuses to a superinstruction");
+    check_golden("csr_spmm", &f);
+}
+
+#[test]
+fn hyb_spmm_disassembly_is_stable() {
+    let a = fixture_csr();
+    let x = Dense::from_fn(a.cols(), 4, |i, j| (i * 4 + j) as f32 * 0.125 - 1.0);
+    let cfg = SpmmConfig { col_parts: Some(2), bucket_k: 2, params: CsrSpmmParams::default() };
+    let prepared = prepare_spmm(&a, &x, &cfg).expect("builds");
+    check_golden("hyb_spmm", &prepared.func);
+}
+
+#[test]
+fn batched_sddmm_disassembly_is_stable() {
+    let a = fixture_csr();
+    let f = batched_sddmm_ir(&a, 2, 4).expect("builds");
+    check_golden("batched_sddmm", &f);
+}
+
+#[test]
+fn fused_attention_disassembly_is_stable() {
+    let a = fixture_csr();
+    let f = fused_attention_ir(&a, 2, 4, 3).expect("builds");
+    check_golden("fused_attention", &f);
+}

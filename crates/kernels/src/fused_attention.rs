@@ -96,7 +96,7 @@ fn check_shapes(a: &Csr, q: &Dense, kt: &Dense, v: &Dense, heads: usize) -> Kern
     if heads == 0 {
         return Err("fused attention: zero heads".into());
     }
-    if q.cols() % heads != 0 || v.cols() % heads != 0 {
+    if !q.cols().is_multiple_of(heads) || !v.cols().is_multiple_of(heads) {
         return Err(format!(
             "fused attention: stacked widths q={} v={} not divisible by heads={heads}",
             q.cols(),

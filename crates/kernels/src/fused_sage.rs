@@ -14,7 +14,7 @@
 //!
 //! Fused vs two-launch pipeline is bit-identical (same pass bodies, same
 //! order, same executor rounding points); against a per-edge-weighted
-//! reference like [`sparsetir_smat::Csr::spmm`] on a `1/deg`-valued
+//! reference like [`sparsetir_smat::csr::Csr::spmm`] on a `1/deg`-valued
 //! adjacency the grouping differs (`Σ (x/deg)` vs `(Σ x)/deg`), so that
 //! comparison is relative-epsilon, not bit equality.
 
@@ -147,7 +147,7 @@ pub fn fused_sage_reference(a: &Csr, x: &Dense, w: &Dense) -> Dense {
     let (feat, hidden) = (x.cols(), w.cols());
     let dinv = inverse_degrees(a);
     let mut out = Dense::zeros(a.rows(), hidden);
-    for i in 0..a.rows() {
+    for (i, &di) in dinv.iter().enumerate() {
         let mut agg = vec![0.0f64; feat];
         for e in a.indptr()[i]..a.indptr()[i + 1] {
             let j = a.indices()[e] as usize;
@@ -158,7 +158,7 @@ pub fn fused_sage_reference(a: &Csr, x: &Dense, w: &Dense) -> Dense {
         for o in 0..hidden {
             let mut acc = 0.0f64;
             for (k, &v) in agg.iter().enumerate() {
-                acc += v * f64::from(dinv[i]) * f64::from(w.get(k, o));
+                acc += v * f64::from(di) * f64::from(w.get(k, o));
             }
             out.set(i, o, acc as f32);
         }

@@ -2,9 +2,10 @@
 # Intentionally refresh the committed perf-gate baseline.
 #
 # Re-runs exactly what the CI perf-gate job runs — the perf suite
-# (executor + vectorization benches, the batched-serving throughput
-# sweep for SpMM and SDDMM, and the fused-attention serving sweep of
-# the cross-op fused kernel vs the three-launch pipeline) in smoke mode
+# (executor + vectorization benches, the tree-vs-bytecode flat-executor
+# duel, the batched-serving throughput sweep for SpMM and SDDMM, and
+# the fused-attention serving sweep of the cross-op fused kernel vs the
+# three-launch pipeline) in smoke mode
 # with every assertion armed — and promotes the freshly written
 # BENCH_results.json to BENCH_baseline.json. Commit the updated baseline together with the
 # change that legitimately moved the numbers.
