@@ -21,6 +21,8 @@ fn main() {
         ("executor_vectorization", e::executor_vectorization::run),
         ("flat_executor", e::flat_executor::run),
         ("serving_throughput", e::serving_throughput::run),
+        ("fused_attention", e::fused_attention::run),
+        ("serving_slo", e::serving_slo::run),
     ] {
         eprintln!("[all_experiments] running {name} …");
         print!("{}", run());

@@ -56,7 +56,7 @@ fn main() -> ExitCode {
     let (fatal, advisory): (Vec<_>, Vec<_>) =
         cmp.regressions.iter().partition(|d| !ratio_only || d.unit == "ratio");
     for r in &advisory {
-        println!("  regression (ns, advisory under ratio gating): {}", r.detail);
+        println!("  regression (non-ratio, advisory under ratio gating): {}", r.detail);
     }
     if fatal.is_empty() {
         println!("perf-gate: OK");

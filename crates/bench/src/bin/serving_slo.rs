@@ -1,0 +1,15 @@
+//! Runs the SLO-serving experiment (Hi-priority deadline-hit-rate under
+//! a saturating Lo flood, SLO machinery vs FIFO baseline at 1/4/8
+//! clients) and writes `BENCH_results.json`. `SPARSETIR_BENCH_ASSERT=1`
+//! enforces the ≥ 1.3× hit-rate-gain bar at 8 clients and the
+//! non-degenerate p50/p95/p99 check.
+
+use sparsetir_bench::{experiments, report};
+
+fn main() {
+    print!("{}", experiments::serving_slo::run());
+    let records = report::take_records();
+    let path = std::path::Path::new("BENCH_results.json");
+    report::write_results(path, &records, experiments::smoke()).expect("write BENCH_results.json");
+    eprintln!("[serving_slo] wrote {} records to {}", records.len(), path.display());
+}

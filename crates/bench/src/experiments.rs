@@ -1232,6 +1232,7 @@ pub mod serving_throughput {
             max_batch: if batched { 16 } else { 1 },
             tune: false,
             fuse: None,
+            batch_window: None,
         }));
         // Warm the single-request-shape kernel so neither arm pays
         // first-compile latency while timed (payloads were pre-generated
@@ -1255,21 +1256,7 @@ pub mod serving_throughput {
         // Report counters for the timed window only (the warmup request
         // would otherwise deflate the batching rate); maxima are
         // unaffected by the size-1 warm dispatch.
-        let end = engine.stats();
-        let stats = EngineStats {
-            submitted: end.submitted - warmed.submitted,
-            completed: end.completed - warmed.completed,
-            failed: end.failed - warmed.failed,
-            rejected: end.rejected - warmed.rejected,
-            batches: end.batches - warmed.batches,
-            batched_requests: end.batched_requests - warmed.batched_requests,
-            max_batch: end.max_batch,
-            queue_high_water: end.queue_high_water,
-            latency_ns_sum: end.latency_ns_sum - warmed.latency_ns_sum,
-            latency_ns_max: end.latency_ns_max,
-            worker_panics: end.worker_panics - warmed.worker_panics,
-            op_widths: end.op_widths,
-        };
+        let stats = engine.stats().delta_since(&warmed);
         (elapsed / total.max(1) as f64, stats)
     }
 
@@ -1349,14 +1336,20 @@ pub mod serving_throughput {
         {
             let engine = Engine::new(EngineConfig::default());
             let x = gen::random_dense(n, feat, &mut rng);
-            let served = engine.spmm(&adj, x.clone()).expect("serves");
+            let served = engine
+                .serve(&adj, OpRequest::Spmm(x.clone()))
+                .and_then(sparsetir_engine::OpOutput::into_dense)
+                .expect("serves");
             assert!(
                 served.approx_eq(&g.spmm(&x).expect("reference"), 1e-3),
                 "served SpMM must match the reference"
             );
             let (sx, sy) =
                 (gen::random_dense(n, feat, &mut rng), gen::random_dense(feat, n, &mut rng));
-            let sddmm = engine.sddmm(&adj, sx.clone(), sy.clone()).expect("serves");
+            let sddmm = engine
+                .serve(&adj, OpRequest::Sddmm((sx.clone(), sy.clone())))
+                .and_then(sparsetir_engine::OpOutput::into_edges)
+                .expect("serves");
             let want = g.sddmm(&sx, &sy).expect("reference");
             assert!(
                 sddmm
@@ -1479,6 +1472,7 @@ pub mod fused_attention {
             max_batch: if fused { 16 } else { 1 },
             tune: false,
             fuse: Some(fused),
+            batch_window: None,
         }));
         // Warm the single-request-shape kernels (one fused, or the
         // pipeline's three) so neither arm pays first-compile latency
@@ -1619,6 +1613,326 @@ pub mod fused_attention {
                 "Fused attention serving: one cross-op kernel + batching vs the three-launch pipeline (k={k}, dv={vfeat}, bar at 8 clients ≥ {FUSED_SPEEDUP_BAR}x)"
             ),
             &["clients", "pipeline req/s", "fused req/s", "speedup"],
+            &rows,
+        )
+    }
+}
+
+/// SLO serving: deadline-hit-rate of latency-sensitive (`Hi`-priority,
+/// deadlined) traffic under a saturating best-effort (`Lo`) flood, with
+/// the engine's SLO machinery (priority-then-deadline queue, admission
+/// shedding, adaptive batch window) vs the pre-0.2 FIFO/blocking
+/// baseline serving the identical mixed workload. One worker on both
+/// arms; the Lo flood runs heavyweight SpMM requests on distinct
+/// adjacencies (they never batch, so each occupies the worker for a full
+/// execution), the measured Hi clients run cheap SDDMM requests on a
+/// shared small adjacency with a deadline ≈ 2 Lo-executions — met only
+/// by jumping the Lo backlog, which is exactly what the priority queue
+/// buys and FIFO cannot.
+pub mod serving_slo {
+    use super::*;
+    use crate::report::{self, BenchRecord};
+    use sparsetir_engine::{
+        Adjacency, Engine, EngineConfig, EngineStats, OpRequest, Priority, Submission,
+    };
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    /// Acceptance floor: Hi-traffic deadline-hit-rate with the SLO
+    /// machinery over the FIFO/blocking baseline at the 8-client
+    /// overload arm (median of 3 paired repetitions).
+    pub const SLO_HIT_RATE_BAR: f64 = 1.3;
+
+    /// The gated record saturates here: the raw gain is `hits_slo /
+    /// hits_fifo` with a near-zero denominator under overload (FIFO
+    /// misses almost every tight deadline), so its magnitude is noise
+    /// beyond a point. Capping makes the committed baseline a stable
+    /// `2.0` while any real regression (SLO arm missing deadlines, or
+    /// FIFO suddenly matching it) still lands far below the −30% gate
+    /// tolerance.
+    pub const GAIN_CAP: f64 = 2.0;
+
+    fn push(name: &str, value: f64, unit: &'static str, better: &'static str, config: &str) {
+        report::record(BenchRecord {
+            experiment: "serving_slo".to_string(),
+            name: name.to_string(),
+            value,
+            unit,
+            better,
+            config: config.to_string(),
+        });
+    }
+
+    /// Measure the median wall-clock of one Lo-class SpMM execution on a
+    /// warmed single-worker engine — the unit every deadline in the
+    /// experiment is calibrated against, so the arms express "about two
+    /// executions of backlog" identically on fast and slow machines.
+    fn calibrate_lo_exec(adj: &Adjacency, x: &Dense) -> Duration {
+        let engine = Engine::new(EngineConfig {
+            workers: 1,
+            queue_depth: 16,
+            max_batch: 8,
+            tune: false,
+            fuse: None,
+            batch_window: None,
+        });
+        engine.serve(adj, OpRequest::Spmm(x.clone())).expect("calibration warmup");
+        let mut samples: Vec<Duration> = (0..5)
+            .map(|_| {
+                let t = Instant::now();
+                engine.serve(adj, OpRequest::Spmm(x.clone())).expect("calibration request");
+                t.elapsed()
+            })
+            .collect();
+        samples.sort();
+        samples[2]
+    }
+
+    struct ArmResult {
+        hi_hit_rate: f64,
+        stats: EngineStats,
+    }
+
+    /// One arm: `lo_clients` flood threads serve Lo SpMM requests in a
+    /// closed loop until the measured traffic completes; `hi_clients`
+    /// threads each issue `hi_per_client` deadlined SDDMM requests and
+    /// score a hit when the answer arrives in time. `slo` selects the
+    /// machinery under test: priorities + deadlines + adaptive window vs
+    /// plain FIFO submits of the identical requests (the deadline then
+    /// exists only in the client's stopwatch).
+    #[allow(clippy::too_many_arguments)]
+    fn run_arm(
+        lo: &[(Adjacency, Dense)],
+        hi_adj: &Adjacency,
+        hi_payload: &(Dense, Dense),
+        hi_clients: usize,
+        hi_per_client: usize,
+        hi_deadline: Duration,
+        window: Duration,
+        slo: bool,
+    ) -> ArmResult {
+        let engine = Arc::new(Engine::new(EngineConfig {
+            workers: 1,
+            queue_depth: 64,
+            max_batch: 8,
+            tune: false,
+            fuse: None,
+            batch_window: if slo { Some(window) } else { None },
+        }));
+        // Warm every kernel shape outside the measured window.
+        for (adj, x) in lo {
+            engine.serve(adj, OpRequest::Spmm(x.clone())).expect("lo warmup");
+        }
+        engine.serve(hi_adj, OpRequest::Sddmm(hi_payload.clone())).expect("hi warmup");
+        let warmed = engine.stats();
+        let stop = AtomicBool::new(false);
+        let hits: u64 = std::thread::scope(|s| {
+            for (adj, x) in lo {
+                let engine = Arc::clone(&engine);
+                let stop = &stop;
+                s.spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        let sub = if slo {
+                            Submission::spmm(x.clone()).priority(Priority::Lo)
+                        } else {
+                            Submission::new(OpRequest::Spmm(x.clone()))
+                        };
+                        engine.serve(adj, sub).expect("lo flood request");
+                    }
+                });
+            }
+            let measurers: Vec<_> = (0..hi_clients)
+                .map(|_| {
+                    let engine = Arc::clone(&engine);
+                    s.spawn(move || {
+                        let mut hits = 0u64;
+                        for _ in 0..hi_per_client {
+                            let sub = if slo {
+                                Submission::sddmm(hi_payload.0.clone(), hi_payload.1.clone())
+                                    .deadline(hi_deadline)
+                                    .priority(Priority::Hi)
+                            } else {
+                                Submission::new(OpRequest::Sddmm(hi_payload.clone()))
+                            };
+                            let t = Instant::now();
+                            // A shed/expired answer is a deadline miss by
+                            // definition; so is a late success.
+                            let res = engine.serve(hi_adj, sub);
+                            if res.is_ok() && t.elapsed() <= hi_deadline {
+                                hits += 1;
+                            }
+                        }
+                        hits
+                    })
+                })
+                .collect();
+            let hits = measurers.into_iter().map(|h| h.join().expect("hi client")).sum();
+            stop.store(true, Ordering::Relaxed);
+            hits
+        });
+        let total = (hi_clients * hi_per_client).max(1) as f64;
+        ArmResult { hi_hit_rate: hits as f64 / total, stats: engine.stats().delta_since(&warmed) }
+    }
+
+    /// Render the sweep (and record it).
+    ///
+    /// # Panics
+    /// Panics when a client hits an unexpected engine error, or — under
+    /// `SPARSETIR_BENCH_ASSERT=1` — when the 8-client overload arm's
+    /// median hit-rate gain falls below [`SLO_HIT_RATE_BAR`] or the SLO
+    /// arm's latency histogram is degenerate (p50/p95/p99 unordered or
+    /// zero with traffic served).
+    #[must_use]
+    pub fn run() -> String {
+        let (n, hi_per_client): (usize, usize) = if smoke() { (1200, 12) } else { (2500, 20) };
+        let feat = 32;
+        let mut rng = gen::rng(0x510);
+        // One heavyweight adjacency per Lo flood client (distinct
+        // fingerprints: the flood cannot batch, each request costs a
+        // full execution — a genuinely occupied worker).
+        let lo: Vec<(Adjacency, Dense)> = (0..4)
+            .map(|_| {
+                let g = gen::random_csr_with_row_lengths(
+                    n,
+                    n,
+                    |r| {
+                        use rand::Rng;
+                        let u: f64 = r.gen_range(0.0..1.0);
+                        ((4.0 / (u + 0.01)) as usize).clamp(1, n / 2)
+                    },
+                    &mut rng,
+                );
+                (Adjacency::new(g), gen::random_dense(n, feat, &mut rng))
+            })
+            .collect();
+        // The measured Hi traffic: cheap SDDMM on a small shared graph.
+        let sn = 128;
+        let sg = gen::random_csr_with_row_lengths(sn, sn, |_| 8, &mut rng);
+        let hi_adj = Adjacency::new(sg);
+        let hi_payload = (gen::random_dense(sn, 8, &mut rng), gen::random_dense(8, sn, &mut rng));
+        let lo_exec = calibrate_lo_exec(&lo[0].0, &lo[0].1);
+        // Deadline ≈ two Lo executions plus a fixed scheduling
+        // allowance: with ≥ 2 Lo requests backlogged FIFO must miss,
+        // while the priority queue answers after at most the in-flight
+        // execution (+ window).
+        let hi_deadline = lo_exec * 2 + Duration::from_micros(100);
+        let window = (lo_exec / 8).clamp(Duration::from_micros(20), Duration::from_micros(200));
+        let config = format!(
+            "n={n} d={feat} sn={sn} hi_per_client={hi_per_client} lo_exec={}us deadline={}us window={}us workers=1 smoke={}",
+            lo_exec.as_micros(),
+            hi_deadline.as_micros(),
+            window.as_micros(),
+            smoke()
+        );
+        let mut rows = Vec::new();
+        let mut gain_at_8 = 0.0;
+        let mut slo_at_8: Option<ArmResult> = None;
+        for &clients in &[1usize, 4, 8] {
+            let hi_clients = clients.div_ceil(2);
+            let lo_clients = clients / 2;
+            // Median of 3 *paired* repetitions, picked by the arm-level
+            // signal (the gain), so both reported rates come from one
+            // coherent repetition.
+            let mut reps: Vec<(f64, ArmResult, ArmResult)> = (0..3)
+                .map(|_| {
+                    let fifo = run_arm(
+                        &lo[..lo_clients],
+                        &hi_adj,
+                        &hi_payload,
+                        hi_clients,
+                        hi_per_client,
+                        hi_deadline,
+                        window,
+                        false,
+                    );
+                    let slo = run_arm(
+                        &lo[..lo_clients],
+                        &hi_adj,
+                        &hi_payload,
+                        hi_clients,
+                        hi_per_client,
+                        hi_deadline,
+                        window,
+                        true,
+                    );
+                    // Floor the denominator at one hit's worth: FIFO
+                    // routinely scores zero under overload.
+                    let floor = 1.0 / (hi_clients * hi_per_client) as f64;
+                    (slo.hi_hit_rate / fifo.hi_hit_rate.max(floor), fifo, slo)
+                })
+                .collect();
+            reps.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let (gain, fifo, slo) = reps.swap_remove(1);
+            let tag = format!("c{clients}");
+            push(&format!("{tag}/fifo_hit_rate"), fifo.hi_hit_rate, "rate", "higher", &config);
+            push(&format!("{tag}/slo_hit_rate"), slo.hi_hit_rate, "rate", "higher", &config);
+            if clients == 8 {
+                gain_at_8 = gain;
+                push(
+                    &format!("{tag}/hit_gain_capped"),
+                    gain.min(GAIN_CAP),
+                    "ratio",
+                    "higher",
+                    &config,
+                );
+                let h = &slo.stats.latency;
+                push(&format!("{tag}/slo_p50"), h.p50() as f64, "ns", "lower", &config);
+                push(&format!("{tag}/slo_p95"), h.p95() as f64, "ns", "lower", &config);
+                push(&format!("{tag}/slo_p99"), h.p99() as f64, "ns", "lower", &config);
+            }
+            rows.push(vec![
+                clients.to_string(),
+                format!("{lo_clients}+{hi_clients}"),
+                fmt_pct(fifo.hi_hit_rate * 100.0),
+                fmt_pct(slo.hi_hit_rate * 100.0),
+                fmt_speedup(gain),
+                format!("{}", slo.stats.latency.p50() / 1000),
+                format!("{}", slo.stats.latency.p95() / 1000),
+                format!("{}", slo.stats.latency.p99() / 1000),
+                format!("{}", slo.stats.rejected + slo.stats.expired),
+            ]);
+            if clients == 8 {
+                slo_at_8 = Some(slo);
+            }
+        }
+        if std::env::var_os("SPARSETIR_BENCH_ASSERT").is_some() {
+            assert!(
+                gain_at_8 >= SLO_HIT_RATE_BAR,
+                "SLO deadline-hit-rate gain {gain_at_8:.2}x below the {SLO_HIT_RATE_BAR}x bar at 8 clients"
+            );
+            let slo = slo_at_8.as_ref().expect("8-client arm ran");
+            let h = &slo.stats.latency;
+            assert!(
+                h.p50() > 0 && h.p50() <= h.p95() && h.p95() <= h.p99(),
+                "degenerate latency percentiles: p50={} p95={} p99={}",
+                h.p50(),
+                h.p95(),
+                h.p99()
+            );
+            assert!(
+                h.p99() <= slo.stats.latency_ns_max,
+                "p99 {} exceeds observed max latency {}",
+                h.p99(),
+                slo.stats.latency_ns_max
+            );
+        }
+        render_table(
+            &format!(
+                "SLO serving: Hi-priority deadline-hit-rate, priorities+admission+window vs FIFO (deadline={}us, bar at 8 clients ≥ {SLO_HIT_RATE_BAR}x)",
+                hi_deadline.as_micros()
+            ),
+            &[
+                "clients",
+                "lo+hi",
+                "fifo hit %",
+                "slo hit %",
+                "gain",
+                "p50 us",
+                "p95 us",
+                "p99 us",
+                "shed+expired",
+            ],
             &rows,
         )
     }

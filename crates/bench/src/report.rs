@@ -25,8 +25,11 @@
 //! ```
 //!
 //! `value` is the median of the timed repetitions for `"unit": "ns"`
-//! records and a dimensionless ratio for `"unit": "ratio"` records
-//! (speedups — machine-portable, unlike absolute nanoseconds). `better`
+//! records, a dimensionless ratio for `"unit": "ratio"` records
+//! (speedups — machine-portable, unlike absolute nanoseconds), and a
+//! `[0, 1]` fraction for `"unit": "rate"` records (hit/success rates —
+//! portable but load-sensitive, so ratio-only gating treats them as
+//! advisory like `"ns"`). `better`
 //! gives the regression direction: a `lower`-is-better record regresses
 //! when `value` rises more than the tolerance above the baseline, a
 //! `higher`-is-better record when it falls more than the tolerance below.
@@ -44,10 +47,10 @@ pub struct BenchRecord {
     pub experiment: String,
     /// Metric identifier, unique within the experiment.
     pub name: String,
-    /// Median nanoseconds (`unit == "ns"`) or dimensionless ratio
-    /// (`unit == "ratio"`).
+    /// Median nanoseconds (`unit == "ns"`), dimensionless ratio
+    /// (`unit == "ratio"`), or `[0, 1]` fraction (`unit == "rate"`).
     pub value: f64,
-    /// `"ns"` or `"ratio"`.
+    /// `"ns"`, `"ratio"`, or `"rate"`.
     pub unit: &'static str,
     /// Regression direction: `"lower"` or `"higher"` is better.
     pub better: &'static str,
@@ -415,6 +418,7 @@ pub fn parse_results(text: &str) -> Result<Vec<BenchRecord>, String> {
         let unit = match field("unit")? {
             "ns" => "ns",
             "ratio" => "ratio",
+            "rate" => "rate",
             other => return Err(format!("record {i}: unknown unit `{other}`")),
         };
         let better = match field("better")? {

@@ -28,6 +28,7 @@ fn all_experiments_run_end_to_end_in_smoke_mode() {
         ("flat_executor", e::flat_executor::run),
         ("serving_throughput", e::serving_throughput::run),
         ("fused_attention", e::fused_attention::run),
+        ("serving_slo", e::serving_slo::run),
     ] {
         let out = run();
         assert!(!out.trim().is_empty(), "{name} rendered nothing");
@@ -57,6 +58,14 @@ fn all_experiments_run_end_to_end_in_smoke_mode() {
     assert!(
         records.iter().any(|r| r.experiment == "fused_attention"),
         "fused_attention must record fused-vs-pipeline results"
+    );
+    assert!(
+        records.iter().any(|r| r.experiment == "serving_slo" && r.name == "c8/hit_gain_capped"),
+        "serving_slo must record the gated 8-client hit-rate gain"
+    );
+    assert!(
+        records.iter().any(|r| r.experiment == "serving_slo" && r.unit == "rate"),
+        "serving_slo must record raw deadline-hit rates"
     );
     let dir = std::env::temp_dir().join(format!("sparsetir_bench_{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();

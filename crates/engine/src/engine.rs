@@ -2,8 +2,16 @@
 //! a worker pool that folds fingerprint-compatible requests of *any*
 //! batchable [`SparseOp`] — SpMM, SDDMM, multi-head attention — into
 //! single widened kernel launches through one generic request path.
+//!
+//! Since the SLO redesign the queue is priority-then-deadline ordered,
+//! admission sheds infeasible or expired work with typed
+//! [`EngineError::Rejected`] answers instead of only blocking, the drain
+//! loop drops already-expired requests without executing them, and an
+//! optional adaptive batch window trades a bounded wait for wider
+//! batches when arrivals predict more compatible riders.
 
 use crate::stats::{EngineStats, StatsInner};
+use crate::submission::{Priority, RejectReason, Submission};
 use sparsetir_autotune::{tune_op, SparsityFingerprint, TunableOp, TuneCache, TuneKey};
 use sparsetir_gpusim::prelude::GpuSpec;
 use sparsetir_ir::exec::{fusion_default, Runtime};
@@ -16,9 +24,9 @@ use std::collections::VecDeque;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Default bound on the request queue (the backpressure knob).
 pub const DEFAULT_QUEUE_DEPTH: usize = 64;
@@ -34,14 +42,25 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 
 /// Error answered to a serving client.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum EngineError {
     /// Request shapes are incompatible with the adjacency.
     Shape(String),
-    /// The bounded queue was full (`try_submit*` only; blocking submits
-    /// wait instead).
+    /// Pre-0.2 name for a full-queue refusal. The generic submit path
+    /// answers [`EngineError::Rejected`] with
+    /// [`RejectReason::QueueFull`] instead; only the deprecated
+    /// `try_submit_spmm` wrapper still maps back to this variant for its
+    /// legacy callers.
     Saturated,
     /// The engine shut down before (or while) answering.
     Shutdown,
+    /// The admission controller or drain loop refused the submission;
+    /// the reason says whether the queue was full, the deadline was
+    /// infeasible, or the deadline had already passed.
+    Rejected {
+        /// Why the submission was refused.
+        reason: RejectReason,
+    },
     /// Kernel lowering/compilation/execution failed (including a worker
     /// panic, which the engine survives).
     Exec(String),
@@ -55,6 +74,7 @@ impl fmt::Display for EngineError {
             EngineError::Shape(msg) => write!(f, "engine shape error: {msg}"),
             EngineError::Saturated => write!(f, "engine queue is full"),
             EngineError::Shutdown => write!(f, "engine has shut down"),
+            EngineError::Rejected { reason } => write!(f, "engine rejected submission: {reason}"),
             EngineError::Exec(msg) => write!(f, "engine execution error: {msg}"),
             EngineError::Output(msg) => write!(f, "engine output error: {msg}"),
         }
@@ -119,8 +139,11 @@ impl Adjacency {
 }
 
 /// One request for any served op, as queued by the generic submit path.
-/// The variant carries exactly the op's [`SparseOp::Operands`].
+/// The variant carries exactly the op's [`SparseOp::Operands`]. Build
+/// through [`Submission`]'s per-op constructors for the serving surface;
+/// a bare `OpRequest` converts `Into<Submission>` with default options.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub enum OpRequest {
     /// SpMM `A · X`: one dense feature operand.
     Spmm(Dense),
@@ -200,36 +223,61 @@ impl OpOutput {
         }
     }
 
+    /// The op kinds that produce an output variant — so a mismatch error
+    /// names both sides' ops, not just the variant tags.
+    fn kinds_of(variant: &'static str) -> &'static str {
+        match variant {
+            "Dense" => "spmm|fused_sage",
+            "Edges" => "sddmm",
+            _ => "attention|fused_attention",
+        }
+    }
+
+    fn mismatch(expected: &'static str, got: &OpOutput) -> EngineError {
+        EngineError::Output(format!(
+            "expected {expected} ({}), got {} ({})",
+            OpOutput::kinds_of(expected),
+            got.variant(),
+            OpOutput::kinds_of(got.variant()),
+        ))
+    }
+
     /// The dense SpMM result.
     ///
     /// # Errors
-    /// [`EngineError::Output`] when this output belongs to a different op.
+    /// [`EngineError::Output`] when this output belongs to a different
+    /// op; the message carries the expected and actual variant + op
+    /// kinds.
     pub fn into_dense(self) -> Result<Dense, EngineError> {
         match self {
             OpOutput::Dense(d) => Ok(d),
-            other => Err(EngineError::Output(format!("expected Dense, got {}", other.variant()))),
+            other => Err(OpOutput::mismatch("Dense", &other)),
         }
     }
 
     /// The per-non-zero SDDMM result.
     ///
     /// # Errors
-    /// [`EngineError::Output`] when this output belongs to a different op.
+    /// [`EngineError::Output`] when this output belongs to a different
+    /// op; the message carries the expected and actual variant + op
+    /// kinds.
     pub fn into_edges(self) -> Result<Vec<f32>, EngineError> {
         match self {
             OpOutput::Edges(v) => Ok(v),
-            other => Err(EngineError::Output(format!("expected Edges, got {}", other.variant()))),
+            other => Err(OpOutput::mismatch("Edges", &other)),
         }
     }
 
     /// The per-head attention result.
     ///
     /// # Errors
-    /// [`EngineError::Output`] when this output belongs to a different op.
+    /// [`EngineError::Output`] when this output belongs to a different
+    /// op; the message carries the expected and actual variant + op
+    /// kinds.
     pub fn into_heads(self) -> Result<Vec<Dense>, EngineError> {
         match self {
             OpOutput::Heads(v) => Ok(v),
-            other => Err(EngineError::Output(format!("expected Heads, got {}", other.variant()))),
+            other => Err(OpOutput::mismatch("Heads", &other)),
         }
     }
 }
@@ -240,8 +288,9 @@ pub struct EngineConfig {
     /// Worker threads draining the queue.
     pub workers: usize,
     /// Bound on queued (not yet dispatched) requests — the backpressure
-    /// knob: blocking submits wait for space, `try_submit*` fails with
-    /// [`EngineError::Saturated`].
+    /// knob: blocking submits wait for space (at most until their
+    /// deadline), `try_submit*` fails with [`EngineError::Rejected`]
+    /// (`QueueFull`).
     pub queue_depth: usize,
     /// Most requests folded into one batched kernel launch; `1` disables
     /// batching (every request runs alone — the unbatched baseline the
@@ -251,7 +300,9 @@ pub struct EngineConfig {
     /// the op's simulator-backed search through the generic `tune_op`
     /// path and the winning configuration is cached in the engine's
     /// [`TuneCache`] for every later batch on that pair. When false, all
-    /// requests use the op's default configuration.
+    /// requests use the op's default configuration. A submission-level
+    /// [`SubmitOpts::tune`](crate::SubmitOpts::tune) overrides this per
+    /// request.
     pub tune: bool,
     /// Cross-op fusion for the fused op paths: `Some(true)` compiles the
     /// whole pipeline into one kernel, `Some(false)` forces the
@@ -261,6 +312,14 @@ pub struct EngineConfig {
     /// [`Runtime`] at construction, so the two modes never share cached
     /// kernels.
     pub fuse: Option<bool>,
+    /// Adaptive batch window: after draining a batch that still has
+    /// rider room, a worker with an otherwise-empty queue waits up to
+    /// this long for more compatible arrivals before firing — but only
+    /// while arrivals are recent, and never when the wait would push the
+    /// batch's most urgent deadline past feasibility. `None` (the
+    /// default) keeps the legacy greedy drain: fire immediately with
+    /// whatever is queued.
+    pub batch_window: Option<Duration>,
 }
 
 impl Default for EngineConfig {
@@ -271,6 +330,7 @@ impl Default for EngineConfig {
             max_batch: 8,
             tune: false,
             fuse: None,
+            batch_window: None,
         }
     }
 }
@@ -279,18 +339,24 @@ struct Job {
     adj: Adjacency,
     req: OpRequest,
     enqueued: Instant,
+    deadline: Option<Instant>,
+    priority: Priority,
+    tune: Option<bool>,
+    /// Admission order, for stable FIFO among equal (priority, deadline)
+    /// keys — default-option submissions order exactly like the pre-SLO
+    /// queue.
+    seq: u64,
     reply: mpsc::Sender<Result<OpOutput, EngineError>>,
 }
 
-enum QueueItem {
-    Job(Job),
-    /// Crash-safety test hook: makes the popping worker panic while it
-    /// holds the queue lock (poisoning the mutex on purpose).
-    InjectPanic,
-}
-
 struct QueueState {
-    queue: VecDeque<QueueItem>,
+    queue: VecDeque<Job>,
+    /// Crash-safety test hook (see [`Engine::inject_worker_panic`]):
+    /// each pending injection makes one draining worker panic while it
+    /// holds the queue lock.
+    inject_panics: usize,
+    /// Monotonic admission counter feeding [`Job::seq`].
+    seq: u64,
     shutdown: bool,
 }
 
@@ -305,7 +371,25 @@ struct Shared {
     /// outside its lock by design, so without this, workers racing the
     /// *first* batches of one adjacency would each pay the full search.
     tune_flight: Mutex<()>,
+    /// Engine birth instant: the epoch for [`Shared::last_arrival_ns`].
+    t0: Instant,
+    /// Nanoseconds-since-`t0` of the most recent admission — the
+    /// adaptive batch window's arrival-rate signal (a stale value means
+    /// waiting for riders is pointless).
+    last_arrival_ns: AtomicU64,
     stats: StatsInner,
+}
+
+impl Shared {
+    fn note_arrival(&self) {
+        self.last_arrival_ns.store(self.t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// True when something was admitted within the last `horizon`.
+    fn arrival_recent(&self, horizon: Duration) -> bool {
+        let last = self.last_arrival_ns.load(Ordering::Relaxed);
+        self.t0.elapsed().saturating_sub(Duration::from_nanos(last)) <= horizon
+    }
 }
 
 /// Pending result of any submitted request: the one generic ticket every
@@ -356,11 +440,17 @@ impl Ticket {
 }
 
 /// Multi-tenant serving engine: owns a shared kernel-cache [`Runtime`]
-/// and an op-agnostic [`TuneCache`], accepts requests for any served
-/// [`SparseOp`] from any number of client threads through one generic
-/// submit path, and batches concurrent requests that share an
+/// and an op-agnostic [`TuneCache`], accepts [`Submission`]s for any
+/// served [`SparseOp`] from any number of client threads through one
+/// generic submit path, and batches concurrent requests that share an
 /// [`Adjacency`] fingerprint (and satisfy the op's batching contract)
 /// into single widened kernel launches.
+///
+/// Submissions carry optional SLO envelopes — a deadline and a
+/// [`Priority`] class. The queue serves higher priorities first and
+/// earlier deadlines first within a class; the admission controller
+/// sheds work it cannot serve in time ([`EngineError::Rejected`]); the
+/// drain loop drops expired requests unexecuted.
 ///
 /// Dropping the engine shuts it down: queued requests are still drained
 /// and answered, then the workers exit.
@@ -375,13 +465,20 @@ impl Engine {
     #[must_use]
     pub fn new(config: EngineConfig) -> Engine {
         let shared = Arc::new(Shared {
-            state: Mutex::new(QueueState { queue: VecDeque::new(), shutdown: false }),
+            state: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                inject_panics: 0,
+                seq: 0,
+                shutdown: false,
+            }),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
             config: config.clone(),
             runtime: Arc::new(Runtime::with_fusion(config.fuse.unwrap_or_else(fusion_default))),
             tune_cache: TuneCache::new(),
             tune_flight: Mutex::new(()),
+            t0: Instant::now(),
+            last_arrival_ns: AtomicU64::new(0),
             stats: StatsInner::default(),
         });
         let workers = (0..config.workers.max(1))
@@ -415,147 +512,186 @@ impl Engine {
         self.shared.stats.snapshot()
     }
 
-    /// Submit any op request, blocking while the queue is at capacity —
-    /// the one generic submit path every typed wrapper routes through.
+    /// Submit any op, blocking while the queue is at capacity — the one
+    /// generic submit path every typed wrapper routes through. Accepts a
+    /// [`Submission`] (op + SLO options) or a bare [`OpRequest`]
+    /// (default options — the legacy contract).
+    ///
+    /// A submission with a deadline blocks on a full queue at most until
+    /// that deadline, and is shed at admission when the deadline is
+    /// infeasible or already passed.
     ///
     /// # Errors
-    /// [`EngineError::Shape`] when the operands are incompatible with the
-    /// adjacency and [`EngineError::Shutdown`] after shutdown.
-    pub fn submit(&self, adj: &Adjacency, req: OpRequest) -> Result<Ticket, EngineError> {
-        self.submit_request(adj, req, true)
+    /// [`EngineError::Shape`] when the operands are incompatible with
+    /// the adjacency, [`EngineError::Rejected`] when the admission
+    /// controller sheds the submission, and [`EngineError::Shutdown`]
+    /// after shutdown.
+    pub fn submit(
+        &self,
+        adj: &Adjacency,
+        sub: impl Into<Submission>,
+    ) -> Result<Ticket, EngineError> {
+        self.submit_request(adj, sub.into(), true)
     }
 
-    /// Submit any op request without blocking.
+    /// Submit any op without blocking: a full queue answers
+    /// [`EngineError::Rejected`] (`QueueFull`) immediately (unless the
+    /// submission outranks queued work, which it evicts instead).
     ///
     /// # Errors
-    /// Like [`Engine::submit`], plus [`EngineError::Saturated`] when the
-    /// queue is full.
-    pub fn try_submit(&self, adj: &Adjacency, req: OpRequest) -> Result<Ticket, EngineError> {
-        self.submit_request(adj, req, false)
+    /// Like [`Engine::submit`].
+    pub fn try_submit(
+        &self,
+        adj: &Adjacency,
+        sub: impl Into<Submission>,
+    ) -> Result<Ticket, EngineError> {
+        self.submit_request(adj, sub.into(), false)
     }
 
-    /// Blocking convenience: submit any op request and wait for the
-    /// unified [`OpOutput`].
+    /// Blocking convenience: submit any op and wait for the unified
+    /// [`OpOutput`].
     ///
     /// # Errors
     /// See [`Engine::submit`] and [`Ticket::wait`].
-    pub fn serve(&self, adj: &Adjacency, req: OpRequest) -> Result<OpOutput, EngineError> {
-        self.submit(adj, req)?.wait()
+    pub fn serve(
+        &self,
+        adj: &Adjacency,
+        sub: impl Into<Submission>,
+    ) -> Result<OpOutput, EngineError> {
+        self.submit(adj, sub)?.wait()
     }
 
     /// Submit an SpMM request (`adj · feat`), blocking while the queue is
-    /// at capacity. Thin typed wrapper over [`Engine::submit`].
+    /// at capacity.
     ///
     /// # Errors
     /// See [`Engine::submit`].
+    #[deprecated(since = "0.2.0", note = "use engine.submit(adj, Submission::spmm(feat))")]
     pub fn submit_spmm(&self, adj: &Adjacency, feat: Dense) -> Result<Ticket, EngineError> {
-        self.submit(adj, OpRequest::Spmm(feat))
+        self.submit(adj, Submission::spmm(feat))
     }
 
     /// Submit an SpMM request without blocking.
     ///
     /// # Errors
-    /// See [`Engine::try_submit`].
+    /// See [`Engine::try_submit`]; a full queue answers the legacy
+    /// [`EngineError::Saturated`].
+    #[deprecated(since = "0.2.0", note = "use engine.try_submit(adj, Submission::spmm(feat))")]
     pub fn try_submit_spmm(&self, adj: &Adjacency, feat: Dense) -> Result<Ticket, EngineError> {
-        self.try_submit(adj, OpRequest::Spmm(feat))
+        self.try_submit(adj, Submission::spmm(feat)).map_err(|e| match e {
+            EngineError::Rejected { reason: RejectReason::QueueFull } => EngineError::Saturated,
+            other => other,
+        })
     }
 
     /// Blocking convenience: SpMM request → dense result.
     ///
     /// # Errors
     /// See [`Engine::submit`] and [`Ticket::wait_dense`].
+    #[deprecated(since = "0.2.0", note = "use engine.serve(adj, Submission::spmm(feat))")]
     pub fn spmm(&self, adj: &Adjacency, feat: Dense) -> Result<Dense, EngineError> {
-        self.submit_spmm(adj, feat)?.wait_dense()
+        self.submit(adj, Submission::spmm(feat))?.wait_dense()
     }
 
     /// Submit an SDDMM request (`adj ⊙ (x · y)` sampled at the
-    /// non-zeros), blocking while the queue is at capacity. Thin typed
-    /// wrapper over [`Engine::submit`].
+    /// non-zeros), blocking while the queue is at capacity.
     ///
     /// # Errors
     /// See [`Engine::submit`].
+    #[deprecated(since = "0.2.0", note = "use engine.submit(adj, Submission::sddmm(x, y))")]
     pub fn submit_sddmm(&self, adj: &Adjacency, x: Dense, y: Dense) -> Result<Ticket, EngineError> {
-        self.submit(adj, OpRequest::Sddmm((x, y)))
+        self.submit(adj, Submission::sddmm(x, y))
     }
 
     /// Blocking convenience: SDDMM request → per-non-zero values.
     ///
     /// # Errors
     /// See [`Engine::submit`] and [`Ticket::wait_edges`].
+    #[deprecated(since = "0.2.0", note = "use engine.serve(adj, Submission::sddmm(x, y))")]
     pub fn sddmm(&self, adj: &Adjacency, x: Dense, y: Dense) -> Result<Vec<f32>, EngineError> {
-        self.submit_sddmm(adj, x, y)?.wait_edges()
+        self.submit(adj, Submission::sddmm(x, y))?.wait_edges()
     }
 
     /// Submit a multi-head attention aggregation (one SpMM per head over
-    /// the shared mask), blocking while the queue is at capacity. Thin
-    /// typed wrapper over [`Engine::submit`].
+    /// the shared mask), blocking while the queue is at capacity.
     ///
     /// # Errors
     /// See [`Engine::submit`].
+    #[deprecated(since = "0.2.0", note = "use engine.submit(adj, Submission::attention(heads))")]
     pub fn submit_attention(
         &self,
         adj: &Adjacency,
         heads: Vec<Dense>,
     ) -> Result<Ticket, EngineError> {
-        self.submit(adj, OpRequest::Attention(heads))
+        self.submit(adj, Submission::attention(heads))
     }
 
     /// Blocking convenience: attention request → per-head results.
     ///
     /// # Errors
     /// See [`Engine::submit`] and [`Ticket::wait_heads`].
+    #[deprecated(since = "0.2.0", note = "use engine.serve(adj, Submission::attention(heads))")]
     pub fn attention(&self, adj: &Adjacency, heads: Vec<Dense>) -> Result<Vec<Dense>, EngineError> {
-        self.submit_attention(adj, heads)?.wait_heads()
+        self.submit(adj, Submission::attention(heads))?.wait_heads()
     }
 
     /// Submit a fused attention pipeline request (SDDMM → edge-softmax →
     /// SpMM in one kernel, one `(Q, Kᵀ, V)` triple per head), blocking
-    /// while the queue is at capacity. Thin typed wrapper over
-    /// [`Engine::submit`].
+    /// while the queue is at capacity.
     ///
     /// # Errors
     /// See [`Engine::submit`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use engine.submit(adj, Submission::fused_attention(heads))"
+    )]
     pub fn submit_fused_attention(
         &self,
         adj: &Adjacency,
         heads: Vec<AttnHead>,
     ) -> Result<Ticket, EngineError> {
-        self.submit(adj, OpRequest::FusedAttention(heads))
+        self.submit(adj, Submission::fused_attention(heads))
     }
 
     /// Blocking convenience: fused attention request → per-head results.
     ///
     /// # Errors
     /// See [`Engine::submit`] and [`Ticket::wait_heads`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use engine.serve(adj, Submission::fused_attention(heads))"
+    )]
     pub fn fused_attention(
         &self,
         adj: &Adjacency,
         heads: Vec<AttnHead>,
     ) -> Result<Vec<Dense>, EngineError> {
-        self.submit_fused_attention(adj, heads)?.wait_heads()
+        self.submit(adj, Submission::fused_attention(heads))?.wait_heads()
     }
 
     /// Submit a fused GraphSAGE layer step (gather → normalize → matmul
     /// in one kernel over operands `(X, W)`), blocking while the queue is
-    /// at capacity. Thin typed wrapper over [`Engine::submit`].
+    /// at capacity.
     ///
     /// # Errors
     /// See [`Engine::submit`].
+    #[deprecated(since = "0.2.0", note = "use engine.submit(adj, Submission::fused_sage(x, w))")]
     pub fn submit_fused_sage(
         &self,
         adj: &Adjacency,
         x: Dense,
         w: Dense,
     ) -> Result<Ticket, EngineError> {
-        self.submit(adj, OpRequest::FusedSage((x, w)))
+        self.submit(adj, Submission::fused_sage(x, w))
     }
 
     /// Blocking convenience: fused SAGE request → dense layer output.
     ///
     /// # Errors
     /// See [`Engine::submit`] and [`Ticket::wait_dense`].
+    #[deprecated(since = "0.2.0", note = "use engine.serve(adj, Submission::fused_sage(x, w))")]
     pub fn fused_sage(&self, adj: &Adjacency, x: Dense, w: Dense) -> Result<Dense, EngineError> {
-        self.submit_fused_sage(adj, x, w)?.wait_dense()
+        self.submit(adj, Submission::fused_sage(x, w))?.wait_dense()
     }
 
     /// Crash-safety regression hook: make the next worker that drains the
@@ -565,7 +701,7 @@ impl Engine {
     #[doc(hidden)]
     pub fn inject_worker_panic(&self) {
         let mut st = lock(&self.shared.state);
-        st.queue.push_back(QueueItem::InjectPanic);
+        st.inject_panics += 1;
         drop(st);
         self.shared.not_empty.notify_one();
     }
@@ -573,38 +709,139 @@ impl Engine {
     fn submit_request(
         &self,
         adj: &Adjacency,
-        req: OpRequest,
+        sub: Submission,
         block: bool,
     ) -> Result<Ticket, EngineError> {
+        let Submission { req, opts } = sub;
         req.validate(adj)?;
+        let now = Instant::now();
         let (tx, rx) = mpsc::channel();
-        self.push(Job { adj: adj.clone(), req, enqueued: Instant::now(), reply: tx }, block)?;
+        let job = Job {
+            adj: adj.clone(),
+            req,
+            enqueued: now,
+            deadline: opts.deadline.map(|d| now + d),
+            priority: opts.priority,
+            tune: opts.tune,
+            seq: 0,
+            reply: tx,
+        };
+        self.push(job, block)?;
         Ok(Ticket { rx })
     }
 
     fn push(&self, job: Job, block: bool) -> Result<(), EngineError> {
-        let mut st = lock(&self.shared.state);
+        let mut evicted = None;
+        let result = self.admit(job, block, &mut evicted);
+        // Answer the eviction victim outside the queue lock; its ticket
+        // may already be dropped.
+        if let Some(v) = evicted {
+            self.shared.stats.shed(RejectReason::QueueFull, v.priority);
+            let _ = v.reply.send(Err(EngineError::Rejected { reason: RejectReason::QueueFull }));
+        }
+        result
+    }
+
+    /// The admission controller: find (or free) a queue slot, shed what
+    /// cannot be served in time, and insert in priority-then-deadline
+    /// order.
+    fn admit(
+        &self,
+        mut job: Job,
+        block: bool,
+        evicted: &mut Option<Job>,
+    ) -> Result<(), EngineError> {
+        let shared = &self.shared;
+        let depth = shared.config.queue_depth.max(1);
+        let mut st = lock(&shared.state);
         loop {
             if st.shutdown {
                 return Err(EngineError::Shutdown);
             }
-            if st.queue.len() < self.shared.config.queue_depth.max(1) {
+            let now = Instant::now();
+            if job.deadline.is_some_and(|dl| dl <= now) {
+                shared.stats.shed(RejectReason::Expired, job.priority);
+                return Err(EngineError::Rejected { reason: RejectReason::Expired });
+            }
+            if st.queue.len() < depth {
+                break;
+            }
+            // Full queue: a higher-priority submission takes the slot of
+            // the queue's lowest-ranked entry instead of waiting behind
+            // it — this is what keeps Hi traffic unstarvable under a
+            // saturating Lo flood.
+            if st.queue.back().is_some_and(|back| back.priority < job.priority) {
+                *evicted = st.queue.pop_back();
                 break;
             }
             if !block {
-                self.shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
-                return Err(EngineError::Saturated);
+                shared.stats.shed(RejectReason::QueueFull, job.priority);
+                return Err(EngineError::Rejected { reason: RejectReason::QueueFull });
             }
-            st = self.shared.not_full.wait(st).unwrap_or_else(PoisonError::into_inner);
+            st = match job.deadline {
+                // A deadlined blocking submit waits for space at most
+                // until its deadline (the next loop turn sheds it as
+                // Expired).
+                Some(dl) => {
+                    let left = dl.saturating_duration_since(now);
+                    shared.not_full.wait_timeout(st, left).unwrap_or_else(PoisonError::into_inner).0
+                }
+                None => shared.not_full.wait(st).unwrap_or_else(PoisonError::into_inner),
+            };
         }
-        st.queue.push_back(QueueItem::Job(job));
-        let depth = st.queue.len();
-        self.shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
-        self.shared.stats.queue_high_water.fetch_max(depth, Ordering::Relaxed);
+        st.seq += 1;
+        job.seq = st.seq;
+        let pos = insert_pos(&st.queue, &job);
+        // Deadline-feasibility check: with `pos` requests served first
+        // at roughly the op's estimated execution time each (single
+        // worker, no batching assumed — a deliberately conservative
+        // model), would this request still answer in time? Shed now
+        // rather than let it expire in the queue. No estimate yet (cold
+        // kind) admits optimistically.
+        if let Some(dl) = job.deadline {
+            let est = shared.stats.exec_estimate_ns(job.req.kind());
+            if est > 0 {
+                let eta = Duration::from_nanos(est.saturating_mul(pos as u64 + 1));
+                if Instant::now() + eta > dl {
+                    shared.stats.shed(RejectReason::DeadlineInfeasible, job.priority);
+                    return Err(EngineError::Rejected { reason: RejectReason::DeadlineInfeasible });
+                }
+            }
+        }
+        st.queue.insert(pos, job);
+        let qdepth = st.queue.len();
+        shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        shared.stats.queue_high_water.fetch_max(qdepth, Ordering::Relaxed);
+        shared.note_arrival();
         drop(st);
-        self.shared.not_empty.notify_one();
+        // notify_all, not notify_one: a worker parked in the adaptive
+        // batch window also consumes wakeups, so a single notify could
+        // be swallowed by a window-waiter while an idle worker sleeps.
+        self.shared.not_empty.notify_all();
         Ok(())
     }
+}
+
+/// Queue ordering: priority descending, then deadline ascending
+/// (deadline-less after deadlined within a class), then admission order.
+/// Default-option submissions therefore keep exact FIFO order — the
+/// pre-SLO queue discipline.
+fn orders_before(a: &Job, b: &Job) -> bool {
+    if a.priority != b.priority {
+        return a.priority > b.priority;
+    }
+    match (a.deadline, b.deadline) {
+        (Some(x), Some(y)) if x != y => x < y,
+        (Some(_), None) => true,
+        (None, Some(_)) => false,
+        _ => a.seq < b.seq,
+    }
+}
+
+/// Where `job` slots into the ordered queue (after every entry it does
+/// not outrank — stable for ties).
+fn insert_pos(queue: &VecDeque<Job>, job: &Job) -> usize {
+    queue.partition_point(|q| !orders_before(job, q))
 }
 
 impl Drop for Engine {
@@ -752,20 +989,32 @@ fn worker_loop(shared: &Shared) {
 
 /// One drain-and-serve iteration; `false` means shutdown.
 fn worker_tick(shared: &Shared) -> bool {
+    let mut expired = Vec::new();
     let batch = {
         let mut st = lock(&shared.state);
         loop {
-            match st.queue.pop_front() {
+            if st.inject_panics > 0 {
+                st.inject_panics -= 1;
+                panic!("injected worker panic (crash-safety test hook)")
+            }
+            // Expired-at-drain requests are swept out before dispatch
+            // and answered Expired — their operands never reach
+            // `execute_batch_on`.
+            sweep_expired(&mut st.queue, &mut expired);
+            if let Some(first) = st.queue.pop_front() {
                 // Greedily fold queued compatible requests (same
                 // adjacency fingerprint, same op, op-level can_batch)
                 // into this dispatch, up to max_batch.
-                Some(QueueItem::Job(first)) => {
-                    break drain_batch(&mut st.queue, first, shared.config.max_batch);
+                let mut batch = vec![first];
+                drain_compatible(&mut st.queue, &mut batch, shared.config.max_batch);
+                if let Some(window) = shared.config.batch_window {
+                    drop(hold_for_riders(shared, st, &mut batch, &mut expired, window));
                 }
-                Some(QueueItem::InjectPanic) => {
-                    panic!("injected worker panic (crash-safety test hook)")
-                }
-                None => {}
+                break batch;
+            }
+            if !expired.is_empty() {
+                // Nothing left to serve, but sweep results to deliver.
+                break Vec::new();
             }
             if st.shutdown {
                 return false;
@@ -775,16 +1024,43 @@ fn worker_tick(shared: &Shared) -> bool {
     };
     // Space was freed: wake blocked submitters.
     shared.not_full.notify_all();
-    serve_batch(shared, batch);
+    answer_expired(shared, expired);
+    if !batch.is_empty() {
+        serve_batch(shared, batch);
+    }
     true
 }
 
-/// Pull every queued job batch-compatible with `first` out of the queue,
-/// preserving the relative order of everything else.
-fn drain_batch(queue: &mut VecDeque<QueueItem>, first: Job, max_batch: usize) -> Vec<Job> {
-    let mut batch = vec![first];
+/// Remove every queued job whose deadline has passed, preserving order.
+fn sweep_expired(queue: &mut VecDeque<Job>, expired: &mut Vec<Job>) {
+    let now = Instant::now();
+    let mut i = 0;
+    while i < queue.len() {
+        if queue[i].deadline.is_some_and(|dl| dl <= now) {
+            if let Some(job) = queue.remove(i) {
+                expired.push(job);
+            }
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Answer drain-time-expired jobs with `Rejected { Expired }` — latency
+/// is recorded (they waited in the queue), but they never execute.
+fn answer_expired(shared: &Shared, expired: Vec<Job>) {
+    for job in expired {
+        shared.stats.record_latency(job.enqueued.elapsed().as_nanos() as u64);
+        shared.stats.expire(job.priority);
+        let _ = job.reply.send(Err(EngineError::Rejected { reason: RejectReason::Expired }));
+    }
+}
+
+/// Pull every queued job batch-compatible with the batch out of the
+/// queue, preserving the relative order of everything else.
+fn drain_compatible(queue: &mut VecDeque<Job>, batch: &mut Vec<Job>, max_batch: usize) {
     if max_batch <= 1 {
-        return batch;
+        return;
     }
     let mut i = 0;
     while i < queue.len() && batch.len() < max_batch {
@@ -792,22 +1068,61 @@ fn drain_batch(queue: &mut VecDeque<QueueItem>, first: Job, max_batch: usize) ->
         // contracts need not be transitive (a 0-head fused-attention
         // request rides with any shape, but must not bridge two
         // incompatible shape groups into one launch).
-        let compatible = matches!(
-            &queue[i],
-            QueueItem::Job(job)
-                if batch[0].adj.batches_with(&job.adj)
-                    && batch.iter().all(|b| b.req.can_batch_with(&job.req))
-        );
+        let job = &queue[i];
+        let compatible = batch[0].adj.batches_with(&job.adj)
+            && batch.iter().all(|b| b.req.can_batch_with(&job.req));
         if compatible {
-            match queue.remove(i) {
-                Some(QueueItem::Job(job)) => batch.push(job),
-                _ => unreachable!("matched a job at index i"),
+            if let Some(job) = queue.remove(i) {
+                batch.push(job);
             }
         } else {
             i += 1;
         }
     }
-    batch
+}
+
+/// The adaptive batch window: with rider room left and an otherwise
+/// drained queue, park briefly for more compatible arrivals — but fire
+/// immediately under deadline pressure (the wait plus the op's estimated
+/// execution must still fit the batch's most urgent deadline), when
+/// arrivals have gone quiet, or when incompatible work is already
+/// waiting behind us.
+fn hold_for_riders<'a>(
+    shared: &Shared,
+    mut st: MutexGuard<'a, QueueState>,
+    batch: &mut Vec<Job>,
+    expired: &mut Vec<Job>,
+    window: Duration,
+) -> MutexGuard<'a, QueueState> {
+    let give_up = Instant::now() + window;
+    let est = Duration::from_nanos(shared.stats.exec_estimate_ns(batch[0].req.kind()));
+    loop {
+        if batch.len() >= shared.config.max_batch.max(1) || !st.queue.is_empty() || st.shutdown {
+            break;
+        }
+        let now = Instant::now();
+        if let Some(urgent) = batch.iter().filter_map(|j| j.deadline).min() {
+            if urgent.saturating_duration_since(now) <= window + est {
+                break;
+            }
+        }
+        if !shared.arrival_recent(window.max(Duration::from_millis(1)) * 8) {
+            break;
+        }
+        let left = give_up.saturating_duration_since(now);
+        if left.is_zero() {
+            break;
+        }
+        let (guard, timeout) =
+            shared.not_empty.wait_timeout(st, left).unwrap_or_else(PoisonError::into_inner);
+        st = guard;
+        sweep_expired(&mut st.queue, expired);
+        drain_compatible(&mut st.queue, batch, shared.config.max_batch);
+        if timeout.timed_out() {
+            break;
+        }
+    }
+    st
 }
 
 /// One dispatch: route the kind-matched batch to its op's generic serve
@@ -828,14 +1143,15 @@ fn serve_batch(shared: &Shared, batch: Vec<Job>) {
 /// The decision is keyed on the adjacency and op kind alone — request
 /// shapes vary per batch, so the search runs at the triggering request's
 /// shape and the winner is reused for all shapes (the §2 amortization
-/// trade).
-fn op_config_for<O>(shared: &Shared, adj: &Adjacency, shape: &[usize]) -> O::Config
+/// trade). `tune` is the engine-wide flag unless the batch head's
+/// submission overrode it.
+fn op_config_for<O>(shared: &Shared, adj: &Adjacency, shape: &[usize], tune: bool) -> O::Config
 where
     O: Served,
     OpConfig: From<O::Config>,
     O::Config: TryFrom<OpConfig>,
 {
-    if !shared.config.tune {
+    if !tune {
         return O::default_config();
     }
     let spec = GpuSpec::v100();
@@ -876,23 +1192,31 @@ where
 {
     let shape = O::shape_of(O::peek(&batch[0].req));
     let adj = batch[0].adj.clone();
+    // The batch head decides the tuning mode for its riders (one launch,
+    // one configuration).
+    let tune = batch[0].tune.unwrap_or(shared.config.tune);
     shared.stats.record_batch(O::kind(), batch.len());
+    let width = batch.len().max(1) as u64;
     let mut replies = Vec::with_capacity(batch.len());
     let mut reqs = Vec::with_capacity(batch.len());
     for job in batch {
-        replies.push((job.enqueued, job.reply));
+        replies.push((job.enqueued, job.priority, job.reply));
         reqs.push(O::extract(job.req));
     }
     // The config lookup sits inside the catch: a panicking tuning search
     // must answer its riders with `Exec` too, not drop their replies.
+    let started = Instant::now();
     let result = catch_unwind(AssertUnwindSafe(|| {
-        let config = op_config_for::<O>(shared, &adj, &shape);
+        let config = op_config_for::<O>(shared, &adj, &shape, tune);
         O::execute_batch_on(&shared.runtime, adj.csr(), &reqs, &config)
     }));
     match result {
         Ok(Ok(outs)) => {
-            for ((enqueued, reply), out) in replies.into_iter().zip(outs) {
-                finish(shared, enqueued, true, || reply.send(Ok(O::wrap(out))).is_ok());
+            // Per-request execution estimate for admission: the batch's
+            // wall time amortized over its riders.
+            shared.stats.record_exec(O::kind(), started.elapsed().as_nanos() as u64 / width);
+            for ((enqueued, priority, reply), out) in replies.into_iter().zip(outs) {
+                finish(shared, enqueued, priority, true, || reply.send(Ok(O::wrap(out))).is_ok());
             }
         }
         Ok(Err(e)) => {
@@ -910,22 +1234,29 @@ where
     }
 }
 
-fn answer_error(
-    shared: &Shared,
-    replies: Vec<(Instant, mpsc::Sender<Result<OpOutput, EngineError>>)>,
-    err: &EngineError,
-) {
-    for (enqueued, reply) in replies {
+type Reply = (Instant, Priority, mpsc::Sender<Result<OpOutput, EngineError>>);
+
+fn answer_error(shared: &Shared, replies: Vec<Reply>, err: &EngineError) {
+    for (enqueued, priority, reply) in replies {
         let err = err.clone();
-        finish(shared, enqueued, false, || reply.send(Err(err)).is_ok());
+        finish(shared, enqueued, priority, false, || reply.send(Err(err)).is_ok());
     }
 }
 
 /// Record latency + outcome and deliver the reply (a client that dropped
 /// its ticket is not an error).
-fn finish(shared: &Shared, enqueued: Instant, ok: bool, send: impl FnOnce() -> bool) {
+fn finish(
+    shared: &Shared,
+    enqueued: Instant,
+    priority: Priority,
+    ok: bool,
+    send: impl FnOnce() -> bool,
+) {
     shared.stats.record_latency(enqueued.elapsed().as_nanos() as u64);
-    let counter = if ok { &shared.stats.completed } else { &shared.stats.failed };
-    counter.fetch_add(1, Ordering::Relaxed);
+    if ok {
+        shared.stats.serve(priority);
+    } else {
+        shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+    }
     let _ = send();
 }

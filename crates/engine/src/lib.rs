@@ -1,20 +1,34 @@
 //! # sparsetir-engine
 //!
-//! A concurrent, batched serving front end over the SparseTIR kernel
-//! cache. SparseTIR's premise — compile once per sparsity structure, then
-//! reuse the composed kernel across many inputs (§2's amortization
-//! argument) — is exactly the shape of an inference-serving workload:
-//! the adjacency is fixed, requests differ only in their dense feature
-//! operands. The [`Engine`] packages that reuse behind a multi-tenant
-//! request queue:
+//! A concurrent, batched, SLO-aware serving front end over the SparseTIR
+//! kernel cache. SparseTIR's premise — compile once per sparsity
+//! structure, then reuse the composed kernel across many inputs (§2's
+//! amortization argument) — is exactly the shape of an inference-serving
+//! workload: the adjacency is fixed, requests differ only in their dense
+//! feature operands. The [`Engine`] packages that reuse behind a
+//! multi-tenant request queue:
 //!
-//! * **One generic request path for every op**: requests are the
-//!   [`OpRequest`] enum over the kernel crate's
+//! * **One generic submission path for every op**: a [`Submission`]
+//!   wraps the [`OpRequest`] enum over the kernel crate's
 //!   [`SparseOp`](sparsetir_kernels::op::SparseOp) layer — SpMM, SDDMM,
 //!   multi-head attention, the cross-op fused attention pipeline and the
 //!   fused GraphSAGE layer step all submit, batch, tune and answer
 //!   through the same machinery ([`Engine::submit`] → [`Ticket`] →
-//!   [`OpOutput`]), with thin typed wrappers for ergonomics.
+//!   [`OpOutput`]). Built via `Submission::spmm(feat).deadline(d)
+//!   .priority(Priority::Hi)`-style constructors; the pre-0.2 per-op
+//!   `submit_*`/sync wrappers remain as deprecated one-line shims.
+//! * **SLO envelopes**: submissions carry optional deadlines and a
+//!   [`Priority`] class. The queue is priority-then-deadline ordered;
+//!   admission sheds work with typed [`EngineError::Rejected`] answers
+//!   ([`RejectReason`]: full queue, infeasible deadline, already
+//!   expired) instead of only blocking, evicting lower-priority queued
+//!   work for higher-priority arrivals; the drain loop drops expired
+//!   requests unexecuted.
+//! * **Adaptive batch window** ([`EngineConfig::batch_window`]): a
+//!   worker with rider room and a drained queue waits briefly for more
+//!   compatible arrivals when traffic predicts them, and fires
+//!   immediately under deadline pressure. `None` keeps the legacy
+//!   greedy drain.
 //! * **Cross-op fusion with a kill switch**: [`EngineConfig::fuse`]
 //!   selects whether fused ops compile their whole pipeline into one
 //!   kernel or fall back to the multi-launch path (`None` follows the
@@ -33,25 +47,31 @@
 //!   fingerprinting, dispatch) are paid once per batch. Results are
 //!   bit-identical to unbatched execution.
 //! * **Bounded queue with backpressure**: blocking submits wait while
-//!   the queue is at `queue_depth`; [`Engine::try_submit`] fails fast
-//!   with [`EngineError::Saturated`] instead.
+//!   the queue is at `queue_depth` (deadlined submissions wait at most
+//!   until their deadline); [`Engine::try_submit`] fails fast with
+//!   [`EngineError::Rejected`] instead.
 //! * **Crash containment**: a panicking worker answers its riders with
 //!   [`EngineError::Exec`], recovers the queue mutex from poisoning, and
 //!   keeps serving ([`EngineStats::worker_panics`] counts the events).
-//! * **Per-request latency and throughput stats** ([`EngineStats`]),
-//!   fed by every worker.
+//! * **Tail-latency observability**: [`EngineStats`] carries a
+//!   log-bucketed, lock-free p50/p95/p99 [`LatencyHistogram`],
+//!   per-priority served/shed/expired counters ([`PriorityStats`]) and
+//!   per-reason shed counters ([`ShedStats`]) alongside the batching and
+//!   throughput counters.
 //!
-//! The `serving_throughput` experiment in `sparsetir-bench` measures the
-//! batched-vs-unbatched requests/sec of this engine for both SpMM and
-//! SDDMM, and `sparsetir-nn`'s serving path drives GraphSAGE inference
-//! through it.
+//! The `serving_throughput` and `serving_slo` experiments in
+//! `sparsetir-bench` measure this engine's batched-vs-unbatched
+//! requests/sec and its deadline-hit-rate under overload, and
+//! `sparsetir-nn`'s serving path drives GraphSAGE inference through it.
 
 #![warn(missing_docs)]
 
 mod engine;
 mod stats;
+mod submission;
 
 pub use engine::{
     Adjacency, Engine, EngineConfig, EngineError, OpOutput, OpRequest, Ticket, DEFAULT_QUEUE_DEPTH,
 };
-pub use stats::{EngineStats, OpBatchWidth};
+pub use stats::{EngineStats, LatencyHistogram, OpBatchWidth, PriorityStats, ShedStats};
+pub use submission::{Priority, RejectReason, Submission, SubmitOpts};

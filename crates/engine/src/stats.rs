@@ -1,6 +1,12 @@
 //! Engine serving statistics: lock-free counters updated by workers and
-//! submitters, snapshotted into [`EngineStats`] on demand.
+//! submitters, snapshotted into [`EngineStats`] on demand. Since the SLO
+//! redesign this includes a log-bucketed latency histogram (p50/p95/p99
+//! without locks on the serving path), per-[`Priority`] outcome
+//! counters, per-[`RejectReason`] shed counters, and an EWMA execution-
+//! time estimate per op kind that feeds the admission controller's
+//! deadline-feasibility check.
 
+use crate::submission::{Priority, RejectReason};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Every op kind the engine can dispatch, in snapshot order. The
@@ -8,6 +14,15 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 /// serving path); an unknown kind tag falls through to the global
 /// counters only.
 const OP_KINDS: [&str; 5] = ["spmm", "sddmm", "attention", "fused_attention", "fused_sage"];
+
+/// Power-of-two latency buckets: bucket `i` holds samples in
+/// `[2^i, 2^(i+1))` ns, which covers the full `u64` nanosecond range.
+const LATENCY_BUCKETS: usize = 64;
+
+/// Floor log₂ bucket index of a nanosecond sample (0 ns records as 1 ns).
+fn latency_bucket(ns: u64) -> usize {
+    63 - ns.max(1).leading_zeros() as usize
+}
 
 /// Per-kind batch-width counters (one slot per [`OP_KINDS`] entry).
 #[derive(Default)]
@@ -17,6 +32,38 @@ struct KindWidths {
     max_width: AtomicUsize,
 }
 
+/// Lock-free log₂-bucketed latency histogram (the worker-side half of
+/// [`LatencyHistogram`]).
+struct LatencyHistInner {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl Default for LatencyHistInner {
+    fn default() -> LatencyHistInner {
+        LatencyHistInner { buckets: std::array::from_fn(|_| AtomicU64::new(0)) }
+    }
+}
+
+impl LatencyHistInner {
+    fn record(&self, ns: u64) {
+        self.buckets[latency_bucket(ns)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+        }
+    }
+}
+
+/// Per-priority outcome counters (one slot per [`Priority::ALL`] entry).
+#[derive(Default)]
+struct PriorityCounters {
+    served: AtomicU64,
+    shed: AtomicU64,
+    expired: AtomicU64,
+}
+
 /// Atomic counter block shared by the engine's submitters and workers.
 #[derive(Default)]
 pub(crate) struct StatsInner {
@@ -24,6 +71,7 @@ pub(crate) struct StatsInner {
     pub completed: AtomicU64,
     pub failed: AtomicU64,
     pub rejected: AtomicU64,
+    pub expired: AtomicU64,
     pub batches: AtomicU64,
     pub batched_requests: AtomicU64,
     pub max_batch: AtomicUsize,
@@ -31,6 +79,14 @@ pub(crate) struct StatsInner {
     pub latency_ns_sum: AtomicU64,
     pub latency_ns_max: AtomicU64,
     pub worker_panics: AtomicU64,
+    shed_queue_full: AtomicU64,
+    shed_infeasible: AtomicU64,
+    shed_expired: AtomicU64,
+    latency_hist: LatencyHistInner,
+    per_priority: [PriorityCounters; 3],
+    /// EWMA of per-request execution time per op kind (ns); 0 = no
+    /// sample yet. Feeds the admission controller's feasibility check.
+    exec_est_ns: [AtomicU64; OP_KINDS.len()],
     kind_widths: [KindWidths; OP_KINDS.len()],
 }
 
@@ -38,6 +94,54 @@ impl StatsInner {
     pub fn record_latency(&self, ns: u64) {
         self.latency_ns_sum.fetch_add(ns, Ordering::Relaxed);
         self.latency_ns_max.fetch_max(ns, Ordering::Relaxed);
+        self.latency_hist.record(ns);
+    }
+
+    /// Count one successfully answered request of `priority`.
+    pub fn serve(&self, priority: Priority) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.per_priority[priority.slot()].served.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one admission-time rejection (`reason` tags the shed
+    /// counter; `rejected` stays the headline total).
+    pub fn shed(&self, reason: RejectReason, priority: Priority) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+        let counter = match reason {
+            RejectReason::QueueFull => &self.shed_queue_full,
+            RejectReason::DeadlineInfeasible => &self.shed_infeasible,
+            RejectReason::Expired => &self.shed_expired,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        self.per_priority[priority.slot()].shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one drain-time expiry (the request was queued, then dropped
+    /// unexecuted because its deadline passed).
+    pub fn expire(&self, priority: Priority) {
+        self.expired.fetch_add(1, Ordering::Relaxed);
+        self.per_priority[priority.slot()].expired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Fold one measured per-request execution time into the op kind's
+    /// EWMA estimate (α = 1/4; racing stores may drop an update, which
+    /// only delays convergence).
+    pub fn record_exec(&self, kind: &str, ns: u64) {
+        if let Some(slot) = OP_KINDS.iter().position(|k| *k == kind) {
+            let est = &self.exec_est_ns[slot];
+            let old = est.load(Ordering::Relaxed);
+            let new = if old == 0 { ns } else { old - old / 4 + ns / 4 };
+            est.store(new.max(1), Ordering::Relaxed);
+        }
+    }
+
+    /// Current per-request execution estimate for an op kind (ns); 0
+    /// when that kind has never executed.
+    pub fn exec_estimate_ns(&self, kind: &str) -> u64 {
+        OP_KINDS
+            .iter()
+            .position(|k| *k == kind)
+            .map_or(0, |slot| self.exec_est_ns[slot].load(Ordering::Relaxed))
     }
 
     pub fn record_batch(&self, kind: &str, size: usize) {
@@ -67,11 +171,17 @@ impl StatsInner {
             })
             .filter(|w| w.batches > 0)
             .collect();
+        let priorities = std::array::from_fn(|slot| PriorityStats {
+            served: self.per_priority[slot].served.load(Ordering::Relaxed),
+            shed: self.per_priority[slot].shed.load(Ordering::Relaxed),
+            expired: self.per_priority[slot].expired.load(Ordering::Relaxed),
+        });
         EngineStats {
             submitted: self.submitted.load(Ordering::Relaxed),
             completed,
             failed: self.failed.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             batched_requests: self.batched_requests.load(Ordering::Relaxed),
             max_batch: self.max_batch.load(Ordering::Relaxed),
@@ -79,8 +189,135 @@ impl StatsInner {
             latency_ns_sum: self.latency_ns_sum.load(Ordering::Relaxed),
             latency_ns_max: self.latency_ns_max.load(Ordering::Relaxed),
             worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            shed: ShedStats {
+                queue_full: self.shed_queue_full.load(Ordering::Relaxed),
+                deadline_infeasible: self.shed_infeasible.load(Ordering::Relaxed),
+                expired: self.shed_expired.load(Ordering::Relaxed),
+            },
+            latency: self.latency_hist.snapshot(),
+            priorities,
             op_widths,
         }
+    }
+}
+
+/// Log₂-bucketed enqueue-to-answer latency histogram: bucket `i` counts
+/// samples in `[2^i, 2^(i+1))` ns. Quantiles report the lower bound of
+/// the bucket holding the requested rank, so they are exact on
+/// power-of-two streams and within 2× otherwise — the right fidelity for
+/// tail-latency gating without locks on the serving path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: Vec<u64>,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> LatencyHistogram {
+        LatencyHistogram { buckets: vec![0; LATENCY_BUCKETS] }
+    }
+}
+
+impl LatencyHistogram {
+    /// Fold one nanosecond sample in (snapshot-side mirror of the
+    /// engine's lock-free recording; useful for tests and aggregation).
+    pub fn record(&mut self, ns: u64) {
+        self.buckets[latency_bucket(ns)] += 1;
+    }
+
+    /// Total recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// The `q`-quantile (`0.0 < q <= 1.0`) as the lower bound of the
+    /// bucket holding rank `ceil(q · count)`; 0 when the histogram is
+    /// empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return 1u64 << i;
+            }
+        }
+        1u64 << (LATENCY_BUCKETS - 1)
+    }
+
+    /// Median latency (ns).
+    #[must_use]
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile latency (ns).
+    #[must_use]
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile latency (ns).
+    #[must_use]
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// The raw bucket counts (`buckets()[i]` counts samples in
+    /// `[2^i, 2^(i+1))` ns).
+    #[must_use]
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    fn saturating_sub(&self, earlier: &LatencyHistogram) -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: self
+                .buckets
+                .iter()
+                .zip(&earlier.buckets)
+                .map(|(a, b)| a.saturating_sub(*b))
+                .collect(),
+        }
+    }
+}
+
+/// Outcome counters of one [`Priority`] class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PriorityStats {
+    /// Requests of this class answered successfully.
+    pub served: u64,
+    /// Requests of this class refused at admission (any
+    /// [`RejectReason`]).
+    pub shed: u64,
+    /// Requests of this class dropped unexecuted at drain time because
+    /// their deadline had passed.
+    pub expired: u64,
+}
+
+/// Admission-time shed counters, one per [`RejectReason`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShedStats {
+    /// Refused because the queue was full (includes queued requests
+    /// evicted to admit higher-priority work).
+    pub queue_full: u64,
+    /// Shed because the deadline was infeasible by the engine's own
+    /// estimate.
+    pub deadline_infeasible: u64,
+    /// Refused because the deadline had already passed at admission.
+    pub expired: u64,
+}
+
+impl ShedStats {
+    /// Total admission-time rejections.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.queue_full + self.deadline_infeasible + self.expired
     }
 }
 
@@ -121,8 +358,15 @@ pub struct EngineStats {
     pub completed: u64,
     /// Requests answered with an error.
     pub failed: u64,
-    /// `try_submit_*` calls refused because the queue was full.
+    /// Submissions refused at admission — non-blocking submits against a
+    /// full queue, deadline-infeasible or already-expired submissions,
+    /// and queued requests evicted for higher-priority work. [`Self::shed`]
+    /// splits this total by reason.
     pub rejected: u64,
+    /// Queued requests dropped unexecuted at drain time because their
+    /// deadline had passed (answered
+    /// [`RejectReason::Expired`]).
+    pub expired: u64,
     /// Kernel dispatches (a batch of *n* requests counts once).
     pub batches: u64,
     /// Requests that were served as part of a batch of size ≥ 2.
@@ -131,22 +375,30 @@ pub struct EngineStats {
     pub max_batch: usize,
     /// Deepest the request queue has been.
     pub queue_high_water: usize,
-    /// Total enqueue-to-completion latency over all answered requests.
+    /// Total enqueue-to-answer latency over all answered requests.
     pub latency_ns_sum: u64,
-    /// Worst single-request enqueue-to-completion latency.
+    /// Worst single-request enqueue-to-answer latency.
     pub latency_ns_max: u64,
     /// Worker panics survived (the affected requests are answered with
     /// [`EngineError::Exec`](crate::EngineError::Exec) and the worker
     /// keeps serving; the queue mutex recovers from the poisoning).
     pub worker_panics: u64,
+    /// Admission-time rejections split by [`RejectReason`].
+    pub shed: ShedStats,
+    /// Enqueue-to-answer latency histogram (completed, failed and
+    /// drain-expired requests all record; admission rejections do not).
+    pub latency: LatencyHistogram,
+    /// Per-priority outcome counters, indexed by [`Priority::ALL`] order
+    /// (use [`EngineStats::priority`]).
+    pub priorities: [PriorityStats; 3],
     /// Per-op-kind served-batch-width histogram (kinds that never
     /// dispatched are omitted).
     pub op_widths: Vec<OpBatchWidth>,
 }
 
 impl EngineStats {
-    /// Mean enqueue-to-completion latency in nanoseconds (0 when nothing
-    /// has completed).
+    /// Mean enqueue-to-answer latency in nanoseconds (0 when nothing has
+    /// been answered).
     #[must_use]
     pub fn mean_latency_ns(&self) -> f64 {
         let answered = self.completed + self.failed;
@@ -172,5 +424,50 @@ impl EngineStats {
     #[must_use]
     pub fn widths_of(&self, kind: &str) -> Option<&OpBatchWidth> {
         self.op_widths.iter().find(|w| w.kind == kind)
+    }
+
+    /// Outcome counters of one priority class.
+    #[must_use]
+    pub fn priority(&self, p: Priority) -> &PriorityStats {
+        &self.priorities[p.slot()]
+    }
+
+    /// The change in counters since an `earlier` snapshot of the same
+    /// engine: counts subtract (saturating), maxima and high-water marks
+    /// keep the later value, and the per-kind width histogram keeps the
+    /// later snapshot (widths are cumulative too, but per-kind deltas
+    /// rarely matter mid-run).
+    #[must_use]
+    pub fn delta_since(&self, earlier: &EngineStats) -> EngineStats {
+        let priorities = std::array::from_fn(|slot| PriorityStats {
+            served: self.priorities[slot].served.saturating_sub(earlier.priorities[slot].served),
+            shed: self.priorities[slot].shed.saturating_sub(earlier.priorities[slot].shed),
+            expired: self.priorities[slot].expired.saturating_sub(earlier.priorities[slot].expired),
+        });
+        EngineStats {
+            submitted: self.submitted.saturating_sub(earlier.submitted),
+            completed: self.completed.saturating_sub(earlier.completed),
+            failed: self.failed.saturating_sub(earlier.failed),
+            rejected: self.rejected.saturating_sub(earlier.rejected),
+            expired: self.expired.saturating_sub(earlier.expired),
+            batches: self.batches.saturating_sub(earlier.batches),
+            batched_requests: self.batched_requests.saturating_sub(earlier.batched_requests),
+            max_batch: self.max_batch,
+            queue_high_water: self.queue_high_water,
+            latency_ns_sum: self.latency_ns_sum.saturating_sub(earlier.latency_ns_sum),
+            latency_ns_max: self.latency_ns_max,
+            worker_panics: self.worker_panics.saturating_sub(earlier.worker_panics),
+            shed: ShedStats {
+                queue_full: self.shed.queue_full.saturating_sub(earlier.shed.queue_full),
+                deadline_infeasible: self
+                    .shed
+                    .deadline_infeasible
+                    .saturating_sub(earlier.shed.deadline_infeasible),
+                expired: self.shed.expired.saturating_sub(earlier.shed.expired),
+            },
+            latency: self.latency.saturating_sub(&earlier.latency),
+            priorities,
+            op_widths: self.op_widths.clone(),
+        }
     }
 }

@@ -1,0 +1,239 @@
+//! The options-carrying submission surface: one request type per served
+//! op plus the SLO envelope it travels in — deadline, priority class and
+//! per-request tuning override. `Submission` is the v0.2 public face of
+//! [`Engine::submit`](crate::Engine::submit); the old per-op wrapper
+//! methods are thin deprecated shims over these constructors.
+
+use crate::engine::OpRequest;
+use sparsetir_kernels::prelude::AttnHead;
+use sparsetir_smat::prelude::Dense;
+use std::fmt;
+use std::time::Duration;
+
+/// Priority class of a submission. Declaration order is serving order:
+/// the queue serves all `Hi` work before any `Normal` work before any
+/// `Lo` work (ties broken by deadline, then arrival). A full queue evicts
+/// its newest strictly-lower-priority entry to admit higher-priority
+/// work, so `Hi` traffic is never starved by a saturating `Lo` flood.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Best-effort background work: first to be shed under load.
+    Lo,
+    /// The default class — what every legacy wrapper submits.
+    #[default]
+    Normal,
+    /// Latency-sensitive work: served ahead of every other class and
+    /// admitted by evicting queued `Lo`/`Normal` work when the queue is
+    /// full.
+    Hi,
+}
+
+impl Priority {
+    /// Every class, in per-priority-counter slot order (`Lo`, `Normal`,
+    /// `Hi`).
+    pub const ALL: [Priority; 3] = [Priority::Lo, Priority::Normal, Priority::Hi];
+
+    /// Stable display name (`"lo"`, `"normal"`, `"hi"`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Priority::Lo => "lo",
+            Priority::Normal => "normal",
+            Priority::Hi => "hi",
+        }
+    }
+
+    /// Index into per-priority counter arrays.
+    #[must_use]
+    pub(crate) fn slot(self) -> usize {
+        self as usize
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Why the admission controller refused (or the drain loop dropped) a
+/// submission — the payload of
+/// [`EngineError::Rejected`](crate::EngineError::Rejected).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum RejectReason {
+    /// The bounded queue was at capacity and the submission was neither
+    /// willing to block nor of higher priority than anything queued.
+    /// Also answered to a queued request evicted to admit
+    /// higher-priority work.
+    QueueFull,
+    /// The deadline cannot be met even by the engine's own estimate of
+    /// queue wait plus execution time, so the request was shed at
+    /// admission instead of wasting a slot.
+    DeadlineInfeasible,
+    /// The deadline had already passed — at admission, while blocking on
+    /// a full queue, or at drain time (the worker drops expired requests
+    /// without executing them).
+    Expired,
+}
+
+impl RejectReason {
+    /// Stable display name (`"queue_full"`, `"deadline_infeasible"`,
+    /// `"expired"`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            RejectReason::QueueFull => "queue_full",
+            RejectReason::DeadlineInfeasible => "deadline_infeasible",
+            RejectReason::Expired => "expired",
+        }
+    }
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Per-request serving options. Build through the [`Submission`]
+/// builder methods (the struct is `#[non_exhaustive]`; start from
+/// `SubmitOpts::default()` when constructing directly).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct SubmitOpts {
+    /// Answer-by budget, relative to submission time. `None` (the
+    /// default) never expires — the legacy blocking contract. With a
+    /// deadline set, the admission controller sheds the request when the
+    /// deadline is infeasible or already passed, a blocking submit waits
+    /// for queue space at most until the deadline, and the drain loop
+    /// drops the request unexecuted once the deadline passes.
+    pub deadline: Option<Duration>,
+    /// Priority class; [`Priority::Normal`] by default.
+    pub priority: Priority,
+    /// Per-request override of
+    /// [`EngineConfig::tune`](crate::EngineConfig::tune); `None` follows
+    /// the engine-wide flag. The first request of a batch decides for
+    /// its riders (batched requests share one launch configuration).
+    pub tune: Option<bool>,
+}
+
+/// One op request plus its serving options — what [`Engine::submit`]
+/// accepts. Constructed per op and refined builder-style:
+///
+/// ```
+/// use sparsetir_engine::{Priority, Submission};
+/// use sparsetir_smat::prelude::Dense;
+/// use std::time::Duration;
+///
+/// let feat = Dense::zeros(8, 4);
+/// let sub = Submission::spmm(feat)
+///     .deadline(Duration::from_millis(5))
+///     .priority(Priority::Hi);
+/// assert_eq!(sub.kind(), "spmm");
+/// ```
+///
+/// A bare [`OpRequest`] converts `Into<Submission>` with default options
+/// (no deadline, [`Priority::Normal`], engine-wide tuning), so
+/// `engine.submit(&adj, req)` keeps compiling — the legacy behavior is
+/// the default-options corner of this surface.
+///
+/// [`Engine::submit`]: crate::Engine::submit
+#[derive(Debug, Clone)]
+pub struct Submission {
+    pub(crate) req: OpRequest,
+    pub(crate) opts: SubmitOpts,
+}
+
+impl Submission {
+    /// Wrap any [`OpRequest`] with default options.
+    #[must_use]
+    pub fn new(req: OpRequest) -> Submission {
+        Submission { req, opts: SubmitOpts::default() }
+    }
+
+    /// An SpMM request (`adj · feat`).
+    #[must_use]
+    pub fn spmm(feat: Dense) -> Submission {
+        Submission::new(OpRequest::Spmm(feat))
+    }
+
+    /// An SDDMM request (`adj ⊙ (x · y)` sampled at the non-zeros).
+    #[must_use]
+    pub fn sddmm(x: Dense, y: Dense) -> Submission {
+        Submission::new(OpRequest::Sddmm((x, y)))
+    }
+
+    /// A multi-head attention aggregation request (one feature operand
+    /// per head).
+    #[must_use]
+    pub fn attention(heads: Vec<Dense>) -> Submission {
+        Submission::new(OpRequest::Attention(heads))
+    }
+
+    /// A cross-op fused attention pipeline request (one `(Q, Kᵀ, V)`
+    /// triple per head).
+    #[must_use]
+    pub fn fused_attention(heads: Vec<AttnHead>) -> Submission {
+        Submission::new(OpRequest::FusedAttention(heads))
+    }
+
+    /// A fused GraphSAGE layer-step request (operands `(X, W)`).
+    #[must_use]
+    pub fn fused_sage(x: Dense, w: Dense) -> Submission {
+        Submission::new(OpRequest::FusedSage((x, w)))
+    }
+
+    /// Set the answer-by budget, relative to submission time.
+    #[must_use]
+    pub fn deadline(mut self, deadline: Duration) -> Submission {
+        self.opts.deadline = Some(deadline);
+        self
+    }
+
+    /// Set the priority class.
+    #[must_use]
+    pub fn priority(mut self, priority: Priority) -> Submission {
+        self.opts.priority = priority;
+        self
+    }
+
+    /// Override the engine-wide tuning flag for this request.
+    #[must_use]
+    pub fn tune(mut self, tune: bool) -> Submission {
+        self.opts.tune = Some(tune);
+        self
+    }
+
+    /// Replace the whole options block.
+    #[must_use]
+    pub fn with_opts(mut self, opts: SubmitOpts) -> Submission {
+        self.opts = opts;
+        self
+    }
+
+    /// The wrapped op request.
+    #[must_use]
+    pub fn request(&self) -> &OpRequest {
+        &self.req
+    }
+
+    /// The serving options.
+    #[must_use]
+    pub fn opts(&self) -> &SubmitOpts {
+        &self.opts
+    }
+
+    /// The op kind tag this submission routes to (`"spmm"`, `"sddmm"`,
+    /// …).
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        self.req.kind()
+    }
+}
+
+impl From<OpRequest> for Submission {
+    fn from(req: OpRequest) -> Submission {
+        Submission::new(req)
+    }
+}

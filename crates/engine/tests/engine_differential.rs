@@ -5,6 +5,11 @@
 //! `*_execute` calls, including the stack/split round-trips. This is the
 //! serving-path analogue of the executor's interpreter-differential
 //! suite: batching must be a pure performance transformation.
+//!
+//! The suite goes through the deprecated per-op wrappers on purpose:
+//! they are one-line shims over the `Submission` path and must keep
+//! answering bit-identically across the API redesign.
+#![allow(deprecated)]
 
 use proptest::prelude::*;
 use sparsetir_engine::{Adjacency, Engine, EngineConfig};
@@ -89,7 +94,14 @@ fn assert_bits_eq(got: &[f32], want: &[f32], tag: &str) -> Result<(), TestCaseEr
 }
 
 fn test_engine() -> Engine {
-    Engine::new(EngineConfig { workers: 2, queue_depth: 16, max_batch: 8, tune: false, fuse: None })
+    Engine::new(EngineConfig {
+        workers: 2,
+        queue_depth: 16,
+        max_batch: 8,
+        tune: false,
+        fuse: None,
+        batch_window: None,
+    })
 }
 
 proptest! {
@@ -268,6 +280,7 @@ proptest! {
             max_batch: 8,
             tune: false,
             fuse: Some(true),
+            batch_window: None,
         });
         let tickets: Vec<_> = reqs
             .iter()

@@ -1,6 +1,12 @@
 //! Behavioral tests for the serving engine: correctness of served
 //! results, batching under a busy worker, backpressure, shape
 //! validation, drain-on-shutdown, and the tuned configuration path.
+//!
+//! These tests deliberately exercise the deprecated per-op wrappers
+//! (`engine.spmm`, `engine.attention`, …) alongside the `Submission`
+//! surface: the wrappers are kept as one-line shims and must stay
+//! behaviorally identical.
+#![allow(deprecated)]
 
 use sparsetir_engine::{Adjacency, Engine, EngineConfig, EngineError};
 use sparsetir_ir::exec::Runtime;
@@ -78,6 +84,7 @@ fn queued_requests_batch_and_stay_bit_identical() {
         max_batch: 8,
         tune: false,
         fuse: None,
+        batch_window: None,
     });
     let mut rng = gen::rng(33);
     // Occupy the single worker with a heavyweight request (compile +
@@ -113,6 +120,7 @@ fn try_submit_saturates_on_a_full_queue() {
         max_batch: 1,
         tune: false,
         fuse: None,
+        batch_window: None,
     });
     let mut rng = gen::rng(42);
     // First request occupies the worker for milliseconds; second fills
@@ -160,6 +168,7 @@ fn shutdown_drains_pending_requests() {
         max_batch: 4,
         tune: false,
         fuse: None,
+        batch_window: None,
     });
     let xs: Vec<Dense> = (0..5).map(|_| gen::random_dense(40, 3, &mut rng)).collect();
     let tickets: Vec<_> =
@@ -186,6 +195,7 @@ fn concurrent_clients_get_their_own_answers() {
         max_batch: 8,
         tune: false,
         fuse: None,
+        batch_window: None,
     }));
     let a = Arc::new(a);
     std::thread::scope(|s| {
@@ -230,6 +240,7 @@ fn tuned_engine_caches_one_decision_per_adjacency() {
         max_batch: 4,
         tune: true,
         fuse: None,
+        batch_window: None,
     });
     let mut rng = gen::rng(82);
     for _ in 0..3 {
@@ -255,6 +266,7 @@ fn repeated_requests_reuse_compiled_kernels() {
         max_batch: 1,
         tune: false,
         fuse: None,
+        batch_window: None,
     });
     for _ in 0..4 {
         let x = gen::random_dense(32, 4, &mut rng);
@@ -320,6 +332,7 @@ fn engine_survives_injected_worker_panic() {
         max_batch: 4,
         tune: false,
         fuse: None,
+        batch_window: None,
     });
     // A request before the crash proves the worker was healthy.
     let x0 = gen::random_dense(24, 3, &mut rng);
@@ -356,6 +369,7 @@ fn concurrent_submits_survive_worker_panic() {
         max_batch: 4,
         tune: false,
         fuse: None,
+        batch_window: None,
     }));
     engine.inject_worker_panic();
     std::thread::scope(|s| {
@@ -392,6 +406,7 @@ fn queued_sddmm_requests_batch_and_stay_bit_identical() {
         max_batch: 8,
         tune: false,
         fuse: None,
+        batch_window: None,
     });
     let mut rng = gen::rng(133);
     let plug = engine
@@ -434,6 +449,7 @@ fn incompatible_requests_do_not_batch() {
         max_batch: 8,
         tune: false,
         fuse: None,
+        batch_window: None,
     });
     let mut rng = gen::rng(143);
     let plug = engine
@@ -544,6 +560,7 @@ fn queued_fused_attention_batches_and_the_width_histogram_records_it() {
         max_batch: 8,
         tune: false,
         fuse: Some(true),
+        batch_window: None,
     });
     let mut rng = gen::rng(173);
     let plug = engine

@@ -1,0 +1,172 @@
+//! SLO-machinery tests: expired-at-drain shedding (the refused request's
+//! operands must never reach a kernel), exact quantiles out of the
+//! log-bucketed latency histogram on a known stream, and priority
+//! scheduling under a saturating low-priority flood.
+
+use proptest::prelude::*;
+use sparsetir_engine::{
+    Adjacency, Engine, EngineConfig, EngineError, LatencyHistogram, Priority, RejectReason,
+    Submission,
+};
+use sparsetir_smat::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn slo_config() -> EngineConfig {
+    EngineConfig {
+        workers: 1,
+        queue_depth: 16,
+        max_batch: 4,
+        tune: false,
+        fuse: None,
+        batch_window: None,
+    }
+}
+
+/// One expired-at-drain scenario: a heavy SpMM occupies the single
+/// worker while a cheap SDDMM victim of shape `(sn, k)` with a deadline
+/// far shorter than the occupant's runtime waits in the queue.
+fn expired_at_drain_case(seed: u64, sn: usize, k: usize) {
+    let mut rng = gen::rng(seed);
+    // Heavy occupant: a dense-ish SpMM that keeps the worker busy far
+    // longer than the victim's deadline.
+    let heavy_graph = gen::random_csr(1024, 1024, 0.15, &mut rng);
+    let heavy_adj = Adjacency::new(heavy_graph);
+    let heavy_x = gen::random_dense(1024, 256, &mut rng);
+    // Cheap victim: an SDDMM on a small graph. Its op kind has no
+    // execution estimate yet, so admission optimistically accepts it.
+    let small_graph = gen::random_csr(sn, sn, 0.3, &mut rng);
+    let small_adj = Adjacency::new(small_graph);
+    let sx = gen::random_dense(sn, k, &mut rng);
+    let sy = gen::random_dense(k, sn, &mut rng);
+
+    let engine = Engine::new(slo_config());
+    let heavy = engine.submit(&heavy_adj, Submission::spmm(heavy_x)).expect("heavy admits");
+    // Let the idle worker pop the heavy job before the victim arrives.
+    std::thread::sleep(Duration::from_millis(10));
+    let victim = engine
+        .submit(&small_adj, Submission::sddmm(sx, sy).deadline(Duration::from_millis(1)))
+        .expect("victim admits: deadline is in the future and the kind is cold");
+
+    let res = victim.wait();
+    assert!(
+        matches!(res, Err(EngineError::Rejected { reason: RejectReason::Expired })),
+        "expired-at-drain must answer Rejected {{ Expired }}, got {res:?}"
+    );
+    heavy.wait_dense().expect("heavy job still serves");
+
+    let stats = engine.stats();
+    assert_eq!(stats.expired, 1, "exactly the victim expired: {stats:?}");
+    assert_eq!(stats.completed, 1, "only the heavy job executed");
+    assert_eq!(stats.priority(Priority::Normal).expired, 1);
+    // Drain-time expiry is its own counter: the request *was* admitted,
+    // so the admission-shed tallies stay untouched.
+    assert_eq!(stats.rejected, 0);
+    assert_eq!(stats.shed.total(), 0);
+    // The proof the operands never reached a kernel: only the heavy
+    // SpMM was ever compiled, and no SDDMM batch was launched.
+    assert_eq!(engine.runtime().cached(), 1, "no kernel may be compiled for the shed SDDMM");
+    assert!(stats.widths_of("sddmm").is_none(), "no SDDMM launch may be recorded");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// A request that was admissible at submit time but whose deadline
+    /// lapses while the single worker grinds through a long-running job
+    /// is answered `Rejected { reason: Expired }` at drain — and its
+    /// operands never reach `execute_batch_on`: across random victim
+    /// shapes the engine compiles no kernel for it and completes no
+    /// request for it.
+    #[test]
+    fn expired_at_drain_is_shed_without_executing(
+        seed in 0x51u64..0x61,
+        sn in 8usize..32,
+        k in 1usize..6,
+    ) {
+        expired_at_drain_case(seed, sn, k);
+    }
+}
+
+/// The log-bucketed histogram answers exact percentiles for a stream of
+/// power-of-two latencies (each sample sits on its bucket's lower
+/// bound): 50×1µs-ish, 45×64µs-ish, 5×1ms-ish.
+#[test]
+fn histogram_percentiles_are_exact_on_a_known_stream() {
+    let mut h = LatencyHistogram::default();
+    for _ in 0..50 {
+        h.record(1 << 10);
+    }
+    for _ in 0..45 {
+        h.record(1 << 16);
+    }
+    for _ in 0..5 {
+        h.record(1 << 20);
+    }
+    assert_eq!(h.count(), 100);
+    assert_eq!(h.p50(), 1 << 10, "rank 50 lands on the last 2^10 sample");
+    assert_eq!(h.p95(), 1 << 16, "rank 95 lands on the last 2^16 sample");
+    assert_eq!(h.p99(), 1 << 20, "rank 99 lands in the 2^20 bucket");
+    assert_eq!(h.quantile(0.0), 1 << 10, "rank clamps to the first sample");
+    assert_eq!(h.quantile(1.0), 1 << 20, "rank 100 is the maximum bucket");
+    // Off-power samples floor to their bucket's lower bound.
+    let mut h2 = LatencyHistogram::default();
+    h2.record(1500);
+    assert_eq!(h2.p50(), 1 << 10);
+}
+
+/// A saturating Lo-priority flood cannot starve Hi traffic: with the
+/// queue permanently full of Lo work, every blocking Hi submission is
+/// admitted (evicting a Lo victim if needed), ordered ahead of the
+/// backlog, and served within its deadline.
+#[test]
+fn hi_priority_is_never_starved_by_a_lo_flood() {
+    let mut rng = gen::rng(0x52);
+    let graph = gen::random_csr(64, 64, 0.2, &mut rng);
+    let adj = Adjacency::new(graph);
+    let lo_x = gen::random_dense(64, 8, &mut rng);
+    let hi_x = gen::random_dense(64, 4, &mut rng);
+    let hi_y = gen::random_dense(4, 64, &mut rng);
+
+    let engine = Arc::new(Engine::new(EngineConfig {
+        workers: 1,
+        queue_depth: 4,
+        max_batch: 1,
+        tune: false,
+        fuse: None,
+        batch_window: None,
+    }));
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        for _ in 0..2 {
+            let engine = Arc::clone(&engine);
+            let adj = adj.clone();
+            let lo_x = lo_x.clone();
+            let stop = &stop;
+            s.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    // Fire-and-forget: the dropped ticket still counts as
+                    // served/shed in the stats.
+                    let _ = engine
+                        .try_submit(&adj, Submission::spmm(lo_x.clone()).priority(Priority::Lo));
+                    std::thread::yield_now();
+                }
+            });
+        }
+        for i in 0..8 {
+            let sub = Submission::sddmm(hi_x.clone(), hi_y.clone())
+                .deadline(Duration::from_secs(5))
+                .priority(Priority::Hi);
+            let out = engine.serve(&adj, sub);
+            assert!(out.is_ok(), "Hi request {i} starved or shed: {out:?}");
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    let stats = engine.stats();
+    assert_eq!(stats.priority(Priority::Hi).served, 8, "every Hi request must be served");
+    assert_eq!(stats.priority(Priority::Hi).shed, 0);
+    assert!(stats.rejected > 0, "the Lo flood must have been shed: {stats:?}");
+    assert!(stats.shed.queue_full > 0, "full-queue rejections must be tagged");
+}

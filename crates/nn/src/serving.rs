@@ -6,7 +6,7 @@
 //! per-request by construction).
 
 use crate::graphsage::GraphSage;
-use sparsetir_engine::{Adjacency, Engine, EngineError, OpRequest};
+use sparsetir_engine::{Adjacency, Engine, EngineError, Submission};
 use sparsetir_smat::prelude::Dense;
 
 /// The engine-side handle for a model's normalized adjacency. Build it
@@ -38,9 +38,9 @@ pub fn serve_sage_forward(
     // Both aggregations ride the engine's one generic submit path (the
     // same path SDDMM and attention requests take); the unified ticket
     // answers with an `OpOutput` converted back to a dense matrix.
-    let agg1 = engine.serve(adj, OpRequest::Spmm(x.clone()))?.into_dense()?;
+    let agg1 = engine.serve(adj, Submission::spmm(x.clone()))?.into_dense()?;
     let h1 = agg1.matmul(&model.w1).map_err(shape_err)?.relu();
-    let agg2 = engine.serve(adj, OpRequest::Spmm(h1))?.into_dense()?;
+    let agg2 = engine.serve(adj, Submission::spmm(h1))?.into_dense()?;
     agg2.matmul(&model.w2).map_err(shape_err)
 }
 
@@ -65,10 +65,10 @@ pub fn serve_sage_forward_fused(
     x: &Dense,
 ) -> Result<Dense, EngineError> {
     let h1 = engine
-        .serve(adj, OpRequest::FusedSage((x.clone(), model.w1.clone())))?
+        .serve(adj, Submission::fused_sage(x.clone(), model.w1.clone()))?
         .into_dense()?
         .relu();
-    engine.serve(adj, OpRequest::FusedSage((h1, model.w2.clone())))?.into_dense()
+    engine.serve(adj, Submission::fused_sage(h1, model.w2.clone()))?.into_dense()
 }
 
 fn shape_err(e: sparsetir_smat::SmatError) -> EngineError {
@@ -177,6 +177,7 @@ mod tests {
             max_batch: 8,
             tune: false,
             fuse: None,
+            batch_window: None,
         }));
         std::thread::scope(|s| {
             for client in 0..CLIENTS {

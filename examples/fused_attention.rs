@@ -76,6 +76,7 @@ fn main() {
         max_batch: 8,
         tune: false,
         fuse: Some(true),
+        batch_window: Some(std::time::Duration::from_micros(50)),
     }));
     let adj = Adjacency::new(graph.clone());
     let clients = 8;
@@ -93,7 +94,10 @@ fn main() {
                         kt: gen::random_dense(k, n, &mut rng),
                         v: gen::random_dense(n, vfeat, &mut rng),
                     };
-                    let outs = engine.fused_attention(&adj, vec![head]).expect("served");
+                    let outs = engine
+                        .serve(&adj, Submission::fused_attention(vec![head]))
+                        .and_then(OpOutput::into_heads)
+                        .expect("served");
                     assert_eq!((outs[0].rows(), outs[0].cols()), (n, vfeat));
                 }
             });

@@ -35,9 +35,13 @@ fn main() {
         max_batch: 8,
         tune: false,
         fuse: None,
+        batch_window: Some(std::time::Duration::from_micros(50)),
     }));
 
     // --- Raw SpMM serving: 8 clients share one adjacency ------------
+    // Each request goes through the `Submission` builder: deadline and
+    // priority ride along with the operands, and the engine's admission
+    // controller sheds what it cannot serve in time.
     let adj = Adjacency::new(graph.clone());
     let feat = 16;
     let clients = 8;
@@ -51,7 +55,10 @@ fn main() {
                 let mut rng = gen::rng(100 + client as u64);
                 for _ in 0..per_client {
                     let x = gen::random_dense(n, feat, &mut rng);
-                    let y = engine.spmm(&adj, x).expect("request served");
+                    let y = engine
+                        .serve(&adj, Submission::spmm(x).priority(Priority::Normal))
+                        .and_then(OpOutput::into_dense)
+                        .expect("request served");
                     assert_eq!((y.rows(), y.cols()), (n, feat));
                 }
             });
@@ -85,16 +92,19 @@ fn main() {
     );
 
     // --- The generic op path: SDDMM and attention ride the same queue ---
-    // Every op submits through one generic path (OpRequest → Ticket →
+    // Every op submits through one generic path (Submission → Ticket →
     // OpOutput); same-adjacency SDDMM requests with equal inner widths
     // fold into one widened multi-head launch, attention heads join the
-    // SpMM column stack.
+    // SpMM column stack. Deadlines bound queueing: a request the engine
+    // cannot answer in time is shed with a typed rejection instead of
+    // silently running late.
     let mut rng = gen::rng(77);
     let sddmm_tickets: Vec<_> = (0..4)
         .map(|_| {
             let x = gen::random_dense(n, 8, &mut rng);
             let y = gen::random_dense(8, n, &mut rng);
-            engine.submit(&adj, OpRequest::Sddmm((x, y))).expect("submits")
+            let sub = Submission::sddmm(x, y).deadline(std::time::Duration::from_secs(5));
+            engine.submit(&adj, sub).expect("submits")
         })
         .collect();
     for t in sddmm_tickets {
@@ -102,7 +112,10 @@ fn main() {
         assert_eq!(edges.len(), graph.nnz());
     }
     let heads: Vec<Dense> = (0..4).map(|_| gen::random_dense(n, 8, &mut rng)).collect();
-    let outs = engine.attention(&adj, heads).expect("attention served");
+    let outs = engine
+        .serve(&adj, Submission::attention(heads).priority(Priority::Hi))
+        .and_then(OpOutput::into_heads)
+        .expect("attention served");
     println!(
         "generic op path: {} SDDMM requests (per-edge outputs) + one {}-head attention request",
         4,
@@ -122,7 +135,7 @@ fn main() {
                 kt: gen::random_dense(k, n, &mut rng),
                 v: gen::random_dense(n, vfeat, &mut rng),
             };
-            engine.submit_fused_attention(&adj, vec![head]).expect("submits")
+            engine.submit(&adj, Submission::fused_attention(vec![head])).expect("submits")
         })
         .collect();
     for t in fused_tickets {
@@ -143,6 +156,31 @@ fn main() {
             w.max_width
         );
     }
+
+    // --- SLO accounting: latency percentiles and per-priority counters ---
+    // The lock-free log-bucketed histogram answers p50/p95/p99 without
+    // per-request allocation; shed/expired counters say what the
+    // admission controller refused and why.
+    println!(
+        "latency percentiles: p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms",
+        stats.latency.p50() as f64 / 1e6,
+        stats.latency.p95() as f64 / 1e6,
+        stats.latency.p99() as f64 / 1e6,
+    );
+    for p in Priority::ALL {
+        let ps = stats.priority(p);
+        println!(
+            "  {:<6} served {}, shed {}, expired {}",
+            p.name(),
+            ps.served,
+            ps.shed,
+            ps.expired
+        );
+    }
+    println!(
+        "  shed by reason: queue_full {}, deadline_infeasible {}, expired {}",
+        stats.shed.queue_full, stats.shed.deadline_infeasible, stats.shed.expired
+    );
 
     // --- GraphSAGE inference through the engine ----------------------
     let model = GraphSage::new(&graph, 16, 16, 4, 7).expect("model");

@@ -42,8 +42,9 @@ pub mod prelude {
     pub use sparsetir_baselines::prelude::*;
     pub use sparsetir_core::prelude::*;
     pub use sparsetir_engine::{
-        Adjacency, Engine, EngineConfig, EngineError, EngineStats, OpBatchWidth, OpOutput,
-        OpRequest, Ticket,
+        Adjacency, Engine, EngineConfig, EngineError, EngineStats, LatencyHistogram, OpBatchWidth,
+        OpOutput, OpRequest, Priority, PriorityStats, RejectReason, ShedStats, Submission,
+        SubmitOpts, Ticket,
     };
     pub use sparsetir_gpusim::prelude::*;
     pub use sparsetir_graphs::prelude::*;
