@@ -78,6 +78,23 @@ impl<V: Clone> TuneCache<V> {
         (v, false)
     }
 
+    /// Unconditionally install (or overwrite) the decision for `key`,
+    /// without touching the hit/miss statistics. This is the atomic-swap
+    /// primitive of stale-while-retune serving: the engine pre-seeds a new
+    /// fingerprint's key with the stale-but-correct config so lookups never
+    /// stall, then a background retune overwrites it in one locked insert —
+    /// readers see either the stale or the fresh decision, never a gap.
+    pub fn insert(&self, key: TuneKey, value: V) {
+        self.map.lock().unwrap().insert(key, value);
+    }
+
+    /// Read-only probe that counts neither a hit nor a miss (for
+    /// bookkeeping paths like retune seeding, which must not skew the
+    /// serving statistics).
+    pub fn peek(&self, key: &TuneKey) -> Option<V> {
+        self.map.lock().unwrap().get(key).cloned()
+    }
+
     /// Number of cached decisions.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -113,7 +130,13 @@ mod tests {
             backend: "gpusim",
             device: "V100",
             extra: vec![tag],
-            fingerprint: SparsityFingerprint { rows: 4, cols: 4, nnz: 2, degree_hist: vec![2, 2] },
+            fingerprint: SparsityFingerprint {
+                rows: 4,
+                cols: 4,
+                nnz: 2,
+                degree_hist: vec![2, 2],
+                relation_dims: vec![],
+            },
         }
     }
 
@@ -129,5 +152,18 @@ mod tests {
         let (_, hit) = cache.get_or_insert_with(key(2), || 7);
         assert!(!hit);
         assert_eq!((cache.hits(), cache.misses(), cache.len()), (1, 2, 2));
+    }
+
+    #[test]
+    fn insert_overwrites_atomically_without_stats() {
+        let cache = TuneCache::new();
+        cache.insert(key(1), 42); // pre-seed (stale config under new key)
+        assert_eq!(cache.peek(&key(1)), Some(42));
+        cache.insert(key(1), 43); // background retune swaps it
+        assert_eq!(cache.peek(&key(1)), Some(43));
+        assert_eq!((cache.hits(), cache.misses()), (0, 0), "seeding must not skew stats");
+        let (v, hit) = cache.get_or_insert_with(key(1), || unreachable!("seeded"));
+        assert!(hit);
+        assert_eq!(v, 43);
     }
 }

@@ -23,6 +23,7 @@ fn main() {
         ("serving_throughput", e::serving_throughput::run),
         ("fused_attention", e::fused_attention::run),
         ("serving_slo", e::serving_slo::run),
+        ("dynamic_graphs", e::dynamic_graphs::run),
     ] {
         eprintln!("[all_experiments] running {name} …");
         print!("{}", run());

@@ -1,0 +1,15 @@
+//! Runs the dynamic-graphs experiment (sustained edge-update stream +
+//! query throughput: incremental `Engine::apply_delta` maintenance vs
+//! rebuild-from-scratch per batch) and writes `BENCH_results.json`.
+//! `SPARSETIR_BENCH_ASSERT=1` enforces the ≥ 1.2× incremental-update
+//! speedup bar and the bit-identical final-matrix check always runs.
+
+use sparsetir_bench::{experiments, report};
+
+fn main() {
+    print!("{}", experiments::dynamic_graphs::run());
+    let records = report::take_records();
+    let path = std::path::Path::new("BENCH_results.json");
+    report::write_results(path, &records, experiments::smoke()).expect("write BENCH_results.json");
+    eprintln!("[dynamic_graphs] wrote {} records to {}", records.len(), path.display());
+}

@@ -1168,7 +1168,9 @@ pub mod ablation_bucketing {
 pub mod serving_throughput {
     use super::*;
     use crate::report::{self, BenchRecord};
-    use sparsetir_engine::{Adjacency, Engine, EngineConfig, EngineStats, OpRequest};
+    use sparsetir_engine::{
+        Adjacency, Engine, EngineConfig, EngineStats, OpRequest, DEFAULT_DRIFT_THRESHOLD,
+    };
     use std::sync::Arc;
     use std::time::Instant;
 
@@ -1233,6 +1235,7 @@ pub mod serving_throughput {
             tune: false,
             fuse: None,
             batch_window: None,
+            drift_threshold: DEFAULT_DRIFT_THRESHOLD,
         }));
         // Warm the single-request-shape kernel so neither arm pays
         // first-compile latency while timed (payloads were pre-generated
@@ -1437,7 +1440,7 @@ pub mod serving_throughput {
 pub mod fused_attention {
     use super::*;
     use crate::report::{self, BenchRecord};
-    use sparsetir_engine::{Adjacency, Engine, EngineConfig, OpRequest};
+    use sparsetir_engine::{Adjacency, Engine, EngineConfig, OpRequest, DEFAULT_DRIFT_THRESHOLD};
     use std::sync::Arc;
     use std::time::Instant;
 
@@ -1473,6 +1476,7 @@ pub mod fused_attention {
             tune: false,
             fuse: Some(fused),
             batch_window: None,
+            drift_threshold: DEFAULT_DRIFT_THRESHOLD,
         }));
         // Warm the single-request-shape kernels (one fused, or the
         // pipeline's three) so neither arm pays first-compile latency
@@ -1634,6 +1638,7 @@ pub mod serving_slo {
     use crate::report::{self, BenchRecord};
     use sparsetir_engine::{
         Adjacency, Engine, EngineConfig, EngineStats, OpRequest, Priority, Submission,
+        DEFAULT_DRIFT_THRESHOLD,
     };
     use std::sync::atomic::{AtomicBool, Ordering};
     use std::sync::Arc;
@@ -1676,6 +1681,7 @@ pub mod serving_slo {
             tune: false,
             fuse: None,
             batch_window: None,
+            drift_threshold: DEFAULT_DRIFT_THRESHOLD,
         });
         engine.serve(adj, OpRequest::Spmm(x.clone())).expect("calibration warmup");
         let mut samples: Vec<Duration> = (0..5)
@@ -1719,6 +1725,7 @@ pub mod serving_slo {
             tune: false,
             fuse: None,
             batch_window: if slo { Some(window) } else { None },
+            drift_threshold: DEFAULT_DRIFT_THRESHOLD,
         }));
         // Warm every kernel shape outside the measured window.
         for (adj, x) in lo {
@@ -1932,6 +1939,261 @@ pub mod serving_slo {
                 "p95 us",
                 "p99 us",
                 "shed+expired",
+            ],
+            &rows,
+        )
+    }
+}
+
+/// Dynamic graphs: a sustained stream of edge-update batches interleaved
+/// with SpMM queries, served **incrementally** (`Engine::apply_delta`
+/// patching the CSR in place with the two-pointer merge, versioned
+/// fingerprints deciding whether tuning state survives) vs
+/// **rebuild-from-scratch** (maintain the full edge set, reconstruct the
+/// CSR and re-wrap the `Adjacency` every batch). Both arms answer every
+/// query identically — the experiment asserts the final matrices are
+/// bit-identical — so the ratio isolates the cost of keeping a served
+/// adjacency current.
+pub mod dynamic_graphs {
+    use super::*;
+    use crate::report::{self, BenchRecord};
+    use sparsetir_engine::{Adjacency, Engine, EngineConfig, OpRequest, DEFAULT_DRIFT_THRESHOLD};
+    use std::collections::BTreeMap;
+    use std::time::{Duration, Instant};
+
+    /// Acceptance floor: incremental update maintenance over
+    /// rebuild-from-scratch, on the update path alone (query serving is
+    /// identical machinery in both arms and is reported separately).
+    pub const INCREMENTAL_SPEEDUP_BAR: f64 = 1.2;
+
+    fn push(name: &str, value: f64, unit: &'static str, better: &'static str, config: &str) {
+        report::record(BenchRecord {
+            experiment: "dynamic_graphs".to_string(),
+            name: name.to_string(),
+            value,
+            unit,
+            better,
+            config: config.to_string(),
+        });
+    }
+
+    fn serving_engine() -> Engine {
+        Engine::new(EngineConfig {
+            workers: 1,
+            queue_depth: 64,
+            max_batch: 8,
+            tune: false,
+            fuse: None,
+            batch_window: None,
+            drift_threshold: DEFAULT_DRIFT_THRESHOLD,
+        })
+    }
+
+    /// The edge map a rebuild arm maintains (and the oracle both arms are
+    /// checked against).
+    fn edge_map(g: &Csr) -> BTreeMap<(u32, u32), f32> {
+        let mut edges = BTreeMap::new();
+        for r in 0..g.rows() {
+            let (cols, vals) = g.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                edges.insert((r as u32, c), v);
+            }
+        }
+        edges
+    }
+
+    /// Pre-generate the update stream: per batch, a mix of fresh-edge
+    /// inserts, re-weights of edges known to exist, and deletes (tracked
+    /// against a running edge set so deletes usually hit).
+    fn update_stream(
+        g: &Csr,
+        batches: usize,
+        ops_per_batch: usize,
+        rng: &mut impl rand::Rng,
+    ) -> Vec<GraphDelta> {
+        let n = g.rows() as u32;
+        let mut live: Vec<(u32, u32)> = edge_map(g).into_keys().collect();
+        let mut stream = Vec::with_capacity(batches);
+        for _ in 0..batches {
+            let mut d = GraphDelta::new();
+            for i in 0..ops_per_batch {
+                match i % 3 {
+                    0 => {
+                        // Insert (or re-weight) a random coordinate.
+                        let e = (rng.gen_range(0..n), rng.gen_range(0..n));
+                        d.upsert(e.0, e.1, rng.gen_range(0.1f32..2.0));
+                        live.push(e);
+                    }
+                    1 => {
+                        // Re-weight an existing edge: structure-neutral.
+                        if let Some(&(r, c)) = live.get(rng.gen_range(0..live.len().max(1))) {
+                            d.upsert(r, c, rng.gen_range(0.1f32..2.0));
+                        }
+                    }
+                    _ => {
+                        // Delete a (probably) existing edge.
+                        if !live.is_empty() {
+                            let at = rng.gen_range(0..live.len());
+                            let (r, c) = live.swap_remove(at);
+                            d.delete(r, c);
+                        }
+                    }
+                }
+            }
+            stream.push(d);
+        }
+        stream
+    }
+
+    /// Render the sweep (and record it).
+    ///
+    /// # Panics
+    /// Panics when the incremental and rebuilt matrices diverge, when a
+    /// served query disagrees with the reference, or — under
+    /// `SPARSETIR_BENCH_ASSERT=1` — when the incremental update path
+    /// misses its speedup bar over rebuild-from-scratch.
+    #[must_use]
+    pub fn run() -> String {
+        let (n, batches, ops, queries): (usize, usize, usize, usize) =
+            if smoke() { (600, 8, 48, 2) } else { (2000, 16, 96, 4) };
+        let feat = 8;
+        let mut rng = gen::rng(0xD6);
+        let g = gen::random_csr_with_row_lengths(
+            n,
+            n,
+            |r| {
+                use rand::Rng;
+                let u: f64 = r.gen_range(0.0..1.0);
+                ((2.0 / (u + 0.01)) as usize).clamp(1, n / 2)
+            },
+            &mut rng,
+        );
+        // Pre-generate updates and query operands outside every timed
+        // window.
+        let stream = update_stream(&g, batches, ops, &mut rng);
+        let xs: Vec<Dense> = (0..queries).map(|_| gen::random_dense(n, feat, &mut rng)).collect();
+
+        // Median-of-3 per arm: the update loops are short wall-clock
+        // windows, a single one is too noisy to gate on.
+        let mut inc_reps = Vec::new();
+        let mut reb_reps = Vec::new();
+        let mut final_inc: Option<Csr> = None;
+        let mut final_reb: Option<Csr> = None;
+        for _ in 0..3 {
+            // Incremental arm: patch the served adjacency in place.
+            let engine = serving_engine();
+            let mut adj = Adjacency::new(g.clone());
+            engine.serve(&adj, OpRequest::Spmm(xs[0].clone())).expect("warmup");
+            let mut update_ns = 0u128;
+            let mut query_ns = 0u128;
+            for d in &stream {
+                let t = Instant::now();
+                adj = engine.apply_delta(&adj, d).expect("in-bounds delta");
+                update_ns += t.elapsed().as_nanos();
+                let t = Instant::now();
+                for x in &xs {
+                    engine.serve(&adj, OpRequest::Spmm(x.clone())).expect("query served");
+                }
+                query_ns += t.elapsed().as_nanos();
+            }
+            inc_reps.push((update_ns, query_ns));
+            final_inc = Some(adj.csr().clone());
+
+            // Rebuild arm: maintain the edge set, reconstruct per batch.
+            let engine = serving_engine();
+            let mut edges = edge_map(&g);
+            let mut adj = Adjacency::new(g.clone());
+            engine.serve(&adj, OpRequest::Spmm(xs[0].clone())).expect("warmup");
+            let mut update_ns = 0u128;
+            let mut query_ns = 0u128;
+            for d in &stream {
+                let t = Instant::now();
+                for &(r, c, v) in d.normalized_ops().iter() {
+                    match v {
+                        Some(v) => {
+                            edges.insert((r, c), v);
+                        }
+                        None => {
+                            edges.remove(&(r, c));
+                        }
+                    }
+                }
+                let entries: Vec<(u32, u32, f32)> =
+                    edges.iter().map(|(&(r, c), &v)| (r, c, v)).collect();
+                let rebuilt = Csr::from_coo(&Coo::from_entries(n, n, entries).expect("in-bounds"));
+                adj = Adjacency::new(rebuilt);
+                update_ns += t.elapsed().as_nanos();
+                let t = Instant::now();
+                for x in &xs {
+                    engine.serve(&adj, OpRequest::Spmm(x.clone())).expect("query served");
+                }
+                query_ns += t.elapsed().as_nanos();
+            }
+            reb_reps.push((update_ns, query_ns));
+            final_reb = Some(adj.csr().clone());
+        }
+        let (final_inc, final_reb) = (final_inc.expect("ran"), final_reb.expect("ran"));
+        assert_eq!(
+            final_inc, final_reb,
+            "incremental and rebuilt matrices must be bit-identical after the stream"
+        );
+        // Served answers on the final state must be the real answer.
+        {
+            let engine = serving_engine();
+            let adj = Adjacency::new(final_inc.clone());
+            let served = engine
+                .serve(&adj, OpRequest::Spmm(xs[0].clone()))
+                .and_then(sparsetir_engine::OpOutput::into_dense)
+                .expect("serves");
+            let want = final_inc.spmm(&xs[0]).expect("reference");
+            assert!(served.approx_eq(&want, 1e-3), "served query must match the reference");
+        }
+
+        inc_reps.sort_unstable();
+        reb_reps.sort_unstable();
+        let (inc_update, inc_query) = inc_reps[1];
+        let (reb_update, reb_query) = reb_reps[1];
+        let per_batch = |ns: u128| ns as f64 / batches as f64;
+        let speedup = per_batch(reb_update) / per_batch(inc_update).max(1.0);
+        let config = format!(
+            "n={n} nnz0={} batches={batches} ops={ops} queries={queries} d={feat} smoke={}",
+            g.nnz(),
+            smoke()
+        );
+        push("update/incremental", per_batch(inc_update), "ns", "lower", &config);
+        push("update/rebuild", per_batch(reb_update), "ns", "lower", &config);
+        push("update/speedup", speedup, "ratio", "higher", &config);
+        push("query/incremental", per_batch(inc_query), "ns", "lower", &config);
+        push("query/rebuild", per_batch(reb_query), "ns", "lower", &config);
+        if std::env::var_os("SPARSETIR_BENCH_ASSERT").is_some() {
+            assert!(
+                speedup >= INCREMENTAL_SPEEDUP_BAR,
+                "incremental graph updates {speedup:.2}x below the {INCREMENTAL_SPEEDUP_BAR}x bar"
+            );
+        }
+        let fmt_ms =
+            |ns: f64| format!("{:.3}", Duration::from_nanos(ns as u64).as_secs_f64() * 1e3);
+        let rows = vec![vec![
+            batches.to_string(),
+            ops.to_string(),
+            fmt_ms(per_batch(inc_update)),
+            fmt_ms(per_batch(reb_update)),
+            fmt_speedup(speedup),
+            fmt_ms(per_batch(inc_query)),
+            fmt_ms(per_batch(reb_query)),
+        ]];
+        render_table(
+            &format!(
+                "Dynamic graphs: incremental delta maintenance vs rebuild-from-scratch (n={n}, bar ≥ {INCREMENTAL_SPEEDUP_BAR}x on the update path)"
+            ),
+            &[
+                "batches",
+                "ops/batch",
+                "inc update ms",
+                "rebuild ms",
+                "speedup",
+                "inc query ms",
+                "rebuild query ms",
             ],
             &rows,
         )

@@ -29,6 +29,7 @@ fn all_experiments_run_end_to_end_in_smoke_mode() {
         ("serving_throughput", e::serving_throughput::run),
         ("fused_attention", e::fused_attention::run),
         ("serving_slo", e::serving_slo::run),
+        ("dynamic_graphs", e::dynamic_graphs::run),
     ] {
         let out = run();
         assert!(!out.trim().is_empty(), "{name} rendered nothing");
@@ -66,6 +67,10 @@ fn all_experiments_run_end_to_end_in_smoke_mode() {
     assert!(
         records.iter().any(|r| r.experiment == "serving_slo" && r.unit == "rate"),
         "serving_slo must record raw deadline-hit rates"
+    );
+    assert!(
+        records.iter().any(|r| r.experiment == "dynamic_graphs" && r.name == "update/speedup"),
+        "dynamic_graphs must record the gated incremental-vs-rebuild update speedup"
     );
     let dir = std::env::temp_dir().join(format!("sparsetir_bench_{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();

@@ -18,9 +18,9 @@ use sparsetir_ir::exec::{fusion_default, Runtime};
 use sparsetir_kernels::prelude::{
     AttentionOp, AttnHead, FusedAttentionOp, FusedSageOp, OpConfig, SddmmOp, SparseOp, SpmmOp,
 };
-use sparsetir_smat::prelude::{Csr, Dense};
+use sparsetir_smat::prelude::{Csr, Dense, GraphDelta};
 use std::collections::hash_map::DefaultHasher;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -30,6 +30,14 @@ use std::time::{Duration, Instant};
 
 /// Default bound on the request queue (the backpressure knob).
 pub const DEFAULT_QUEUE_DEPTH: usize = 64;
+
+/// Default [`EngineConfig::drift_threshold`]: how far the log2-degree
+/// histogram may drift (L1 distance over row count — a single moved row
+/// contributes 2) before [`Engine::apply_delta`] re-anchors the tuning
+/// identity and triggers a background retune. At `0.1`, five percent of
+/// rows changing degree bin re-tunes; anything less keeps serving the
+/// existing decisions.
+pub const DEFAULT_DRIFT_THRESHOLD: f64 = 0.1;
 
 /// Lock a mutex, recovering from poisoning: a panicking worker must not
 /// wedge every subsequent submit/shutdown on the client threads. The
@@ -96,9 +104,21 @@ impl std::error::Error for EngineError {}
 pub struct Adjacency {
     csr: Arc<Csr>,
     fingerprint: u64,
-    /// Structural sparsity summary for [`TuneCache`] keys, precomputed so
-    /// the tuned path never rescans the matrix per batch.
+    /// Structural sparsity summary of *this* matrix, precomputed so the
+    /// tuned path never rescans the matrix per batch.
     sparsity: Arc<SparsityFingerprint>,
+    /// The *tuning anchor*: the structural fingerprint [`TuneCache`] keys
+    /// are built from. Freshly-wrapped adjacencies anchor on their own
+    /// `sparsity`; [`Engine::apply_delta`] deliberately keeps the previous
+    /// anchor while the degree histogram stays within the drift threshold,
+    /// so every cached tune decision (and every compiled kernel keyed off
+    /// it) survives small structural updates.
+    anchor: Arc<SparsityFingerprint>,
+    /// Monotonic delta version: `0` at construction, `+1` per
+    /// [`Engine::apply_delta`]. Together with `anchor` this is the
+    /// versioned fingerprint of the issue: the version says *how many*
+    /// updates happened, the anchor says whether tuning identity changed.
+    version: u64,
 }
 
 impl Adjacency {
@@ -114,7 +134,13 @@ impl Adjacency {
             v.to_bits().hash(&mut h);
         }
         let sparsity = Arc::new(SparsityFingerprint::of(&csr));
-        Adjacency { csr: Arc::new(csr), fingerprint: h.finish(), sparsity }
+        Adjacency {
+            csr: Arc::new(csr),
+            fingerprint: h.finish(),
+            anchor: Arc::clone(&sparsity),
+            sparsity,
+            version: 0,
+        }
     }
 
     /// The wrapped matrix.
@@ -127,6 +153,26 @@ impl Adjacency {
     #[must_use]
     pub fn fingerprint(&self) -> u64 {
         self.fingerprint
+    }
+
+    /// The structural sparsity summary of this matrix.
+    #[must_use]
+    pub fn sparsity(&self) -> &SparsityFingerprint {
+        &self.sparsity
+    }
+
+    /// The tuning anchor: the fingerprint tune decisions are keyed by.
+    /// Equal to [`Adjacency::sparsity`] until an [`Engine::apply_delta`]
+    /// below the drift threshold carries an older anchor forward.
+    #[must_use]
+    pub fn anchor(&self) -> &SparsityFingerprint {
+        &self.anchor
+    }
+
+    /// Monotonic update version (`0` for a freshly wrapped matrix).
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// True when `other` may share a batched kernel launch with `self`.
@@ -320,6 +366,13 @@ pub struct EngineConfig {
     /// default) keeps the legacy greedy drain: fire immediately with
     /// whatever is queued.
     pub batch_window: Option<Duration>,
+    /// Degree-histogram drift (see [`SparsityFingerprint::drift`]) above
+    /// which [`Engine::apply_delta`] re-anchors the adjacency's tuning
+    /// identity and schedules a background retune. At or below the
+    /// threshold the old anchor is kept: cached tune decisions and
+    /// compiled kernels keep serving unchanged. Defaults to
+    /// [`DEFAULT_DRIFT_THRESHOLD`].
+    pub drift_threshold: f64,
 }
 
 impl Default for EngineConfig {
@@ -331,6 +384,7 @@ impl Default for EngineConfig {
             tune: false,
             fuse: None,
             batch_window: None,
+            drift_threshold: DEFAULT_DRIFT_THRESHOLD,
         }
     }
 }
@@ -377,7 +431,22 @@ struct Shared {
     /// adaptive batch window's arrival-rate signal (a stale value means
     /// waiting for riders is pointless).
     last_arrival_ns: AtomicU64,
+    /// Every tune decision taken under an anchor fingerprint, with a
+    /// type-erased replay closure — the worklist a background retune runs
+    /// when [`Engine::apply_delta`] re-anchors past the drift threshold.
+    retune_registry: Mutex<HashMap<SparsityFingerprint, Vec<RetuneRecord>>>,
+    /// In-flight background retune threads; joined by
+    /// [`Engine::quiesce_retunes`] and at drop.
+    retune_threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
     stats: StatsInner,
+}
+
+/// One tune decision to replay on re-anchor: the cache key it lives
+/// under, plus a closure re-running the op's `tune_op` search (the op
+/// type and request shape are captured; only the matrix varies).
+struct RetuneRecord {
+    key: TuneKey,
+    retune: Arc<dyn Fn(&Csr) -> OpConfig + Send + Sync>,
 }
 
 impl Shared {
@@ -479,6 +548,8 @@ impl Engine {
             tune_flight: Mutex::new(()),
             t0: Instant::now(),
             last_arrival_ns: AtomicU64::new(0),
+            retune_registry: Mutex::new(HashMap::new()),
+            retune_threads: Mutex::new(Vec::new()),
             stats: StatsInner::default(),
         });
         let workers = (0..config.workers.max(1))
@@ -694,6 +765,102 @@ impl Engine {
         self.submit(adj, Submission::fused_sage(x, w))?.wait_dense()
     }
 
+    /// Apply a batch of edge updates to a served adjacency, returning the
+    /// successor `Adjacency` (version bumped by one) while the engine
+    /// keeps serving — the *stale-while-retune* state machine:
+    ///
+    /// - **Below (or at) the drift threshold** the successor keeps the
+    ///   predecessor's tuning *anchor*: every cached tune decision and
+    ///   compiled kernel stays valid, nothing recompiles, and
+    ///   [`EngineStats::retunes_skipped`] ticks.
+    /// - **Above the threshold** the successor anchors on its own
+    ///   fingerprint. Every tune decision recorded under the old anchor is
+    ///   *pre-seeded* under the new anchor's keys (stale but correct — the
+    ///   matrix changed shape-compatibly, so the old schedule still runs),
+    ///   then ONE background thread replays the tuning searches against
+    ///   the updated matrix and atomically overwrites each seed in the
+    ///   [`TuneCache`] as it lands. Requests never observe a gap: they hit
+    ///   either the stale or the fresh decision.
+    ///
+    /// The predecessor adjacency stays fully servable (requests holding it
+    /// batch and execute as before) — callers swap to the successor at
+    /// their own pace.
+    ///
+    /// # Errors
+    /// [`EngineError::Shape`] when the delta addresses rows/columns
+    /// outside the adjacency.
+    pub fn apply_delta(
+        &self,
+        adj: &Adjacency,
+        delta: &GraphDelta,
+    ) -> Result<Adjacency, EngineError> {
+        let shared = &self.shared;
+        let next_csr =
+            adj.csr().apply_delta(delta).map_err(|e| EngineError::Shape(e.to_string()))?;
+        let mut next = Adjacency::new(next_csr);
+        next.version = adj.version + 1;
+        shared.stats.deltas_applied.fetch_add(1, Ordering::Relaxed);
+        let drift = adj.anchor.drift(&next.sparsity);
+        if drift <= shared.config.drift_threshold {
+            next.anchor = Arc::clone(&adj.anchor);
+            shared.stats.retunes_skipped.fetch_add(1, Ordering::Relaxed);
+            return Ok(next);
+        }
+        // Re-anchor: move the old anchor's tune records to the new one,
+        // seeding each new key with the stale decision so lookups keep
+        // hitting while the background pass runs.
+        let mut work = Vec::new();
+        {
+            let mut reg = lock(&shared.retune_registry);
+            let records = reg.remove(&*adj.anchor).unwrap_or_default();
+            let entry = reg.entry((*next.anchor).clone()).or_default();
+            for rec in records {
+                let mut key = rec.key.clone();
+                key.fingerprint = (*next.anchor).clone();
+                if entry.iter().any(|r| r.key == key) {
+                    continue;
+                }
+                if let Some(stale) = shared.tune_cache.peek(&rec.key) {
+                    shared.tune_cache.insert(key.clone(), stale);
+                }
+                work.push((key.clone(), Arc::clone(&rec.retune)));
+                entry.push(RetuneRecord { key, retune: rec.retune });
+            }
+        }
+        shared.stats.retunes_started.fetch_add(1, Ordering::Relaxed);
+        let csr = Arc::clone(&next.csr);
+        let shared = Arc::clone(&self.shared);
+        let handle = std::thread::Builder::new()
+            .name("sparsetir-retune".into())
+            .spawn(move || {
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    for (key, retune) in &work {
+                        let fresh = retune(&csr);
+                        shared.tune_cache.insert(key.clone(), fresh);
+                    }
+                }));
+                if result.is_err() {
+                    shared.stats.worker_panics.fetch_add(1, Ordering::Relaxed);
+                }
+                shared.stats.retunes_completed.fetch_add(1, Ordering::Relaxed);
+            })
+            .expect("spawn retune thread");
+        lock(&self.shared.retune_threads).push(handle);
+        Ok(next)
+    }
+
+    /// Join every background retune spawned by [`Engine::apply_delta`].
+    /// Serving does not require this — stale decisions answer until the
+    /// swap — but tests and orderly shutdowns use it to observe the
+    /// settled state ([`EngineStats::retunes_completed`] catches up to
+    /// [`EngineStats::retunes_started`]).
+    pub fn quiesce_retunes(&self) {
+        let handles: Vec<_> = lock(&self.shared.retune_threads).drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
     /// Crash-safety regression hook: make the next worker that drains the
     /// queue panic *while holding the queue lock*, poisoning the mutex.
     /// The engine must recover — the worker survives, later submits
@@ -852,6 +1019,7 @@ impl Drop for Engine {
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
+        self.quiesce_retunes();
     }
 }
 
@@ -1155,12 +1323,16 @@ where
         return O::default_config();
     }
     let spec = GpuSpec::v100();
+    // Keyed on the *anchor*, not the matrix's own fingerprint: a
+    // below-threshold `apply_delta` successor shares its predecessor's
+    // anchor, so its batches hit the predecessor's cached decision —
+    // stale-while-retune serving in the hit path.
     let key = TuneKey {
         workload: O::kind(),
         backend: "gpusim",
         device: spec.device_id(),
         extra: vec![],
-        fingerprint: (*adj.sparsity).clone(),
+        fingerprint: (*adj.anchor).clone(),
     };
     // Double-checked single flight: serve hits without the guard, and
     // take it only on a miss — TuneCache computes outside its own lock,
@@ -1171,10 +1343,27 @@ where
         Some(config) => config,
         None => {
             let _flight = lock(&shared.tune_flight);
-            shared
-                .tune_cache
-                .get_or_insert_with(key, || tune_op::<O>(&spec, adj.csr(), shape).config.into())
-                .0
+            let (config, hit) = shared.tune_cache.get_or_insert_with(key.clone(), || {
+                tune_op::<O>(&spec, adj.csr(), shape).config.into()
+            });
+            if !hit {
+                // First decision under this anchor: remember how to redo
+                // it, so a future re-anchor can replay the search against
+                // the updated matrix in the background.
+                let shape = shape.to_vec();
+                let record = RetuneRecord {
+                    key: key.clone(),
+                    retune: Arc::new(move |csr: &Csr| {
+                        tune_op::<O>(&GpuSpec::v100(), csr, &shape).config.into()
+                    }),
+                };
+                let mut reg = lock(&shared.retune_registry);
+                let entry = reg.entry(key.fingerprint.clone()).or_default();
+                if !entry.iter().any(|r| r.key == key) {
+                    entry.push(record);
+                }
+            }
+            config
         }
     };
     O::Config::try_from(cached).unwrap_or_else(|_| O::default_config())

@@ -59,10 +59,25 @@
 //!   per-reason shed counters ([`ShedStats`]) alongside the batching and
 //!   throughput counters.
 //!
+//! * **Incremental graph updates with stale-while-retune serving**:
+//!   [`Engine::apply_delta`] patches a served [`Adjacency`] with a
+//!   [`GraphDelta`] batch of edge inserts/deletes (two-pointer merge in
+//!   `sparsetir-smat`, bit-identical to a rebuild), bumping a monotonic
+//!   version. While the log2-degree histogram stays within
+//!   [`EngineConfig::drift_threshold`] the successor keeps its
+//!   predecessor's tuning *anchor* — cached tune decisions and compiled
+//!   kernels keep serving with zero recompilation. Past the threshold,
+//!   stale decisions are pre-seeded under the new anchor (no serving
+//!   gap) and one background thread re-tunes and atomically swaps them
+//!   in ([`EngineStats::retunes_started`]/`retunes_completed`/
+//!   `retunes_skipped`/`deltas_applied` count the state machine).
+//!
 //! The `serving_throughput` and `serving_slo` experiments in
 //! `sparsetir-bench` measure this engine's batched-vs-unbatched
-//! requests/sec and its deadline-hit-rate under overload, and
-//! `sparsetir-nn`'s serving path drives GraphSAGE inference through it.
+//! requests/sec and its deadline-hit-rate under overload,
+//! `dynamic_graphs` measures incremental-update-vs-rebuild throughput,
+//! and `sparsetir-nn`'s serving path drives GraphSAGE inference through
+//! it.
 
 #![warn(missing_docs)]
 
@@ -71,7 +86,11 @@ mod stats;
 mod submission;
 
 pub use engine::{
-    Adjacency, Engine, EngineConfig, EngineError, OpOutput, OpRequest, Ticket, DEFAULT_QUEUE_DEPTH,
+    Adjacency, Engine, EngineConfig, EngineError, OpOutput, OpRequest, Ticket,
+    DEFAULT_DRIFT_THRESHOLD, DEFAULT_QUEUE_DEPTH,
 };
 pub use stats::{EngineStats, LatencyHistogram, OpBatchWidth, PriorityStats, ShedStats};
 pub use submission::{Priority, RejectReason, Submission, SubmitOpts};
+// The delta type `apply_delta` consumes, re-exported so serving callers
+// need not depend on `sparsetir-smat` directly.
+pub use sparsetir_smat::prelude::GraphDelta;

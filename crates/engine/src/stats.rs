@@ -79,6 +79,10 @@ pub(crate) struct StatsInner {
     pub latency_ns_sum: AtomicU64,
     pub latency_ns_max: AtomicU64,
     pub worker_panics: AtomicU64,
+    pub deltas_applied: AtomicU64,
+    pub retunes_started: AtomicU64,
+    pub retunes_completed: AtomicU64,
+    pub retunes_skipped: AtomicU64,
     shed_queue_full: AtomicU64,
     shed_infeasible: AtomicU64,
     shed_expired: AtomicU64,
@@ -124,14 +128,24 @@ impl StatsInner {
     }
 
     /// Fold one measured per-request execution time into the op kind's
-    /// EWMA estimate (α = 1/4; racing stores may drop an update, which
-    /// only delays convergence).
+    /// EWMA estimate (α = 1/4). A `compare_exchange_weak` loop replaces
+    /// the old load-then-blind-store: under concurrent workers the blind
+    /// store silently dropped whole updates (both racers fold from the
+    /// same `old`, the slower store erasing the faster one's sample),
+    /// skewing the estimate the admission controller's
+    /// `DeadlineInfeasible` decisions ride on. With CAS every sample is
+    /// folded in exactly once, in *some* serialization order.
     pub fn record_exec(&self, kind: &str, ns: u64) {
         if let Some(slot) = OP_KINDS.iter().position(|k| *k == kind) {
             let est = &self.exec_est_ns[slot];
-            let old = est.load(Ordering::Relaxed);
-            let new = if old == 0 { ns } else { old - old / 4 + ns / 4 };
-            est.store(new.max(1), Ordering::Relaxed);
+            let mut old = est.load(Ordering::Relaxed);
+            loop {
+                let new = (if old == 0 { ns } else { old - old / 4 + ns / 4 }).max(1);
+                match est.compare_exchange_weak(old, new, Ordering::Relaxed, Ordering::Relaxed) {
+                    Ok(_) => break,
+                    Err(current) => old = current,
+                }
+            }
         }
     }
 
@@ -189,6 +203,10 @@ impl StatsInner {
             latency_ns_sum: self.latency_ns_sum.load(Ordering::Relaxed),
             latency_ns_max: self.latency_ns_max.load(Ordering::Relaxed),
             worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            deltas_applied: self.deltas_applied.load(Ordering::Relaxed),
+            retunes_started: self.retunes_started.load(Ordering::Relaxed),
+            retunes_completed: self.retunes_completed.load(Ordering::Relaxed),
+            retunes_skipped: self.retunes_skipped.load(Ordering::Relaxed),
             shed: ShedStats {
                 queue_full: self.shed_queue_full.load(Ordering::Relaxed),
                 deadline_infeasible: self.shed_infeasible.load(Ordering::Relaxed),
@@ -383,6 +401,19 @@ pub struct EngineStats {
     /// [`EngineError::Exec`](crate::EngineError::Exec) and the worker
     /// keeps serving; the queue mutex recovers from the poisoning).
     pub worker_panics: u64,
+    /// Graph deltas applied through
+    /// [`Engine::apply_delta`](crate::Engine::apply_delta).
+    pub deltas_applied: u64,
+    /// Background retune passes launched because a delta pushed the
+    /// degree-histogram drift past
+    /// [`EngineConfig::drift_threshold`](crate::EngineConfig::drift_threshold).
+    pub retunes_started: u64,
+    /// Background retune passes that finished and swapped their fresh
+    /// configs into the tune cache.
+    pub retunes_completed: u64,
+    /// Deltas whose drift stayed at or under the threshold, so the old
+    /// tuning anchor (and every cached decision under it) was kept.
+    pub retunes_skipped: u64,
     /// Admission-time rejections split by [`RejectReason`].
     pub shed: ShedStats,
     /// Enqueue-to-answer latency histogram (completed, failed and
@@ -432,6 +463,14 @@ impl EngineStats {
         &self.priorities[p.slot()]
     }
 
+    /// Retune passes still in flight (started but not yet completed) per
+    /// this snapshot — under stale-while-retune serving these are being
+    /// answered from the previous anchor's configs.
+    #[must_use]
+    pub fn retunes_in_flight(&self) -> u64 {
+        self.retunes_started.saturating_sub(self.retunes_completed)
+    }
+
     /// The change in counters since an `earlier` snapshot of the same
     /// engine: counts subtract (saturating), maxima and high-water marks
     /// keep the later value, and the per-kind width histogram keeps the
@@ -457,6 +496,10 @@ impl EngineStats {
             latency_ns_sum: self.latency_ns_sum.saturating_sub(earlier.latency_ns_sum),
             latency_ns_max: self.latency_ns_max,
             worker_panics: self.worker_panics.saturating_sub(earlier.worker_panics),
+            deltas_applied: self.deltas_applied.saturating_sub(earlier.deltas_applied),
+            retunes_started: self.retunes_started.saturating_sub(earlier.retunes_started),
+            retunes_completed: self.retunes_completed.saturating_sub(earlier.retunes_completed),
+            retunes_skipped: self.retunes_skipped.saturating_sub(earlier.retunes_skipped),
             shed: ShedStats {
                 queue_full: self.shed.queue_full.saturating_sub(earlier.shed.queue_full),
                 deadline_infeasible: self
@@ -469,5 +512,69 @@ impl EngineStats {
             priorities,
             op_widths: self.op_widths.clone(),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Sequential oracle for the α = 1/4 integer EWMA.
+    fn ewma_step(old: u64, ns: u64) -> u64 {
+        (if old == 0 { ns } else { old - old / 4 + ns / 4 }).max(1)
+    }
+
+    #[test]
+    fn ewma_converges_to_constant_stream() {
+        let stats = StatsInner::default();
+        let mut oracle = 0u64;
+        for _ in 0..64 {
+            stats.record_exec("spmm", 10_000);
+            oracle = ewma_step(oracle, 10_000);
+        }
+        assert_eq!(stats.exec_estimate_ns("spmm"), oracle);
+        // The integer fixed point of old - old/4 + v/4 sits within one
+        // rounding unit of v.
+        assert!(stats.exec_estimate_ns("spmm").abs_diff(10_000) <= 4);
+        assert_eq!(stats.exec_estimate_ns("sddmm"), 0, "other kinds stay cold");
+        stats.record_exec("not-a-kind", 1); // unknown kinds are ignored
+        assert_eq!(stats.exec_estimate_ns("not-a-kind"), 0);
+    }
+
+    /// Multi-thread hammer for the compare-exchange loop: with every
+    /// thread feeding the same constant, the estimate must land on the
+    /// EWMA fixed point of that constant — and never escape the sample
+    /// range mid-flight. (The old blind store could drop whole updates
+    /// under this contention; the CAS loop folds each exactly once.)
+    #[test]
+    fn ewma_hammer_converges_under_contention() {
+        let stats = std::sync::Arc::new(StatsInner::default());
+        let value = 8_192u64;
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let stats = std::sync::Arc::clone(&stats);
+                s.spawn(move || {
+                    for _ in 0..5_000 {
+                        stats.record_exec("fused_attention", value);
+                        let est = stats.exec_estimate_ns("fused_attention");
+                        assert!(est > 0 && est <= value, "estimate {est} escaped (0, {value}]");
+                    }
+                });
+            }
+        });
+        // Every interleaving folds only `value` samples, so the final
+        // estimate is the fixed point (within integer-EWMA rounding).
+        let fixed = {
+            let mut x = 0u64;
+            for _ in 0..64 {
+                x = ewma_step(x, value);
+            }
+            x
+        };
+        assert!(
+            stats.exec_estimate_ns("fused_attention").abs_diff(fixed) <= 4,
+            "estimate {} did not converge to fixed point {fixed}",
+            stats.exec_estimate_ns("fused_attention")
+        );
     }
 }

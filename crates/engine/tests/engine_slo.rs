@@ -6,7 +6,7 @@
 use proptest::prelude::*;
 use sparsetir_engine::{
     Adjacency, Engine, EngineConfig, EngineError, LatencyHistogram, Priority, RejectReason,
-    Submission,
+    Submission, DEFAULT_DRIFT_THRESHOLD,
 };
 use sparsetir_smat::prelude::*;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -21,6 +21,7 @@ fn slo_config() -> EngineConfig {
         tune: false,
         fuse: None,
         batch_window: None,
+        drift_threshold: DEFAULT_DRIFT_THRESHOLD,
     }
 }
 
@@ -116,6 +117,111 @@ fn histogram_percentiles_are_exact_on_a_known_stream() {
     assert_eq!(h2.p50(), 1 << 10);
 }
 
+/// The admission eviction path, pinned end to end: with the single
+/// worker occupied and the queue full of Lo work, a Hi submission takes
+/// the queue tail's slot. The evicted victim is answered
+/// `Rejected { QueueFull }` (exactly once — its shed is tallied once,
+/// under *its own* priority class, and it never executes), everything
+/// else completes.
+#[test]
+fn eviction_victim_is_answered_queue_full_exactly_once() {
+    let mut rng = gen::rng(0x53);
+    let heavy_adj = Adjacency::new(gen::random_csr(1024, 1024, 0.15, &mut rng));
+    let heavy_x = gen::random_dense(1024, 256, &mut rng);
+    let small_adj = Adjacency::new(gen::random_csr(32, 32, 0.3, &mut rng));
+    let x = gen::random_dense(32, 4, &mut rng);
+
+    let engine = Engine::new(EngineConfig {
+        workers: 1,
+        queue_depth: 2,
+        max_batch: 1,
+        tune: false,
+        fuse: None,
+        batch_window: None,
+        drift_threshold: DEFAULT_DRIFT_THRESHOLD,
+    });
+    let heavy = engine.submit(&heavy_adj, Submission::spmm(heavy_x)).expect("heavy admits");
+    // Let the idle worker pop the heavy job so the queue is free.
+    std::thread::sleep(Duration::from_millis(10));
+    let lo_kept = engine
+        .try_submit(&small_adj, Submission::spmm(x.clone()).priority(Priority::Lo))
+        .expect("first Lo fills slot 1");
+    let lo_victim = engine
+        .try_submit(&small_adj, Submission::spmm(x.clone()).priority(Priority::Lo))
+        .expect("second Lo fills slot 2");
+    // Queue full of Lo: the Hi submission must evict the tail, not be
+    // refused.
+    let hi = engine
+        .try_submit(&small_adj, Submission::spmm(x.clone()).priority(Priority::Hi))
+        .expect("Hi evicts a Lo victim instead of being rejected");
+
+    let res = lo_victim.wait();
+    assert!(
+        matches!(res, Err(EngineError::Rejected { reason: RejectReason::QueueFull })),
+        "the evicted victim must be answered Rejected {{ QueueFull }}, got {res:?}"
+    );
+    heavy.wait_dense().expect("heavy serves");
+    lo_kept.wait_dense().expect("surviving Lo serves");
+    hi.wait_dense().expect("evicting Hi serves");
+
+    let stats = engine.stats();
+    assert_eq!(stats.completed, 3, "heavy + surviving Lo + Hi; the victim never executed");
+    assert_eq!(stats.rejected, 1, "exactly one shed event");
+    assert_eq!(stats.shed.queue_full, 1, "tagged as a full-queue shed");
+    assert_eq!(stats.priority(Priority::Lo).shed, 1, "counted under the VICTIM's class");
+    assert_eq!(stats.priority(Priority::Lo).served, 1);
+    assert_eq!(stats.priority(Priority::Hi).shed, 0, "the evictor sheds nothing");
+    assert_eq!(stats.priority(Priority::Hi).served, 1, "the evicting Hi request");
+    assert_eq!(stats.priority(Priority::Normal).served, 1, "the heavy occupant");
+}
+
+/// An equal-priority submission never evicts: against a full queue of
+/// its own class it is the one refused, every queued ticket completes,
+/// and the shed is tallied under the *submitter's* priority.
+#[test]
+fn equal_priority_submission_never_evicts() {
+    let mut rng = gen::rng(0x54);
+    let heavy_adj = Adjacency::new(gen::random_csr(1024, 1024, 0.15, &mut rng));
+    let heavy_x = gen::random_dense(1024, 256, &mut rng);
+    let small_adj = Adjacency::new(gen::random_csr(32, 32, 0.3, &mut rng));
+    let x = gen::random_dense(32, 4, &mut rng);
+
+    let engine = Engine::new(EngineConfig {
+        workers: 1,
+        queue_depth: 2,
+        max_batch: 1,
+        tune: false,
+        fuse: None,
+        batch_window: None,
+        drift_threshold: DEFAULT_DRIFT_THRESHOLD,
+    });
+    let heavy = engine.submit(&heavy_adj, Submission::spmm(heavy_x)).expect("heavy admits");
+    std::thread::sleep(Duration::from_millis(10));
+    let queued: Vec<_> = (0..2)
+        .map(|i| {
+            engine
+                .try_submit(&small_adj, Submission::spmm(x.clone()))
+                .unwrap_or_else(|e| panic!("Normal request {i} fills the queue: {e:?}"))
+        })
+        .collect();
+    let res = engine.try_submit(&small_adj, Submission::spmm(x.clone()));
+    assert!(
+        matches!(res, Err(EngineError::Rejected { reason: RejectReason::QueueFull })),
+        "an equal-priority submission must be refused, not evict: {res:?}"
+    );
+    for (i, t) in queued.into_iter().enumerate() {
+        t.wait_dense().unwrap_or_else(|e| panic!("queued request {i} must survive: {e:?}"));
+    }
+    heavy.wait_dense().expect("heavy serves");
+
+    let stats = engine.stats();
+    assert_eq!(stats.completed, 3, "heavy + both queued requests");
+    assert_eq!(stats.rejected, 1);
+    assert_eq!(stats.shed.queue_full, 1);
+    assert_eq!(stats.priority(Priority::Normal).shed, 1, "counted under the SUBMITTER's class");
+    assert_eq!(stats.priority(Priority::Normal).served, 3);
+}
+
 /// A saturating Lo-priority flood cannot starve Hi traffic: with the
 /// queue permanently full of Lo work, every blocking Hi submission is
 /// admitted (evicting a Lo victim if needed), ordered ahead of the
@@ -136,6 +242,7 @@ fn hi_priority_is_never_starved_by_a_lo_flood() {
         tune: false,
         fuse: None,
         batch_window: None,
+        drift_threshold: DEFAULT_DRIFT_THRESHOLD,
     }));
     let stop = AtomicBool::new(false);
     std::thread::scope(|s| {

@@ -72,6 +72,23 @@ impl Csr {
         Ok(Csr { rows, cols, indptr, indices, values })
     }
 
+    /// Construct from arrays whose invariants are guaranteed by the caller
+    /// (the delta merge paths, which preserve per-row ordering by
+    /// construction). Checked in debug builds only.
+    pub(crate) fn from_parts(
+        rows: usize,
+        cols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<u32>,
+        values: Vec<f32>,
+    ) -> Csr {
+        debug_assert!(
+            Csr::new(rows, cols, indptr.clone(), indices.clone(), values.clone()).is_ok(),
+            "from_parts caller violated a CSR invariant"
+        );
+        Csr { rows, cols, indptr, indices, values }
+    }
+
     /// Convert from COO (coalescing duplicates).
     #[must_use]
     pub fn from_coo(coo: &Coo) -> Csr {

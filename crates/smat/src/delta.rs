@@ -1,0 +1,557 @@
+//! Incremental graph updates: batched edge inserts/deletes applied to
+//! already-built formats instead of rebuilding them from scratch.
+//!
+//! Real serving traffic mutates adjacencies continuously, but every format
+//! constructor in this crate (`Csr::from_coo`, `Hyb::from_csr`,
+//! `column_partition`) assumes a frozen matrix. This module adds the delta
+//! layer of ROADMAP item 2, treating format mutation as a first-class
+//! operation (UniSparse's format-customization thesis):
+//!
+//! * [`GraphDelta`] — a normalized batch of edge upserts and deletes;
+//! * [`Csr::apply_delta`] — a single-pass two-pointer merge producing the
+//!   updated matrix in `O(nnz + |delta|)`;
+//! * [`DynCsr`] — a slack-array CSR that patches rows **in place** while
+//!   they fit their capacity and re-packs with geometric headroom only on
+//!   overflow, so a sustained update stream pays `O(|touched rows| +
+//!   |delta|)` per batch amortized instead of `O(nnz)`;
+//! * [`crate::hyb::Hyb::apply_delta`] — in-place bucket rewrites that
+//!   re-bucket a row only when one of its chunks crosses a power-of-two
+//!   bucket boundary.
+//!
+//! The correctness contract for every path is *exact structural equality*
+//! with rebuild-from-scratch: the differential suites assert the patched
+//! format is bit-identical (after canonicalization, for `Hyb`) to the one
+//! a fresh constructor produces from the updated matrix.
+
+use crate::csr::Csr;
+use crate::dense::SmatError;
+
+/// One normalized edge operation: upsert (`Some(v)`) or delete (`None`).
+pub type EdgeOp = (u32, u32, Option<f32>);
+
+/// A batch of edge updates against a fixed `rows × cols` shape.
+///
+/// Operations are recorded in submission order; [`GraphDelta::normalize`]
+/// (called implicitly by the apply paths) sorts them by `(row, col)` with
+/// **last-wins** semantics for duplicates, so a delete followed by an
+/// insert of the same edge inserts it. Deleting an absent edge is a no-op
+/// by design — deltas generated from upstream event streams routinely
+/// carry them.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GraphDelta {
+    ops: Vec<EdgeOp>,
+    normalized: bool,
+}
+
+impl GraphDelta {
+    /// An empty delta.
+    #[must_use]
+    pub fn new() -> GraphDelta {
+        GraphDelta::default()
+    }
+
+    /// Record an edge upsert (insert, or overwrite of an existing value).
+    pub fn upsert(&mut self, row: u32, col: u32, value: f32) -> &mut GraphDelta {
+        self.ops.push((row, col, Some(value)));
+        self.normalized = false;
+        self
+    }
+
+    /// Record an edge delete (no-op when the edge is absent).
+    pub fn delete(&mut self, row: u32, col: u32) -> &mut GraphDelta {
+        self.ops.push((row, col, None));
+        self.normalized = false;
+        self
+    }
+
+    /// Number of recorded operations (before de-duplication).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when no operations are recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The operations, sorted by `(row, col)` with duplicates collapsed
+    /// last-wins. Idempotent; the apply paths call this implicitly.
+    pub fn normalize(&mut self) -> &[EdgeOp] {
+        if !self.normalized {
+            // Stable sort keeps submission order within an equal (row, col)
+            // group, so `last()` is the latest op.
+            self.ops.sort_by_key(|&(r, c, _)| (r, c));
+            self.ops.dedup_by(|later, earlier| {
+                let dup = (later.0, later.1) == (earlier.0, earlier.1);
+                if dup {
+                    // dedup_by drops `later`; keep its payload (last wins).
+                    earlier.2 = later.2;
+                }
+                dup
+            });
+            self.normalized = true;
+        }
+        &self.ops
+    }
+
+    /// Sorted normalized view without requiring `&mut self` (clones when
+    /// the delta has not been normalized yet).
+    #[must_use]
+    pub fn normalized_ops(&self) -> std::borrow::Cow<'_, [EdgeOp]> {
+        if self.normalized {
+            std::borrow::Cow::Borrowed(&self.ops)
+        } else {
+            let mut clone = self.clone();
+            clone.normalize();
+            std::borrow::Cow::Owned(clone.ops)
+        }
+    }
+
+    /// The distinct rows this delta touches, ascending.
+    #[must_use]
+    pub fn touched_rows(&self) -> Vec<u32> {
+        let ops = self.normalized_ops();
+        let mut rows: Vec<u32> = ops.iter().map(|&(r, _, _)| r).collect();
+        rows.dedup();
+        rows
+    }
+
+    /// Bounds-check every op against a `rows × cols` shape.
+    ///
+    /// # Errors
+    /// Names the first out-of-bounds op.
+    pub fn validate(&self, rows: usize, cols: usize) -> Result<(), SmatError> {
+        for &(r, c, _) in &self.ops {
+            if r as usize >= rows || c as usize >= cols {
+                return Err(SmatError::new(format!(
+                    "delta op ({r}, {c}) out of bounds for {rows}x{cols}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Csr {
+    /// Apply a batch of edge updates, producing the updated matrix by a
+    /// single two-pointer merge of each touched row with its delta ops —
+    /// `O(nnz + |delta|)`, never a full sort. Untouched rows are copied
+    /// through unchanged, so the result is bit-identical to rebuilding the
+    /// matrix from the updated edge set.
+    ///
+    /// # Errors
+    /// Fails when an op is out of bounds for this matrix's shape.
+    pub fn apply_delta(&self, delta: &GraphDelta) -> Result<Csr, SmatError> {
+        delta.validate(self.rows(), self.cols())?;
+        let ops = delta.normalized_ops();
+        let mut indptr = Vec::with_capacity(self.rows() + 1);
+        indptr.push(0usize);
+        let inserts = ops.iter().filter(|op| op.2.is_some()).count();
+        let mut indices = Vec::with_capacity(self.nnz() + inserts);
+        let mut values = Vec::with_capacity(self.nnz() + inserts);
+        let mut op_i = 0usize;
+        for r in 0..self.rows() {
+            let (cols, vals) = self.row(r);
+            merge_row(r as u32, cols, vals, &ops, &mut op_i, &mut indices, &mut values);
+            indptr.push(indices.len());
+        }
+        Ok(Csr::from_parts(self.rows(), self.cols(), indptr, indices, values))
+    }
+}
+
+/// Merge one CSR row with the delta ops targeting it (ops are consumed from
+/// `ops[*op_i..]`, which is sorted by `(row, col)`). Pushes the merged row
+/// onto `out_cols`/`out_vals`.
+fn merge_row(
+    row: u32,
+    cols: &[u32],
+    vals: &[f32],
+    ops: &[EdgeOp],
+    op_i: &mut usize,
+    out_cols: &mut Vec<u32>,
+    out_vals: &mut Vec<f32>,
+) {
+    let mut e = 0usize;
+    while *op_i < ops.len() && ops[*op_i].0 == row {
+        let (_, oc, ov) = ops[*op_i];
+        // Existing entries strictly before the op's column pass through.
+        while e < cols.len() && cols[e] < oc {
+            out_cols.push(cols[e]);
+            out_vals.push(vals[e]);
+            e += 1;
+        }
+        let exists = e < cols.len() && cols[e] == oc;
+        if let Some(v) = ov {
+            out_cols.push(oc);
+            out_vals.push(v);
+        } // delete: emit nothing
+        if exists {
+            e += 1; // the op replaced (or removed) this entry
+        }
+        *op_i += 1;
+    }
+    out_cols.extend_from_slice(&cols[e..]);
+    out_vals.extend_from_slice(&vals[e..]);
+}
+
+/// Outcome of one [`DynCsr::apply_delta`] batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DynDeltaReport {
+    /// Rows patched inside their existing slack capacity.
+    pub rows_in_place: usize,
+    /// Whether the batch overflowed some row's capacity and forced a full
+    /// re-pack (with fresh geometric headroom).
+    pub repacked: bool,
+}
+
+/// A CSR with per-row slack: each row owns a capacity segment of the
+/// `indices`/`values` arrays and only the first `row_len[r]` slots are
+/// live. Updates that keep a row within its capacity are patched in place
+/// (`O(row length)`); a row overflowing its segment triggers one full
+/// re-pack that re-provisions every row with `headroom ×` capacity —
+/// geometric slack, so a sustained insert stream re-packs only
+/// `O(log(growth))` times, amortizing to `O(1)` array moves per inserted
+/// edge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DynCsr {
+    rows: usize,
+    cols: usize,
+    row_start: Vec<usize>,
+    row_cap: Vec<usize>,
+    row_len: Vec<usize>,
+    indices: Vec<u32>,
+    values: Vec<f32>,
+    nnz: usize,
+    repacks: u64,
+    headroom_num: usize,
+    headroom_den: usize,
+}
+
+impl DynCsr {
+    /// Build from a frozen CSR with 25% per-row headroom (minimum 2 spare
+    /// slots), the default slack for serving workloads.
+    #[must_use]
+    pub fn from_csr(a: &Csr) -> DynCsr {
+        DynCsr::with_headroom(a, 5, 4)
+    }
+
+    /// Build with headroom factor `num/den ≥ 1` (each row's capacity is
+    /// `max(len · num / den, len + 2)`).
+    #[must_use]
+    pub fn with_headroom(a: &Csr, num: usize, den: usize) -> DynCsr {
+        let mut d = DynCsr {
+            rows: a.rows(),
+            cols: a.cols(),
+            row_start: Vec::new(),
+            row_cap: Vec::new(),
+            row_len: Vec::new(),
+            indices: Vec::new(),
+            values: Vec::new(),
+            nnz: 0,
+            repacks: 0,
+            headroom_num: num.max(den.max(1)),
+            headroom_den: den.max(1),
+        };
+        d.pack_from(&(0..a.rows()).map(|r| a.row(r)).collect::<Vec<_>>());
+        d
+    }
+
+    fn cap_for(&self, len: usize) -> usize {
+        (len * self.headroom_num / self.headroom_den).max(len + 2)
+    }
+
+    /// Lay out the given rows with fresh headroom.
+    fn pack_from(&mut self, rows: &[(&[u32], &[f32])]) {
+        self.row_start.clear();
+        self.row_cap.clear();
+        self.row_len.clear();
+        self.indices.clear();
+        self.values.clear();
+        self.nnz = 0;
+        for &(cols, vals) in rows {
+            let cap = self.cap_for(cols.len());
+            self.row_start.push(self.indices.len());
+            self.row_cap.push(cap);
+            self.row_len.push(cols.len());
+            self.indices.extend_from_slice(cols);
+            self.values.extend_from_slice(vals);
+            self.indices.resize(self.indices.len() + (cap - cols.len()), 0);
+            self.values.resize(self.values.len() + (cap - cols.len()), 0.0);
+            self.nnz += cols.len();
+        }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Live non-zero count.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// How many full re-packs the update history has paid.
+    #[must_use]
+    pub fn repacks(&self) -> u64 {
+        self.repacks
+    }
+
+    /// Total allocated slots (live + slack), for occupancy accounting.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Live column indices and values of row `r`.
+    #[must_use]
+    pub fn row(&self, r: usize) -> (&[u32], &[f32]) {
+        let lo = self.row_start[r];
+        let hi = lo + self.row_len[r];
+        (&self.indices[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Freeze back to a tight CSR (bit-identical to rebuilding from the
+    /// live edge set).
+    #[must_use]
+    pub fn to_csr(&self) -> Csr {
+        let mut indptr = Vec::with_capacity(self.rows + 1);
+        indptr.push(0usize);
+        let mut indices = Vec::with_capacity(self.nnz);
+        let mut values = Vec::with_capacity(self.nnz);
+        for r in 0..self.rows {
+            let (cols, vals) = self.row(r);
+            indices.extend_from_slice(cols);
+            values.extend_from_slice(vals);
+            indptr.push(indices.len());
+        }
+        Csr::from_parts(self.rows, self.cols, indptr, indices, values)
+    }
+
+    /// Apply a batch of edge updates. Rows whose merged length fits their
+    /// capacity are rewritten in place; the first overflow re-packs the
+    /// whole structure with fresh headroom (one amortized move, counted in
+    /// [`DynCsr::repacks`]).
+    ///
+    /// # Errors
+    /// Fails when an op is out of bounds for this matrix's shape.
+    pub fn apply_delta(&mut self, delta: &GraphDelta) -> Result<DynDeltaReport, SmatError> {
+        delta.validate(self.rows, self.cols)?;
+        let ops = delta.normalized_ops();
+        let mut rows_in_place = 0usize;
+        let mut scratch_cols: Vec<u32> = Vec::new();
+        let mut scratch_vals: Vec<f32> = Vec::new();
+        let mut op_i = 0usize;
+        let mut overflow_at: Option<usize> = None;
+        while op_i < ops.len() {
+            let r = ops[op_i].0 as usize;
+            scratch_cols.clear();
+            scratch_vals.clear();
+            let (cols, vals) = self.row(r);
+            // Merge into scratch; the borrow of self.row ends before the
+            // writeback below.
+            let (cols, vals) = (cols.to_vec(), vals.to_vec());
+            let mut local_i = op_i;
+            merge_row(
+                r as u32,
+                &cols,
+                &vals,
+                &ops,
+                &mut local_i,
+                &mut scratch_cols,
+                &mut scratch_vals,
+            );
+            if scratch_cols.len() <= self.row_cap[r] {
+                let lo = self.row_start[r];
+                self.indices[lo..lo + scratch_cols.len()].copy_from_slice(&scratch_cols);
+                self.values[lo..lo + scratch_vals.len()].copy_from_slice(&scratch_vals);
+                self.nnz = self.nnz + scratch_cols.len() - self.row_len[r];
+                self.row_len[r] = scratch_cols.len();
+                rows_in_place += 1;
+                op_i = local_i;
+            } else {
+                overflow_at = Some(op_i);
+                break;
+            }
+        }
+        let repacked = if let Some(from) = overflow_at {
+            // Remaining ops (including the overflowing row's) are applied
+            // through one tight merge, then everything is re-provisioned
+            // with fresh headroom.
+            let mut rest = GraphDelta::new();
+            for &(r, c, v) in &ops[from..] {
+                match v {
+                    Some(v) => rest.upsert(r, c, v),
+                    None => rest.delete(r, c),
+                };
+            }
+            let merged = self.to_csr().apply_delta(&rest)?;
+            let rows: Vec<(&[u32], &[f32])> = (0..merged.rows()).map(|r| merged.row(r)).collect();
+            let (num, den) = (self.headroom_num, self.headroom_den);
+            let mut fresh = DynCsr {
+                rows: self.rows,
+                cols: self.cols,
+                row_start: Vec::new(),
+                row_cap: Vec::new(),
+                row_len: Vec::new(),
+                indices: Vec::new(),
+                values: Vec::new(),
+                nnz: 0,
+                repacks: self.repacks + 1,
+                headroom_num: num,
+                headroom_den: den,
+            };
+            fresh.pack_from(&rows);
+            *self = fresh;
+            true
+        } else {
+            false
+        };
+        Ok(DynDeltaReport { rows_in_place, repacked })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+    use std::collections::BTreeMap;
+
+    fn sample() -> Csr {
+        // [[1, 0, 2],
+        //  [0, 0, 0],
+        //  [3, 4, 0]]
+        Csr::new(3, 3, vec![0, 2, 2, 4], vec![0, 2, 0, 1], vec![1.0, 2.0, 3.0, 4.0]).unwrap()
+    }
+
+    fn rebuild(base: &Csr, delta: &GraphDelta) -> Csr {
+        // Oracle: replay the edge set through a BTreeMap and rebuild.
+        let mut edges: BTreeMap<(u32, u32), f32> = BTreeMap::new();
+        for r in 0..base.rows() {
+            let (cols, vals) = base.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                edges.insert((r as u32, c), v);
+            }
+        }
+        for &(r, c, v) in delta.normalized_ops().iter() {
+            match v {
+                Some(v) => {
+                    edges.insert((r, c), v);
+                }
+                None => {
+                    edges.remove(&(r, c));
+                }
+            }
+        }
+        let entries: Vec<(u32, u32, f32)> =
+            edges.into_iter().map(|((r, c), v)| (r, c, v)).collect();
+        Csr::from_coo(&Coo::from_entries(base.rows(), base.cols(), entries).unwrap())
+    }
+
+    #[test]
+    fn normalize_is_last_wins() {
+        let mut d = GraphDelta::new();
+        d.upsert(0, 1, 1.0).delete(0, 1).upsert(0, 1, 9.0).upsert(0, 0, 2.0);
+        assert_eq!(d.normalize(), &[(0, 0, Some(2.0)), (0, 1, Some(9.0))]);
+        assert_eq!(d.touched_rows(), vec![0]);
+    }
+
+    #[test]
+    fn apply_delta_matches_rebuild() {
+        let base = sample();
+        let mut d = GraphDelta::new();
+        d.upsert(1, 1, 7.0) // insert into empty row
+            .delete(0, 2) // delete existing
+            .upsert(2, 0, -3.0) // overwrite
+            .delete(1, 2); // delete absent: no-op
+        let inc = base.apply_delta(&d).unwrap();
+        assert_eq!(inc, rebuild(&base, &d));
+        assert_eq!(inc.nnz(), 4);
+        assert_eq!(inc.to_dense().get(2, 0), -3.0);
+    }
+
+    #[test]
+    fn apply_delta_rejects_out_of_bounds() {
+        let base = sample();
+        let mut d = GraphDelta::new();
+        d.upsert(0, 3, 1.0);
+        assert!(base.apply_delta(&d).is_err());
+        let mut d2 = GraphDelta::new();
+        d2.delete(3, 0);
+        assert!(base.apply_delta(&d2).is_err());
+    }
+
+    #[test]
+    fn empty_delta_is_identity() {
+        let base = sample();
+        assert_eq!(base.apply_delta(&GraphDelta::new()).unwrap(), base);
+    }
+
+    #[test]
+    fn dyncsr_roundtrip_and_in_place_patch() {
+        let base = sample();
+        let mut dy = DynCsr::from_csr(&base);
+        assert_eq!(dy.to_csr(), base);
+        assert_eq!(dy.nnz(), base.nnz());
+        let mut d = GraphDelta::new();
+        d.upsert(0, 1, 5.0).delete(2, 1);
+        let report = dy.apply_delta(&d).unwrap();
+        assert!(!report.repacked, "2 spare slots per row must absorb a 1-insert");
+        assert_eq!(report.rows_in_place, 2);
+        assert_eq!(dy.to_csr(), rebuild(&base, &d));
+        assert_eq!(dy.repacks(), 0);
+    }
+
+    #[test]
+    fn dyncsr_repacks_on_overflow_with_fresh_headroom() {
+        let base = sample();
+        let mut dy = DynCsr::with_headroom(&base, 1, 1); // min slack: len + 2
+        let mut d = GraphDelta::new();
+        // Row 1 is empty (cap 2): three inserts must overflow it.
+        d.upsert(1, 0, 1.0).upsert(1, 1, 2.0).upsert(1, 2, 3.0);
+        let report = dy.apply_delta(&d).unwrap();
+        assert!(report.repacked);
+        assert_eq!(dy.repacks(), 1);
+        assert_eq!(dy.to_csr(), rebuild(&base, &d));
+        // After the re-pack the row has headroom again: one more insert
+        // into another row stays in place.
+        let mut d2 = GraphDelta::new();
+        d2.upsert(2, 2, 8.0);
+        let report2 = dy.apply_delta(&d2).unwrap();
+        assert!(!report2.repacked);
+        assert_eq!(dy.repacks(), 1);
+    }
+
+    #[test]
+    fn dyncsr_amortizes_sustained_inserts() {
+        // 64 rows, one insert per row per round: the repack count must grow
+        // logarithmically with the total growth, not linearly with rounds.
+        let base = Csr::new(64, 64, vec![0; 65], vec![], vec![]).unwrap();
+        let mut dy = DynCsr::from_csr(&base);
+        let mut oracle = base.clone();
+        for round in 0..32u32 {
+            let mut d = GraphDelta::new();
+            for r in 0..64u32 {
+                d.upsert(r, (round * 2 + r) % 64, round as f32 + 1.0);
+            }
+            dy.apply_delta(&d).unwrap();
+            oracle = oracle.apply_delta(&d).unwrap();
+        }
+        assert_eq!(dy.to_csr(), oracle);
+        assert!(
+            dy.repacks() <= 8,
+            "geometric headroom must amortize 32 rounds into few repacks, got {}",
+            dy.repacks()
+        );
+    }
+}

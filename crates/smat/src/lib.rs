@@ -41,6 +41,7 @@ pub mod coo;
 pub mod csc;
 pub mod csf;
 pub mod csr;
+pub mod delta;
 pub mod dense;
 pub mod dia;
 pub mod ell;
@@ -60,12 +61,15 @@ pub mod prelude {
     pub use crate::csc::Csc;
     pub use crate::csf::{Csf3, Ragged};
     pub use crate::csr::Csr;
+    pub use crate::delta::{DynCsr, DynDeltaReport, GraphDelta};
     pub use crate::dense::{Dense, SmatError};
     pub use crate::dia::Dia;
     pub use crate::ell::Ell;
-    pub use crate::fingerprint::SparsityFingerprint;
+    pub use crate::fingerprint::{SparsityFingerprint, VersionedFingerprint};
     pub use crate::gen;
-    pub use crate::hyb::{bucket_for, ceil_log2, default_k, EllBucket, Hyb, HybPartition};
+    pub use crate::hyb::{
+        bucket_for, ceil_log2, default_k, EllBucket, Hyb, HybDeltaReport, HybPartition,
+    };
     pub use crate::io::{parse_matrix_market, to_matrix_market};
     pub use crate::linalg::{batched_sddmm, batched_spmm, rgms_reference};
     pub use crate::srbcrs::SrBcrs;

@@ -1,0 +1,140 @@
+//! Differential suite for the incremental-update layer: for arbitrary
+//! streams of edge inserts/deletes, every incremental path —
+//! `Csr::apply_delta`, the slack-array `DynCsr`, and the in-place
+//! `Hyb::apply_delta` — must be **bit-identical** (exactly structurally
+//! equal, after canonicalization for `Hyb`) to rebuilding the format from
+//! scratch out of the updated edge set. This is the correctness contract
+//! that lets the serving engine patch adjacencies instead of rebuilding.
+
+use proptest::prelude::*;
+use sparsetir_smat::prelude::*;
+use std::collections::BTreeMap;
+
+/// Strategy: a base matrix plus a stream of delta batches against its
+/// shape. Each op is an upsert (with an explicit-zero value now and then —
+/// stored zeros are structure, not absence) or a delete (often of an edge
+/// that does not exist: those must be exact no-ops).
+fn base_and_stream(
+    max_dim: usize,
+    max_nnz: usize,
+    batches: usize,
+) -> impl Strategy<Value = (Csr, Vec<GraphDelta>)> {
+    (2..=max_dim, 2..=max_dim).prop_flat_map(move |(rows, cols)| {
+        let total = rows * cols;
+        let base = proptest::collection::vec(
+            (0..rows as u32, 0..cols as u32, 0.1f32..2.0f32),
+            0..max_nnz.min(total),
+        )
+        .prop_map(move |entries| {
+            let coo = Coo::from_entries(rows, cols, entries).expect("in-bounds");
+            Csr::from_coo(&coo)
+        });
+        let op = (
+            0..rows as u32,
+            0..cols as u32,
+            prop_oneof![
+                (0.1f32..2.0f32).prop_map(Some),
+                (0.1f32..2.0f32).prop_map(Some),
+                (0.1f32..2.0f32).prop_map(Some),
+                Just(Some(0.0f32)),
+                Just(None),
+                Just(None),
+            ],
+        );
+        let stream =
+            proptest::collection::vec(proptest::collection::vec(op, 1..12), 1..batches + 1)
+                .prop_map(|batches| {
+                    batches
+                        .into_iter()
+                        .map(|ops| {
+                            let mut d = GraphDelta::new();
+                            for (r, c, v) in ops {
+                                match v {
+                                    Some(v) => d.upsert(r, c, v),
+                                    None => d.delete(r, c),
+                                };
+                            }
+                            d
+                        })
+                        .collect::<Vec<_>>()
+                });
+        (base, stream)
+    })
+}
+
+/// Rebuild-from-scratch oracle: replay base + deltas through an edge map.
+fn oracle_after(base: &Csr, deltas: &[GraphDelta]) -> Csr {
+    let mut edges: BTreeMap<(u32, u32), f32> = BTreeMap::new();
+    for r in 0..base.rows() {
+        let (cols, vals) = base.row(r);
+        for (&c, &v) in cols.iter().zip(vals) {
+            edges.insert((r as u32, c), v);
+        }
+    }
+    for d in deltas {
+        for &(r, c, v) in d.normalized_ops().iter() {
+            match v {
+                Some(v) => {
+                    edges.insert((r, c), v);
+                }
+                None => {
+                    edges.remove(&(r, c));
+                }
+            }
+        }
+    }
+    let entries: Vec<(u32, u32, f32)> = edges.into_iter().map(|((r, c), v)| (r, c, v)).collect();
+    Csr::from_coo(&Coo::from_entries(base.rows(), base.cols(), entries).expect("in-bounds"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Incremental CSR == rebuild-from-scratch, bit-identically, after an
+    /// arbitrary stream of update batches.
+    #[test]
+    fn csr_apply_delta_matches_rebuild(case in base_and_stream(14, 40, 6)) {
+        let (base, stream) = case;
+        let mut inc = base.clone();
+        for d in &stream {
+            inc = inc.apply_delta(d).expect("in-bounds delta");
+        }
+        prop_assert_eq!(inc, oracle_after(&base, &stream));
+    }
+
+    /// The slack-array CSR agrees with the tight merge (and hence the
+    /// rebuild oracle) across the same streams, whatever mix of in-place
+    /// patches and re-packs the stream provokes.
+    #[test]
+    fn dyncsr_matches_rebuild(case in base_and_stream(14, 40, 6)) {
+        let (base, stream) = case;
+        let mut dy = DynCsr::from_csr(&base);
+        for d in &stream {
+            dy.apply_delta(d).expect("in-bounds delta");
+        }
+        prop_assert_eq!(dy.to_csr(), oracle_after(&base, &stream));
+    }
+
+    /// Incremental hyb(c, k) == from-scratch hyb(c, k) as canonical
+    /// structures — same buckets, same padding, same `real` accounting —
+    /// after every batch of the stream, across the (c, k) grid.
+    #[test]
+    fn hyb_apply_delta_matches_from_scratch(
+        case in base_and_stream(12, 36, 4),
+        c in 1usize..4,
+        k in 0u32..4,
+    ) {
+        let (base, stream) = case;
+        let mut hyb = Hyb::from_csr(&base, c, k).expect("positive c");
+        let mut cur = base;
+        for d in &stream {
+            let next = cur.apply_delta(d).expect("in-bounds delta");
+            hyb.apply_delta(&cur, &next, d).expect("consistent snapshots");
+            let mut rebuilt = Hyb::from_csr(&next, c, k).expect("positive c");
+            let mut canonical = hyb.clone();
+            prop_assert_eq!(canonical.canonicalize(), rebuilt.canonicalize());
+            prop_assert_eq!(hyb.original_nnz(), next.nnz());
+            cur = next;
+        }
+    }
+}

@@ -5,8 +5,9 @@
 # (executor + vectorization benches, the tree-vs-bytecode flat-executor
 # duel, the batched-serving throughput sweep for SpMM and SDDMM,
 # the fused-attention serving sweep of the cross-op fused kernel vs the
-# three-launch pipeline, and the serving_slo deadline-hit-rate sweep of
-# the SLO machinery vs the FIFO baseline) in smoke mode
+# three-launch pipeline, the serving_slo deadline-hit-rate sweep of
+# the SLO machinery vs the FIFO baseline, and the dynamic_graphs
+# incremental-vs-rebuild update-stream sweep) in smoke mode
 # with every assertion armed — and promotes the freshly written
 # BENCH_results.json to BENCH_baseline.json. Commit the updated baseline together with the
 # change that legitimately moved the numbers.
