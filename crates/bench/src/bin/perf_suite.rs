@@ -1,11 +1,13 @@
 //! Runs the perf-gated experiments — `executor_vectorization`,
-//! `flat_executor`, `serving_throughput`, `fused_attention`,
-//! `serving_slo` and `dynamic_graphs` — in one process and writes their
-//! combined records to `BENCH_results.json`, the input of the CI
-//! perf-gate and of `scripts/update_bench_baseline.sh`.
+//! `flat_executor`, `serving_throughput`, `serving_zero_copy`,
+//! `fused_attention`, `serving_slo` and `dynamic_graphs` — in one
+//! process and writes their combined records to `BENCH_results.json`,
+//! the input of the CI perf-gate and of
+//! `scripts/update_bench_baseline.sh`.
 //! `SPARSETIR_BENCH_ASSERT=1` arms every bar: ≥ 2× fused-over-generic on
 //! CSR SpMM, ≥ 1× bytecode-over-tree on generic CSR SpMM, ≥ 2× batched
 //! SpMM serving at 8 clients, ≥ 1.1× batched SDDMM serving at 8 clients,
+//! ≥ 1.2× zero-copy view batching over copy batching at 8 clients,
 //! ≥ 2× fused attention serving over the three-launch pipeline at 8
 //! clients, ≥ 1.3× SLO deadline-hit-rate over the FIFO baseline at 8
 //! clients (with non-degenerate p50/p95/p99), ≥ 1.2× incremental graph
@@ -19,6 +21,8 @@ fn main() {
     print!("{}", experiments::flat_executor::run());
     println!();
     print!("{}", experiments::serving_throughput::run());
+    println!();
+    print!("{}", experiments::serving_zero_copy::run());
     println!();
     print!("{}", experiments::fused_attention::run());
     println!();

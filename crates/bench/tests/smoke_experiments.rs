@@ -27,6 +27,7 @@ fn all_experiments_run_end_to_end_in_smoke_mode() {
         ("executor_vectorization", e::executor_vectorization::run),
         ("flat_executor", e::flat_executor::run),
         ("serving_throughput", e::serving_throughput::run),
+        ("serving_zero_copy", e::serving_zero_copy::run),
         ("fused_attention", e::fused_attention::run),
         ("serving_slo", e::serving_slo::run),
         ("dynamic_graphs", e::dynamic_graphs::run),
@@ -55,6 +56,10 @@ fn all_experiments_run_end_to_end_in_smoke_mode() {
     assert!(
         records.iter().any(|r| r.experiment == "serving_throughput"),
         "serving_throughput must record requests/sec results"
+    );
+    assert!(
+        records.iter().any(|r| r.experiment == "serving_zero_copy" && r.name == "spmm/c8/speedup"),
+        "serving_zero_copy must record the gated 8-client view-over-copy speedup"
     );
     assert!(
         records.iter().any(|r| r.experiment == "fused_attention"),

@@ -16,7 +16,8 @@ use sparsetir_autotune::{tune_op, SparsityFingerprint, TunableOp, TuneCache, Tun
 use sparsetir_gpusim::prelude::GpuSpec;
 use sparsetir_ir::exec::{fusion_default, Runtime};
 use sparsetir_kernels::prelude::{
-    AttentionOp, AttnHead, FusedAttentionOp, FusedSageOp, OpConfig, SddmmOp, SparseOp, SpmmOp,
+    bytes_copied_on_thread, copy_batch_default, AttentionOp, AttnHead, FusedAttentionOp,
+    FusedSageOp, OpConfig, SddmmOp, SparseOp, SpmmOp,
 };
 use sparsetir_smat::prelude::{Csr, Dense, GraphDelta};
 use std::collections::hash_map::DefaultHasher;
@@ -366,6 +367,14 @@ pub struct EngineConfig {
     /// default) keeps the legacy greedy drain: fire immediately with
     /// whatever is queued.
     pub batch_window: Option<Duration>,
+    /// When true, batched launches run the legacy copying contract —
+    /// stack operands into widened staging buffers, split the wide
+    /// result back per rider — instead of the zero-copy segmented-view
+    /// assembly. The two paths are bit-identical; the copy path survives
+    /// as the differential oracle and the rollback switch. Defaults to
+    /// the `SPARSETIR_COPY_BATCH` environment kill switch (set = copy)
+    /// via [`copy_batch_default`].
+    pub copy_batch: bool,
     /// Degree-histogram drift (see [`SparsityFingerprint::drift`]) above
     /// which [`Engine::apply_delta`] re-anchors the adjacency's tuning
     /// identity and schedules a background retune. At or below the
@@ -384,6 +393,7 @@ impl Default for EngineConfig {
             tune: false,
             fuse: None,
             batch_window: None,
+            copy_batch: copy_batch_default(),
             drift_threshold: DEFAULT_DRIFT_THRESHOLD,
         }
     }
@@ -577,10 +587,16 @@ impl Engine {
         &self.shared.tune_cache
     }
 
-    /// Snapshot the serving counters.
+    /// Snapshot the serving counters. Buffer-pool hit/miss counts come
+    /// from the shared runtime's size-classed scratch pool; every other
+    /// field comes from the engine's own atomics.
     #[must_use]
     pub fn stats(&self) -> EngineStats {
-        self.shared.stats.snapshot()
+        let mut stats = self.shared.stats.snapshot();
+        let (hits, misses) = self.shared.runtime.pool().counters();
+        stats.pool_hits = hits;
+        stats.pool_misses = misses;
+        stats
     }
 
     /// Submit any op, blocking while the queue is at capacity — the one
@@ -1395,10 +1411,24 @@ where
     // The config lookup sits inside the catch: a panicking tuning search
     // must answer its riders with `Exec` too, not drop their replies.
     let started = Instant::now();
+    // Sample the thread-local copy counter around the launch: the worker
+    // thread runs the whole batch, so the delta is exactly the bytes the
+    // batching layer staged for these riders (0 on the view path).
+    let copied_before = bytes_copied_on_thread();
     let result = catch_unwind(AssertUnwindSafe(|| {
         let config = op_config_for::<O>(shared, &adj, &shape, tune);
-        O::execute_batch_on(&shared.runtime, adj.csr(), &reqs, &config)
+        O::execute_batch_mode_on(
+            &shared.runtime,
+            adj.csr(),
+            &reqs,
+            &config,
+            shared.config.copy_batch,
+        )
     }));
+    shared
+        .stats
+        .bytes_copied
+        .fetch_add(bytes_copied_on_thread().saturating_sub(copied_before), Ordering::Relaxed);
     match result {
         Ok(Ok(outs)) => {
             // Per-request execution estimate for admission: the batch's

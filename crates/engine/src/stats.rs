@@ -79,6 +79,7 @@ pub(crate) struct StatsInner {
     pub latency_ns_sum: AtomicU64,
     pub latency_ns_max: AtomicU64,
     pub worker_panics: AtomicU64,
+    pub bytes_copied: AtomicU64,
     pub deltas_applied: AtomicU64,
     pub retunes_started: AtomicU64,
     pub retunes_completed: AtomicU64,
@@ -203,6 +204,9 @@ impl StatsInner {
             latency_ns_sum: self.latency_ns_sum.load(Ordering::Relaxed),
             latency_ns_max: self.latency_ns_max.load(Ordering::Relaxed),
             worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            pool_hits: 0,
+            pool_misses: 0,
+            bytes_copied: self.bytes_copied.load(Ordering::Relaxed),
             deltas_applied: self.deltas_applied.load(Ordering::Relaxed),
             retunes_started: self.retunes_started.load(Ordering::Relaxed),
             retunes_completed: self.retunes_completed.load(Ordering::Relaxed),
@@ -401,6 +405,19 @@ pub struct EngineStats {
     /// [`EngineError::Exec`](crate::EngineError::Exec) and the worker
     /// keeps serving; the queue mutex recovers from the poisoning).
     pub worker_panics: u64,
+    /// Scratch-buffer acquisitions served from the runtime's size-classed
+    /// [`BufferPool`](sparsetir_ir::exec::BufferPool) without allocating.
+    pub pool_hits: u64,
+    /// Scratch-buffer acquisitions that fell through to a fresh
+    /// allocation (cold classes, or a drained size class).
+    pub pool_misses: u64,
+    /// Operand/result bytes memcpy'd by the batching layer while serving.
+    /// The zero-copy view path keeps this at 0 for batchable ops; it
+    /// counts only under the `SPARSETIR_COPY_BATCH` oracle (or
+    /// [`EngineConfig::copy_batch`](crate::EngineConfig::copy_batch)),
+    /// where every batch stacks operands into widened staging buffers and
+    /// splits results back out.
+    pub bytes_copied: u64,
     /// Graph deltas applied through
     /// [`Engine::apply_delta`](crate::Engine::apply_delta).
     pub deltas_applied: u64,
@@ -496,6 +513,9 @@ impl EngineStats {
             latency_ns_sum: self.latency_ns_sum.saturating_sub(earlier.latency_ns_sum),
             latency_ns_max: self.latency_ns_max,
             worker_panics: self.worker_panics.saturating_sub(earlier.worker_panics),
+            pool_hits: self.pool_hits.saturating_sub(earlier.pool_hits),
+            pool_misses: self.pool_misses.saturating_sub(earlier.pool_misses),
+            bytes_copied: self.bytes_copied.saturating_sub(earlier.bytes_copied),
             deltas_applied: self.deltas_applied.saturating_sub(earlier.deltas_applied),
             retunes_started: self.retunes_started.saturating_sub(earlier.retunes_started),
             retunes_completed: self.retunes_completed.saturating_sub(earlier.retunes_completed),

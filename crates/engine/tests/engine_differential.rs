@@ -12,7 +12,7 @@
 #![allow(deprecated)]
 
 use proptest::prelude::*;
-use sparsetir_engine::{Adjacency, Engine, EngineConfig, DEFAULT_DRIFT_THRESHOLD};
+use sparsetir_engine::{Adjacency, Engine, EngineConfig};
 use sparsetir_ir::exec::Runtime;
 use sparsetir_kernels::prelude::{
     attention_pipeline_launch, csr_spmm_execute, sddmm_batched_execute, sddmm_execute,
@@ -101,7 +101,7 @@ fn test_engine() -> Engine {
         tune: false,
         fuse: None,
         batch_window: None,
-        drift_threshold: DEFAULT_DRIFT_THRESHOLD,
+        ..EngineConfig::default()
     })
 }
 
@@ -282,7 +282,7 @@ proptest! {
             tune: false,
             fuse: Some(true),
             batch_window: None,
-            drift_threshold: DEFAULT_DRIFT_THRESHOLD,
+            ..EngineConfig::default()
         });
         let tickets: Vec<_> = reqs
             .iter()

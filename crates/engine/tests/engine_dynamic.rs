@@ -13,9 +13,7 @@
 //! pre-seeded stale decision — no serving gap.
 
 use proptest::prelude::*;
-use sparsetir_engine::{
-    Adjacency, Engine, EngineConfig, EngineError, OpOutput, Submission, DEFAULT_DRIFT_THRESHOLD,
-};
+use sparsetir_engine::{Adjacency, Engine, EngineConfig, EngineError, OpOutput, Submission};
 use sparsetir_kernels::prelude::AttnHead;
 use sparsetir_smat::prelude::*;
 use std::collections::BTreeMap;
@@ -28,7 +26,7 @@ fn dynamic_engine(tune: bool) -> Engine {
         tune,
         fuse: None,
         batch_window: None,
-        drift_threshold: DEFAULT_DRIFT_THRESHOLD,
+        ..EngineConfig::default()
     })
 }
 

@@ -8,7 +8,7 @@
 //! behaviorally identical.
 #![allow(deprecated)]
 
-use sparsetir_engine::{Adjacency, Engine, EngineConfig, EngineError, DEFAULT_DRIFT_THRESHOLD};
+use sparsetir_engine::{Adjacency, Engine, EngineConfig, EngineError};
 use sparsetir_ir::exec::Runtime;
 use sparsetir_kernels::prelude::{
     attention_pipeline_launch, fused_sage_pipeline_launch, sddmm_execute, tuned_spmm_execute,
@@ -85,7 +85,7 @@ fn queued_requests_batch_and_stay_bit_identical() {
         tune: false,
         fuse: None,
         batch_window: None,
-        drift_threshold: DEFAULT_DRIFT_THRESHOLD,
+        ..EngineConfig::default()
     });
     let mut rng = gen::rng(33);
     // Occupy the single worker with a heavyweight request (compile +
@@ -122,7 +122,7 @@ fn try_submit_saturates_on_a_full_queue() {
         tune: false,
         fuse: None,
         batch_window: None,
-        drift_threshold: DEFAULT_DRIFT_THRESHOLD,
+        ..EngineConfig::default()
     });
     let mut rng = gen::rng(42);
     // First request occupies the worker for milliseconds; second fills
@@ -171,7 +171,7 @@ fn shutdown_drains_pending_requests() {
         tune: false,
         fuse: None,
         batch_window: None,
-        drift_threshold: DEFAULT_DRIFT_THRESHOLD,
+        ..EngineConfig::default()
     });
     let xs: Vec<Dense> = (0..5).map(|_| gen::random_dense(40, 3, &mut rng)).collect();
     let tickets: Vec<_> =
@@ -199,7 +199,7 @@ fn concurrent_clients_get_their_own_answers() {
         tune: false,
         fuse: None,
         batch_window: None,
-        drift_threshold: DEFAULT_DRIFT_THRESHOLD,
+        ..EngineConfig::default()
     }));
     let a = Arc::new(a);
     std::thread::scope(|s| {
@@ -245,7 +245,7 @@ fn tuned_engine_caches_one_decision_per_adjacency() {
         tune: true,
         fuse: None,
         batch_window: None,
-        drift_threshold: DEFAULT_DRIFT_THRESHOLD,
+        ..EngineConfig::default()
     });
     let mut rng = gen::rng(82);
     for _ in 0..3 {
@@ -272,7 +272,7 @@ fn repeated_requests_reuse_compiled_kernels() {
         tune: false,
         fuse: None,
         batch_window: None,
-        drift_threshold: DEFAULT_DRIFT_THRESHOLD,
+        ..EngineConfig::default()
     });
     for _ in 0..4 {
         let x = gen::random_dense(32, 4, &mut rng);
@@ -339,7 +339,7 @@ fn engine_survives_injected_worker_panic() {
         tune: false,
         fuse: None,
         batch_window: None,
-        drift_threshold: DEFAULT_DRIFT_THRESHOLD,
+        ..EngineConfig::default()
     });
     // A request before the crash proves the worker was healthy.
     let x0 = gen::random_dense(24, 3, &mut rng);
@@ -377,7 +377,7 @@ fn concurrent_submits_survive_worker_panic() {
         tune: false,
         fuse: None,
         batch_window: None,
-        drift_threshold: DEFAULT_DRIFT_THRESHOLD,
+        ..EngineConfig::default()
     }));
     engine.inject_worker_panic();
     std::thread::scope(|s| {
@@ -415,7 +415,7 @@ fn queued_sddmm_requests_batch_and_stay_bit_identical() {
         tune: false,
         fuse: None,
         batch_window: None,
-        drift_threshold: DEFAULT_DRIFT_THRESHOLD,
+        ..EngineConfig::default()
     });
     let mut rng = gen::rng(133);
     let plug = engine
@@ -459,7 +459,7 @@ fn incompatible_requests_do_not_batch() {
         tune: false,
         fuse: None,
         batch_window: None,
-        drift_threshold: DEFAULT_DRIFT_THRESHOLD,
+        ..EngineConfig::default()
     });
     let mut rng = gen::rng(143);
     let plug = engine
@@ -571,7 +571,7 @@ fn queued_fused_attention_batches_and_the_width_histogram_records_it() {
         tune: false,
         fuse: Some(true),
         batch_window: None,
-        drift_threshold: DEFAULT_DRIFT_THRESHOLD,
+        ..EngineConfig::default()
     });
     let mut rng = gen::rng(173);
     let plug = engine

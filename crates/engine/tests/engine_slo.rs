@@ -6,7 +6,7 @@
 use proptest::prelude::*;
 use sparsetir_engine::{
     Adjacency, Engine, EngineConfig, EngineError, LatencyHistogram, Priority, RejectReason,
-    Submission, DEFAULT_DRIFT_THRESHOLD,
+    Submission,
 };
 use sparsetir_smat::prelude::*;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -21,7 +21,7 @@ fn slo_config() -> EngineConfig {
         tune: false,
         fuse: None,
         batch_window: None,
-        drift_threshold: DEFAULT_DRIFT_THRESHOLD,
+        ..EngineConfig::default()
     }
 }
 
@@ -138,7 +138,7 @@ fn eviction_victim_is_answered_queue_full_exactly_once() {
         tune: false,
         fuse: None,
         batch_window: None,
-        drift_threshold: DEFAULT_DRIFT_THRESHOLD,
+        ..EngineConfig::default()
     });
     let heavy = engine.submit(&heavy_adj, Submission::spmm(heavy_x)).expect("heavy admits");
     // Let the idle worker pop the heavy job so the queue is free.
@@ -193,7 +193,7 @@ fn equal_priority_submission_never_evicts() {
         tune: false,
         fuse: None,
         batch_window: None,
-        drift_threshold: DEFAULT_DRIFT_THRESHOLD,
+        ..EngineConfig::default()
     });
     let heavy = engine.submit(&heavy_adj, Submission::spmm(heavy_x)).expect("heavy admits");
     std::thread::sleep(Duration::from_millis(10));
@@ -242,7 +242,7 @@ fn hi_priority_is_never_starved_by_a_lo_flood() {
         tune: false,
         fuse: None,
         batch_window: None,
-        drift_threshold: DEFAULT_DRIFT_THRESHOLD,
+        ..EngineConfig::default()
     }));
     let stop = AtomicBool::new(false);
     std::thread::scope(|s| {

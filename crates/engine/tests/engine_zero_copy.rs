@@ -1,0 +1,431 @@
+//! Zero-copy serving differential suite: the segmented-view batching
+//! path must be bit-identical to the legacy copying contract
+//! (`stack`/`launch_stacked`/`split`), which survives behind
+//! [`EngineConfig::copy_batch`] as the oracle. Both engines run in one
+//! process with the mode pinned through the config — no environment
+//! races — across widths 0, 1 and mixed, empty rows (random matrices
+//! produce them by construction), 0-head attention riders, and
+//! mid-drain expiry.
+//!
+//! The suite also pins the headline counter: `bytes_copied` stays 0 on
+//! the view path — for widened batches *and* the batch-of-one fast path
+//! — while the copy oracle visibly pays for its staging.
+
+use proptest::prelude::*;
+use sparsetir_engine::{
+    Adjacency, Engine, EngineConfig, EngineError, Priority, RejectReason, Submission,
+};
+use sparsetir_kernels::prelude::AttnHead;
+use sparsetir_smat::prelude::*;
+use std::time::Duration;
+
+/// Strategy: a small random sparse matrix (dims 1..=max_dim, bounded
+/// nnz — empty rows and columns appear often).
+fn sparse_matrix(max_dim: usize, max_nnz: usize) -> impl Strategy<Value = Csr> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(move |(rows, cols)| {
+        let total = rows * cols;
+        proptest::collection::vec(
+            (0..rows as u32, 0..cols as u32, 0.1f32..2.0f32),
+            0..max_nnz.min(total),
+        )
+        .prop_map(move |entries| {
+            let coo = Coo::from_entries(rows, cols, entries).expect("in-bounds");
+            Csr::from_coo(&coo)
+        })
+    })
+}
+
+/// Strategy: 1..=6 feature widths drawn from {0, 1, 2..=7}.
+fn request_widths() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(prop_oneof![Just(0usize), Just(1usize), 2usize..8], 1..7)
+}
+
+/// Strategy: per-request fused-attention shapes `(heads, k, vfeat)`,
+/// 0-head requests included (they ride with any shape group).
+fn fused_attn_shapes() -> impl Strategy<Value = Vec<(usize, usize, usize)>> {
+    proptest::collection::vec(
+        (prop_oneof![Just(0usize), Just(1usize), 2usize..4], 1usize..4, 1usize..4),
+        1..5,
+    )
+}
+
+fn engine_with(copy_batch: bool) -> Engine {
+    Engine::new(EngineConfig {
+        workers: 2,
+        queue_depth: 32,
+        max_batch: 8,
+        tune: false,
+        fuse: None,
+        batch_window: None,
+        copy_batch,
+        ..EngineConfig::default()
+    })
+}
+
+fn assert_dense_bits(got: &Dense, want: &Dense, tag: &str) -> Result<(), TestCaseError> {
+    if (got.rows(), got.cols()) != (want.rows(), want.cols()) {
+        return Err(TestCaseError::fail(format!(
+            "{tag}: shape {}x{} vs {}x{}",
+            got.rows(),
+            got.cols(),
+            want.rows(),
+            want.cols()
+        )));
+    }
+    for (i, (g, w)) in got.data().iter().zip(want.data()).enumerate() {
+        if g.to_bits() != w.to_bits() {
+            return Err(TestCaseError::fail(format!("{tag}: elem {i}: {g} vs {w}")));
+        }
+    }
+    Ok(())
+}
+
+fn assert_slice_bits(got: &[f32], want: &[f32], tag: &str) -> Result<(), TestCaseError> {
+    if got.len() != want.len() {
+        return Err(TestCaseError::fail(format!("{tag}: len {} vs {}", got.len(), want.len())));
+    }
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        if g.to_bits() != w.to_bits() {
+            return Err(TestCaseError::fail(format!("{tag}: elem {i}: {g} vs {w}")));
+        }
+    }
+    Ok(())
+}
+
+/// The view engine must never copy. (The copy engine's counter can
+/// legitimately stay 0 here — a width-≥2 batch of all-zero-width riders
+/// stages nothing — so its liveness is pinned by the deterministic
+/// forced-batch test below instead.)
+fn assert_view_zero_copy(view: &sparsetir_engine::EngineStats) -> Result<(), TestCaseError> {
+    prop_assert!(view.bytes_copied == 0, "view path must be zero-copy: {:?}", view);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// SpMM: view-path answers vs the copy oracle, bit for bit, across
+    /// widths 0/1/mixed.
+    #[test]
+    fn spmm_view_path_matches_copy_oracle(
+        a in sparse_matrix(16, 48),
+        widths in request_widths(),
+        seed in 0u64..1 << 32,
+    ) {
+        let mut rng = gen::rng(seed);
+        let xs: Vec<Dense> =
+            widths.iter().map(|&w| gen::random_dense(a.cols(), w, &mut rng)).collect();
+        let adj = Adjacency::new(a);
+        let view = engine_with(false);
+        let copy = engine_with(true);
+        let view_tickets: Vec<_> = xs
+            .iter()
+            .map(|x| view.submit(&adj, Submission::spmm(x.clone())).expect("submits"))
+            .collect();
+        let copy_tickets: Vec<_> = xs
+            .iter()
+            .map(|x| copy.submit(&adj, Submission::spmm(x.clone())).expect("submits"))
+            .collect();
+        for (i, (vt, ct)) in view_tickets.into_iter().zip(copy_tickets).enumerate() {
+            let got = vt.wait_dense().expect("view engine answers");
+            let want = ct.wait_dense().expect("copy engine answers");
+            assert_dense_bits(&got, &want, &format!("request {i}"))?;
+        }
+        assert_view_zero_copy(&view.stats())?;
+        drop(copy);
+    }
+
+    /// SDDMM: mixed inner widths (compatible requests batch
+    /// block-diagonally, incompatible ones dispatch alone), view vs
+    /// copy, bit for bit.
+    #[test]
+    fn sddmm_view_path_matches_copy_oracle(
+        a in sparse_matrix(12, 36),
+        widths in request_widths(),
+        seed in 0u64..1 << 32,
+    ) {
+        let mut rng = gen::rng(seed);
+        let reqs: Vec<(Dense, Dense)> = widths
+            .iter()
+            .map(|&k| {
+                (gen::random_dense(a.rows(), k, &mut rng), gen::random_dense(k, a.cols(), &mut rng))
+            })
+            .collect();
+        let adj = Adjacency::new(a);
+        let view = engine_with(false);
+        let copy = engine_with(true);
+        let view_tickets: Vec<_> = reqs
+            .iter()
+            .map(|(x, y)| {
+                view.submit(&adj, Submission::sddmm(x.clone(), y.clone())).expect("submits")
+            })
+            .collect();
+        let copy_tickets: Vec<_> = reqs
+            .iter()
+            .map(|(x, y)| {
+                copy.submit(&adj, Submission::sddmm(x.clone(), y.clone())).expect("submits")
+            })
+            .collect();
+        for (i, (vt, ct)) in view_tickets.into_iter().zip(copy_tickets).enumerate() {
+            let got = vt.wait_edges().expect("view engine answers");
+            let want = ct.wait_edges().expect("copy engine answers");
+            assert_slice_bits(&got, &want, &format!("request {i}"))?;
+        }
+        assert_view_zero_copy(&view.stats())?;
+        drop(copy);
+    }
+
+    /// Fused attention: mixed per-request head counts and `(k, vfeat)`
+    /// shapes, 0-head riders included, view vs copy, bit for bit.
+    #[test]
+    fn fused_attention_view_path_matches_copy_oracle(
+        a in sparse_matrix(12, 36),
+        shapes in fused_attn_shapes(),
+        seed in 0u64..1 << 32,
+    ) {
+        let mut rng = gen::rng(seed);
+        let reqs: Vec<Vec<AttnHead>> = shapes
+            .iter()
+            .map(|&(heads, k, vfeat)| {
+                (0..heads)
+                    .map(|_| AttnHead {
+                        q: gen::random_dense(a.rows(), k, &mut rng),
+                        kt: gen::random_dense(k, a.cols(), &mut rng),
+                        v: gen::random_dense(a.cols(), vfeat, &mut rng),
+                    })
+                    .collect()
+            })
+            .collect();
+        let adj = Adjacency::new(a);
+        let view = engine_with(false);
+        let copy = engine_with(true);
+        let view_tickets: Vec<_> = reqs
+            .iter()
+            .map(|heads| {
+                view.submit(&adj, Submission::fused_attention(heads.clone())).expect("submits")
+            })
+            .collect();
+        let copy_tickets: Vec<_> = reqs
+            .iter()
+            .map(|heads| {
+                copy.submit(&adj, Submission::fused_attention(heads.clone())).expect("submits")
+            })
+            .collect();
+        for (i, (vt, ct)) in view_tickets.into_iter().zip(copy_tickets).enumerate() {
+            let got = vt.wait_heads().expect("view engine answers");
+            let want = ct.wait_heads().expect("copy engine answers");
+            prop_assert_eq!(got.len(), want.len());
+            for (h, (g, w)) in got.iter().zip(&want).enumerate() {
+                assert_dense_bits(g, w, &format!("request {i} head {h}"))?;
+            }
+        }
+        assert_view_zero_copy(&view.stats())?;
+        drop(copy);
+    }
+
+    /// Multi-head (unfused) attention: per-request head lists batch
+    /// column-wise across requests; view vs copy, bit for bit.
+    #[test]
+    fn attention_view_path_matches_copy_oracle(
+        a in sparse_matrix(12, 36),
+        heads_per_req in proptest::collection::vec(
+            prop_oneof![Just(0usize), Just(1usize), 2usize..4], 1..5),
+        seed in 0u64..1 << 32,
+    ) {
+        let mut rng = gen::rng(seed);
+        let reqs: Vec<Vec<Dense>> = heads_per_req
+            .iter()
+            .map(|&h| (0..h).map(|_| gen::random_dense(a.cols(), 1 + (h % 4), &mut rng)).collect())
+            .collect();
+        let adj = Adjacency::new(a);
+        let view = engine_with(false);
+        let copy = engine_with(true);
+        let view_tickets: Vec<_> = reqs
+            .iter()
+            .map(|heads| view.submit(&adj, Submission::attention(heads.clone())).expect("submits"))
+            .collect();
+        let copy_tickets: Vec<_> = reqs
+            .iter()
+            .map(|heads| copy.submit(&adj, Submission::attention(heads.clone())).expect("submits"))
+            .collect();
+        for (i, (vt, ct)) in view_tickets.into_iter().zip(copy_tickets).enumerate() {
+            let got = vt.wait_heads().expect("view engine answers");
+            let want = ct.wait_heads().expect("copy engine answers");
+            prop_assert_eq!(got.len(), want.len());
+            for (h, (g, w)) in got.iter().zip(&want).enumerate() {
+                assert_dense_bits(g, w, &format!("request {i} head {h}"))?;
+            }
+        }
+        assert_view_zero_copy(&view.stats())?;
+        drop(copy);
+    }
+}
+
+/// Deterministically force a widened batch: occupy the single worker
+/// with a heavy job, queue `riders` compatible requests behind it, and
+/// return the engine once everything answered.
+fn run_forced_batch(copy_batch: bool, riders: usize) -> (Engine, Vec<Dense>, Vec<Dense>) {
+    let mut rng = gen::rng(0x2c0);
+    let heavy_adj = Adjacency::new(gen::random_csr(512, 512, 0.1, &mut rng));
+    let heavy_x = gen::random_dense(512, 128, &mut rng);
+    let small = gen::random_csr(24, 24, 0.3, &mut rng);
+    let adj = Adjacency::new(small);
+    let xs: Vec<Dense> = (0..riders).map(|i| gen::random_dense(24, 2 + i, &mut rng)).collect();
+
+    let engine = Engine::new(EngineConfig {
+        workers: 1,
+        queue_depth: 32,
+        max_batch: 8,
+        tune: false,
+        fuse: None,
+        batch_window: None,
+        copy_batch,
+        ..EngineConfig::default()
+    });
+    let heavy = engine.submit(&heavy_adj, Submission::spmm(heavy_x)).expect("heavy admits");
+    // Let the idle worker pop the heavy job so the riders queue up
+    // behind it and drain as one widened dispatch.
+    std::thread::sleep(Duration::from_millis(20));
+    let tickets: Vec<_> = xs
+        .iter()
+        .map(|x| engine.submit(&adj, Submission::spmm(x.clone())).expect("rider admits"))
+        .collect();
+    heavy.wait_dense().expect("heavy job serves");
+    let outs: Vec<Dense> =
+        tickets.into_iter().map(|t| t.wait_dense().expect("rider serves")).collect();
+    (engine, xs, outs)
+}
+
+/// The acceptance headline: a *batched* SpMM launch on the view path
+/// copies zero operand and zero output bytes — the riders' answers land
+/// straight in their own buffers.
+#[test]
+fn batched_spmm_launch_copies_zero_bytes_on_view_path() {
+    let (engine, xs, outs) = run_forced_batch(false, 4);
+    let stats = engine.stats();
+    assert!(stats.max_batch >= 2, "riders must have shared a widened launch: {stats:?}");
+    assert_eq!(stats.bytes_copied, 0, "view path must copy nothing: {stats:?}");
+    for (x, out) in xs.iter().zip(&outs) {
+        assert_eq!((out.rows(), out.cols()), (24, x.cols()));
+    }
+}
+
+/// The same forced batch under the copy oracle pays for its staging —
+/// the counter is live, so the view path's 0 above is meaningful.
+#[test]
+fn batched_spmm_launch_counts_bytes_on_copy_path() {
+    let (engine, xs, _outs) = run_forced_batch(true, 4);
+    let stats = engine.stats();
+    assert!(stats.max_batch >= 2, "riders must have shared a widened launch: {stats:?}");
+    // Lower bound: the operand stack alone re-stages every rider input.
+    let operand_bytes: u64 = xs.iter().map(|x| x.data().len() as u64 * 4).sum();
+    assert!(
+        stats.bytes_copied >= operand_bytes,
+        "copy oracle staged {} bytes, expected at least {operand_bytes}: {stats:?}",
+        stats.bytes_copied
+    );
+}
+
+/// Batch-of-one fast path: a lone request of every batchable kind runs
+/// end-to-end with zero copies — single-segment views bind the caller's
+/// buffers directly.
+#[test]
+fn batch_of_one_is_zero_copy_end_to_end() {
+    let mut rng = gen::rng(0x2c1);
+    let a = gen::random_csr(32, 32, 0.25, &mut rng);
+    let adj = Adjacency::new(a);
+    let engine = engine_with(false);
+
+    let x = gen::random_dense(32, 5, &mut rng);
+    engine.serve(&adj, Submission::spmm(x)).expect("spmm serves");
+
+    let (sx, sy) = (gen::random_dense(32, 3, &mut rng), gen::random_dense(3, 32, &mut rng));
+    engine.serve(&adj, Submission::sddmm(sx, sy)).expect("sddmm serves");
+
+    let heads = vec![AttnHead {
+        q: gen::random_dense(32, 3, &mut rng),
+        kt: gen::random_dense(3, 32, &mut rng),
+        v: gen::random_dense(32, 4, &mut rng),
+    }];
+    engine.serve(&adj, Submission::fused_attention(heads)).expect("fused attention serves");
+
+    let stats = engine.stats();
+    assert_eq!(stats.completed, 3, "all three singleton requests answered: {stats:?}");
+    assert_eq!(stats.bytes_copied, 0, "batch-of-one must be zero-copy: {stats:?}");
+}
+
+/// Scratch buffers for the fused-attention pipeline come from the
+/// runtime's size-classed pool: serving the same shape twice must hit
+/// the pool on the second round.
+#[test]
+fn repeated_serving_hits_the_buffer_pool() {
+    let mut rng = gen::rng(0x2c2);
+    let a = gen::random_csr(32, 32, 0.25, &mut rng);
+    let adj = Adjacency::new(a);
+    let engine = engine_with(false);
+    for _ in 0..3 {
+        let heads = vec![AttnHead {
+            q: gen::random_dense(32, 3, &mut rng),
+            kt: gen::random_dense(3, 32, &mut rng),
+            v: gen::random_dense(32, 4, &mut rng),
+        }];
+        engine.serve(&adj, Submission::fused_attention(heads)).expect("serves");
+    }
+    let stats = engine.stats();
+    assert!(stats.pool_misses > 0, "first round must allocate: {stats:?}");
+    assert!(stats.pool_hits > 0, "later rounds must reuse pooled scratch: {stats:?}");
+}
+
+/// Mid-drain expiry on the view path: a victim whose deadline lapses
+/// while the worker grinds a heavy job is swept before dispatch — its
+/// live rider still batches and answers, the victim's output buffer is
+/// never assembled or written (no launch of its kind beyond the rider's,
+/// nothing copied), and the answer is `Rejected { Expired }`.
+#[test]
+fn expired_victim_is_swept_without_writing_its_buffer() {
+    let mut rng = gen::rng(0x2c3);
+    let heavy_adj = Adjacency::new(gen::random_csr(1024, 1024, 0.15, &mut rng));
+    let heavy_x = gen::random_dense(1024, 256, &mut rng);
+    let small = gen::random_csr(24, 24, 0.3, &mut rng);
+    let adj = Adjacency::new(small.clone());
+    let victim_x = gen::random_dense(24, 3, &mut rng);
+    let rider_x = gen::random_dense(24, 4, &mut rng);
+
+    let engine = Engine::new(EngineConfig {
+        workers: 1,
+        queue_depth: 16,
+        max_batch: 8,
+        tune: false,
+        fuse: None,
+        batch_window: None,
+        copy_batch: false,
+        ..EngineConfig::default()
+    });
+    let heavy = engine.submit(&heavy_adj, Submission::spmm(heavy_x)).expect("heavy admits");
+    std::thread::sleep(Duration::from_millis(10));
+    // The victim's deadline is far shorter than the heavy job's runtime,
+    // so it expires in the queue; the rider has no deadline and drains.
+    let victim = engine
+        .submit(&adj, Submission::spmm(victim_x).deadline(Duration::from_millis(1)))
+        .expect("victim admits while its deadline is still open");
+    let rider = engine.submit(&adj, Submission::spmm(rider_x)).expect("rider admits");
+
+    let res = victim.wait();
+    assert!(
+        matches!(res, Err(EngineError::Rejected { reason: RejectReason::Expired })),
+        "expired victim must answer Rejected {{ Expired }}, got {res:?}"
+    );
+    heavy.wait_dense().expect("heavy still serves");
+    rider.wait_dense().expect("live rider still serves");
+
+    let stats = engine.stats();
+    assert_eq!(stats.expired, 1, "exactly the victim expired: {stats:?}");
+    assert_eq!(stats.completed, 2, "heavy + rider answered: {stats:?}");
+    assert_eq!(stats.priority(Priority::Normal).expired, 1);
+    assert_eq!(stats.bytes_copied, 0, "nothing may be staged for the victim: {stats:?}");
+    // The victim never reached assembly: every recorded SpMM dispatch is
+    // a singleton (heavy, then the rider alone after the sweep).
+    let w = stats.widths_of("spmm").expect("spmm dispatched");
+    assert_eq!(w.max_width, 1, "the swept victim must not widen any launch: {stats:?}");
+    assert_eq!(w.batches, 2, "heavy + rider dispatched exactly once each: {stats:?}");
+}

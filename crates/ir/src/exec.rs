@@ -316,8 +316,32 @@ struct CBlock {
 /// is a well-defined value race, never undefined behavior.
 #[derive(Debug, Clone, Copy)]
 enum RawBuf {
-    F32 { ptr: *mut f32, len: usize },
-    I32 { ptr: *mut i32, len: usize },
+    F32 {
+        ptr: *mut f32,
+        len: usize,
+    },
+    I32 {
+        ptr: *mut i32,
+        len: usize,
+    },
+    /// Column-segmented f32 view: `width` logical columns, each described
+    /// by a [`ColSeg`] table entry (segment base pointer + row stride).
+    /// Flat index `i` resolves to column `i % width` of row `i / width`.
+    SegCols {
+        table: *const ColSeg,
+        width: usize,
+        rows: usize,
+        writable: bool,
+    },
+    /// Row-segmented f32 view: `n_segs` equal-length contiguous segments.
+    /// Flat index `i` resolves to offset `i % seg_len` of segment
+    /// `i / seg_len`.
+    SegRows {
+        segs: *const RowSeg,
+        n_segs: usize,
+        seg_len: usize,
+        writable: bool,
+    },
     Absent,
 }
 
@@ -328,6 +352,42 @@ impl RawBuf {
             TensorData::I32(v) => RawBuf::I32 { ptr: v.as_mut_ptr(), len: v.len() },
         }
     }
+}
+
+/// One logical column of a column-segmented binding: the column's address
+/// at row 0, the owning segment's row stride, and how many columns of that
+/// segment remain from this one (contiguous-run headroom for the fused
+/// lane kernels).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ColSeg {
+    pub(crate) ptr: *mut f32,
+    pub(crate) stride: u32,
+    pub(crate) rem: u32,
+}
+
+/// One segment of a row-segmented binding.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RowSeg {
+    pub(crate) ptr: *mut f32,
+}
+
+/// SAFETY: `idx < rows * width` has been checked and the table is valid
+/// for the run.
+#[inline]
+unsafe fn seg_cols_ptr(table: *const ColSeg, width: usize, idx: usize) -> *mut f32 {
+    let e = &*table.add(idx % width);
+    e.ptr.add((idx / width) * e.stride as usize)
+}
+
+/// SAFETY: `idx < n_segs * seg_len` has been checked and the segment
+/// table is valid for the run.
+#[inline]
+unsafe fn seg_rows_ptr(segs: *const RowSeg, seg_len: usize, idx: usize) -> *mut f32 {
+    (*segs.add(idx / seg_len)).ptr.add(idx % seg_len)
+}
+
+fn read_only(name: &str) -> ExecError {
+    ExecError::new(format!("buffer `{name}` is bound to a read-only view"))
 }
 
 /// SAFETY contract for the helpers below: `idx` has been bounds-checked
@@ -358,6 +418,9 @@ struct Frame {
     /// Arena owning `Allocate`d staging buffers; `RawBuf` views point at
     /// the arena entries' heap storage, which is stable across pushes.
     locals: Vec<TensorData>,
+    /// Size-classed pool serving `Allocate` scratch; `None` in `ParFor`
+    /// sub-frames (they fall back to plain heap allocation).
+    pool: Option<Arc<BufferPool>>,
 }
 
 impl Frame {
@@ -370,6 +433,22 @@ impl Frame {
                 }
                 // SAFETY: idx < len and the view is valid for the run.
                 Ok(f64::from(unsafe { elem_load_f32(ptr, idx) }))
+            }
+            RawBuf::SegCols { table, width, rows, .. } => {
+                let len = rows * width;
+                if idx >= len {
+                    return Err(oob(name, idx, len));
+                }
+                // SAFETY: idx < rows * width and the view is valid for the run.
+                Ok(f64::from(unsafe { elem_load_f32(seg_cols_ptr(table, width, idx), 0) }))
+            }
+            RawBuf::SegRows { segs, n_segs, seg_len, .. } => {
+                let len = n_segs * seg_len;
+                if idx >= len {
+                    return Err(oob(name, idx, len));
+                }
+                // SAFETY: idx < n_segs * seg_len and the view is valid for the run.
+                Ok(f64::from(unsafe { elem_load_f32(seg_rows_ptr(segs, seg_len, idx), 0) }))
             }
             RawBuf::I32 { .. } => {
                 Err(ExecError::new(format!("buffer `{name}` holds i32 data, float load expected")))
@@ -388,7 +467,7 @@ impl Frame {
                 // SAFETY: idx < len and the view is valid for the run.
                 Ok(i64::from(unsafe { elem_load_i32(ptr, idx) }))
             }
-            RawBuf::F32 { .. } => {
+            RawBuf::F32 { .. } | RawBuf::SegCols { .. } | RawBuf::SegRows { .. } => {
                 Err(ExecError::new(format!("buffer `{name}` holds f32 data, int load expected")))
             }
             RawBuf::Absent => Err(ExecError::new(format!("unbound buffer `{name}`"))),
@@ -492,7 +571,7 @@ impl IntExpr {
                         }
                         Ok((l - lo) as i64)
                     }
-                    RawBuf::F32 { .. } => {
+                    RawBuf::F32 { .. } | RawBuf::SegCols { .. } | RawBuf::SegRows { .. } => {
                         Err(ExecError::new(format!("binary_search over non-i32 buffer `{name}`")))
                     }
                     RawBuf::Absent => Err(ExecError::new(format!("unbound buffer `{name}`"))),
@@ -646,6 +725,7 @@ impl CStmt {
                             scalars: fr.scalars.clone(),
                             bufs: fr.bufs.clone(),
                             locals: Vec::new(),
+                            pool: None,
                         });
                         let first_err = &first_err;
                         s.spawn(move || {
@@ -715,24 +795,45 @@ impl CStmt {
                 for d in len_dims {
                     len *= d.eval(fr)?;
                 }
-                let mut data = if *is_float {
-                    TensorData::F32(vec![0.0; len as usize])
-                } else {
-                    TensorData::I32(vec![0; len as usize])
-                };
+                let mut data = alloc_local(fr, *is_float, len as usize);
                 let view = RawBuf::of(&mut data);
                 fr.locals.push(data);
                 let saved = fr.bufs[*buf as usize];
                 fr.bufs[*buf as usize] = view;
                 let r = body.exec(fr);
                 fr.bufs[*buf as usize] = saved;
-                fr.locals.pop();
+                free_local(fr);
                 r
             }
             CStmt::EvalV(e) => e.eval_for_effect(fr),
             CStmt::Mma(op) => exec_mma(fr, &op.c, &op.a, &op.b, op.m, op.n, op.k),
             CStmt::Fused(f) => f.exec(fr),
             CStmt::Fail(msg) => Err(ExecError::new(msg.clone())),
+        }
+    }
+}
+
+/// Acquire one kernel-local scratch buffer, from the frame's pool when
+/// present (zeroed either way). Shared by the tree and bytecode `Alloc`.
+#[inline]
+fn alloc_local(fr: &Frame, is_float: bool, len: usize) -> TensorData {
+    match (&fr.pool, is_float) {
+        (Some(p), true) => TensorData::F32(p.acquire_f32(len)),
+        (Some(p), false) => TensorData::I32(p.acquire_i32(len)),
+        (None, true) => TensorData::F32(vec![0.0; len]),
+        (None, false) => TensorData::I32(vec![0; len]),
+    }
+}
+
+/// Pop the innermost local scratch buffer, returning its storage to the
+/// frame's pool when present.
+#[inline]
+fn free_local(fr: &mut Frame) {
+    let Some(data) = fr.locals.pop() else { return };
+    if let Some(p) = &fr.pool {
+        match data {
+            TensorData::F32(v) => p.release_f32(v),
+            TensorData::I32(v) => p.release_i32(v),
         }
     }
 }
@@ -756,6 +857,30 @@ fn exec_store_f(
             }
             // SAFETY: flat < len.
             unsafe { elem_store_f32(ptr, flat, v as f32) };
+            Ok(())
+        }
+        RawBuf::SegCols { table, width, rows, writable } => {
+            let len = rows * width;
+            if flat >= len {
+                return Err(oob(&index.name, flat, len));
+            }
+            if !writable {
+                return Err(read_only(&index.name));
+            }
+            // SAFETY: flat < rows * width.
+            unsafe { elem_store_f32(seg_cols_ptr(table, width, flat), 0, v as f32) };
+            Ok(())
+        }
+        RawBuf::SegRows { segs, n_segs, seg_len, writable } => {
+            let len = n_segs * seg_len;
+            if flat >= len {
+                return Err(oob(&index.name, flat, len));
+            }
+            if !writable {
+                return Err(read_only(&index.name));
+            }
+            // SAFETY: flat < n_segs * seg_len.
+            unsafe { elem_store_f32(seg_rows_ptr(segs, seg_len, flat), 0, v as f32) };
             Ok(())
         }
         RawBuf::I32 { .. } => Err(ExecError::new(format!("expected int, got float {v}"))),
@@ -788,6 +913,38 @@ fn exec_accum_f(
             unsafe { elem_store_f32(ptr, flat, v as f32) };
             Ok(())
         }
+        RawBuf::SegCols { table, width, rows, writable } => {
+            let len = rows * width;
+            if flat >= len {
+                return Err(oob(&index.name, flat, len));
+            }
+            // SAFETY: flat < rows * width and the view is valid for the run.
+            let p = unsafe { seg_cols_ptr(table, width, flat) };
+            let cur = f64::from(unsafe { elem_load_f32(p, 0) });
+            let v = cur + rest.eval(fr)?;
+            if !writable {
+                return Err(read_only(&index.name));
+            }
+            // SAFETY: same element, checked above.
+            unsafe { elem_store_f32(p, 0, v as f32) };
+            Ok(())
+        }
+        RawBuf::SegRows { segs, n_segs, seg_len, writable } => {
+            let len = n_segs * seg_len;
+            if flat >= len {
+                return Err(oob(&index.name, flat, len));
+            }
+            // SAFETY: flat < n_segs * seg_len and the view is valid for the run.
+            let p = unsafe { seg_rows_ptr(segs, seg_len, flat) };
+            let cur = f64::from(unsafe { elem_load_f32(p, 0) });
+            let v = cur + rest.eval(fr)?;
+            if !writable {
+                return Err(read_only(&index.name));
+            }
+            // SAFETY: same element, checked above.
+            unsafe { elem_store_f32(p, 0, v as f32) };
+            Ok(())
+        }
         // The generic form fails inside the load, with the load's wording.
         RawBuf::I32 { .. } => Err(ExecError::new(format!(
             "buffer `{}` holds i32 data, float load expected",
@@ -818,6 +975,30 @@ fn exec_store_i(fr: &Frame, buf: u32, index: &IndexExpr, value: &IntExpr) -> Res
             }
             // SAFETY: flat < len.
             unsafe { elem_store_f32(ptr, flat, v as f64 as f32) };
+            Ok(())
+        }
+        RawBuf::SegCols { table, width, rows, writable } => {
+            let len = rows * width;
+            if flat >= len {
+                return Err(oob(&index.name, flat, len));
+            }
+            if !writable {
+                return Err(read_only(&index.name));
+            }
+            // SAFETY: flat < rows * width.
+            unsafe { elem_store_f32(seg_cols_ptr(table, width, flat), 0, v as f64 as f32) };
+            Ok(())
+        }
+        RawBuf::SegRows { segs, n_segs, seg_len, writable } => {
+            let len = n_segs * seg_len;
+            if flat >= len {
+                return Err(oob(&index.name, flat, len));
+            }
+            if !writable {
+                return Err(read_only(&index.name));
+            }
+            // SAFETY: flat < n_segs * seg_len.
+            unsafe { elem_store_f32(seg_rows_ptr(segs, seg_len, flat), 0, v as f64 as f32) };
             Ok(())
         }
         RawBuf::Absent => Err(ExecError::new(format!("unbound buffer `{}`", index.name))),
@@ -855,6 +1036,9 @@ fn exec_mma(
                 Ok(unsafe { elem_load_f32(ptr, idx) })
             }
             RawBuf::I32 { .. } => Err(ExecError::new("mma_sync operand must be float")),
+            RawBuf::SegCols { .. } | RawBuf::SegRows { .. } => {
+                Err(ExecError::new("mma_sync on a segmented binding is unsupported"))
+            }
             RawBuf::Absent => Err(ExecError::new(format!("unbound buffer `{name}`"))),
         }
     };
@@ -890,6 +1074,9 @@ fn exec_mma(
             Ok(())
         }
         RawBuf::I32 { .. } => Err(ExecError::new("mma_sync target must be float")),
+        RawBuf::SegCols { .. } | RawBuf::SegRows { .. } => {
+            Err(ExecError::new("mma_sync on a segmented binding is unsupported"))
+        }
         RawBuf::Absent => Err(ExecError::new(format!("unbound buffer `{}`", c.name))),
     }
 }
@@ -1564,6 +1751,12 @@ pub struct CompiledKernel {
     buf_names: Vec<String>,
     /// Scratch scalar frames reused across invocations.
     frame_pool: Mutex<Vec<Vec<i64>>>,
+    /// Compile-time memory requirements, one entry per buffer slot.
+    plan: MemoryPlan,
+    /// Size-classed pool serving `Allocate` scratch at run time. Kernels
+    /// compiled through a [`Runtime`] share its pool; standalone
+    /// compilations get a private one.
+    pool: Arc<BufferPool>,
 }
 
 impl fmt::Debug for CompiledKernel {
@@ -1631,6 +1824,7 @@ impl CompiledKernel {
             buffers.push((b.name.to_string(), b.dtype.is_float(), slot));
         }
         let tree = c.compile_stmt(&func.body, true)?;
+        let plan = MemoryPlan::of(func, &buffers, &c.buf_names, &tree);
         let (body, fused_ops) = match backend {
             ExecBackend::Tree => {
                 let (tree, fused_ops) = if fuse { fuse::fuse_stmt(tree) } else { (tree, 0) };
@@ -1655,6 +1849,8 @@ impl CompiledKernel {
             slot_names: c.slot_names,
             buf_names: c.buf_names,
             frame_pool: Mutex::new(Vec::new()),
+            plan,
+            pool: Arc::new(BufferPool::new()),
         })
     }
 
@@ -1762,13 +1958,511 @@ impl CompiledKernel {
             // the frame is live and buffer names are distinct keys.
             bufs[*slot as usize] = RawBuf::of(data);
         }
-        let mut frame = Frame { scalars: frame_scalars, bufs, locals: Vec::new() };
+        self.exec_frame(frame_scalars, bufs)
+    }
+
+    /// Execute like [`CompiledKernel::run`], but with bindings that may be
+    /// *segmented views* ([`ColsView`]/[`RowsView`]) over caller-owned
+    /// storage instead of whole tensors. This is the zero-copy batch
+    /// entry: a widened launch binds each operand slot to the riders'
+    /// buffers side by side and writes outputs directly into each rider's
+    /// result buffer. Error conditions and wording match `run`; stores to
+    /// a read-only view fail with a "read-only view" error.
+    ///
+    /// # Errors
+    /// Returns [`ExecError`] on missing bindings, dtype mismatches and
+    /// the interpreter's run-time error conditions.
+    pub fn run_views(
+        &self,
+        scalars: &HashMap<String, i64>,
+        views: &mut ViewBindings<'_>,
+    ) -> Result<(), ExecError> {
+        let mut frame_scalars = self.frame_pool.lock().unwrap().pop().unwrap_or_default();
+        frame_scalars.resize(self.n_slots as usize, 0);
+        for (name, slot) in &self.params {
+            let v = scalars
+                .get(name)
+                .ok_or_else(|| ExecError::new(format!("missing scalar param `{name}`")))?;
+            frame_scalars[*slot as usize] = *v;
+        }
+        let mut bufs = vec![RawBuf::Absent; self.n_bufs as usize];
+        for (name, is_float, slot) in &self.buffers {
+            let arg = views.map.get_mut(name.as_str()).ok_or_else(|| {
+                ExecError::new(format!("missing tensor binding for buffer `{name}`"))
+            })?;
+            let ok = match arg {
+                BoundArg::Tensor(data) => *is_float == matches!(**data, TensorData::F32(_)),
+                // Segmented views are always f32.
+                BoundArg::Cols(_) | BoundArg::Rows(_) => *is_float,
+            };
+            if !ok {
+                return Err(ExecError::new(format!(
+                    "buffer `{name}` bound to storage of mismatched dtype"
+                )));
+            }
+            // Sound for the same reason as in `run`: the map (and each
+            // view's segment table) is not structurally mutated while the
+            // frame is live.
+            bufs[*slot as usize] = match arg {
+                BoundArg::Tensor(data) => RawBuf::of(data),
+                BoundArg::Cols(v) => v.raw(),
+                BoundArg::Rows(v) => v.raw(),
+            };
+        }
+        self.exec_frame(frame_scalars, bufs)
+    }
+
+    fn exec_frame(&self, scalars: Vec<i64>, bufs: Vec<RawBuf>) -> Result<(), ExecError> {
+        let mut frame =
+            Frame { scalars, bufs, locals: Vec::new(), pool: Some(Arc::clone(&self.pool)) };
         let result = match &self.body {
             Body::Tree(t) => t.exec(&mut frame),
             Body::Code(c) => c.exec(&mut frame),
         };
         self.frame_pool.lock().unwrap().push(frame.scalars);
         result
+    }
+
+    /// The kernel's compile-time memory plan: per-buffer-slot element
+    /// counts where statically known, with kernel-local scratch flagged
+    /// (those allocations are served from the kernel's buffer pool).
+    #[must_use]
+    pub fn memory_plan(&self) -> &MemoryPlan {
+        &self.plan
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Segmented view bindings
+// ---------------------------------------------------------------------------
+
+/// A column-segmented f32 binding: one logical `rows × width` row-major
+/// matrix whose columns are backed by several caller-owned row-major
+/// buffers side by side (each segment contributing a contiguous block of
+/// columns). The flat-index→(segment, offset) resolution is a precomputed
+/// per-column table, so the executor's fused lane kernels run per-segment
+/// contiguous loops with no per-element division.
+pub struct ColsView<'a> {
+    table: Vec<ColSeg>,
+    rows: usize,
+    writable: bool,
+    _marker: std::marker::PhantomData<&'a mut [f32]>,
+}
+
+impl<'a> ColsView<'a> {
+    /// Read-only view of `segs` as `(row-major slice, cols)` pairs placed
+    /// side by side; total width is the sum of the `cols` values.
+    ///
+    /// # Errors
+    /// Fails when a segment's length is not `rows * cols`.
+    pub fn read(rows: usize, segs: &[(&'a [f32], usize)]) -> Result<ColsView<'a>, ExecError> {
+        // Read-only: the pointers are never written through (`writable`
+        // gates every store path).
+        let iter = segs.iter().map(|(s, cols)| (s.as_ptr().cast_mut(), s.len(), *cols));
+        Ok(ColsView {
+            table: col_table(rows, iter)?,
+            rows,
+            writable: false,
+            _marker: std::marker::PhantomData,
+        })
+    }
+
+    /// Writable view of `segs` as `(row-major slice, cols)` pairs placed
+    /// side by side.
+    ///
+    /// # Errors
+    /// Fails when a segment's length is not `rows * cols`.
+    pub fn write(
+        rows: usize,
+        segs: Vec<(&'a mut [f32], usize)>,
+    ) -> Result<ColsView<'a>, ExecError> {
+        let iter = segs.into_iter().map(|(s, cols)| (s.as_mut_ptr(), s.len(), cols));
+        Ok(ColsView {
+            table: col_table(rows, iter)?,
+            rows,
+            writable: true,
+            _marker: std::marker::PhantomData,
+        })
+    }
+
+    /// Total logical width (sum of the segment widths).
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Logical row count.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    fn raw(&self) -> RawBuf {
+        RawBuf::SegCols {
+            table: self.table.as_ptr(),
+            width: self.table.len(),
+            rows: self.rows,
+            writable: self.writable,
+        }
+    }
+}
+
+fn col_table(
+    rows: usize,
+    segs: impl Iterator<Item = (*mut f32, usize, usize)>,
+) -> Result<Vec<ColSeg>, ExecError> {
+    let mut table = Vec::new();
+    for (i, (ptr, len, cols)) in segs.enumerate() {
+        if len != rows * cols {
+            return Err(ExecError::new(format!(
+                "segmented binding: segment {i} has {len} elements, expected {rows}x{cols}"
+            )));
+        }
+        let stride = u32::try_from(cols)
+            .map_err(|_| ExecError::new("segmented binding: segment width overflows u32"))?;
+        for c in 0..cols {
+            // SAFETY: c < cols <= len elements behind ptr.
+            table.push(ColSeg { ptr: unsafe { ptr.add(c) }, stride, rem: stride - c as u32 });
+        }
+    }
+    Ok(table)
+}
+
+/// A row-segmented f32 binding: `n` equal-length contiguous segments
+/// concatenated into one flat logical buffer (rider matrices stacked
+/// along the leading axis).
+pub struct RowsView<'a> {
+    segs: Vec<RowSeg>,
+    seg_len: usize,
+    writable: bool,
+    _marker: std::marker::PhantomData<&'a mut [f32]>,
+}
+
+impl<'a> RowsView<'a> {
+    /// Read-only view of equal-length segments, each of `seg_len`
+    /// elements.
+    ///
+    /// # Errors
+    /// Fails when a segment's length differs from `seg_len`.
+    pub fn read(seg_len: usize, segs: &[&'a [f32]]) -> Result<RowsView<'a>, ExecError> {
+        let mut table = Vec::with_capacity(segs.len());
+        for (i, s) in segs.iter().enumerate() {
+            check_seg_len(i, s.len(), seg_len)?;
+            table.push(RowSeg { ptr: s.as_ptr().cast_mut() });
+        }
+        Ok(RowsView { segs: table, seg_len, writable: false, _marker: std::marker::PhantomData })
+    }
+
+    /// Writable view of equal-length segments, each of `seg_len`
+    /// elements.
+    ///
+    /// # Errors
+    /// Fails when a segment's length differs from `seg_len`.
+    pub fn write(seg_len: usize, segs: Vec<&'a mut [f32]>) -> Result<RowsView<'a>, ExecError> {
+        let mut table = Vec::with_capacity(segs.len());
+        for (i, s) in segs.into_iter().enumerate() {
+            check_seg_len(i, s.len(), seg_len)?;
+            table.push(RowSeg { ptr: s.as_mut_ptr() });
+        }
+        Ok(RowsView { segs: table, seg_len, writable: true, _marker: std::marker::PhantomData })
+    }
+
+    /// Number of segments.
+    #[must_use]
+    pub fn n_segs(&self) -> usize {
+        self.segs.len()
+    }
+
+    fn raw(&self) -> RawBuf {
+        RawBuf::SegRows {
+            segs: self.segs.as_ptr(),
+            n_segs: self.segs.len(),
+            seg_len: self.seg_len,
+            writable: self.writable,
+        }
+    }
+}
+
+fn check_seg_len(i: usize, len: usize, seg_len: usize) -> Result<(), ExecError> {
+    if len != seg_len {
+        return Err(ExecError::new(format!(
+            "segmented binding: segment {i} has {len} elements, expected {seg_len}"
+        )));
+    }
+    Ok(())
+}
+
+/// One binding handed to [`CompiledKernel::run_views`]: a whole tensor or
+/// a segmented view.
+pub enum BoundArg<'a> {
+    /// A whole owned tensor, as [`CompiledKernel::run`] binds.
+    Tensor(&'a mut TensorData),
+    /// A column-segmented f32 view.
+    Cols(ColsView<'a>),
+    /// A row-segmented f32 view.
+    Rows(RowsView<'a>),
+}
+
+/// Named bindings for [`CompiledKernel::run_views`], mixing whole tensors
+/// with segmented views over caller-owned storage.
+#[derive(Default)]
+pub struct ViewBindings<'a> {
+    map: HashMap<String, BoundArg<'a>>,
+}
+
+impl<'a> ViewBindings<'a> {
+    /// Empty binding set.
+    #[must_use]
+    pub fn new() -> ViewBindings<'a> {
+        ViewBindings::default()
+    }
+
+    /// Bind every tensor of `tensors` by name (the bridge from the
+    /// copying path's binding map).
+    pub fn from_tensors(tensors: &'a mut HashMap<String, TensorData>) -> ViewBindings<'a> {
+        let map = tensors.iter_mut().map(|(k, v)| (k.clone(), BoundArg::Tensor(v))).collect();
+        ViewBindings { map }
+    }
+
+    /// Bind a whole tensor under `name`.
+    pub fn bind_tensor(&mut self, name: impl Into<String>, t: &'a mut TensorData) {
+        self.map.insert(name.into(), BoundArg::Tensor(t));
+    }
+
+    /// Bind a column-segmented view under `name`.
+    pub fn bind_cols(&mut self, name: impl Into<String>, v: ColsView<'a>) {
+        self.map.insert(name.into(), BoundArg::Cols(v));
+    }
+
+    /// Bind a row-segmented view under `name`.
+    pub fn bind_rows(&mut self, name: impl Into<String>, v: RowsView<'a>) {
+        self.map.insert(name.into(), BoundArg::Rows(v));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Memory plan + buffer pool
+// ---------------------------------------------------------------------------
+
+/// One buffer slot's compile-time memory requirement.
+#[derive(Debug, Clone)]
+pub struct PlanEntry {
+    /// Source buffer name.
+    pub name: String,
+    /// Element type (`f32` when true).
+    pub is_float: bool,
+    /// Statically known element count — `Some` when every shape extent is
+    /// a compile-time constant.
+    pub len: Option<usize>,
+    /// True for kernel-local `Allocate` scratch (served from the buffer
+    /// pool at run time) rather than a caller binding.
+    pub local: bool,
+}
+
+/// A [`CompiledKernel`]'s memory plan: per-buffer-slot requirements
+/// computed once at compile time, keying the size-classed [`BufferPool`]
+/// and rendered into the disassembly header.
+#[derive(Debug, Clone, Default)]
+pub struct MemoryPlan {
+    /// One entry per buffer slot, in slot order.
+    pub entries: Vec<PlanEntry>,
+}
+
+impl MemoryPlan {
+    fn of(
+        func: &PrimFunc,
+        buffers: &[(String, bool, u32)],
+        buf_names: &[String],
+        tree: &CStmt,
+    ) -> MemoryPlan {
+        let mut entries: Vec<PlanEntry> = buf_names
+            .iter()
+            .map(|n| PlanEntry { name: n.clone(), is_float: true, len: None, local: true })
+            .collect();
+        for (name, is_float, slot) in buffers {
+            let e = &mut entries[*slot as usize];
+            e.local = false;
+            e.is_float = *is_float;
+            if let Some(b) = func.buffers.iter().find(|b| &*b.name == name.as_str()) {
+                e.len = const_shape_product(&b.shape);
+            }
+        }
+        collect_allocs(tree, &mut entries);
+        MemoryPlan { entries }
+    }
+
+    /// Total statically planned bytes (4-byte elements) across all slots
+    /// with a known length.
+    #[must_use]
+    pub fn static_bytes(&self) -> usize {
+        self.entries.iter().filter_map(|e| e.len).map(|l| l * 4).sum()
+    }
+
+    /// Number of kernel-local scratch slots served from the pool.
+    #[must_use]
+    pub fn pooled_locals(&self) -> usize {
+        self.entries.iter().filter(|e| e.local).count()
+    }
+}
+
+fn const_shape_product(dims: &[Expr]) -> Option<usize> {
+    let mut p: i64 = 1;
+    for d in dims {
+        match d {
+            Expr::Int { value, .. } => p = p.checked_mul(*value)?,
+            _ => return None,
+        }
+    }
+    usize::try_from(p).ok()
+}
+
+fn collect_allocs(s: &CStmt, entries: &mut [PlanEntry]) {
+    match s {
+        CStmt::Alloc { buf, is_float, len_dims, body } => {
+            let e = &mut entries[*buf as usize];
+            e.is_float = *is_float;
+            e.local = true;
+            let mut p: i64 = 1;
+            let mut known = true;
+            for d in len_dims {
+                match d {
+                    IntExpr::Const(c) => p = p.saturating_mul(*c),
+                    _ => known = false,
+                }
+            }
+            if known {
+                e.len = usize::try_from(p).ok();
+            }
+            collect_allocs(body, entries);
+        }
+        CStmt::For { body, .. } | CStmt::ParFor { body, .. } | CStmt::Let { body, .. } => {
+            collect_allocs(body, entries);
+        }
+        CStmt::Block(b) => {
+            if let Some(init) = &b.init {
+                collect_allocs(init, entries);
+            }
+            collect_allocs(&b.body, entries);
+        }
+        CStmt::Seq(v) => {
+            for s in v {
+                collect_allocs(s, entries);
+            }
+        }
+        CStmt::If { then_, else_, .. } => {
+            collect_allocs(then_, entries);
+            if let Some(e) = else_ {
+                collect_allocs(e, entries);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Number of power-of-two size classes in a [`BufferPool`].
+const POOL_CLASSES: usize = 48;
+
+/// Free buffers retained per size class (bounds idle memory).
+const POOL_MAX_PER_CLASS: usize = 8;
+
+fn size_class(len: usize) -> usize {
+    (len.max(1).next_power_of_two().trailing_zeros() as usize).min(POOL_CLASSES - 1)
+}
+
+/// Size-classed pool of scratch buffers keyed by a kernel's
+/// [`MemoryPlan`] requirements. `acquire_*` pops a free buffer of the
+/// next-power-of-two class (a *hit*) or heap-allocates one (a *miss*) and
+/// returns it zeroed either way; `release_*` files storage back by
+/// capacity class. Kernels compiled through one [`Runtime`] share its
+/// pool, so the serving engine's per-launch scratch (widened outputs,
+/// fused-attention intermediates) stops hitting the allocator once warm.
+pub struct BufferPool {
+    f32_free: Vec<Mutex<Vec<Vec<f32>>>>,
+    i32_free: Vec<Mutex<Vec<Vec<i32>>>>,
+    hits: std::sync::atomic::AtomicU64,
+    misses: std::sync::atomic::AtomicU64,
+}
+
+impl Default for BufferPool {
+    fn default() -> BufferPool {
+        BufferPool::new()
+    }
+}
+
+impl BufferPool {
+    /// Empty pool.
+    #[must_use]
+    pub fn new() -> BufferPool {
+        BufferPool {
+            f32_free: (0..POOL_CLASSES).map(|_| Mutex::new(Vec::new())).collect(),
+            i32_free: (0..POOL_CLASSES).map(|_| Mutex::new(Vec::new())).collect(),
+            hits: std::sync::atomic::AtomicU64::new(0),
+            misses: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// A zeroed `f32` buffer of exactly `len` elements.
+    #[must_use]
+    pub fn acquire_f32(&self, len: usize) -> Vec<f32> {
+        let c = size_class(len);
+        if let Some(mut v) = self.f32_free[c].lock().unwrap().pop() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            v.clear();
+            v.resize(len, 0.0);
+            return v;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut v = Vec::with_capacity(len.max(1).next_power_of_two());
+        v.resize(len, 0.0);
+        v
+    }
+
+    /// A zeroed `i32` buffer of exactly `len` elements.
+    #[must_use]
+    pub fn acquire_i32(&self, len: usize) -> Vec<i32> {
+        let c = size_class(len);
+        if let Some(mut v) = self.i32_free[c].lock().unwrap().pop() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            v.clear();
+            v.resize(len, 0);
+            return v;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut v = Vec::with_capacity(len.max(1).next_power_of_two());
+        v.resize(len, 0);
+        v
+    }
+
+    /// Return an `f32` buffer's storage to the pool.
+    pub fn release_f32(&self, v: Vec<f32>) {
+        let cap = v.capacity();
+        if cap == 0 {
+            return;
+        }
+        let c = (cap.ilog2() as usize).min(POOL_CLASSES - 1);
+        let mut free = self.f32_free[c].lock().unwrap();
+        if free.len() < POOL_MAX_PER_CLASS {
+            free.push(v);
+        }
+    }
+
+    /// Return an `i32` buffer's storage to the pool.
+    pub fn release_i32(&self, v: Vec<i32>) {
+        let cap = v.capacity();
+        if cap == 0 {
+            return;
+        }
+        let c = (cap.ilog2() as usize).min(POOL_CLASSES - 1);
+        let mut free = self.i32_free[c].lock().unwrap();
+        if free.len() < POOL_MAX_PER_CLASS {
+            free.push(v);
+        }
+    }
+
+    /// `(hits, misses)` counters, cumulative since construction.
+    #[must_use]
+    pub fn counters(&self) -> (u64, u64) {
+        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
     }
 }
 
@@ -1809,6 +2503,8 @@ pub struct Runtime {
     compilations: std::sync::atomic::AtomicUsize,
     fuse: bool,
     backend: ExecBackend,
+    /// Shared by every kernel compiled through this runtime.
+    pool: Arc<BufferPool>,
 }
 
 impl Default for Runtime {
@@ -1840,7 +2536,15 @@ impl Runtime {
             compilations: std::sync::atomic::AtomicUsize::new(0),
             fuse,
             backend,
+            pool: Arc::new(BufferPool::new()),
         }
+    }
+
+    /// The size-classed scratch pool shared by every kernel this runtime
+    /// compiles (hit/miss counters feed `EngineStats`).
+    #[must_use]
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
     }
 
     /// This runtime's fusion setting.
@@ -1918,9 +2622,12 @@ impl Runtime {
         // Outside the stripe lock: a slow compilation never blocks lookups
         // of other keys in the same stripe, only co-claimants of this key.
         cell.get_or_init(|| {
-            let kernel = Arc::new(CompiledKernel::compile_opts(func, fuse, backend)?);
+            let mut kernel = CompiledKernel::compile_opts(func, fuse, backend)?;
+            // Kernels compiled through a runtime draw scratch from its
+            // shared pool rather than a private one.
+            kernel.pool = Arc::clone(&self.pool);
             self.compilations.fetch_add(1, Ordering::Relaxed);
-            Ok(kernel)
+            Ok(Arc::new(kernel))
         })
         .clone()
     }

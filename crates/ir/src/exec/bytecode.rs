@@ -32,7 +32,7 @@ use super::fuse::{self, LaneSpec};
 use super::{
     exec_accum_f, exec_mma, exec_store_f, exec_store_i, num_threads, BoolExpr, CBlock, CStmt,
     ExecError, FloatExpr, FloatOp, Frame, IndexExpr, IntExpr, IntOp, MmaOp, RawBuf, SendFrame,
-    TensorData, ValueExpr,
+    ValueExpr,
 };
 use std::collections::HashSet;
 use std::sync::Mutex;
@@ -675,11 +675,7 @@ fn run_range(
                 for d in len_dims {
                     len *= d.eval(fr)?;
                 }
-                let mut data = if *is_float {
-                    TensorData::F32(vec![0.0; len as usize])
-                } else {
-                    TensorData::I32(vec![0; len as usize])
-                };
+                let mut data = super::alloc_local(fr, *is_float, len as usize);
                 let view = RawBuf::of(&mut data);
                 fr.locals.push(data);
                 st.saved.push(fr.bufs[*buf as usize]);
@@ -688,7 +684,7 @@ fn run_range(
             }
             Instr::Free { buf } => {
                 fr.bufs[*buf as usize] = st.saved.pop().expect("alloc stack underflow");
-                fr.locals.pop();
+                super::free_local(fr);
                 ip += 1;
             }
             Instr::EvalV(v) => {
@@ -742,6 +738,7 @@ fn run_parallel(
                 scalars: fr.scalars.clone(),
                 bufs: fr.bufs.clone(),
                 locals: Vec::new(),
+                pool: None,
             });
             let first_err = &first_err;
             s.spawn(move || {

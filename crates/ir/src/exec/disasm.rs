@@ -42,6 +42,13 @@ pub(super) fn render(k: &CompiledKernel, code: &Code) -> String {
         let _ = writeln!(out, ";;   %{slot} = {name}");
     }
     let _ = writeln!(out, ";; superinstructions: {}", code.fused_ops());
+    out.push_str(";; memory plan:\n");
+    for (slot, e) in k.plan.entries.iter().enumerate() {
+        let dtype = if e.is_float { "f32" } else { "i32" };
+        let len = e.len.map_or_else(|| "?".to_string(), |l| l.to_string());
+        let kind = if e.local { " local pooled" } else { "" };
+        let _ = writeln!(out, ";;   @{slot} = {} : {dtype}[{len}]{kind}", e.name);
+    }
     out.push('\n');
     for (at, ins) in code.instrs().iter().enumerate() {
         let _ = writeln!(out, "{at:04}  {}", instr(ins));

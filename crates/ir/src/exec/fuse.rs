@@ -42,8 +42,8 @@
 //! model.
 
 use super::{
-    elem_load_f32, elem_store_f32, CStmt, ExecError, FloatExpr, FloatOp, Frame, IndexExpr, IntExpr,
-    IntOp, RawBuf,
+    elem_load_f32, elem_store_f32, CStmt, ColSeg, ExecError, FloatExpr, FloatOp, Frame, IndexExpr,
+    IntExpr, IntOp, RawBuf,
 };
 use std::collections::HashMap;
 
@@ -709,24 +709,50 @@ fn match_term(e: &FloatExpr, env: &StrideEnv) -> Option<TermSpec> {
 /// Resolved lane range of one buffer: every lane's element has been
 /// bounds-checked against both the declared shape and the bound storage.
 #[derive(Clone, Copy)]
-struct Lanes {
-    ptr: *mut f32,
-    base: i64,
-    stride: i64,
+enum Lanes {
+    /// Contiguous (or strided) run inside one allocation.
+    Contig { ptr: *mut f32, base: i64, stride: i64 },
+    /// Unit-stride run across a column-segmented binding that crosses a
+    /// segment boundary: each lane chases its own table entry.
+    Cols { table: *const ColSeg, row: usize, col0: usize },
 }
 
 impl Lanes {
+    /// SAFETY: `l < n` for the `n` this was resolved with; every lane was
+    /// bounds-checked by `resolve_lanes`.
     #[inline]
-    fn at(&self, l: i64) -> usize {
-        // In-bounds by resolve_lanes' endpoint checks plus linearity.
-        (self.base + self.stride * l) as usize
+    unsafe fn load(&self, l: i64) -> f32 {
+        match *self {
+            Lanes::Contig { ptr, base, stride } => elem_load_f32(ptr, (base + stride * l) as usize),
+            Lanes::Cols { table, row, col0 } => {
+                let e = &*table.add(col0 + l as usize);
+                elem_load_f32(e.ptr, row * e.stride as usize)
+            }
+        }
+    }
+
+    /// SAFETY: same contract as [`Lanes::load`]; the view's writability
+    /// was checked by `resolve_lanes(.., true)`.
+    #[inline]
+    unsafe fn store(&self, l: i64, v: f32) {
+        match *self {
+            Lanes::Contig { ptr, base, stride } => {
+                elem_store_f32(ptr, (base + stride * l) as usize, v);
+            }
+            Lanes::Cols { table, row, col0 } => {
+                let e = &*table.add(col0 + l as usize);
+                elem_store_f32(e.ptr, row * e.stride as usize, v);
+            }
+        }
     }
 }
 
 /// Resolve `view` for `n` lanes, validating every lane's bounds without
 /// raising: `None` means "run the generic loop instead" (which reproduces
-/// the exact interpreter error, if any).
-fn resolve_lanes(fr: &Frame, view: &LaneView, n: i64) -> Option<Lanes> {
+/// the exact interpreter error, if any). `for_store` additionally
+/// requires the binding to be writable, so stores into read-only
+/// segmented views fall back to the generic loop's error path.
+fn resolve_lanes(fr: &Frame, view: &LaneView, n: i64, for_store: bool) -> Option<Lanes> {
     let (flat, last_i, last_d) = view.index.eval_with_last(fr).ok()?;
     let span = view.stride.checked_mul(n - 1)?;
     let last_end = last_i.checked_add(span)?;
@@ -737,11 +763,75 @@ fn resolve_lanes(fr: &Frame, view: &LaneView, n: i64) -> Option<Lanes> {
     match fr.bufs[view.buf as usize] {
         RawBuf::F32 { ptr, len } => {
             let len = i64::try_from(len).ok()?;
-            (flat >= 0 && flat < len && flat_end >= 0 && flat_end < len).then_some(Lanes {
+            (flat >= 0 && flat < len && flat_end >= 0 && flat_end < len).then_some(Lanes::Contig {
                 ptr,
                 base: flat,
                 stride: view.stride,
             })
+        }
+        RawBuf::SegCols { table, width, rows, writable } => {
+            if for_store && !writable {
+                return None;
+            }
+            let w = i64::try_from(width).ok()?;
+            if w == 0 {
+                return None;
+            }
+            let len = w.checked_mul(i64::try_from(rows).ok()?)?;
+            if !(flat >= 0 && flat < len && flat_end >= 0 && flat_end < len) {
+                return None;
+            }
+            let (row, col0) = (flat / w, flat % w);
+            // SAFETY (both arms): col0 < width; the table is valid for
+            // the run.
+            match view.stride {
+                0 => {
+                    // Lane-invariant: one element, shared by all lanes.
+                    let e = unsafe { &*table.add(col0 as usize) };
+                    Some(Lanes::Contig { ptr: e.ptr, base: row * i64::from(e.stride), stride: 0 })
+                }
+                1 => {
+                    if col0 + n > w {
+                        // The run would cross a logical row: generic loop.
+                        return None;
+                    }
+                    let e = unsafe { &*table.add(col0 as usize) };
+                    if n <= i64::from(e.rem) {
+                        // The whole run stays inside one segment — serve
+                        // it as a plain contiguous range.
+                        Some(Lanes::Contig {
+                            ptr: e.ptr,
+                            base: row * i64::from(e.stride),
+                            stride: 1,
+                        })
+                    } else {
+                        Some(Lanes::Cols { table, row: row as usize, col0: col0 as usize })
+                    }
+                }
+                _ => None,
+            }
+        }
+        RawBuf::SegRows { segs, n_segs, seg_len, writable } => {
+            if for_store && !writable {
+                return None;
+            }
+            let sl = i64::try_from(seg_len).ok()?;
+            if sl == 0 {
+                return None;
+            }
+            let len = sl.checked_mul(i64::try_from(n_segs).ok()?)?;
+            if !(flat >= 0 && flat < len && flat_end >= 0 && flat_end < len) {
+                return None;
+            }
+            let (s, off) = (flat / sl, flat % sl);
+            let end_off = off.checked_add(span)?;
+            if end_off < 0 || end_off >= sl {
+                // The run would cross a segment boundary: generic loop.
+                return None;
+            }
+            // SAFETY: s < n_segs; the segment table is valid for the run.
+            let base = unsafe { (*segs.add(s as usize)).ptr };
+            Some(Lanes::Contig { ptr: base, base: off, stride: view.stride })
         }
         _ => None,
     }
@@ -803,16 +893,16 @@ impl LaneSpec {
         match &self.micro {
             Micro::FillLanes { dst, value } => {
                 let v = value.eval(fr).ok()? as f32;
-                let d = resolve_lanes(fr, dst, n)?;
+                let d = resolve_lanes(fr, dst, n, true)?;
                 for l in 0..n {
                     // SAFETY: resolve_lanes bounds-checked every lane.
-                    unsafe { elem_store_f32(d.ptr, d.at(l), v) };
+                    unsafe { d.store(l, v) };
                 }
                 Some(())
             }
             Micro::AxpyLanes { dst, term } => {
                 let (coeff, a, b) = resolve_term(fr, term, n)?;
-                let d = resolve_lanes(fr, dst, n)?;
+                let d = resolve_lanes(fr, dst, n, true)?;
                 let init_all = match lane_init {
                     LaneInit::All => true,
                     LaneInit::Never => false,
@@ -825,14 +915,14 @@ impl LaneSpec {
                     let base = f64::from(init32);
                     for l in 0..n {
                         let t = term_at(term.shape, coeff, a, b, l);
-                        unsafe { elem_store_f32(d.ptr, d.at(l), (base + t) as f32) };
+                        unsafe { d.store(l, (base + t) as f32) };
                     }
                 } else {
                     for l in 0..n {
                         let t = term_at(term.shape, coeff, a, b, l);
                         unsafe {
-                            let cur = f64::from(elem_load_f32(d.ptr, d.at(l)));
-                            elem_store_f32(d.ptr, d.at(l), (cur + t) as f32);
+                            let cur = f64::from(d.load(l));
+                            d.store(l, (cur + t) as f32);
                         }
                     }
                 }
@@ -840,11 +930,11 @@ impl LaneSpec {
             }
             Micro::DotLanes { dst, term } | Micro::GatherScaleAccumulate { dst, term } => {
                 let (coeff, a, b) = resolve_term(fr, term, n)?;
-                let d = resolve_lanes(fr, dst, n)?;
-                // SAFETY: d.at(0) is bounds-checked (stride 0 → one
+                let d = resolve_lanes(fr, dst, n, true)?;
+                // SAFETY: lane 0 is bounds-checked (stride 0 → one
                 // element); accumulation keeps the per-lane f32 round-trip
                 // the generic store/load pair performs.
-                let mut acc = unsafe { elem_load_f32(d.ptr, d.at(0)) };
+                let mut acc = unsafe { d.load(0) };
                 match lane_init {
                     LaneInit::Never => {
                         for l in 0..n {
@@ -868,7 +958,7 @@ impl LaneSpec {
                         }
                     }
                 }
-                unsafe { elem_store_f32(d.ptr, d.at(0), acc) };
+                unsafe { d.store(0, acc) };
                 Some(())
             }
         }
@@ -915,9 +1005,9 @@ fn resolve_term(fr: &Frame, term: &TermSpec, n: i64) -> Option<(f64, Lanes, Lane
         Some(c) => c.eval(fr).ok()?,
         None => 0.0,
     };
-    let a = resolve_lanes(fr, &term.a, n)?;
+    let a = resolve_lanes(fr, &term.a, n, false)?;
     let b = match &term.b {
-        Some(bv) => resolve_lanes(fr, bv, n)?,
+        Some(bv) => resolve_lanes(fr, bv, n, false)?,
         // Unused by shapes without a second operand; alias `a` so the
         // loop body stays branch-free.
         None => a,
@@ -932,25 +1022,13 @@ fn term_at(shape: TermShape, coeff: f64, a: Lanes, b: Lanes, l: i64) -> f64 {
     // SAFETY: lane indices were bounds-checked by resolve_lanes.
     unsafe {
         match shape {
-            TermShape::AOnly => f64::from(elem_load_f32(a.ptr, a.at(l))),
-            TermShape::CoeffA => coeff * f64::from(elem_load_f32(a.ptr, a.at(l))),
-            TermShape::ACoeff => f64::from(elem_load_f32(a.ptr, a.at(l))) * coeff,
-            TermShape::AB => {
-                f64::from(elem_load_f32(a.ptr, a.at(l))) * f64::from(elem_load_f32(b.ptr, b.at(l)))
-            }
-            TermShape::CoeffAB => {
-                (coeff * f64::from(elem_load_f32(a.ptr, a.at(l))))
-                    * f64::from(elem_load_f32(b.ptr, b.at(l)))
-            }
-            TermShape::ACoeffB => {
-                (f64::from(elem_load_f32(a.ptr, a.at(l))) * coeff)
-                    * f64::from(elem_load_f32(b.ptr, b.at(l)))
-            }
-            TermShape::CoeffParenAB => {
-                coeff
-                    * (f64::from(elem_load_f32(a.ptr, a.at(l)))
-                        * f64::from(elem_load_f32(b.ptr, b.at(l))))
-            }
+            TermShape::AOnly => f64::from(a.load(l)),
+            TermShape::CoeffA => coeff * f64::from(a.load(l)),
+            TermShape::ACoeff => f64::from(a.load(l)) * coeff,
+            TermShape::AB => f64::from(a.load(l)) * f64::from(b.load(l)),
+            TermShape::CoeffAB => (coeff * f64::from(a.load(l))) * f64::from(b.load(l)),
+            TermShape::ACoeffB => (f64::from(a.load(l)) * coeff) * f64::from(b.load(l)),
+            TermShape::CoeffParenAB => coeff * (f64::from(a.load(l)) * f64::from(b.load(l))),
         }
     }
 }

@@ -67,7 +67,8 @@ pub mod prelude {
     pub use crate::dtype::DType;
     pub use crate::eval::{eval_func, eval_func_counting, scalar_map, OpKind, TensorData};
     pub use crate::exec::{
-        backend_default, exec_func, fusion_default, CompiledKernel, ExecBackend, ExecError, Runtime,
+        backend_default, exec_func, fusion_default, BoundArg, BufferPool, ColsView, CompiledKernel,
+        ExecBackend, ExecError, MemoryPlan, PlanEntry, RowsView, Runtime, ViewBindings,
     };
     pub use crate::expr::{BinOp, Expr, Intrinsic, Var};
     pub use crate::func::PrimFunc;

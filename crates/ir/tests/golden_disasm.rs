@@ -84,6 +84,23 @@ fn hyb_spmm_disassembly_is_stable() {
 }
 
 #[test]
+fn segmented_batch_spmm_disassembly_is_stable() {
+    // The widened kernel the zero-copy view path compiles for a stacked
+    // batch of riders (widths 4 + 2 → feat 6, vec runs widened by the
+    // same rule as `spmm_execute_views_on`). The batch binds per-rider
+    // column segments at launch time — bindings never appear in a
+    // listing — so this pins the program those segmented views execute:
+    // one flat-indexed buffer per operand, resolved through the segment
+    // table at run time.
+    let a = fixture_csr();
+    let feat: usize = 6;
+    let mut cfg = SpmmConfig::default_csr();
+    cfg.params.vec_width = cfg.params.vec_width.max(feat.div_ceil(8));
+    let (f, _) = prepare_spmm_structure(&a, feat, &cfg).expect("builds");
+    check_golden("csr_spmm_wide_batch", &f);
+}
+
+#[test]
 fn batched_sddmm_disassembly_is_stable() {
     let a = fixture_csr();
     let f = batched_sddmm_ir(&a, 2, 4).expect("builds");

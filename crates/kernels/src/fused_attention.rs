@@ -231,6 +231,104 @@ pub fn fused_attention_execute_on(
     }
 }
 
+/// Serve stacked multi-head attention with every dense operand bound as
+/// a segmented view over per-head rider storage — the zero-copy
+/// counterpart of [`fused_attention_execute_on`]. Head `h` contributes
+/// `qs[h]` (`rows × k`) as columns `[h·k, (h+1)·k)` of the logical `Q`,
+/// `kts[h]` (`k × cols`) as the `h`-th row segment of the logical `KT`,
+/// `vs[h]` (`cols × vfeat`) as columns of the logical `V`, and the
+/// kernel writes head `h`'s aggregation directly into `outs[h]`
+/// (`rows × vfeat`, zero-filled). The softmax intermediates `S`/`M`/`P`/
+/// `Sum` come from the runtime's [`BufferPool`] instead of fresh
+/// allocations, and on the `SPARSETIR_NO_FUSE` pipeline route they move
+/// between launches without copies. Outputs are bit-identical to the
+/// stacked-operand entry points: views change only address resolution,
+/// never pass order.
+///
+/// # Errors
+/// Returns an error on operand-shape mismatches (all slices must be the
+/// same non-zero length with uniform `(k, vfeat)`) and propagates
+/// lowering/execution errors.
+pub fn fused_attention_views_on(
+    rt: &Runtime,
+    a: &Csr,
+    qs: &[&Dense],
+    kts: &[&Dense],
+    vs: &[&Dense],
+    outs: &mut [Dense],
+) -> KernelResult<()> {
+    let heads = qs.len();
+    if heads == 0 {
+        return Err("fused attention: zero heads".into());
+    }
+    let (k, vfeat) = (qs[0].cols(), vs[0].cols());
+    let pool = rt.pool().clone();
+    let mut b = Bindings::new();
+    bind_csr(&mut b, "A", "J", a);
+    b.insert("S".to_string(), TensorData::from(pool.acquire_f32(a.nnz() * heads)));
+    b.insert("M".to_string(), TensorData::from(pool.acquire_f32(a.rows() * heads)));
+    b.insert("P".to_string(), TensorData::from(pool.acquire_f32(a.nnz() * heads)));
+    b.insert("Sum".to_string(), TensorData::from(pool.acquire_f32(a.rows() * heads)));
+    let q_segs: Vec<(&[f32], usize)> = qs.iter().map(|q| (q.data(), q.cols())).collect();
+    let kt_segs: Vec<&[f32]> = kts.iter().map(|t| t.data()).collect();
+    let v_segs: Vec<(&[f32], usize)> = vs.iter().map(|v| (v.data(), v.cols())).collect();
+    let scalars = HashMap::new();
+    let result = (|| -> KernelResult<()> {
+        if rt.fusion() {
+            // One fused launch: Q/KT/V/Out as views, scratch from the pool.
+            let f = fused_attention_ir(a, heads, k, vfeat)?;
+            let kernel = rt.compile(&f)?;
+            let mut views = ViewBindings::from_tensors(&mut b);
+            views.bind_cols("Q", ColsView::read(a.rows(), &q_segs)?);
+            views.bind_rows("KT", RowsView::read(k * a.cols(), &kt_segs)?);
+            views.bind_cols("V", ColsView::read(a.cols(), &v_segs)?);
+            let out_segs: Vec<(&mut [f32], usize)> = outs
+                .iter_mut()
+                .map(|o| {
+                    let w = o.cols();
+                    (o.data_mut(), w)
+                })
+                .collect();
+            views.bind_cols("Out", ColsView::write(a.rows(), out_segs)?);
+            kernel.run_views(&scalars, &mut views)?;
+            return Ok(());
+        }
+        // Pipeline route: three launches sharing one binding map, so the
+        // intermediates (`S`, then `P`/`Sum`) stay in place between
+        // launches instead of round-tripping through fresh copies.
+        let score = rt.compile(&attention_score_ir(a, heads, k)?)?;
+        {
+            let mut views = ViewBindings::from_tensors(&mut b);
+            views.bind_cols("Q", ColsView::read(a.rows(), &q_segs)?);
+            views.bind_rows("KT", RowsView::read(k * a.cols(), &kt_segs)?);
+            score.run_views(&scalars, &mut views)?;
+        }
+        let softmax = rt.compile(&edge_softmax_ir(a, heads)?)?;
+        softmax.run_views(&scalars, &mut ViewBindings::from_tensors(&mut b))?;
+        let agg = rt.compile(&attention_aggregate_ir(a, heads, vfeat)?)?;
+        {
+            let mut views = ViewBindings::from_tensors(&mut b);
+            views.bind_cols("V", ColsView::read(a.cols(), &v_segs)?);
+            let out_segs: Vec<(&mut [f32], usize)> = outs
+                .iter_mut()
+                .map(|o| {
+                    let w = o.cols();
+                    (o.data_mut(), w)
+                })
+                .collect();
+            views.bind_cols("Out", ColsView::write(a.rows(), out_segs)?);
+            agg.run_views(&scalars, &mut views)?;
+        }
+        Ok(())
+    })();
+    for name in ["S", "M", "P", "Sum"] {
+        if let Some(TensorData::F32(v)) = b.remove(name) {
+            pool.release_f32(v);
+        }
+    }
+    result
+}
+
 /// Pure-Rust reference: per-row masked softmax attention with f64
 /// accumulation throughout (no intermediate f32 rounding), for
 /// relative-epsilon validation of both kernel paths. Empty rows produce

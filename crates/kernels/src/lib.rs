@@ -13,9 +13,10 @@
 //!   simulator (the substitution for the paper's hardware runs).
 //!
 //! Both faces are unified behind the generic [`op::SparseOp`] layer: one
-//! descriptor per operator with a uniform `plans()` face, a batching
-//! contract (`can_batch`/`stack`/`split`) and a reference-executor hook,
-//! so the autotuner and the serving engine are op-agnostic.
+//! descriptor per operator with a uniform `plans()` face, a zero-copy
+//! batching contract (`can_batch`/`assemble`/`launch`/`outputs`) and a
+//! reference-executor hook, so the autotuner and the serving engine are
+//! op-agnostic.
 
 #![warn(missing_docs)]
 
@@ -41,7 +42,7 @@ pub mod prelude {
     pub use crate::fused_attention::{
         attention_aggregate_ir, attention_pipeline_launch, attention_score_ir, edge_softmax_ir,
         fused_attention_execute_on, fused_attention_ir, fused_attention_launch,
-        fused_attention_plans, fused_attention_reference,
+        fused_attention_plans, fused_attention_reference, fused_attention_views_on,
     };
     pub use crate::fused_sage::{
         fused_sage_execute_on, fused_sage_ir, fused_sage_launch, fused_sage_pipeline_launch,
@@ -49,9 +50,9 @@ pub mod prelude {
     };
     pub use crate::fusedmm::{fusedmm_execute, fusedmm_plan, fusedmm_reference, unfused_plans};
     pub use crate::op::{
-        AttentionOp, AttentionOpConfig, AttnHead, FusedAttentionConfig, FusedAttentionOp,
-        FusedSageConfig, FusedSageOp, OpConfig, OpError, RgmsOp, RgmsOperands, SddmmOp,
-        SddmmStacked, SparseOp, SpmmOp,
+        copy_batch_default, AttentionOp, AttentionOpConfig, AttnHead, FusedAttentionConfig,
+        FusedAttentionOp, FusedSageConfig, FusedSageOp, OpConfig, OpError, RgmsOp, RgmsOperands,
+        SddmmOp, SddmmStacked, SparseOp, SpmmOp,
     };
     pub use crate::prune::{
         bsr_weight_spmm_plan, dbsr_weight_spmm_plan, srbcrs_weight_spmm_plan,
@@ -62,16 +63,18 @@ pub mod prelude {
         two_stage_footprint_bytes, RgmsWorkload, RGMS_TC_EFFICIENCY,
     };
     pub use crate::sddmm::{
-        sddmm_batched_execute, sddmm_batched_execute_on, sddmm_execute, sddmm_execute_on, sddmm_ir,
-        sddmm_param_candidates, sddmm_plan, sddmm_row_parallel_plan, tuned_sddmm_time, SddmmParams,
+        sddmm_batched_execute, sddmm_batched_execute_on, sddmm_execute, sddmm_execute_on,
+        sddmm_execute_views_on, sddmm_ir, sddmm_param_candidates, sddmm_plan,
+        sddmm_row_parallel_plan, tuned_sddmm_time, SddmmParams,
     };
     pub use crate::sparse_conv::{
         conv_reference, sparsetir_conv_plan, torchsparse_plans, ConvMaps,
     };
     pub use crate::spmm::{
         csr_spmm_execute, csr_spmm_interpret, csr_spmm_ir, csr_spmm_ir_with, csr_spmm_plan,
-        hyb_spmm_plans, hyb_spmm_time, prepare_spmm, spmm_batched_execute, spmm_batched_execute_on,
-        tuned_spmm_execute, tuned_spmm_execute_on, tuned_spmm_plans, tuned_spmm_time,
-        CsrSpmmParams, PreparedSpmm, SpmmConfig,
+        hyb_spmm_plans, hyb_spmm_time, prepare_spmm, prepare_spmm_structure, spmm_batched_execute,
+        spmm_batched_execute_on, spmm_execute_views_on, tuned_spmm_execute, tuned_spmm_execute_on,
+        tuned_spmm_plans, tuned_spmm_time, CsrSpmmParams, PreparedSpmm, SpmmConfig,
     };
+    pub use sparsetir_core::prelude::{bytes_copied_on_thread, count_bytes_copied};
 }

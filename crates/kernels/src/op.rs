@@ -10,10 +10,16 @@
 //!   tunable [`SparseOp::Config`], with a uniform
 //!   [`plans`](SparseOp::plans) face for the GPU simulator;
 //! * a **batching contract** — [`can_batch`](SparseOp::can_batch) plus
-//!   [`stack`](SparseOp::stack) / [`split`](SparseOp::split), so a
-//!   serving engine can fold requests sharing an adjacency fingerprint
-//!   into one widened kernel launch and split the results back
-//!   bit-identically;
+//!   [`assemble`](SparseOp::assemble) / [`launch`](SparseOp::launch) /
+//!   [`outputs`](SparseOp::outputs), so a serving engine can fold
+//!   requests sharing an adjacency fingerprint into one widened kernel
+//!   launch **without copying operands**: the kernel binds each rider's
+//!   storage directly through segmented views and writes each result
+//!   into its rider's own output buffer. The older copying contract
+//!   ([`stack`](SparseOp::stack) /
+//!   [`launch_stacked`](SparseOp::launch_stacked) /
+//!   [`split`](SparseOp::split)) stays compiled behind the
+//!   `SPARSETIR_COPY_BATCH` kill switch as the bit-identity oracle;
 //! * a **reference hook** ([`reference`](SparseOp::reference)) for
 //!   differential testing of every execution path against the smat
 //!   oracles.
@@ -35,17 +41,27 @@
 //!   back per request. This amortizes both the per-launch fixed costs
 //!   (program build, lowering, IR fingerprinting, dispatch) and the
 //!   shared coordinate walk across the batch.
+//!
+//! Both strategies execute **zero-copy** by default: instead of
+//! memcpy'ing riders into one stacked operand and slicing the wide
+//! result back, the kernel's buffer slots bind to ordered segment lists
+//! over the riders' own storage (`ColsView`/`RowsView` from
+//! `sparsetir-ir`), and outputs land directly in per-rider buffers.
+//! Dense rider bytes memcpy'd by the batching layer are tallied on the
+//! `bytes_copied` thread counter (`sparsetir-core`), which the view
+//! paths leave at zero.
 
 use crate::attention::{batched_bsr_spmm_plan, batched_csr_spmm_plan, SPARSETIR_BSR_EFFICIENCY};
 use crate::common::{gemm_plan, F32};
 use crate::fused_attention::{
     fused_attention_execute_on, fused_attention_plans, fused_attention_reference,
+    fused_attention_views_on,
 };
 use crate::fused_sage::{fused_sage_execute_on, fused_sage_reference};
 use crate::rgms::{rgms_hyb_plan, rgms_naive_plan, RgmsWorkload};
-use crate::sddmm::{sddmm_execute_on, sddmm_plan, SddmmParams};
-use crate::spmm::{tuned_spmm_execute_on, tuned_spmm_plans, SpmmConfig};
-use sparsetir_core::data::{bind_csr, bind_dense, bind_zeros, Bindings};
+use crate::sddmm::{sddmm_execute_views_on, sddmm_plan, SddmmParams};
+use crate::spmm::{spmm_execute_views_on, tuned_spmm_execute_on, tuned_spmm_plans, SpmmConfig};
+use sparsetir_core::data::{bind_csr, bind_dense, bind_zeros, count_bytes_copied, Bindings};
 use sparsetir_gpusim::prelude::KernelPlan;
 use sparsetir_ir::exec::Runtime;
 use sparsetir_smat::prelude::*;
@@ -70,10 +86,15 @@ pub trait SparseOp {
     type Output: Send + 'static;
     /// Tunable configuration (format decomposition + schedule knobs).
     type Config: Clone + Send + Sync + PartialEq + std::fmt::Debug + 'static;
-    /// A batch of requests folded into one widened launch.
+    /// A batch of requests folded into one widened launch (the copying
+    /// `SPARSETIR_COPY_BATCH` oracle path).
     type Stacked: Send;
     /// The raw result of a widened launch, before [`split`](SparseOp::split).
     type Wide: Send;
+    /// Per-rider output buffers of a zero-copy view launch, allocated by
+    /// [`assemble`](SparseOp::assemble) and written in place by
+    /// [`launch`](SparseOp::launch).
+    type Assembled: Send;
 
     /// Stable kind tag (`"spmm"`, `"sddmm"`, …) — tune-cache key material
     /// and display label.
@@ -112,18 +133,53 @@ pub trait SparseOp {
     /// fingerprints; this only checks request-shape compatibility.
     fn can_batch(lhs: &Self::Operands, rhs: &Self::Operands) -> bool;
 
+    /// Allocate the per-rider output buffers of one zero-copy view
+    /// launch over a batch (length ≥ 2, pairwise
+    /// [`can_batch`](SparseOp::can_batch)). No operand bytes move here —
+    /// only result storage is created, zero-filled, in the layout
+    /// [`outputs`](SparseOp::outputs) hands back per request.
+    ///
+    /// # Errors
+    /// Reports batch-shape violations (the same conditions
+    /// [`stack`](SparseOp::stack) rejects).
+    fn assemble(adj: &Self::Adj, reqs: &[Self::Operands]) -> Result<Self::Assembled, OpError>;
+
+    /// Run one widened launch through `rt`'s kernel cache with every
+    /// dense rider operand bound as a segmented view over the request's
+    /// own storage and results written in place into `asm` — the
+    /// zero-copy batching primitive.
+    ///
+    /// # Errors
+    /// Propagates lowering/compilation/execution errors.
+    fn launch(
+        rt: &Runtime,
+        adj: &Self::Adj,
+        reqs: &[Self::Operands],
+        asm: &mut Self::Assembled,
+        config: &Self::Config,
+    ) -> Result<(), OpError>;
+
+    /// Hand the assembled buffers back per request, preserving order.
+    /// `reqs` carries the per-request grouping (head counts) that the
+    /// flat assembly does not.
+    fn outputs(asm: Self::Assembled, reqs: &[Self::Operands]) -> Vec<Self::Output>;
+
     /// Fold a batch (length ≥ 2, pairwise [`can_batch`](SparseOp::can_batch))
-    /// into one widened launch operand.
+    /// into one widened launch operand — the copying
+    /// `SPARSETIR_COPY_BATCH` oracle path; every rider byte it moves is
+    /// tallied on the `bytes_copied` thread counter.
     ///
     /// # Errors
     /// Propagates operand-assembly failures.
     fn stack(adj: &Self::Adj, reqs: &[Self::Operands]) -> Result<Self::Stacked, OpError>;
 
-    /// Run one widened launch through `rt`'s kernel cache.
+    /// Run one widened launch over stacked (copied) operands through
+    /// `rt`'s kernel cache — the copying oracle counterpart of
+    /// [`launch`](SparseOp::launch).
     ///
     /// # Errors
     /// Propagates lowering/compilation/execution errors.
-    fn launch(
+    fn launch_stacked(
         rt: &Runtime,
         adj: &Self::Adj,
         stacked: &Self::Stacked,
@@ -153,10 +209,13 @@ pub trait SparseOp {
     fn reference(adj: &Self::Adj, req: &Self::Operands) -> Result<Self::Output, OpError>;
 
     /// Execute a batch of requests as one widened kernel launch (the
-    /// serving engine's primitive): validate → [`stack`](SparseOp::stack) →
-    /// [`launch`](SparseOp::launch) → [`split`](SparseOp::split), with a
-    /// copy-free fast path for batches of one. Results are bit-identical
-    /// to executing each request alone.
+    /// serving engine's primitive): validate →
+    /// [`assemble`](SparseOp::assemble) → [`launch`](SparseOp::launch) →
+    /// [`outputs`](SparseOp::outputs), with a copy-free fast path for
+    /// batches of one. Results are bit-identical to executing each
+    /// request alone. Batching mode follows [`copy_batch_default`]: the
+    /// `SPARSETIR_COPY_BATCH` environment variable reroutes through the
+    /// copying stack/split oracle.
     ///
     /// # Errors
     /// Reports the index of the first invalid request or the first
@@ -167,6 +226,25 @@ pub trait SparseOp {
         adj: &Self::Adj,
         reqs: &[Self::Operands],
         config: &Self::Config,
+    ) -> Result<Vec<Self::Output>, OpError> {
+        Self::execute_batch_mode_on(rt, adj, reqs, config, copy_batch_default())
+    }
+
+    /// [`execute_batch_on`](SparseOp::execute_batch_on) with the batching
+    /// mode chosen by the caller instead of the environment: `copy =
+    /// false` runs the zero-copy view path, `copy = true` the copying
+    /// stack/split oracle. Both produce bit-identical results; the
+    /// serving engine threads its own `copy_batch` configuration through
+    /// here so differential tests stay free of environment races.
+    ///
+    /// # Errors
+    /// Like [`execute_batch_on`](SparseOp::execute_batch_on).
+    fn execute_batch_mode_on(
+        rt: &Runtime,
+        adj: &Self::Adj,
+        reqs: &[Self::Operands],
+        config: &Self::Config,
+        copy: bool,
     ) -> Result<Vec<Self::Output>, OpError> {
         for (i, req) in reqs.iter().enumerate() {
             Self::validate(adj, req)
@@ -183,10 +261,15 @@ pub trait SparseOp {
         match reqs {
             [] => Ok(Vec::new()),
             [one] => Ok(vec![Self::launch_one(rt, adj, one, config)?]),
-            many => {
+            many if copy => {
                 let stacked = Self::stack(adj, many)?;
-                let wide = Self::launch(rt, adj, &stacked, config)?;
+                let wide = Self::launch_stacked(rt, adj, &stacked, config)?;
                 Ok(Self::split(wide, many))
+            }
+            many => {
+                let mut asm = Self::assemble(adj, many)?;
+                Self::launch(rt, adj, many, &mut asm, config)?;
+                Ok(Self::outputs(asm, many))
             }
         }
     }
@@ -256,8 +339,18 @@ op_config_conversions!(Rgms, u32);
 op_config_conversions!(FusedAttention, FusedAttentionConfig);
 op_config_conversions!(FusedSage, FusedSageConfig);
 
+/// Batching-mode default for [`SparseOp::execute_batch_on`] and new
+/// serving engines: zero-copy view batching, unless the
+/// `SPARSETIR_COPY_BATCH` environment variable is set — the kill switch
+/// that keeps the copying stack/split path live as the bit-identity
+/// oracle.
+#[must_use]
+pub fn copy_batch_default() -> bool {
+    std::env::var_os("SPARSETIR_COPY_BATCH").is_some()
+}
+
 // ---------------------------------------------------------------------------
-// Column stacking (shared by SpMM and multi-head attention)
+// Column stacking (the copying oracle, shared by SpMM and attention)
 // ---------------------------------------------------------------------------
 
 /// Concatenate dense operands column-wise into one `(rows × Σ wᵢ)`
@@ -265,6 +358,7 @@ op_config_conversions!(FusedSage, FusedSageConfig);
 fn stack_columns<'a>(rows: usize, xs: impl Iterator<Item = &'a Dense>) -> Dense {
     let xs: Vec<&Dense> = xs.collect();
     let total: usize = xs.iter().map(|x| x.cols()).sum();
+    count_bytes_copied((rows * total) as u64 * 4);
     let mut stacked = Dense::zeros(rows, total);
     let mut offset = 0;
     for x in xs {
@@ -282,6 +376,7 @@ fn stack_columns<'a>(rows: usize, xs: impl Iterator<Item = &'a Dense>) -> Dense 
 /// Slice a wide output back into per-width results (the mirror of
 /// [`stack_columns`]).
 fn split_columns(wide: &Dense, widths: &[usize]) -> Vec<Dense> {
+    count_bytes_copied((wide.rows() * widths.iter().sum::<usize>()) as u64 * 4);
     let mut results = Vec::with_capacity(widths.len());
     let mut offset = 0;
     for &w in widths {
@@ -332,6 +427,7 @@ impl SparseOp for SpmmOp {
     type Config = SpmmConfig;
     type Stacked = Dense;
     type Wide = Dense;
+    type Assembled = Vec<Dense>;
 
     fn kind() -> &'static str {
         "spmm"
@@ -370,11 +466,30 @@ impl SparseOp for SpmmOp {
         true
     }
 
+    fn assemble(adj: &Csr, reqs: &[Dense]) -> Result<Vec<Dense>, OpError> {
+        Ok(reqs.iter().map(|x| Dense::zeros(adj.rows(), x.cols())).collect())
+    }
+
+    fn launch(
+        rt: &Runtime,
+        adj: &Csr,
+        reqs: &[Dense],
+        asm: &mut Vec<Dense>,
+        config: &SpmmConfig,
+    ) -> Result<(), OpError> {
+        let xs: Vec<&Dense> = reqs.iter().collect();
+        spmm_execute_views_on(rt, adj, &xs, asm, config)
+    }
+
+    fn outputs(asm: Vec<Dense>, _reqs: &[Dense]) -> Vec<Dense> {
+        asm
+    }
+
     fn stack(adj: &Csr, reqs: &[Dense]) -> Result<Dense, OpError> {
         Ok(stack_columns(adj.cols(), reqs.iter()))
     }
 
-    fn launch(
+    fn launch_stacked(
         rt: &Runtime,
         adj: &Csr,
         stacked: &Dense,
@@ -397,7 +512,13 @@ impl SparseOp for SpmmOp {
         if req.cols() == 0 {
             return Ok(Dense::zeros(adj.rows(), 0));
         }
-        tuned_spmm_execute_on(rt, adj, req, config)
+        // The batch-of-one fast path rides the same single-segment view
+        // kernel: the operand binds in place and the result lands
+        // directly in the request's output buffer — zero copies end to
+        // end.
+        let mut outs = vec![Dense::zeros(adj.rows(), req.cols())];
+        spmm_execute_views_on(rt, adj, &[req], &mut outs, config)?;
+        Ok(outs.pop().expect("one output per request"))
     }
 
     fn reference(adj: &Csr, req: &Dense) -> Result<Dense, OpError> {
@@ -439,6 +560,7 @@ impl SparseOp for SddmmOp {
     type Config = SddmmParams;
     type Stacked = SddmmStacked;
     type Wide = Vec<f32>;
+    type Assembled = Vec<Vec<f32>>;
 
     fn kind() -> &'static str {
         "sddmm"
@@ -484,6 +606,24 @@ impl SparseOp for SddmmOp {
         lhs.0.cols() == rhs.0.cols()
     }
 
+    fn assemble(adj: &Csr, reqs: &[(Dense, Dense)]) -> Result<Vec<Vec<f32>>, OpError> {
+        Ok(reqs.iter().map(|_| vec![0.0f32; adj.nnz()]).collect())
+    }
+
+    fn launch(
+        rt: &Runtime,
+        adj: &Csr,
+        reqs: &[(Dense, Dense)],
+        asm: &mut Vec<Vec<f32>>,
+        _config: &SddmmParams,
+    ) -> Result<(), OpError> {
+        sddmm_execute_views_on(rt, adj, reqs, asm)
+    }
+
+    fn outputs(asm: Vec<Vec<f32>>, _reqs: &[(Dense, Dense)]) -> Vec<Vec<f32>> {
+        asm
+    }
+
     fn stack(adj: &Csr, reqs: &[(Dense, Dense)]) -> Result<SddmmStacked, OpError> {
         let heads = reqs.len();
         let k = reqs[0].0.cols();
@@ -496,10 +636,11 @@ impl SparseOp for SddmmOp {
                 y.row_mut(h * k + r).copy_from_slice(yh.row(r));
             }
         }
+        count_bytes_copied(y.data().len() as u64 * 4);
         Ok(SddmmStacked { x, y, heads })
     }
 
-    fn launch(
+    fn launch_stacked(
         rt: &Runtime,
         adj: &Csr,
         stacked: &SddmmStacked,
@@ -516,7 +657,9 @@ impl SparseOp for SddmmOp {
         bind_dense(&mut bindings, "Y", &stacked.y);
         bind_zeros(&mut bindings, "Bout", adj.nnz() * heads);
         rt.compile(&f)?.run(&HashMap::new(), &mut bindings)?;
-        Ok(bindings["Bout"].as_f32().to_vec())
+        let wide = bindings["Bout"].as_f32().to_vec();
+        count_bytes_copied(wide.len() as u64 * 4);
+        Ok(wide)
     }
 
     fn split(wide: Vec<f32>, reqs: &[(Dense, Dense)]) -> Vec<Vec<f32>> {
@@ -526,6 +669,7 @@ impl SparseOp for SddmmOp {
         if heads == 0 {
             return Vec::new();
         }
+        count_bytes_copied(wide.len() as u64 * 4);
         let nnz = wide.len() / heads;
         (0..heads).map(|h| (0..nnz).map(|e| wide[e * heads + h]).collect()).collect()
     }
@@ -533,10 +677,15 @@ impl SparseOp for SddmmOp {
     fn launch_one(
         rt: &Runtime,
         adj: &Csr,
-        (x, y): &(Dense, Dense),
+        req: &(Dense, Dense),
         _config: &SddmmParams,
     ) -> Result<Vec<f32>, OpError> {
-        sddmm_execute_on(rt, adj, x, y)
+        // Batch-of-one fast path through the view kernel: operands bind
+        // in place, the per-non-zero scores land directly in the
+        // request's own buffer.
+        let mut outs = vec![vec![0.0f32; adj.nnz()]];
+        sddmm_execute_views_on(rt, adj, std::slice::from_ref(req), &mut outs)?;
+        Ok(outs.pop().expect("one output per request"))
     }
 
     fn reference(adj: &Csr, (x, y): &(Dense, Dense)) -> Result<Vec<f32>, OpError> {
@@ -581,6 +730,7 @@ impl SparseOp for AttentionOp {
     type Config = AttentionOpConfig;
     type Stacked = Dense;
     type Wide = Dense;
+    type Assembled = Vec<Dense>;
 
     fn kind() -> &'static str {
         "attention"
@@ -632,11 +782,31 @@ impl SparseOp for AttentionOp {
         true
     }
 
+    fn assemble(adj: &Csr, reqs: &[Vec<Dense>]) -> Result<Vec<Dense>, OpError> {
+        Ok(reqs.iter().flatten().map(|x| Dense::zeros(adj.rows(), x.cols())).collect())
+    }
+
+    fn launch(
+        rt: &Runtime,
+        adj: &Csr,
+        reqs: &[Vec<Dense>],
+        asm: &mut Vec<Dense>,
+        config: &AttentionOpConfig,
+    ) -> Result<(), OpError> {
+        let xs: Vec<&Dense> = reqs.iter().flatten().collect();
+        spmm_execute_views_on(rt, adj, &xs, asm, &config.spmm)
+    }
+
+    fn outputs(asm: Vec<Dense>, reqs: &[Vec<Dense>]) -> Vec<Vec<Dense>> {
+        let mut heads = asm.into_iter();
+        reqs.iter().map(|req| heads.by_ref().take(req.len()).collect()).collect()
+    }
+
     fn stack(adj: &Csr, reqs: &[Vec<Dense>]) -> Result<Dense, OpError> {
         Ok(stack_columns(adj.cols(), reqs.iter().flatten()))
     }
 
-    fn launch(
+    fn launch_stacked(
         rt: &Runtime,
         adj: &Csr,
         stacked: &Dense,
@@ -657,11 +827,12 @@ impl SparseOp for AttentionOp {
         req: &Vec<Dense>,
         config: &AttentionOpConfig,
     ) -> Result<Vec<Dense>, OpError> {
-        // A single multi-head request is already a batch over its heads.
-        let stacked = stack_columns(adj.cols(), req.iter());
-        let wide = launch_stacked_spmm(rt, adj, &stacked, &config.spmm)?;
-        let widths: Vec<usize> = req.iter().map(Dense::cols).collect();
-        Ok(split_columns(&wide, &widths))
+        // A single multi-head request is already a batch over its heads;
+        // the heads bind as view segments of one widened launch.
+        let mut outs: Vec<Dense> = req.iter().map(|x| Dense::zeros(adj.rows(), x.cols())).collect();
+        let xs: Vec<&Dense> = req.iter().collect();
+        spmm_execute_views_on(rt, adj, &xs, &mut outs, &config.spmm)?;
+        Ok(outs)
     }
 
     fn reference(adj: &Csr, req: &Vec<Dense>) -> Result<Vec<Dense>, OpError> {
@@ -699,6 +870,7 @@ impl SparseOp for RgmsOp {
     type Config = u32;
     type Stacked = ();
     type Wide = Dense;
+    type Assembled = ();
 
     fn kind() -> &'static str {
         "rgms"
@@ -752,11 +924,29 @@ impl SparseOp for RgmsOp {
         false
     }
 
-    fn stack(_adj: &RgmsWorkload, _reqs: &[RgmsOperands]) -> Result<(), OpError> {
+    fn assemble(_adj: &RgmsWorkload, _reqs: &[RgmsOperands]) -> Result<(), OpError> {
         Err("rgms requests do not batch".into())
     }
 
     fn launch(
+        _rt: &Runtime,
+        _adj: &RgmsWorkload,
+        _reqs: &[RgmsOperands],
+        _asm: &mut (),
+        _config: &u32,
+    ) -> Result<(), OpError> {
+        Err("rgms requests do not batch".into())
+    }
+
+    fn outputs(_asm: (), _reqs: &[RgmsOperands]) -> Vec<Dense> {
+        Vec::new()
+    }
+
+    fn stack(_adj: &RgmsWorkload, _reqs: &[RgmsOperands]) -> Result<(), OpError> {
+        Err("rgms requests do not batch".into())
+    }
+
+    fn launch_stacked(
         _rt: &Runtime,
         _adj: &RgmsWorkload,
         _stacked: &(),
@@ -857,6 +1047,7 @@ impl SparseOp for FusedAttentionOp {
     type Config = FusedAttentionConfig;
     type Stacked = FusedAttnStacked;
     type Wide = Dense;
+    type Assembled = Vec<Dense>;
 
     fn kind() -> &'static str {
         "fused_attention"
@@ -929,6 +1120,37 @@ impl SparseOp for FusedAttentionOp {
         }
     }
 
+    fn assemble(adj: &Csr, reqs: &[Vec<AttnHead>]) -> Result<Vec<Dense>, OpError> {
+        let heads: Vec<&AttnHead> = reqs.iter().flatten().collect();
+        let shapes: Vec<(usize, usize)> = heads.iter().map(|h| (h.q.cols(), h.v.cols())).collect();
+        if shapes.windows(2).any(|w| w[0] != w[1]) {
+            return Err("fused attention: mixed (k, vfeat) shapes in one stacked launch".into());
+        }
+        Ok(heads.iter().map(|h| Dense::zeros(adj.rows(), h.v.cols())).collect())
+    }
+
+    fn launch(
+        rt: &Runtime,
+        adj: &Csr,
+        reqs: &[Vec<AttnHead>],
+        asm: &mut Vec<Dense>,
+        _config: &FusedAttentionConfig,
+    ) -> Result<(), OpError> {
+        let heads: Vec<&AttnHead> = reqs.iter().flatten().collect();
+        if heads.is_empty() {
+            return Ok(());
+        }
+        let qs: Vec<&Dense> = heads.iter().map(|h| &h.q).collect();
+        let kts: Vec<&Dense> = heads.iter().map(|h| &h.kt).collect();
+        let vs: Vec<&Dense> = heads.iter().map(|h| &h.v).collect();
+        fused_attention_views_on(rt, adj, &qs, &kts, &vs, asm)
+    }
+
+    fn outputs(asm: Vec<Dense>, reqs: &[Vec<AttnHead>]) -> Vec<Vec<Dense>> {
+        let mut heads = asm.into_iter();
+        reqs.iter().map(|req| heads.by_ref().take(req.len()).collect()).collect()
+    }
+
     fn stack(adj: &Csr, reqs: &[Vec<AttnHead>]) -> Result<FusedAttnStacked, OpError> {
         let heads: Vec<&AttnHead> = reqs.iter().flatten().collect();
         let shapes: Vec<(usize, usize)> = heads.iter().map(|h| (h.q.cols(), h.v.cols())).collect();
@@ -944,10 +1166,11 @@ impl SparseOp for FusedAttentionOp {
                 kt.row_mut(h * k + r).copy_from_slice(head.kt.row(r));
             }
         }
+        count_bytes_copied(kt.data().len() as u64 * 4);
         Ok(FusedAttnStacked { q, kt, v, heads: heads.len() })
     }
 
-    fn launch(
+    fn launch_stacked(
         rt: &Runtime,
         adj: &Csr,
         stacked: &FusedAttnStacked,
@@ -971,12 +1194,13 @@ impl SparseOp for FusedAttentionOp {
         req: &Vec<AttnHead>,
         config: &FusedAttentionConfig,
     ) -> Result<Vec<Dense>, OpError> {
-        // A single multi-head request is already a widened launch over its
-        // heads — same stacking, so batched results stay bit-identical.
-        let stacked = Self::stack(adj, std::slice::from_ref(req))?;
-        let wide = Self::launch(rt, adj, &stacked, config)?;
-        let widths: Vec<usize> = req.iter().map(|h| h.v.cols()).collect();
-        Ok(split_columns(&wide, &widths))
+        // A single multi-head request is already a widened launch over
+        // its heads — same view assembly, so batched results stay
+        // bit-identical (and the batch-of-one fast path stays copy-free).
+        let reqs = std::slice::from_ref(req);
+        let mut asm = Self::assemble(adj, reqs)?;
+        Self::launch(rt, adj, reqs, &mut asm, config)?;
+        Ok(Self::outputs(asm, reqs).pop().expect("one output per request"))
     }
 
     fn reference(adj: &Csr, req: &Vec<AttnHead>) -> Result<Vec<Dense>, OpError> {
@@ -1019,6 +1243,7 @@ impl SparseOp for FusedSageOp {
     type Config = FusedSageConfig;
     type Stacked = ();
     type Wide = Dense;
+    type Assembled = ();
 
     fn kind() -> &'static str {
         "fused_sage"
@@ -1064,11 +1289,29 @@ impl SparseOp for FusedSageOp {
         false
     }
 
-    fn stack(_adj: &Csr, _reqs: &[(Dense, Dense)]) -> Result<(), OpError> {
+    fn assemble(_adj: &Csr, _reqs: &[(Dense, Dense)]) -> Result<(), OpError> {
         Err("fused sage requests do not batch".into())
     }
 
     fn launch(
+        _rt: &Runtime,
+        _adj: &Csr,
+        _reqs: &[(Dense, Dense)],
+        _asm: &mut (),
+        _config: &FusedSageConfig,
+    ) -> Result<(), OpError> {
+        Err("fused sage requests do not batch".into())
+    }
+
+    fn outputs(_asm: (), _reqs: &[(Dense, Dense)]) -> Vec<Dense> {
+        Vec::new()
+    }
+
+    fn stack(_adj: &Csr, _reqs: &[(Dense, Dense)]) -> Result<(), OpError> {
+        Err("fused sage requests do not batch".into())
+    }
+
+    fn launch_stacked(
         _rt: &Runtime,
         _adj: &Csr,
         _stacked: &(),

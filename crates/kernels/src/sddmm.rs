@@ -215,7 +215,46 @@ pub fn sddmm_execute_on(
     bind_dense(&mut bindings, "Y", y);
     bind_zeros(&mut bindings, "Bout", a.nnz());
     rt.compile(&f)?.run(&HashMap::new(), &mut bindings)?;
-    Ok(bindings["Bout"].as_f32().to_vec())
+    Ok(take_values(&mut bindings, "Bout"))
+}
+
+/// Execute one multi-head SDDMM launch with `X`, `Y` and `Bout` bound as
+/// segmented views over the per-request operands and outputs — the
+/// zero-copy counterpart of the stacking batch path. Request `h`
+/// contributes its `m × k` operand as columns `[h·k, (h+1)·k)` of the
+/// logical `X`, its `k × n` operand as the `h`-th row-segment of the
+/// logical `Y`, and the kernel writes head `h`'s per-non-zero scores
+/// directly into `outs[h]` (which must hold `a.nnz()` elements,
+/// zero-filled). All requests must share the inner width `k`; the caller
+/// guarantees a non-empty batch.
+///
+/// # Errors
+/// Propagates lowering, view-validation and execution errors.
+pub fn sddmm_execute_views_on(
+    rt: &Runtime,
+    a: &Csr,
+    reqs: &[(Dense, Dense)],
+    outs: &mut [Vec<f32>],
+) -> Result<(), Box<dyn std::error::Error>> {
+    let heads = reqs.len();
+    let k = reqs[0].0.cols();
+    let f = batched_sddmm_ir(a, heads, k)?;
+    let kernel = rt.compile(&f)?;
+    let mut structure = Bindings::new();
+    bind_csr(&mut structure, "A", "J", a);
+    let x_segs: Vec<(&[f32], usize)> = reqs.iter().map(|(x, _)| (x.data(), x.cols())).collect();
+    let y_segs: Vec<&[f32]> = reqs.iter().map(|(_, y)| y.data()).collect();
+    let out_segs: Vec<(&mut [f32], usize)> =
+        outs.iter_mut().map(|o| (o.as_mut_slice(), 1)).collect();
+    let x = ColsView::read(a.rows(), &x_segs)?;
+    let y = RowsView::read(k * a.cols(), &y_segs)?;
+    let bout = ColsView::write(a.nnz(), out_segs)?;
+    let mut views = ViewBindings::from_tensors(&mut structure);
+    views.bind_cols("X", x);
+    views.bind_rows("Y", y);
+    views.bind_cols("Bout", bout);
+    kernel.run_views(&HashMap::new(), &mut views)?;
+    Ok(())
 }
 
 /// IR-path *batched* (multi-head) fused SDDMM: one widened launch whose

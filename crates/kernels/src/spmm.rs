@@ -268,18 +268,20 @@ impl PreparedSpmm {
     }
 }
 
-/// Lower `config` into an executable kernel for `a · x`: the scheduled CSR
-/// kernel, or the `hyb(c, k)` decomposition via `decompose_format` bucket
-/// rewrites (the Figure 11 pipeline), bound and ready to run.
+/// Lower `config` into the Stage III SpMM function at feature width
+/// `feat`, binding only the *structure* operands (CSR index buffers, `A`
+/// values, hyb buckets). The operand `B` and output `C` stay unbound so
+/// the caller can supply them either as whole tensors
+/// ([`prepare_spmm`]) or as segmented views over rider-owned storage
+/// ([`spmm_execute_views_on`]).
 ///
 /// # Errors
 /// Propagates decomposition and lowering errors.
-pub fn prepare_spmm(
+pub fn prepare_spmm_structure(
     a: &Csr,
-    x: &Dense,
+    feat: usize,
     config: &SpmmConfig,
-) -> Result<PreparedSpmm, Box<dyn std::error::Error>> {
-    let feat = x.cols();
+) -> Result<(PrimFunc, Bindings), Box<dyn std::error::Error>> {
     let mut bindings = Bindings::new();
     let func = match config.col_parts {
         None => csr_spmm_ir_with(a, feat, config.params)?,
@@ -313,9 +315,73 @@ pub fn prepare_spmm(
         }
     };
     bind_csr(&mut bindings, "A", "J", a);
+    Ok((func, bindings))
+}
+
+/// Lower `config` into an executable kernel for `a · x`: the scheduled CSR
+/// kernel, or the `hyb(c, k)` decomposition via `decompose_format` bucket
+/// rewrites (the Figure 11 pipeline), bound and ready to run.
+///
+/// # Errors
+/// Propagates decomposition and lowering errors.
+pub fn prepare_spmm(
+    a: &Csr,
+    x: &Dense,
+    config: &SpmmConfig,
+) -> Result<PreparedSpmm, Box<dyn std::error::Error>> {
+    let feat = x.cols();
+    let (func, mut bindings) = prepare_spmm_structure(a, feat, config)?;
     bind_dense(&mut bindings, "B", x);
     bind_zeros(&mut bindings, "C", a.rows() * feat);
     Ok(PreparedSpmm { func, bindings, rows: a.rows(), feat })
+}
+
+/// Execute one SpMM launch with `B` and `C` bound as column-segmented
+/// views over per-request operands and outputs — the zero-copy
+/// counterpart of the stack/split batching path. Request `i` contributes
+/// `xs[i].cols()` columns to the stacked width and the kernel writes its
+/// result columns directly into `outs[i]` (which must be
+/// `a.rows() × xs[i].cols()`, zero-filled). Zero-width requests are
+/// skipped; an all-zero-width batch skips the launch. Results are
+/// bit-identical to the copying path: view binding changes only address
+/// resolution, never per-column reduction order.
+///
+/// # Errors
+/// Propagates lowering, view-validation and execution errors.
+pub fn spmm_execute_views_on(
+    rt: &Runtime,
+    a: &Csr,
+    xs: &[&Dense],
+    outs: &mut [Dense],
+    config: &SpmmConfig,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let feat: usize = xs.iter().map(|x| x.cols()).sum();
+    if feat == 0 {
+        return Ok(());
+    }
+    // Same widening rule as the stacked copy path, so both arms compile
+    // the same schedule (and the same cached kernel) at width `feat`.
+    let mut wide = *config;
+    wide.params.vec_width = config.params.vec_width.max(feat.div_ceil(8));
+    let (func, mut structure) = prepare_spmm_structure(a, feat, &wide)?;
+    let kernel = rt.compile(&func)?;
+    let b_segs: Vec<(&[f32], usize)> =
+        xs.iter().filter(|x| x.cols() > 0).map(|x| (x.data(), x.cols())).collect();
+    let c_segs: Vec<(&mut [f32], usize)> = outs
+        .iter_mut()
+        .filter(|o| o.cols() > 0)
+        .map(|o| {
+            let w = o.cols();
+            (o.data_mut(), w)
+        })
+        .collect();
+    let b = ColsView::read(a.cols(), &b_segs)?;
+    let c = ColsView::write(a.rows(), c_segs)?;
+    let mut views = ViewBindings::from_tensors(&mut structure);
+    views.bind_cols("B", b);
+    views.bind_cols("C", c);
+    kernel.run_views(&HashMap::new(), &mut views)?;
+    Ok(())
 }
 
 /// Execute `a · x` under a tuned configuration through the slot-compiled
@@ -346,7 +412,7 @@ pub fn tuned_spmm_execute_on(
 ) -> Result<Dense, Box<dyn std::error::Error>> {
     let mut prepared = prepare_spmm(a, x, config)?;
     rt.compile(&prepared.func)?.run(&HashMap::new(), &mut prepared.bindings)?;
-    Ok(read_dense(&prepared.bindings, "C", a.rows(), x.cols()))
+    Ok(take_dense(&mut prepared.bindings, "C", a.rows(), x.cols()))
 }
 
 /// Execute a *batch* of SpMM requests against one shared adjacency as a

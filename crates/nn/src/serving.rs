@@ -78,7 +78,7 @@ fn shape_err(e: sparsetir_smat::SmatError) -> EngineError {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sparsetir_engine::{EngineConfig, DEFAULT_DRIFT_THRESHOLD};
+    use sparsetir_engine::EngineConfig;
     use sparsetir_smat::prelude::*;
     use std::sync::Arc;
 
@@ -178,7 +178,7 @@ mod tests {
             tune: false,
             fuse: None,
             batch_window: None,
-            drift_threshold: DEFAULT_DRIFT_THRESHOLD,
+            ..EngineConfig::default()
         }));
         std::thread::scope(|s| {
             for client in 0..CLIENTS {

@@ -51,6 +51,7 @@ pub mod hyb;
 pub mod io;
 pub mod linalg;
 pub mod srbcrs;
+pub mod view;
 
 pub use dense::SmatError;
 
@@ -73,4 +74,5 @@ pub mod prelude {
     pub use crate::io::{parse_matrix_market, to_matrix_market};
     pub use crate::linalg::{batched_sddmm, batched_spmm, rgms_reference};
     pub use crate::srbcrs::SrBcrs;
+    pub use crate::view::{DenseView, DenseViewMut};
 }

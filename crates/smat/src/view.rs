@@ -1,0 +1,158 @@
+//! Borrowed dense views for zero-copy batch assembly.
+//!
+//! A [`DenseView`] (read) or [`DenseViewMut`] (write) is a shape-checked
+//! borrow of a row-major `rows × cols` buffer — either a whole [`Dense`]
+//! or a caller-owned slice. The serving layer hands ordered lists of these
+//! to the executor as *segmented bindings*: one kernel buffer slot backed
+//! by several rider buffers side by side, so widened batch launches read
+//! operands and write outputs in place instead of staging them through a
+//! stacked copy.
+
+use crate::dense::{Dense, SmatError};
+
+/// A read-only borrowed `rows × cols` row-major matrix view.
+#[derive(Debug, Clone, Copy)]
+pub struct DenseView<'a> {
+    rows: usize,
+    cols: usize,
+    data: &'a [f32],
+}
+
+impl<'a> DenseView<'a> {
+    /// Wrap a row-major slice.
+    ///
+    /// # Errors
+    /// Fails when `data.len() != rows * cols`.
+    pub fn new(rows: usize, cols: usize, data: &'a [f32]) -> Result<DenseView<'a>, SmatError> {
+        if data.len() != rows * cols {
+            return Err(SmatError::new(format!(
+                "dense view length {} does not match {rows}x{cols}",
+                data.len()
+            )));
+        }
+        Ok(DenseView { rows, cols, data })
+    }
+
+    /// View an entire [`Dense`].
+    #[must_use]
+    pub fn of(d: &'a Dense) -> DenseView<'a> {
+        DenseView { rows: d.rows(), cols: d.cols(), data: d.data() }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Underlying row-major storage.
+    #[must_use]
+    pub fn data(&self) -> &'a [f32] {
+        self.data
+    }
+}
+
+/// A mutable borrowed `rows × cols` row-major matrix view.
+#[derive(Debug)]
+pub struct DenseViewMut<'a> {
+    rows: usize,
+    cols: usize,
+    data: &'a mut [f32],
+}
+
+impl<'a> DenseViewMut<'a> {
+    /// Wrap a mutable row-major slice.
+    ///
+    /// # Errors
+    /// Fails when `data.len() != rows * cols`.
+    pub fn new(
+        rows: usize,
+        cols: usize,
+        data: &'a mut [f32],
+    ) -> Result<DenseViewMut<'a>, SmatError> {
+        if data.len() != rows * cols {
+            return Err(SmatError::new(format!(
+                "dense view length {} does not match {rows}x{cols}",
+                data.len()
+            )));
+        }
+        Ok(DenseViewMut { rows, cols, data })
+    }
+
+    /// Mutably view an entire [`Dense`].
+    #[must_use]
+    pub fn of(d: &'a mut Dense) -> DenseViewMut<'a> {
+        let (rows, cols) = (d.rows(), d.cols());
+        DenseViewMut { rows, cols, data: d.data_mut() }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Underlying row-major storage.
+    #[must_use]
+    pub fn data(&self) -> &[f32] {
+        self.data
+    }
+
+    /// Mutable underlying row-major storage.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        self.data
+    }
+
+    /// Consume the view, returning the borrowed slice with its
+    /// original lifetime (needed to hand disjoint rider segments to a
+    /// single segmented binding).
+    #[must_use]
+    pub fn into_slice(self) -> &'a mut [f32] {
+        self.data
+    }
+
+    /// Reborrow as a read-only view.
+    #[must_use]
+    pub fn as_view(&self) -> DenseView<'_> {
+        DenseView { rows: self.rows, cols: self.cols, data: self.data }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn view_validates_length() {
+        let buf = [0.0f32; 6];
+        assert!(DenseView::new(2, 3, &buf).is_ok());
+        assert!(DenseView::new(2, 4, &buf).is_err());
+        let mut buf = [0.0f32; 6];
+        assert!(DenseViewMut::new(3, 2, &mut buf).is_ok());
+        assert!(DenseViewMut::new(1, 2, &mut buf).is_err());
+    }
+
+    #[test]
+    fn view_of_dense_round_trips() {
+        let mut d = Dense::from_fn(2, 3, |r, c| (r * 3 + c) as f32);
+        let v = DenseView::of(&d);
+        assert_eq!((v.rows(), v.cols()), (2, 3));
+        assert_eq!(v.data()[4], 4.0);
+        let mut m = DenseViewMut::of(&mut d);
+        m.data_mut()[0] = 9.0;
+        assert_eq!(m.as_view().data()[0], 9.0);
+        assert_eq!(d.get(0, 0), 9.0);
+    }
+}

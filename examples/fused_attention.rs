@@ -77,7 +77,7 @@ fn main() {
         tune: false,
         fuse: Some(true),
         batch_window: Some(std::time::Duration::from_micros(50)),
-        drift_threshold: DEFAULT_DRIFT_THRESHOLD,
+        ..EngineConfig::default()
     }));
     let adj = Adjacency::new(graph.clone());
     let clients = 8;

@@ -36,7 +36,7 @@ fn main() {
         tune: false,
         fuse: None,
         batch_window: Some(std::time::Duration::from_micros(50)),
-        drift_threshold: DEFAULT_DRIFT_THRESHOLD,
+        ..EngineConfig::default()
     }));
 
     // --- Raw SpMM serving: 8 clients share one adjacency ------------
